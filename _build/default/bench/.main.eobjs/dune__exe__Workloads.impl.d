@@ -1,0 +1,1 @@
+bench/workloads.ml: Buffer Printf String

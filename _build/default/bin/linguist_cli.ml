@@ -1,0 +1,242 @@
+(* The LINGUIST command line: process attribute grammars from files.
+
+     linguist-cli check    FILE.ag          diagnostics only
+     linguist-cli stats    FILE.ag          the grammar-statistics row (E1)
+     linguist-cli compile  FILE.ag -o DIR   listing + generated Pascal modules
+     linguist-cli self                      the self-generation demonstration
+*)
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let options_of ~subsumption ~dead_opt ~max_passes =
+  {
+    Linguist.Driver.default_options with
+    subsumption;
+    dead_opt;
+    max_passes;
+  }
+
+let process ~options path =
+  let source = read_file path in
+  match Linguist.Driver.process ~options ~file:path source with
+  | Ok artifact -> Ok (source, artifact)
+  | Error diag ->
+      print_string
+        (Linguist.Listing.errors_only ~source ~file:path diag);
+      Error ()
+
+(* common flags *)
+let file_arg =
+  Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.ag")
+
+let no_subsumption =
+  Arg.(value & flag & info [ "no-subsumption" ] ~doc:"Disable static subsumption.")
+
+let no_dead_opt =
+  Arg.(
+    value & flag
+    & info [ "no-dead-opt" ]
+        ~doc:"Write every computed attribute to the intermediate files.")
+
+let max_passes =
+  Arg.(
+    value & opt int 16
+    & info [ "max-passes" ] ~docv:"N"
+        ~doc:"Reject grammars needing more than $(docv) alternating passes.")
+
+let with_options f no_sub no_dead max_passes =
+  f (options_of ~subsumption:(not no_sub) ~dead_opt:(not no_dead) ~max_passes)
+
+let check_cmd =
+  let run options path =
+    match process ~options path with
+    | Ok (_, artifact) ->
+        Format.printf "%a" Lg_support.Diag.pp_all artifact.Linguist.Driver.diag;
+        Printf.printf
+          "%s: ok — evaluable in %d alternating passes (first pass %s)\n" path
+          artifact.Linguist.Driver.passes.Linguist.Pass_assign.n_passes
+          (match
+             Linguist.Pass_assign.direction artifact.Linguist.Driver.passes 1
+           with
+          | Linguist.Pass_assign.L2r -> "left-to-right"
+          | Linguist.Pass_assign.R2l -> "right-to-left");
+        `Ok ()
+    | Error () -> `Error (false, "errors in " ^ path)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Check an attribute grammar.")
+    Term.(
+      ret
+        (const (fun no_sub no_dead mp path ->
+             with_options (fun options -> run options path) no_sub no_dead mp)
+        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg))
+
+let stats_cmd =
+  let run options path =
+    match process ~options path with
+    | Ok (_, artifact) ->
+        let ir = artifact.Linguist.Driver.ir in
+        Format.printf "%a@." Linguist.Ir.pp_stats (Linguist.Ir.stats ir);
+        Printf.printf "alternating passes    %6d\n"
+          artifact.Linguist.Driver.passes.Linguist.Pass_assign.n_passes;
+        let report =
+          Linguist.Subsume.report ir artifact.Linguist.Driver.alloc
+        in
+        Printf.printf "static attributes     %6d (of %d candidates)\n"
+          report.Linguist.Subsume.chosen report.Linguist.Subsume.candidates;
+        Printf.printf "subsumable copy-rules %6d\n"
+          report.Linguist.Subsume.subsumed_copy_rules;
+        (* Saarinen's classification, which the paper's first optimization
+           exploits: most attributes never cross a pass boundary. *)
+        Printf.printf "temporary attributes  %6d (stack only)\n"
+          (Linguist.Dead.temporary_count artifact.Linguist.Driver.dead);
+        Printf.printf "significant attributes%6d (travel in the APT files)\n"
+          (Linguist.Dead.significant_count artifact.Linguist.Driver.dead);
+        `Ok ()
+    | Error () -> `Error (false, "errors in " ^ path)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print grammar statistics (the paper's E1 row).")
+    Term.(
+      ret
+        (const (fun no_sub no_dead mp path ->
+             with_options (fun options -> run options path) no_sub no_dead mp)
+        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg))
+
+let out_dir =
+  Arg.(
+    value & opt string "linguist-out"
+    & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let compile_cmd =
+  let run options path dir =
+    match process ~options path with
+    | Ok (_, artifact) ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let write name contents =
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc contents;
+          close_out oc;
+          Printf.printf "wrote %s (%d bytes)\n" (Filename.concat dir name)
+            (String.length contents)
+        in
+        write "listing.txt" artifact.Linguist.Driver.listing;
+        List.iter
+          (fun (m : Linguist.Pascal_gen.module_code) ->
+            write
+              (Printf.sprintf "pass%d.pas" m.Linguist.Pascal_gen.pass)
+              m.Linguist.Pascal_gen.text)
+          artifact.Linguist.Driver.modules;
+        let ml = Linguist.Ocaml_gen.generate artifact.Linguist.Driver.plan in
+        write "evaluator.ml" ml.Linguist.Ocaml_gen.text;
+        List.iter
+          (fun (name, seconds) ->
+            Printf.printf "  overlay %-16s %8.4f s\n" name seconds)
+          artifact.Linguist.Driver.overlay_seconds;
+        Printf.printf "throughput: %.0f lines/minute\n"
+          (Linguist.Driver.throughput_lines_per_minute artifact);
+        `Ok ()
+    | Error () -> `Error (false, "errors in " ^ path)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Generate the listing and the per-pass evaluator modules.")
+    Term.(
+      ret
+        (const (fun no_sub no_dead mp path dir ->
+             with_options (fun options -> run options path dir) no_sub no_dead mp)
+        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg $ out_dir))
+
+let tables_cmd =
+  (* the companion parse-table builder, fed "exactly the same input file" *)
+  let run options path =
+    match process ~options path with
+    | Ok (_, artifact) ->
+        let cfg = Linguist.Ir.to_cfg artifact.Linguist.Driver.ir in
+        let tables = Lg_lalr.Tables.build cfg in
+        Printf.printf "%s: LALR(1) tables\n" path;
+        Printf.printf "  terminals      %5d\n" (Lg_grammar.Cfg.terminal_count cfg);
+        Printf.printf "  nonterminals   %5d\n" (Lg_grammar.Cfg.nonterminal_count cfg);
+        Printf.printf "  productions    %5d\n" (Lg_grammar.Cfg.production_count cfg);
+        Printf.printf "  LR(0) states   %5d\n" (Lg_lalr.Tables.state_count tables);
+        Printf.printf "  table bytes    %5d (16-bit entries)\n"
+          (Lg_lalr.Tables.table_bytes tables);
+        (match Lg_lalr.Tables.unresolved_conflicts tables with
+        | [] -> Printf.printf "  conflicts      none\n"
+        | conflicts ->
+            List.iter
+              (fun c ->
+                Format.printf "  conflict: %a@."
+                  (Lg_lalr.Tables.pp_conflict tables)
+                  c)
+              conflicts);
+        `Ok ()
+    | Error () -> `Error (false, "errors in " ^ path)
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:
+         "Build the LALR(1) parse tables from the same grammar file \
+          (the companion parse-table builder).")
+    Term.(
+      ret
+        (const (fun no_sub no_dead mp path ->
+             with_options (fun options -> run options path) no_sub no_dead mp)
+        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg))
+
+let analyze_cmd =
+  (* the self-hosted path: the evaluator GENERATED from linguist.ag does
+     the analysis, not the native checker *)
+  let run path =
+    let t = Lg_languages.Linguist_ag.translator () in
+    let a = Lg_languages.Linguist_ag.analyze ~translator:t (read_file path) in
+    Printf.printf
+      "%s (analyzed by the evaluator generated from linguist.ag):\n" path;
+    Printf.printf
+      "  %d symbols, %d attribute declarations, %d productions, %d semantic functions (%d bare copies)\n"
+      a.Lg_languages.Linguist_ag.n_symbols
+      a.Lg_languages.Linguist_ag.n_attr_decls
+      a.Lg_languages.Linguist_ag.n_productions
+      a.Lg_languages.Linguist_ag.n_semantic_functions
+      a.Lg_languages.Linguist_ag.n_copy_estimate;
+    List.iter
+      (fun (line, tag, name) -> Printf.printf "  line %d: %s %s\n" line tag name)
+      a.Lg_languages.Linguist_ag.messages;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze an attribute grammar with the self-hosted analyzer (the \
+          evaluator generated from linguist.ag).")
+    Term.(ret (const run $ file_arg))
+
+let self_cmd =
+  let run () =
+    let t = Lg_languages.Linguist_ag.translator () in
+    let ir = Linguist.Translator.ir t in
+    Format.printf "linguist.ag:@.%a@." Linguist.Ir.pp_stats (Linguist.Ir.stats ir);
+    let self = Lg_languages.Linguist_ag.self_analysis () in
+    Printf.printf
+      "self-analysis by the generated evaluator: %d symbols, %d productions, %d messages\n"
+      self.Lg_languages.Linguist_ag.n_symbols
+      self.Lg_languages.Linguist_ag.n_productions
+      (List.length self.Lg_languages.Linguist_ag.messages);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "self" ~doc:"Run the self-generation demonstration.")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "linguist-cli" ~version:"1.0"
+      ~doc:
+        "A translator-writing system based on attribute grammars \
+         (a reproduction of LINGUIST-86, Farrow 1982)."
+  in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd; self_cmd ]))

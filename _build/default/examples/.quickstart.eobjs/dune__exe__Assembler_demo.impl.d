@@ -1,0 +1,1 @@
+examples/assembler_demo.ml: Lg_languages Linguist List Printf String

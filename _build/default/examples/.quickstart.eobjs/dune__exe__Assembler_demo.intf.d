@@ -1,0 +1,1 @@
+examples/assembler_demo.mli:

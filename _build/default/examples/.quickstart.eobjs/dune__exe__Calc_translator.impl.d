@@ -1,0 +1,1 @@
+examples/calc_translator.ml: Driver Lg_languages Linguist List Pascal_gen Printf String

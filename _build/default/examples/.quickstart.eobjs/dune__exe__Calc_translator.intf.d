@@ -1,0 +1,1 @@
+examples/calc_translator.mli:

@@ -1,0 +1,1 @@
+examples/pascal_frontend.ml: Lg_baseline Lg_languages List Printf String

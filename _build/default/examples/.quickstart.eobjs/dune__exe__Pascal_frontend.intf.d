@@ -1,0 +1,1 @@
+examples/pascal_frontend.mli:

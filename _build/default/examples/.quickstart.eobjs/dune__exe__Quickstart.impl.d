@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Lg_languages Lg_support Linguist List Printf

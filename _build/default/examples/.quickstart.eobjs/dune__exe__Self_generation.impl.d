@@ -1,0 +1,1 @@
+examples/self_generation.ml: Driver Format Ir Lg_languages Linguist List Pascal_gen Pass_assign Plan Printf String Translator

@@ -1,0 +1,44 @@
+(* A complete translator generated from an attribute grammar: the desk
+   calculator. Shows environments as partial functions threaded through the
+   statement list by copy-rules, undefined-variable diagnostics built with
+   the list-processing package, and what static subsumption does to the
+   generated evaluator.
+
+     dune exec examples/calc_translator.exe
+*)
+open Linguist
+
+let program =
+  {|x := 10;
+y := x + 32;
+print y;
+print y - x;     # 32
+print missing;   # an undefined variable
+z := (y - 2) + x;
+print z;
+|}
+
+let () =
+  print_endline "=== Desk calculator, generated from desk_calc.ag ===\n";
+  let translator = Lg_languages.Desk_calc.translator () in
+  print_endline "Input program:\n";
+  print_endline program;
+  let outcome = Lg_languages.Desk_calc.run ~translator program in
+  Printf.printf "Printed values: %s\n"
+    (String.concat ", " (List.map string_of_int outcome.Lg_languages.Desk_calc.printed));
+  List.iter
+    (fun (line, var) ->
+      Printf.printf "line %d: variable %S is undefined (evaluated as 0)\n" line var)
+    outcome.Lg_languages.Desk_calc.errors;
+
+  (* Peek under the hood: the generated evaluator for pass 2, with the
+     subsumed ENV copy-rules visible as comments. *)
+  let artifact =
+    Driver.process_exn ~file:"desk_calc.ag" Lg_languages.Desk_calc.ag_source
+  in
+  print_endline "\n=== Generated production-procedures (pass 2, excerpt) ===\n";
+  let m = List.nth artifact.Driver.modules 1 in
+  let lines = String.split_on_char '\n' m.Pascal_gen.text in
+  List.iteri (fun i l -> if i < 48 then print_endline l) lines;
+  Printf.printf "...\n(%d bytes of husk, %d bytes of semantic functions, %d copy-rules subsumed)\n"
+    m.Pascal_gen.husk_bytes m.Pascal_gen.sem_bytes m.Pascal_gen.subsumed_count

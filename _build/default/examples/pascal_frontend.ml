@@ -1,0 +1,83 @@
+(* The Pascal-subset compiler: an attribute grammar that type-checks and
+   generates stack-machine code, with jump offsets computed by pure
+   semantic functions (list lengths instead of label back-patching).
+
+     dune exec examples/pascal_frontend.exe
+*)
+
+let program =
+  {|program primes;
+var n : integer; i : integer; j : integer; k : integer; isp : integer;
+begin
+  { print the primes below 30, using only + - * and comparisons }
+  n := 30;
+  i := 2;
+  while i < n do
+  begin
+    isp := 1;
+    j := 2;
+    while j * j < i + 1 do
+    begin
+      { does j divide i?  compute i - j*(i "div" j) by repeated subtraction }
+      k := i;
+      while j < k + 1 do k := k - j;
+      if k = 0 then isp := 0 else isp := isp;
+      j := j + 1
+    end;
+    if isp = 1 then writeln(i) else i := i;
+    i := i + 1
+  end
+end.
+|}
+
+let bad_program =
+  {|program oops;
+var x : integer; flag : boolean; x : boolean;
+begin
+  y := 1;
+  x := true + 1;
+  while x do writeln(2);
+  writeln(flag)
+end.
+|}
+
+let () =
+  print_endline "=== Pascal-subset compiler, generated from pascal_subset.ag ===\n";
+  let translator = Lg_languages.Pascal_ag.translator () in
+
+  print_endline "Compiling and running the primes program:\n";
+  let compiled = Lg_languages.Pascal_ag.compile ~translator program in
+  let out = Lg_languages.Stack_machine.run compiled.Lg_languages.Pascal_ag.code in
+  Printf.printf "  output: %s\n"
+    (String.concat " " (List.map string_of_int out.Lg_languages.Stack_machine.output));
+  Printf.printf "  (%d instructions, %d machine steps)\n\n"
+    (Lg_languages.Stack_machine.instruction_count compiled.Lg_languages.Pascal_ag.code)
+    out.Lg_languages.Stack_machine.steps;
+
+  print_endline "The same front end rejecting an ill-typed program:\n";
+  print_endline bad_program;
+  let bad = Lg_languages.Pascal_ag.compile ~translator bad_program in
+  List.iter
+    (fun (line, tag, name) ->
+      Printf.printf "  line %d: %s %s\n" line tag name)
+    bad.Lg_languages.Pascal_ag.messages;
+
+  (* The generated compiler and a conventional hand-written one produce
+     behaviourally identical code. *)
+  let hand = Lg_baseline.Hand_pascal.compile program in
+  let hand_out = Lg_languages.Stack_machine.run hand.Lg_baseline.Hand_pascal.code in
+  Printf.printf
+    "\nHand-written baseline compiler agrees: %b (same %d-value output)\n"
+    (hand_out.Lg_languages.Stack_machine.output
+    = out.Lg_languages.Stack_machine.output)
+    (List.length out.Lg_languages.Stack_machine.output);
+
+  (* Disassembly excerpt. *)
+  print_endline "\nGenerated stack code (first instructions):";
+  let dis =
+    Lg_languages.Stack_machine.disassemble compiled.Lg_languages.Pascal_ag.code
+  in
+  List.iteri
+    (fun i l -> if i < 12 then print_endline l)
+    (String.split_on_char '\n' dis);
+  print_endline "  ..."

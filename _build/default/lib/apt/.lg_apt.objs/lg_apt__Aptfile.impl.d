@@ -1,0 +1,1 @@
+lib/apt/aptfile.ml: Buffer Bytes Char Filename Io_stats List Node String Sys

@@ -1,0 +1,1 @@
+lib/apt/aptfile.mli: Io_stats Node

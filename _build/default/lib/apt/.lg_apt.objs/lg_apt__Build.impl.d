@@ -1,0 +1,1 @@
+lib/apt/build.ml: Aptfile List Node Tree

@@ -1,0 +1,1 @@
+lib/apt/build.mli: Aptfile Node Tree

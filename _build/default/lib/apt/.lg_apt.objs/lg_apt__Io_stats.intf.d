@@ -1,0 +1,1 @@
+lib/apt/io_stats.mli: Format

@@ -1,0 +1,1 @@
+lib/apt/node.ml: Array Buffer Char Format Lg_support String Value

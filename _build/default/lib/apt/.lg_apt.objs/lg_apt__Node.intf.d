@@ -1,0 +1,1 @@
+lib/apt/node.mli: Buffer Format Lg_support

@@ -1,0 +1,1 @@
+lib/apt/tree.ml: Array Lg_support List Node Value

@@ -1,0 +1,1 @@
+lib/apt/tree.mli: Lg_support

@@ -1,0 +1,44 @@
+(** Intermediate APT files: sequential node streams readable in both
+    directions.
+
+    This is Schulz's disk-resident APT strategy as adopted by LINGUIST-86.
+    Each pass reads nodes in prefix order from one intermediate file and
+    writes them in postfix order to another; because every record is framed
+    by its length on {e both} sides, "the output file of a left-to-right
+    pass read backwards" is exactly "the input file for a right-to-left
+    pass" — no in-memory reversal ever happens.
+
+    Two backends share the format byte for byte: [Disk] uses real temporary
+    files (the paper's floppy/rigid disk), [Mem] an in-memory buffer (the
+    "virtual memory" variant the paper's conclusions ask about). *)
+
+type backend =
+  | Mem
+  | Disk of { dir : string }  (** temp files created inside [dir] *)
+
+type file
+type writer
+type reader
+
+val writer : ?stats:Io_stats.t -> backend -> writer
+val write : writer -> Node.t -> unit
+val close_writer : writer -> file
+
+val read_forward : ?stats:Io_stats.t -> file -> reader
+val read_backward : ?stats:Io_stats.t -> file -> reader
+
+val read_next : reader -> Node.t option
+(** [None] at end of stream. @raise Failure on a corrupt file. *)
+
+val close_reader : reader -> unit
+
+val to_list : ?stats:Io_stats.t -> file -> Node.t list
+(** Whole contents in forward order; convenience for tests. *)
+
+val of_list : ?stats:Io_stats.t -> backend -> Node.t list -> file
+
+val size_bytes : file -> int
+val record_count : file -> int
+
+val dispose : file -> unit
+(** Delete the backing temp file (no-op for [Mem]). *)

@@ -1,0 +1,31 @@
+let write_postfix_ltr w emit tree =
+  Tree.iter_postfix_ltr (fun t -> Aptfile.write w (emit t)) tree
+
+let write_prefix_ltr w emit tree =
+  Tree.iter_prefix_ltr (fun t -> Aptfile.write w (emit t)) tree
+
+let read_tree reader ~order ~arity ~rebuild =
+  let next () =
+    match Aptfile.read_next reader with
+    | Some node -> node
+    | None -> failwith "Build.read_tree: truncated stream"
+  in
+  let rec read_node () =
+    let node = next () in
+    let n = arity node in
+    let children = List.init n (fun _ -> read_node ()) in
+    let children =
+      match order with `Prefix_ltr -> children | `Prefix_rtl -> List.rev children
+    in
+    rebuild node children
+  in
+  read_node ()
+
+let default_node (t : Tree.t) =
+  if t.Tree.prod = Node.leaf_prod then
+    Node.leaf ~sym:t.Tree.sym ~attrs:t.Tree.leaf_attrs
+  else Node.interior ~prod:t.Tree.prod ~sym:t.Tree.sym ~attrs:[||]
+
+let default_rebuild (node : Node.t) children =
+  if Node.is_leaf node then Tree.leaf ~sym:node.Node.sym ~attrs:node.Node.attrs
+  else Tree.interior ~prod:node.Node.prod ~sym:node.Node.sym ~children

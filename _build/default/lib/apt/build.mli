@@ -1,0 +1,31 @@
+(** Linearization: between in-memory trees and intermediate files.
+
+    The parser can hand the evaluator its first APT file in two orders
+    (paper §II): bottom-up postfix (an LR parser's natural emission; the
+    first evaluation pass is then right-to-left) or top-down prefix (a
+    recursive-descent parser; first pass left-to-right). Both writers and
+    the matching readers live here. *)
+
+val write_postfix_ltr : Aptfile.writer -> (Tree.t -> Node.t) -> Tree.t -> unit
+(** Emit every node in left-to-right postfix order, [emit] choosing the
+    record layout (which attribute slots to materialize). *)
+
+val write_prefix_ltr : Aptfile.writer -> (Tree.t -> Node.t) -> Tree.t -> unit
+
+val read_tree :
+  Aptfile.reader ->
+  order:[ `Prefix_ltr | `Prefix_rtl ] ->
+  arity:(Node.t -> int) ->
+  rebuild:(Node.t -> Tree.t list -> Tree.t) ->
+  Tree.t
+(** Reconstruct a tree from a prefix stream. [`Prefix_rtl] is what a
+    backward read of a postfix file yields: each node precedes its
+    children, children arriving right to left. [arity] gives the child
+    count of a record (0 for leaves); [rebuild] receives children in
+    left-to-right order. @raise Failure on a truncated stream. *)
+
+val default_node : Tree.t -> Node.t
+(** Record with the tree node's intrinsic attributes and nothing else. *)
+
+val default_rebuild : Node.t -> Tree.t list -> Tree.t
+(** Rebuild using {!Tree.leaf} / {!Tree.interior}, keeping leaf attrs. *)

@@ -1,0 +1,41 @@
+type t = {
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable records_read : int;
+  mutable records_written : int;
+  mutable files_created : int;
+}
+
+let create () =
+  {
+    bytes_read = 0;
+    bytes_written = 0;
+    records_read = 0;
+    records_written = 0;
+    files_created = 0;
+  }
+
+let reset t =
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  t.records_read <- 0;
+  t.records_written <- 0;
+  t.files_created <- 0
+
+let add ~into t =
+  into.bytes_read <- into.bytes_read + t.bytes_read;
+  into.bytes_written <- into.bytes_written + t.bytes_written;
+  into.records_read <- into.records_read + t.records_read;
+  into.records_written <- into.records_written + t.records_written;
+  into.files_created <- into.files_created + t.files_created
+
+let total_bytes t = t.bytes_read + t.bytes_written
+
+let modeled_seconds t ~bytes_per_second =
+  float_of_int (total_bytes t) /. bytes_per_second
+
+let pp ppf t =
+  Format.fprintf ppf
+    "read %d B / %d rec; wrote %d B / %d rec; %d files"
+    t.bytes_read t.records_read t.bytes_written t.records_written
+    t.files_created

@@ -1,0 +1,26 @@
+(** I/O accounting for the intermediate APT files.
+
+    LINGUIST-86's operating characteristics hinge on the observation that
+    the generated evaluators are I/O bound; every byte and record moved
+    through the APT files is tallied here so the benchmark harness can
+    attribute time to transfer volume (experiments E4, E6, F2). *)
+
+type t = {
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable records_read : int;
+  mutable records_written : int;
+  mutable files_created : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : into:t -> t -> unit
+
+val total_bytes : t -> int
+
+val modeled_seconds : t -> bytes_per_second:float -> float
+(** Transfer time under a sequential-device cost model — the floppy/rigid
+    disk of the paper's 8086 host. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+open Lg_support
+
+type t = { prod : int; sym : int; attrs : Value.t array }
+
+let leaf_prod = -1
+let leaf ~sym ~attrs = { prod = leaf_prod; sym; attrs }
+let interior ~prod ~sym ~attrs =
+  if prod < 0 then invalid_arg "Node.interior: negative production";
+  { prod; sym; attrs }
+
+let is_leaf t = t.prod = leaf_prod
+
+let equal a b =
+  a.prod = b.prod && a.sym = b.sym
+  && Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2 Value.equal a.attrs b.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>{%s %d; sym %d;%a}@]"
+    (if is_leaf t then "leaf" else "prod")
+    t.prod t.sym
+    (fun ppf attrs ->
+      Array.iteri (fun i v -> Format.fprintf ppf "@ %d=%a" i Value.pp v) attrs)
+    t.attrs
+
+(* Payload layout: varint (prod+1), varint sym, varint nattrs, values. *)
+let encode buf t =
+  let add_varint n =
+    let rec go u =
+      if u land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr u)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x7f)));
+        go (u lsr 7)
+      end
+    in
+    if n < 0 then invalid_arg "Node.encode: negative field";
+    go n
+  in
+  add_varint (t.prod + 1);
+  add_varint t.sym;
+  add_varint (Array.length t.attrs);
+  Array.iter (Value.encode buf) t.attrs
+
+let read_varint s pos =
+  let rec go pos shift acc =
+    if pos >= String.length s then failwith "Node.decode: truncated";
+    let byte = Char.code s.[pos] in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let decode s =
+  let prod1, pos = read_varint s 0 in
+  let sym, pos = read_varint s pos in
+  let nattrs, pos = read_varint s pos in
+  let pos = ref pos in
+  let attrs =
+    Array.init nattrs (fun _ ->
+        let v, next = Value.decode s !pos in
+        pos := next;
+        v)
+  in
+  if !pos <> String.length s then failwith "Node.decode: trailing bytes";
+  { prod = prod1 - 1; sym; attrs }
+
+let encoded_size t =
+  let buf = Buffer.create 64 in
+  encode buf t;
+  Buffer.length buf

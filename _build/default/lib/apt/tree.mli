@@ -1,0 +1,33 @@
+(** In-memory attributed parse trees.
+
+    The evaluator proper never holds a whole APT in memory — that is the
+    point of the paper — but the differential-testing oracle (demand-driven
+    evaluation) and the linearization builders do. Node identity ([id]) is
+    unique per process, letting oracles memoize per attribute instance. *)
+
+type t = private {
+  id : int;
+  prod : int;  (** {!Node.leaf_prod} for leaves *)
+  sym : int;
+  children : t list;
+  leaf_attrs : Lg_support.Value.t array;
+      (** intrinsic attribute slots; empty for interior nodes *)
+}
+
+val leaf : sym:int -> attrs:Lg_support.Value.t array -> t
+val interior : prod:int -> sym:int -> children:t list -> t
+
+val size : t -> int
+val depth : t -> int
+(** A single leaf has depth 1. *)
+
+val iter_postfix_ltr : (t -> unit) -> t -> unit
+(** Children left to right, then the node — the bottom-up parser's
+    emission order. *)
+
+val iter_prefix_ltr : (t -> unit) -> t -> unit
+(** The node, then children left to right — the recursive-descent
+    emission order. *)
+
+val equal_shape : t -> t -> bool
+(** Same productions, symbols and intrinsic attributes (ignores [id]). *)

@@ -1,0 +1,1 @@
+lib/baseline/hand_pascal.ml: Char Hashtbl Interner Lg_support List Printf String Value

@@ -1,0 +1,1 @@
+lib/baseline/hand_pascal.mli: Lg_support

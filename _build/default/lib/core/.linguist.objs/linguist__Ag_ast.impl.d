@@ -1,0 +1,1 @@
+lib/core/ag_ast.ml: Char Format Lg_support List Loc String

@@ -1,0 +1,1 @@
+lib/core/ag_ast.mli: Format Lg_support

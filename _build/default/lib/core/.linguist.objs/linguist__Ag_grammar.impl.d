@@ -1,0 +1,1 @@
+lib/core/ag_grammar.ml: Ag_lexer Array Format Lazy Lg_grammar Lg_lalr

@@ -1,0 +1,1 @@
+lib/core/ag_grammar.mli: Lazy Lg_grammar Lg_lalr

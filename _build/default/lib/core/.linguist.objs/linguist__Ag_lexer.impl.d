@@ -1,0 +1,1 @@
+lib/core/ag_lexer.ml: Lazy Lg_scanner List

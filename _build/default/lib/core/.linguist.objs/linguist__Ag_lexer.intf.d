@@ -1,0 +1,1 @@
+lib/core/ag_lexer.mli: Lazy Lg_scanner Lg_support

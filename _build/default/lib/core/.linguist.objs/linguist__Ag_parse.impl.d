@@ -1,0 +1,1 @@
+lib/core/ag_parse.ml: Ag_ast Ag_grammar Ag_lexer Array Buffer Char Diag Format Lazy Lg_grammar Lg_lalr Lg_scanner Lg_support List Loc Printf String

@@ -1,0 +1,1 @@
+lib/core/ag_parse.mli: Ag_ast Lg_support

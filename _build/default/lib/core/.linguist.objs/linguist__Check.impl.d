@@ -1,0 +1,1 @@
+lib/core/check.ml: Ag_ast Array Diag Format Hashtbl Implicit Ir Lg_grammar Lg_support List Loc Option Printf String Value

@@ -1,0 +1,1 @@
+lib/core/check.mli: Ag_ast Ir Lg_support

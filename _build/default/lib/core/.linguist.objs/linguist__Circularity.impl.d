@@ -1,0 +1,1 @@
+lib/core/circularity.ml: Array Format Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/core/circularity.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/core/dead.ml: Array Ir List Pass_assign

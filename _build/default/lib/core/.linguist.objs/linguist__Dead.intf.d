@@ -1,0 +1,1 @@
+lib/core/dead.mli: Ir Pass_assign

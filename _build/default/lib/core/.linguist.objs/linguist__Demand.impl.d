@@ -1,0 +1,1 @@
+lib/core/demand.ml: Array Hashtbl Ir Lazy Lg_apt Lg_support List Node Printf Sem_ops Tree Value

@@ -1,0 +1,1 @@
+lib/core/demand.mli: Ir Lg_apt Lg_support

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Ag_parse Check Circularity Dead Diag Format Ir Lg_scanner Lg_support List Listing Loc Pascal_gen Pass_assign Plan Printf Schedule Subsume Sys

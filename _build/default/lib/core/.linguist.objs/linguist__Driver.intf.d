@@ -1,0 +1,1 @@
+lib/core/driver.mli: Dead Ir Lg_support Pascal_gen Pass_assign Plan Subsume

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Ag_ast Aptfile Array Build Format Io_stats Ir Lg_apt Lg_support List Node Option Pass_assign Plan Sem_ops String Subsume Tree Value

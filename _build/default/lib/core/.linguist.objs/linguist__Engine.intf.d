@@ -1,0 +1,1 @@
+lib/core/engine.mli: Ir Lg_apt Lg_support Plan

@@ -1,0 +1,1 @@
+lib/core/implicit.ml: Array Ir List String

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Ag_ast Array Format Lg_grammar Lg_support List Loc Printf String Value

@@ -1,0 +1,1 @@
+lib/core/ir.mli: Ag_ast Format Lg_grammar Lg_support

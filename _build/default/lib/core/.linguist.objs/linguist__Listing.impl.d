@@ -1,0 +1,1 @@
+lib/core/listing.ml: Array Buffer Dead Diag Format Hashtbl Ir Lg_support List Loc Option Pass_assign Printf String Subsume

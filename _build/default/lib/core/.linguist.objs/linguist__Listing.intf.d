@@ -1,0 +1,1 @@
+lib/core/listing.mli: Dead Ir Lg_support Pass_assign Subsume

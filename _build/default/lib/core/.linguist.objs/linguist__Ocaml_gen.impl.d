@@ -1,0 +1,1 @@
+lib/core/ocaml_gen.ml: Ag_ast Array Buffer Format Ir Lg_support List Pass_assign Plan Printf String Subsume

@@ -1,0 +1,1 @@
+lib/core/ocaml_gen.mli: Plan

@@ -1,0 +1,1 @@
+lib/core/pascal_gen.ml: Ag_ast Array Buffer Format Ir Lg_support List Option Pass_assign Plan Printf String Subsume Value

@@ -1,0 +1,1 @@
+lib/core/pascal_gen.mli: Plan

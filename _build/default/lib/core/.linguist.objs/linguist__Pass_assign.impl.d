@@ -1,0 +1,1 @@
+lib/core/pass_assign.ml: Ag_ast Array Diag Format Hashtbl Ir Lg_support List Loc Option

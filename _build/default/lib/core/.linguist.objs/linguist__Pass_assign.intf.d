@@ -1,0 +1,1 @@
+lib/core/pass_assign.mli: Ag_ast Ir Lg_support

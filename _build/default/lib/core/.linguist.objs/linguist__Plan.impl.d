@@ -1,0 +1,1 @@
+lib/core/plan.ml: Ag_ast Array Dead Format Ir Lg_support List Pass_assign Printf Subsume Value

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Ag_ast Dead Format Ir Lg_support Pass_assign Subsume

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Format Hashtbl Ir List Pass_assign Plan Printf Subsume

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Dead Ir Pass_assign Plan Subsume

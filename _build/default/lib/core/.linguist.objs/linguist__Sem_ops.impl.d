@@ -1,0 +1,1 @@
+lib/core/sem_ops.ml: Ag_ast Lg_support Value

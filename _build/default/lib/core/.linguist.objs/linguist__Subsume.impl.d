@@ -1,0 +1,1 @@
+lib/core/subsume.ml: Array Dead Hashtbl Ir List Option Pass_assign

@@ -1,0 +1,1 @@
+lib/core/subsume.mli: Dead Ir Pass_assign

@@ -1,0 +1,1 @@
+lib/core/translator.ml: Ag_ast Array Diag Driver Engine Format Interner Ir Lg_apt Lg_grammar Lg_lalr Lg_scanner Lg_support List Loc String Tree Value

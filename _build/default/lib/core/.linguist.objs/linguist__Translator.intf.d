@@ -1,0 +1,1 @@
+lib/core/translator.mli: Driver Engine Ir Lg_apt Lg_lalr Lg_scanner Lg_support Plan

@@ -1,0 +1,84 @@
+(** Abstract syntax of the LINGUIST attribute-grammar input language.
+
+    The surface language follows the paper's §IV: symbol declarations with
+    uninterpreted attribute types; terminal attributes are {e intrinsic}
+    (set by the parser); {e limb} symbols name productions and their
+    attributes name common sub-expressions; semantic functions may define a
+    list of attribute-occurrences at once; right-hand sides are pure
+    expressions over attribute occurrences with a value-producing
+    [if/elsif/else/endif] and the standard infix operators. *)
+
+type binop = Add | Sub | Eq | Ne | Lt | Gt | Le | Ge | And | Or
+
+type expr =
+  | Enum of int * Lg_support.Loc.span
+  | Ebool of bool * Lg_support.Loc.span
+  | Estr of string * Lg_support.Loc.span
+  | Eident of string * Lg_support.Loc.span
+      (** bare identifier: limb attribute, named constant, or uninterpreted
+          constant *)
+  | Edot of string * string * Lg_support.Loc.span
+      (** [occurrence.ATTRIBUTE] *)
+  | Ecall of string * expr list * Lg_support.Loc.span
+  | Ebinop of binop * expr * expr * Lg_support.Loc.span
+  | Enot of expr * Lg_support.Loc.span
+  | Eneg of expr * Lg_support.Loc.span
+  | Eif of branch list * expr list * Lg_support.Loc.span
+      (** branches tried in order; the [expr list]s carry one value per
+          target being defined (multi-target semantic functions) *)
+
+and branch = { cond : expr; values : expr list }
+
+type target =
+  | Tdot of string * string * Lg_support.Loc.span
+  | Tbare of string * Lg_support.Loc.span  (** a limb attribute *)
+
+type semfn = { targets : target list; rhs : expr; f_span : Lg_support.Loc.span }
+
+type attr_kind = Kinh | Ksyn | Kintrinsic | Kplain
+
+type attr_decl = {
+  attr_name : string;
+  attr_type : string;
+  attr_kind : attr_kind;
+  a_span : Lg_support.Loc.span;
+}
+
+type sym_section = Sterminals | Snonterminals | Slimbs
+
+type sym_decl = {
+  sym_name : string;
+  sym_attrs : attr_decl list;
+  s_span : Lg_support.Loc.span;
+}
+
+type prod_decl = {
+  lhs : string;
+  rhs : string list;
+  limb : string option;
+  sems : semfn list;
+  p_span : Lg_support.Loc.span;
+}
+
+type strategy = Bottom_up | Recursive_descent
+
+type section =
+  | Sec_root of string * Lg_support.Loc.span
+  | Sec_strategy of strategy * Lg_support.Loc.span
+  | Sec_symbols of sym_section * sym_decl list
+  | Sec_productions of prod_decl list
+
+type spec = { name : string; sections : section list; sp_span : Lg_support.Loc.span }
+
+val expr_span : expr -> Lg_support.Loc.span
+val target_span : target -> Lg_support.Loc.span
+
+val strip_occurrence_suffix : string -> string * int option
+(** ["expr1"] is occurrence 1 of symbol ["expr"]: split a trailing decimal
+    suffix off an identifier. [None] when there is no suffix. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+(** Re-parsable rendering, used by the listing generator to print implicit
+    copy-rules exactly like explicit ones. *)
+
+val pp_semfn : Format.formatter -> semfn -> unit

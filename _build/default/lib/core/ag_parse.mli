@@ -1,0 +1,16 @@
+(** Parser for the AG input language: scanner + LALR driver + tree-building
+    actions (LINGUIST-86's overlay 1).
+
+    On a syntax error a diagnostic naming the expected tokens is recorded
+    and [None] is returned; scanning errors are likewise collected rather
+    than raised. *)
+
+val parse :
+  file:string ->
+  diag:Lg_support.Diag.collector ->
+  string ->
+  Ag_ast.spec option
+
+val parse_exn : file:string -> string -> Ag_ast.spec
+(** Convenience for tests and built-in grammars.
+    @raise Failure with all diagnostics rendered, on any error. *)

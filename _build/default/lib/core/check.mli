@@ -1,0 +1,23 @@
+(** Semantic analysis of an AG specification (overlays 2 and 3).
+
+    Builds the dictionary of symbols, attributes, productions and semantic
+    functions; resolves occurrence names ([expr1] = occurrence 1 of symbol
+    [expr]); classifies and validates attribute kinds; enforces the Knuth
+    discipline (semantic functions define exactly the left-hand side's
+    synthesized attributes, the right-hand sides' inherited attributes, and
+    the limb attributes, each exactly once); inserts implicit copy-rules
+    for permissible omissions; checks multi-target arities and the paper's
+    restriction that conditionals not appear under operators or argument
+    lists.
+
+    All violations are reported to the collector; [None] is returned iff at
+    least one error was reported. *)
+
+val check :
+  ?source_lines:int ->
+  diag:Lg_support.Diag.collector ->
+  Ag_ast.spec ->
+  Ir.t option
+
+val check_exn : ?source_lines:int -> Ag_ast.spec -> Ir.t
+(** @raise Failure with rendered diagnostics on any error. *)

@@ -1,0 +1,47 @@
+(** General circularity analysis of attribute grammars.
+
+    The alternating-pass test (overlay 4) rejects two very different kinds
+    of grammar: truly circular ones ("ill-defined" in the paper's terms,
+    [JOR]) and perfectly well-defined ones whose information flow just
+    does not fit k alternating passes. This module separates them.
+
+    Two classic algorithms:
+
+    - {b exact} (Knuth's corrected test): characteristic IO relations —
+      for each nonterminal, the {e set} of inherited-to-synthesized
+      dependency relations realizable by complete derivation trees; a
+      grammar is circular iff some production composed with realizable
+      child relations has a cyclic dependency graph. Worst-case
+      exponential [JOR]; [max_relations] caps the explored set and falls
+      back to the conservative merged analysis when exceeded.
+    - {b absolute noncircularity} (the polynomial sufficient condition of
+      the Bochmann/Kennedy–Warren family): merge each nonterminal's
+      relations into one. Absolutely noncircular grammars are noncircular;
+      the converse can fail, and tree-walk evaluator generators (including
+      alternating-pass ones) accept only grammars in such sub-classes. *)
+
+type cycle = {
+  c_prod : int;  (** production where the cyclic graph appears *)
+  c_refs : Ir.aref list;  (** one attribute-instance cycle, in order *)
+}
+
+type verdict =
+  | Circular of cycle
+  | Noncircular of { absolutely : bool }
+      (** [absolutely = false]: well-defined, but only the exact test can
+          tell — no tree-walk evaluator in the merged-graph family accepts
+          it *)
+  | Unknown of string
+      (** the exact test exceeded [max_relations] and the merged
+          approximation found a potential cycle: possibly circular *)
+
+val analyze : ?max_relations:int -> Ir.t -> verdict
+(** [max_relations] (default 64) bounds the IO-relation set per
+    nonterminal for the exact phase. *)
+
+val pp_verdict : Ir.t -> Format.formatter -> verdict -> unit
+
+val explain_rejection : Ir.t -> string
+(** One-line classification used when the alternating-pass test fails:
+    distinguishes "circular" from "well-defined but not evaluable in
+    alternating passes". *)

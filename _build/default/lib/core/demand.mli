@@ -1,0 +1,32 @@
+(** Demand-driven (memoized, lazy) attribute evaluation on an in-memory
+    tree: the differential-testing oracle.
+
+    This evaluator knows nothing of passes, files, schedules, or static
+    subsumption — each attribute instance is computed on first demand by
+    locating its unique defining semantic function (in the node's own
+    production for synthesized and limb attributes, in the parent's for
+    inherited ones) and recursing. Agreement between this oracle and
+    {!Engine} on random trees is the library's central correctness
+    property: the alternating-pass machinery and all its optimizations are
+    pure evaluation-order transformations. *)
+
+exception Circular of string
+(** A circularly defined attribute instance was demanded. *)
+
+type result = {
+  outputs : (string * Lg_support.Value.t) list;
+      (** root synthesized attributes *)
+  applications : (int * Lg_support.Value.t list) list;
+      (** every rule application in the tree: (rule id, values), one entry
+          per production instance, in demand order *)
+}
+
+val evaluate : Ir.t -> Lg_apt.Tree.t -> result
+(** Forces {e every} attribute instance (not only those the root needs), so
+    [applications] is complete and comparable with the engine's trace.
+    @raise Circular on circular instances
+    @raise Invalid_argument if the tree does not fit the grammar *)
+
+val instance : Ir.t -> Lg_apt.Tree.t -> path:int list -> attr:string -> Lg_support.Value.t
+(** Value of one attribute instance, addressed by the child-index path
+    from the root. For tests that probe interior nodes. *)

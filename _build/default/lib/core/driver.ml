@@ -1,0 +1,121 @@
+open Lg_support
+
+type options = {
+  subsumption : bool;
+  dead_opt : bool;
+  max_passes : int;
+  emit_listing : bool;
+  emit_code : bool;
+}
+
+let default_options =
+  {
+    subsumption = true;
+    dead_opt = true;
+    max_passes = 16;
+    emit_listing = true;
+    emit_code = true;
+  }
+
+type artifact = {
+  ir : Ir.t;
+  passes : Pass_assign.result;
+  dead : Dead.t;
+  alloc : Subsume.allocation;
+  plan : Plan.t;
+  modules : Pascal_gen.module_code list;
+  listing : string;
+  diag : Diag.collector;
+  overlay_seconds : (string * float) list;
+  source_lines : int;
+}
+
+let timed timings name f =
+  let t0 = Sys.time () in
+  let result = f () in
+  let t1 = Sys.time () in
+  timings := (name, t1 -. t0) :: !timings;
+  result
+
+let analyses ~options ir pr =
+  let mode = if options.dead_opt then Dead.Optimized else Dead.Keep_all in
+  let dead = Dead.analyze ~mode ir pr in
+  let alloc =
+    if options.subsumption then Subsume.analyze ir pr dead
+    else Subsume.none ir
+  in
+  (dead, alloc)
+
+let plan_of_ir ?(options = default_options) ir =
+  let pr = Pass_assign.compute_exn ~max_passes:options.max_passes ir in
+  let dead, alloc = analyses ~options ir pr in
+  Schedule.build ir pr ~dead ~alloc
+
+let process ?(options = default_options) ~file source =
+  let diag = Diag.create () in
+  let timings = ref [] in
+  let source_lines = Lg_scanner.Engine.line_count source in
+  let ast = timed timings "parse" (fun () -> Ag_parse.parse ~file ~diag source) in
+  match ast with
+  | None -> Error diag
+  | Some ast -> (
+      let ir =
+        timed timings "semantic" (fun () -> Check.check ~source_lines ~diag ast)
+      in
+      match ir with
+      | None -> Error diag
+      | Some ir -> (
+          let pr =
+            timed timings "evaluability" (fun () ->
+                Pass_assign.compute ~max_passes:options.max_passes ~diag ir)
+          in
+          match pr with
+          | None ->
+              (* Tell the user whether the grammar is ill-defined or merely
+                 outside the alternating-pass class. *)
+              Diag.info diag Loc.dummy "%s" (Circularity.explain_rejection ir);
+              Error diag
+          | Some pr ->
+              let plan =
+                timed timings "planning" (fun () ->
+                    let dead, alloc = analyses ~options ir pr in
+                    Schedule.build ir pr ~dead ~alloc)
+              in
+              let listing =
+                if options.emit_listing then
+                  timed timings "listing" (fun () ->
+                      Listing.generate ~source ~passes:pr
+                        ~dead:plan.Plan.dead ~alloc:plan.Plan.alloc ir diag)
+                else ""
+              in
+              let modules =
+                if options.emit_code then
+                  List.init pr.Pass_assign.n_passes (fun i ->
+                      timed timings
+                        (Printf.sprintf "codegen pass %d" (i + 1))
+                        (fun () -> Pascal_gen.generate_pass plan ~pass:(i + 1)))
+                else []
+              in
+              Ok
+                {
+                  ir;
+                  passes = pr;
+                  dead = plan.Plan.dead;
+                  alloc = plan.Plan.alloc;
+                  plan;
+                  modules;
+                  listing;
+                  diag;
+                  overlay_seconds = List.rev !timings;
+                  source_lines;
+                }))
+
+let process_exn ?options ~file source =
+  match process ?options ~file source with
+  | Ok artifact -> artifact
+  | Error diag -> failwith (Format.asprintf "Driver.process:@.%a" Diag.pp_all diag)
+
+let throughput_lines_per_minute artifact =
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 artifact.overlay_seconds in
+  if total <= 0.0 then infinity
+  else float_of_int artifact.source_lines /. total *. 60.0

@@ -1,0 +1,422 @@
+open Lg_support
+open Lg_apt
+
+type options = {
+  backend : Aptfile.backend;
+  record_trace : bool;
+  keep_files : bool;
+  interpretive : bool;
+}
+
+let default_options =
+  { backend = Aptfile.Mem; record_trace = false; keep_files = false; interpretive = false }
+
+type pass_stats = {
+  ps_pass : int;
+  ps_io : Io_stats.t;
+  ps_rules : int;
+  ps_global_moves : int;
+  ps_file_bytes : int;
+}
+
+type run_stats = {
+  rules_evaluated : int;
+  global_moves : int;
+  max_open_nodes : int;
+  max_resident_slots : int;
+  total_io : Io_stats.t;
+  per_pass : pass_stats list;
+  apt_total_bytes : int;
+}
+
+type result = {
+  outputs : (string * Value.t) list;
+  stats : run_stats;
+  trace : (int * Value.t list) list;
+}
+
+exception Evaluation_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Evaluation_error s)) fmt
+
+(* In-memory state of an open node. *)
+type node_state = { ns_prod : int; ns_sym : int; vals : Value.t array }
+
+let leaf_attr_values (ir : Ir.t) ~sym pairs =
+  let attrs = ir.symbols.(sym).Ir.s_attrs in
+  let vals = Array.make (List.length attrs) Value.Bottom in
+  List.iter
+    (fun (name, v) ->
+      let rec place i = function
+        | [] ->
+            fail "terminal %S has no attribute %S" ir.symbols.(sym).Ir.s_name name
+        | a :: rest ->
+            if String.equal ir.attrs.(a).Ir.a_name name then vals.(i) <- v
+            else place (i + 1) rest
+      in
+      place 0 attrs)
+    pairs;
+  vals
+
+(* Compress a node's in-memory values to the record written after [pass]. *)
+let compress (plan : Plan.t) ns ~pass =
+  let ir = plan.Plan.ir in
+  let wanted = Plan.record_attrs plan ~sym:ns.ns_sym ~prod:ns.ns_prod ~pass in
+  let base = ir.symbols.(ns.ns_sym).Ir.s_attrs in
+  let slot_of a =
+    let rec find i = function
+      | [] -> None
+      | x :: rest -> if x = a then Some i else find (i + 1) rest
+    in
+    match find 0 base with
+    | Some i -> Some i
+    | None ->
+        if ns.ns_prod < 0 then None
+        else
+          let limb_attrs =
+            match ir.prods.(ns.ns_prod).Ir.p_limb with
+            | Some l -> ir.symbols.(l).Ir.s_attrs
+            | None -> []
+          in
+          Option.map (fun i -> List.length base + i) (find 0 limb_attrs)
+  in
+  let attrs =
+    Array.of_list
+      (List.map
+         (fun a ->
+           match slot_of a with
+           | Some i when i < Array.length ns.vals -> ns.vals.(i)
+           | Some _ ->
+               fail "Engine.compress: node of %s has too few slots (%d)"
+                 ir.symbols.(ns.ns_sym).Ir.s_name (Array.length ns.vals)
+           | None -> fail "Engine.compress: attribute not in node layout")
+         wanted)
+  in
+  if ns.ns_prod < 0 then Node.leaf ~sym:ns.ns_sym ~attrs
+  else Node.interior ~prod:ns.ns_prod ~sym:ns.ns_sym ~attrs
+
+(* Expand a record read during [pass] (written at the end of [pass-1]). *)
+let expand (plan : Plan.t) (node : Node.t) ~pass =
+  let ir = plan.Plan.ir in
+  let sym = node.Node.sym in
+  let prod = node.Node.prod in
+  let stored = Plan.record_attrs plan ~sym ~prod ~pass:(pass - 1) in
+  if List.length stored <> Array.length node.Node.attrs then
+    fail "Engine.expand: record carries %d values, expected %d (sym %s)"
+      (Array.length node.Node.attrs) (List.length stored)
+      ir.symbols.(sym).Ir.s_name;
+  let vals = Array.make (Plan.node_slots ir ~sym ~prod) Value.Bottom in
+  let base = ir.symbols.(sym).Ir.s_attrs in
+  List.iteri
+    (fun record_idx a ->
+      let rec find i = function
+        | [] -> (
+            (* a limb attribute *)
+            match (prod >= 0, if prod >= 0 then ir.prods.(prod).Ir.p_limb else None) with
+            | true, Some l ->
+                let rec find_limb j = function
+                  | [] -> fail "Engine.expand: stray record attribute"
+                  | x :: rest ->
+                      if x = a then
+                        vals.(List.length base + j) <- node.Node.attrs.(record_idx)
+                      else find_limb (j + 1) rest
+                in
+                find_limb 0 ir.symbols.(l).Ir.s_attrs
+            | _ -> fail "Engine.expand: stray record attribute")
+        | x :: rest ->
+            if x = a then vals.(i) <- node.Node.attrs.(record_idx)
+            else find (i + 1) rest
+      in
+      find 0 base)
+    stored;
+  { ns_prod = prod; ns_sym = sym; vals }
+
+let initial_file ?stats (plan : Plan.t) backend tree =
+  let ir = plan.Plan.ir in
+  let emit (t : Tree.t) =
+    let ns = { ns_prod = t.Tree.prod; ns_sym = t.Tree.sym; vals = [||] } in
+    let ns =
+      if t.Tree.prod = Node.leaf_prod then { ns with vals = t.Tree.leaf_attrs }
+      else
+        { ns with vals = Array.make (Plan.node_slots ir ~sym:t.Tree.sym ~prod:t.Tree.prod) Value.Bottom }
+    in
+    compress plan ns ~pass:0
+  in
+  let w = Aptfile.writer ?stats backend in
+  (match plan.Plan.passes.Pass_assign.strategy with
+  | Ag_ast.Bottom_up -> Build.write_postfix_ltr w emit tree
+  | Ag_ast.Recursive_descent -> Build.write_prefix_ltr w emit tree);
+  Aptfile.close_writer w
+
+(* Mutable run-wide accounting. *)
+type accounting = {
+  mutable rules : int;
+  mutable moves : int;
+  mutable open_nodes : int;
+  mutable max_open : int;
+  mutable resident : int;
+  mutable max_resident : int;
+}
+
+let truthy = Value.is_true
+
+let run ?(options = default_options) (plan : Plan.t) tree =
+  let ir = plan.Plan.ir in
+  if options.interpretive && plan.Plan.alloc.Subsume.n_globals > 0 then
+    invalid_arg
+      "Engine.run: interpretive mode needs a plan without static subsumption";
+  let n_passes = plan.Plan.passes.Pass_assign.n_passes in
+  let acc =
+    { rules = 0; moves = 0; open_nodes = 0; max_open = 0; resident = 0; max_resident = 0 }
+  in
+  let trace = ref [] in
+  let globals = Array.make (max 1 plan.Plan.alloc.Subsume.n_globals) Value.Bottom in
+  let per_pass = ref [] in
+  let total_io = Io_stats.create () in
+  let max_file_bytes = ref 0 in
+  let run_pass input_file pass =
+    let pass_plan = plan.Plan.pass_plans.(pass - 1) in
+    let io = Io_stats.create () in
+    Array.fill globals 0 (Array.length globals) Value.Bottom;
+    let pass_rules = ref 0 and pass_moves = ref 0 in
+    let reader =
+      if pass = 1 && plan.Plan.passes.Pass_assign.strategy = Ag_ast.Recursive_descent
+      then Aptfile.read_forward ~stats:io input_file
+      else Aptfile.read_backward ~stats:io input_file
+    in
+    let writer = Aptfile.writer ~stats:io options.backend in
+    let read_node () =
+      match Aptfile.read_next reader with
+      | Some node -> expand plan node ~pass
+      | None -> fail "pass %d: intermediate file exhausted early" pass
+    in
+    (* A statically allocated attribute evaluated in this pass lives in its
+       global; before a node record is written, the global's value is
+       synchronized into the node's slot so later passes can read it from
+       the file. *)
+    let sync_statics ns =
+      List.iteri
+        (fun slot a ->
+          let g = plan.Plan.alloc.Subsume.global_of.(a) in
+          if g >= 0 && plan.Plan.passes.Pass_assign.passes.(a) = pass then
+            ns.vals.(slot) <- globals.(g))
+        ir.symbols.(ns.ns_sym).Ir.s_attrs
+    in
+    let enter ns frame_size =
+      acc.open_nodes <- acc.open_nodes + 1;
+      acc.max_open <- max acc.max_open acc.open_nodes;
+      let slots = Array.length ns.vals + frame_size in
+      acc.resident <- acc.resident + slots;
+      acc.max_resident <- max acc.max_resident acc.resident;
+      slots
+    in
+    let leave slots =
+      acc.open_nodes <- acc.open_nodes - 1;
+      acc.resident <- acc.resident - slots
+    in
+    let rec visit (ns : node_state) =
+      if ns.ns_prod < 0 then
+        fail "pass %d: visit reached a terminal record" pass;
+      let prod = ir.prods.(ns.ns_prod) in
+      let pp = pass_plan.Plan.pl_prods.(ns.ns_prod) in
+      let frame = Array.make pp.Plan.pp_frame_size Value.Bottom in
+      let slots = enter ns pp.Plan.pp_frame_size in
+      let children = Array.make (Array.length prod.Ir.p_rhs) None in
+      let child i =
+        match children.(i) with
+        | Some c -> c
+        | None -> fail "pass %d: child %d not read yet" pass i
+      in
+      let read_loc = function
+        | Plan.Lnode (Ir.Lhs, slot) | Plan.Lnode (Ir.Limb_occ, slot) ->
+            ns.vals.(slot)
+        | Plan.Lnode (Ir.Rhs i, slot) -> (child i).vals.(slot)
+        | Plan.Lglobal g -> globals.(g)
+        | Plan.Lframe f -> frame.(f)
+      in
+      let write_loc loc v =
+        match loc with
+        | Plan.Lnode (Ir.Lhs, slot) | Plan.Lnode (Ir.Limb_occ, slot) ->
+            ns.vals.(slot) <- v
+        | Plan.Lnode (Ir.Rhs i, slot) -> (child i).vals.(slot) <- v
+        | Plan.Lglobal g -> globals.(g) <- v
+        | Plan.Lframe f -> frame.(f) <- v
+      in
+      let rec eval_scalar (e : Plan.rexpr) =
+        match e with
+        | Plan.Rconst v -> v
+        | Plan.Rread loc -> read_loc loc
+        | Plan.Rcall (f, args) -> Value.apply f (List.map eval_scalar args)
+        | Plan.Rbinop (op, a, b) -> Sem_ops.binop op (eval_scalar a) (eval_scalar b)
+        | Plan.Rnot a -> Sem_ops.not_ (eval_scalar a)
+        | Plan.Rneg a -> Sem_ops.neg (eval_scalar a)
+        | Plan.Rif _ -> fail "conditional in scalar position"
+      in
+      let rec eval_multi (e : Plan.rexpr) =
+        match e with
+        | Plan.Rif (branches, else_) ->
+            let rec pick = function
+              | [] -> List.concat_map eval_multi else_
+              | (cond, values) :: rest ->
+                  if truthy (eval_scalar cond) then
+                    List.concat_map eval_multi values
+                  else pick rest
+            in
+            pick branches
+        | e -> [ eval_scalar e ]
+      in
+      (* Schulz-style interpretation: resolve every occurrence from the IR
+         at evaluation time (per-access slot search), ignoring the
+         compiled expression. *)
+      let interp_rule rid =
+        let r = ir.rules.(rid) in
+        let read_aref (aref : Ir.aref) =
+          read_loc (Plan.Lnode (aref.Ir.occ, Plan.slot_in_node ir prod aref))
+        in
+        let rec iscalar (e : Ir.cexpr) =
+          match e with
+          | Ir.Cconst v -> v
+          | Ir.Cref aref -> read_aref aref
+          | Ir.Ccall (f, args) -> Value.apply f (List.map iscalar args)
+          | Ir.Cbinop (op, a, b) -> Sem_ops.binop op (iscalar a) (iscalar b)
+          | Ir.Cnot a -> Sem_ops.not_ (iscalar a)
+          | Ir.Cneg a -> Sem_ops.neg (iscalar a)
+          | Ir.Cif _ -> fail "interpretive: conditional in scalar position"
+        in
+        let rec imulti (e : Ir.cexpr) =
+          match e with
+          | Ir.Cif (branches, else_) ->
+              let rec pick = function
+                | [] -> List.concat_map imulti else_
+                | (cond, values) :: rest ->
+                    if truthy (iscalar cond) then List.concat_map imulti values
+                    else pick rest
+              in
+              pick branches
+          | e -> [ iscalar e ]
+        in
+        imulti r.Ir.r_rhs
+      in
+      List.iter
+        (fun (action : Plan.action) ->
+          match action with
+          | Plan.Read_child i ->
+              let c = read_node () in
+              if c.ns_sym <> prod.Ir.p_rhs.(i) then
+                fail "pass %d: production %s: child %d is %s, expected %s" pass
+                  prod.Ir.p_tag i ir.symbols.(c.ns_sym).Ir.s_name
+                  ir.symbols.(prod.Ir.p_rhs.(i)).Ir.s_name;
+              children.(i) <- Some c
+          | Plan.Visit_child i -> visit (child i)
+          | Plan.Write_child i ->
+              let c = child i in
+              sync_statics c;
+              Aptfile.write writer (compress plan c ~pass)
+          | Plan.Eval { rule; code; targets } ->
+              acc.rules <- acc.rules + 1;
+              incr pass_rules;
+              let values =
+                if options.interpretive then interp_rule rule
+                else eval_multi code
+              in
+              let values =
+                match (values, targets) with
+                | [ v ], _ :: _ :: _ ->
+                    List.map (fun _ -> v) targets (* broadcast *)
+                | vs, _ -> vs
+              in
+              if List.length values <> List.length targets then
+                fail "rule %d: %d values for %d targets" rule
+                  (List.length values) (List.length targets);
+              List.iter2 write_loc targets values;
+              if options.record_trace then trace := (rule, values) :: !trace
+          | Plan.Save { global; frame = f } ->
+              acc.moves <- acc.moves + 1;
+              incr pass_moves;
+              frame.(f) <- globals.(global)
+          | Plan.Set_global { global; from } ->
+              acc.moves <- acc.moves + 1;
+              incr pass_moves;
+              globals.(global) <- read_loc from
+          | Plan.Restore { global; frame = f } ->
+              acc.moves <- acc.moves + 1;
+              incr pass_moves;
+              globals.(global) <- frame.(f)
+          | Plan.Capture { global; frame = f } ->
+              acc.moves <- acc.moves + 1;
+              incr pass_moves;
+              frame.(f) <- globals.(global))
+        pp.Plan.pp_actions;
+      leave slots
+    in
+    let root = read_node () in
+    if root.ns_prod < 0 || ir.prods.(root.ns_prod).Ir.p_lhs <> ir.root then
+      fail "pass %d: stream does not start at the root symbol" pass;
+    visit root;
+    sync_statics root;
+    Aptfile.write writer (compress plan root ~pass);
+    (match Aptfile.read_next reader with
+    | None -> ()
+    | Some _ -> fail "pass %d: trailing records after the root" pass);
+    Aptfile.close_reader reader;
+    let out = Aptfile.close_writer writer in
+    max_file_bytes := max !max_file_bytes (Aptfile.size_bytes out);
+    Io_stats.add ~into:total_io io;
+    per_pass :=
+      {
+        ps_pass = pass;
+        ps_io = io;
+        ps_rules = !pass_rules;
+        ps_global_moves = !pass_moves;
+        ps_file_bytes = Aptfile.size_bytes out;
+      }
+      :: !per_pass;
+    out
+  in
+  let init_io = Io_stats.create () in
+  let file0 = initial_file ~stats:init_io plan options.backend tree in
+  Io_stats.add ~into:total_io init_io;
+  max_file_bytes := max !max_file_bytes (Aptfile.size_bytes file0);
+  let final_file =
+    let rec go file pass =
+      if pass > n_passes then file
+      else begin
+        let out = run_pass file pass in
+        if not options.keep_files then Aptfile.dispose file;
+        go out (pass + 1)
+      end
+    in
+    go file0 1
+  in
+  (* The root record is the last one written (postfix): read backwards. *)
+  let outputs =
+    let r = Aptfile.read_backward ~stats:total_io final_file in
+    let node =
+      match Aptfile.read_next r with
+      | Some n -> n
+      | None -> fail "empty final file"
+    in
+    Aptfile.close_reader r;
+    let ns = expand plan node ~pass:(n_passes + 1) in
+    List.filter_map
+      (fun (a : Ir.attr) ->
+        if a.a_kind = Ir.Synthesized then
+          Some (a.a_name, ns.vals.(Ir.slot_of_attr ir a.a_id))
+        else None)
+      (Ir.attrs_of_sym ir ir.root)
+  in
+  if not options.keep_files then Aptfile.dispose final_file;
+  {
+    outputs;
+    stats =
+      {
+        rules_evaluated = acc.rules;
+        global_moves = acc.moves;
+        max_open_nodes = acc.max_open;
+        max_resident_slots = acc.max_resident;
+        total_io;
+        per_pass = List.rev !per_pass;
+        apt_total_bytes = !max_file_bytes;
+      };
+    trace = List.rev !trace;
+  }

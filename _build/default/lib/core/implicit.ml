@@ -1,0 +1,67 @@
+open Ir
+
+let insert ~symbols ~attrs ~prod ~defined =
+  let attrs_of sym = List.map (fun a -> attrs.(a)) symbols.(sym).s_attrs in
+  let lhs_attrs = attrs_of prod.p_lhs in
+  let results = ref [] in
+  (* Inherited flavor: per undefined RHS inherited occurrence. *)
+  Array.iteri
+    (fun i rhs_sym ->
+      List.iter
+        (fun a ->
+          match a.a_kind with
+          | Inherited ->
+              let target = { occ = Rhs i; attr = a.a_id } in
+              if not (defined target) then begin
+                match
+                  List.find_opt (fun la -> String.equal la.a_name a.a_name) lhs_attrs
+                with
+                | Some la ->
+                    results := (target, { occ = Lhs; attr = la.a_id }) :: !results
+                | None -> ()
+              end
+          | Synthesized | Intrinsic | Limb_attr -> ())
+        (attrs_of rhs_sym))
+    prod.p_rhs;
+  (* Synthesized flavor: per undefined LHS synthesized attribute. *)
+  List.iter
+    (fun b ->
+      match b.a_kind with
+      | Synthesized ->
+          let target = { occ = Lhs; attr = b.a_id } in
+          if not (defined target) then begin
+            (* Distinct RHS symbols carrying a synthesized/intrinsic
+               attribute named b, with their occurrence positions. *)
+            let carriers =
+              Array.to_list prod.p_rhs
+              |> List.sort_uniq compare
+              |> List.filter_map (fun sym ->
+                     match
+                       List.find_opt
+                         (fun ra ->
+                           String.equal ra.a_name b.a_name
+                           && match ra.a_kind with
+                              | Synthesized | Intrinsic -> true
+                              | Inherited | Limb_attr -> false)
+                         (attrs_of sym)
+                     with
+                     | Some ra -> Some (sym, ra)
+                     | None -> None)
+            in
+            match carriers with
+            | [ (sym, ra) ] -> (
+                let occurrence_positions =
+                  Array.to_list prod.p_rhs
+                  |> List.mapi (fun i s -> (i, s))
+                  |> List.filter (fun (_, s) -> s = sym)
+                in
+                match occurrence_positions with
+                | [ (i, _) ] ->
+                    results :=
+                      (target, { occ = Rhs i; attr = ra.a_id }) :: !results
+                | [] | _ :: _ :: _ -> ())
+            | [] | _ :: _ :: _ -> ()
+          end
+      | Inherited | Intrinsic | Limb_attr -> ())
+    lhs_attrs;
+  List.rev !results

@@ -1,0 +1,24 @@
+(** Implicit copy-rule insertion (paper §IV).
+
+    Two flavors, applied where a required definition is missing:
+
+    - {b inherited}: if [R.A] (inherited attribute of right-hand-side
+      occurrence [R]) is undefined and the left-hand-side symbol [L] has an
+      attribute also named [A], insert [R.A = L.A];
+    - {b synthesized}: if [L.B] (synthesized attribute of the left-hand
+      side) is undefined, and exactly one right-hand-side {e symbol} [R]
+      carries a synthesized (or intrinsic) attribute named [B], and that
+      symbol occurs exactly once in the right-hand side, insert
+      [L.B = R.B].
+
+    The result is the analogue of GAG's TRANSFER, but implicit. *)
+
+val insert :
+  symbols:Ir.symbol array ->
+  attrs:Ir.attr array ->
+  prod:Ir.production ->
+  defined:(Ir.aref -> bool) ->
+  (Ir.aref * Ir.aref) list
+(** [(target, source)] pairs for every implicit copy-rule this production
+    admits, in a deterministic order (right-hand side left to right for
+    inherited, left-hand-side attribute order for synthesized). *)

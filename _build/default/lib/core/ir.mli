@@ -1,0 +1,125 @@
+(** Checked intermediate representation of an attribute grammar.
+
+    Produced by {!Check} from the surface AST; everything downstream — pass
+    assignment, scheduling, evaluation, static subsumption, code generation,
+    statistics — works on this form. Symbols, attributes, productions and
+    rules are dense arrays; attribute occurrences are (production,
+    occurrence, attribute) triples. *)
+
+type attr_kind = Inherited | Synthesized | Intrinsic | Limb_attr
+
+type attr = {
+  a_id : int;
+  a_sym : int;  (** owning symbol *)
+  a_name : string;
+  a_type : string;  (** uninterpreted type identifier *)
+  a_kind : attr_kind;
+  a_span : Lg_support.Loc.span;
+}
+
+type sym_kind = Terminal | Nonterminal | Limb
+
+type symbol = {
+  s_id : int;
+  s_name : string;
+  s_kind : sym_kind;
+  s_attrs : int list;  (** attribute ids, declaration order *)
+  s_span : Lg_support.Loc.span;
+}
+
+(** An occurrence within a production: the left-hand side, a right-hand
+    side position (0-based), or the production's limb. *)
+type occ = Lhs | Rhs of int | Limb_occ
+
+type aref = { occ : occ; attr : int }
+(** A reference to one attribute instance, production-relative. *)
+
+(** Compiled semantic expression: occurrences resolved, constants folded
+    to values, interpreted/uninterpreted function split deferred to
+    evaluation. *)
+type cexpr =
+  | Cconst of Lg_support.Value.t
+  | Cref of aref
+  | Ccall of string * cexpr list
+  | Cbinop of Ag_ast.binop * cexpr * cexpr
+  | Cnot of cexpr
+  | Cneg of cexpr
+  | Cif of (cexpr * cexpr list) list * cexpr list
+
+type rule = {
+  r_id : int;
+  r_prod : int;
+  r_targets : aref list;
+  r_rhs : cexpr;
+  r_deps : aref list;  (** free references, deduplicated *)
+  r_implicit : bool;  (** inserted implicit copy-rule *)
+  r_span : Lg_support.Loc.span;
+}
+
+type production = {
+  p_id : int;
+  p_lhs : int;  (** symbol id (nonterminal) *)
+  p_rhs : int array;  (** symbol ids (terminals / nonterminals) *)
+  p_limb : int option;  (** limb symbol id *)
+  p_rules : int list;  (** rule ids, source order, implicit rules last *)
+  p_tag : string;
+  p_span : Lg_support.Loc.span;
+}
+
+type t = {
+  grammar_name : string;
+  symbols : symbol array;
+  attrs : attr array;
+  prods : production array;
+  rules : rule array;
+  root : int;  (** symbol id *)
+  strategy : Ag_ast.strategy;
+  source_lines : int;  (** lines in the AG source text (statistics) *)
+}
+
+val occ_sym : t -> production -> occ -> int
+(** Symbol labelling an occurrence. @raise Invalid_argument for a limb
+    occurrence of a limbless production or an out-of-range position. *)
+
+val attrs_of_sym : t -> int -> attr list
+val find_attr : t -> sym:int -> name:string -> attr option
+
+val slot_of_attr : t -> int -> int
+(** Position of an attribute within its symbol's attribute list — the
+    in-memory node layout used by the evaluator. *)
+
+val is_copy_rule : rule -> bool
+(** Single target whose right-hand side is a bare attribute reference. *)
+
+val rule_defines : rule -> aref -> bool
+
+val arity : cexpr -> int option
+(** Number of values an expression produces; [None] if the branch lists of
+    some conditional disagree (ill-formed, rejected by {!Check}). *)
+
+val free_refs : cexpr -> aref list
+(** Deduplicated free attribute references. *)
+
+(** {1 Statistics — experiment E1} *)
+
+type stats = {
+  lines : int;
+  n_symbols : int;
+  n_attrs : int;
+  n_prods : int;
+  n_occurrences : int;  (** attribute-occurrences over all productions *)
+  n_rules : int;
+  n_copy_rules : int;
+  n_implicit_copy_rules : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val to_cfg : t -> Lg_grammar.Cfg.t
+(** The underlying context-free grammar, as handed to the LALR parse-table
+    builder — the paper's "exactly the same input file to both" discipline. *)
+
+val pp_aref : t -> production -> Format.formatter -> aref -> unit
+val pp_cexpr : t -> production -> Format.formatter -> cexpr -> unit
+val pp_rule : t -> Format.formatter -> rule -> unit

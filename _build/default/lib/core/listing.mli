@@ -1,0 +1,23 @@
+(** Listing generation (overlay 6).
+
+    Produces the annotated listing file: numbered source lines with
+    diagnostics interleaved at their reported lines, then for each
+    production its semantic functions with every {e implicit} copy-rule
+    "listed immediately after all of the explicit semantic functions of
+    the production" (paper §IV), each attribute's assigned pass, and the
+    grammar statistics block. *)
+
+val generate :
+  source:string ->
+  ?passes:Pass_assign.result ->
+  ?dead:Dead.t ->
+  ?alloc:Subsume.allocation ->
+  Ir.t ->
+  Lg_support.Diag.collector ->
+  string
+(** [dead] adds the per-attribute lifetime table (evaluation pass,
+    last-use pass, temporary/significant — Saarinen's classification);
+    [alloc] marks the statically allocated attributes. *)
+
+val errors_only : source:string -> file:string -> Lg_support.Diag.collector -> string
+(** The degenerate listing when checking failed: source plus messages. *)

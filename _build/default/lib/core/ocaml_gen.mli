@@ -1,0 +1,26 @@
+(** OCaml code generation: a second target language for the evaluators.
+
+    The paper's system "generates attribute evaluators written in
+    high-level programming languages, including Pascal"; this backend emits
+    the same production-procedures as {!Pascal_gen} — same plans, same
+    reads/writes/visits/save-restores, subsumed copies as comments — as a
+    self-contained OCaml functor over a small runtime signature. The
+    output is genuinely compilable: the test suite feeds it to the OCaml
+    compiler.
+
+    One generated compilation unit contains every pass; each pass is a set
+    of mutually recursive production-procedures plus a dispatch function
+    keyed on the production identifier carried by each APT record. *)
+
+type code = {
+  text : string;  (** a complete .ml compilation unit *)
+  husk_bytes : int;
+  sem_bytes : int;
+  subsumed_count : int;
+}
+
+val generate : Plan.t -> code
+
+val runtime_signature : string
+(** The [RUNTIME] module type the generated functor expects, as source
+    text (it is embedded in {!generate}'s output too). *)

@@ -1,0 +1,31 @@
+(** Pascal code generation: prints each pass of the evaluator as a module
+    of production-procedures in the paper's concrete style (overlay 7,
+    rerun once per pass).
+
+    The emitted code renders exactly the {!Plan} actions the engine
+    executes: [GetNode]/[PutNode] calls around each child, recursive
+    production-procedure calls, semantic-function assignments, and — under
+    static subsumption — the [_QZP] save/restore temporaries; subsumed
+    copy-rules appear as comments, "commented out" exactly as in the
+    paper's example.
+
+    Byte accounting distinguishes the {e husk} ("everything except the
+    semantic functions; included in the husk are the production-procedure
+    declarations, calls to GetNode and PutNode, and recursive calls") from
+    semantic-function code — the decomposition behind the paper's module
+    size table (experiment E3) and subsumption percentages (E2). *)
+
+type module_code = {
+  pass : int;
+  text : string;
+  husk_bytes : int;
+  sem_bytes : int;  (** semantic-function statements only *)
+  subsumed_count : int;  (** copy-rules emitted as comments *)
+}
+
+val generate_pass : Plan.t -> pass:int -> module_code
+
+val generate_all : Plan.t -> module_code list
+(** One module per pass, 1..n. *)
+
+val total_bytes : module_code -> int

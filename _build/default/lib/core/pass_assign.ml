@@ -1,0 +1,332 @@
+open Lg_support
+
+type direction = L2r | R2l
+
+let direction_of strategy k =
+  let first =
+    match strategy with Ag_ast.Bottom_up -> R2l | Ag_ast.Recursive_descent -> L2r
+  in
+  if k mod 2 = 1 then first else match first with L2r -> R2l | R2l -> L2r
+
+type result = {
+  passes : int array;
+  n_passes : int;
+  strategy : Ag_ast.strategy;
+}
+
+let direction r k = direction_of r.strategy k
+
+let child_order dir ~nchildren =
+  match dir with
+  | L2r -> Array.init nchildren (fun i -> i)
+  | R2l -> Array.init nchildren (fun i -> nchildren - 1 - i)
+
+type schedule_failure = { sf_rule : int; sf_needs_pass : int; sf_reason : string }
+
+(* Availability of a dependency within (prod, pass, dir); [local_time] maps a
+   locally-defined same-pass attribute reference to its defining rule. *)
+type avail =
+  | At of int  (** fixed time point *)
+  | After_rule of int  (** once local rule (id) has run *)
+  | Not_before_pass of int  (** dependency computed only in a later pass *)
+
+let infinity_time = max_int / 2
+
+let schedule_production (ir : Ir.t) ~passes ~(prod : Ir.production) ~pass ~dir =
+  let n = Array.length prod.p_rhs in
+  let order = child_order dir ~nchildren:n in
+  (* order-index (1-based) of child i *)
+  let oi = Array.make n 0 in
+  Array.iteri (fun pos i -> oi.(i) <- pos + 1) order;
+  let t_read i = (3 * oi.(i)) - 2 in
+  let t_deadline_inh i = (3 * oi.(i)) - 1 in
+  let t_post i = 3 * oi.(i) in
+  let t_end = (3 * n) + 1 in
+  (* Which local rule defines each aref (same-pass definitions only). *)
+  let local_rules =
+    List.filter
+      (fun rid ->
+        let r = ir.rules.(rid) in
+        List.exists (fun t -> passes.(t.Ir.attr) = pass) r.Ir.r_targets)
+      prod.p_rules
+  in
+  let definer : (Ir.aref, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun rid ->
+      List.iter
+        (fun t -> Hashtbl.replace definer t rid)
+        ir.rules.(rid).Ir.r_targets)
+    prod.p_rules;
+  let avail_of (d : Ir.aref) =
+    let a = ir.attrs.(d.attr) in
+    let pb = passes.(d.attr) in
+    match (d.occ, a.a_kind) with
+    | Ir.Lhs, Ir.Inherited ->
+        if pb <= pass then At 0 else Not_before_pass pb
+    | Ir.Lhs, Ir.Synthesized | Ir.Limb_occ, Ir.Limb_attr ->
+        if pb < pass then At 0
+        else if pb = pass then
+          match Hashtbl.find_opt definer d with
+          | Some rid -> After_rule rid
+          | None -> At 0 (* undefined: checker already complained *)
+        else Not_before_pass pb
+    | Ir.Lhs, (Ir.Intrinsic | Ir.Limb_attr)
+    | Ir.Limb_occ, (Ir.Inherited | Ir.Synthesized | Ir.Intrinsic) ->
+        At 0 (* impossible shapes; be permissive *)
+    | Ir.Rhs i, Ir.Intrinsic -> At (t_read i)
+    | Ir.Rhs i, Ir.Inherited ->
+        if pb < pass then At (t_read i)
+        else if pb = pass then
+          match Hashtbl.find_opt definer d with
+          | Some rid -> After_rule rid
+          | None -> At (t_read i)
+        else Not_before_pass pb
+    | Ir.Rhs i, Ir.Synthesized ->
+        if pb < pass then At (t_read i)
+        else if pb = pass then At (t_post i)
+        else Not_before_pass pb
+    | Ir.Rhs _, Ir.Limb_attr -> At 0 (* impossible *)
+  in
+  (* Detect cycles among local same-pass rules (truly circular
+     definitions) with a DFS over the rule-to-rule edges. *)
+  let local_set = Hashtbl.create 16 in
+  List.iter (fun rid -> Hashtbl.replace local_set rid ()) local_rules;
+  let rule_edges rid =
+    List.filter_map
+      (fun d ->
+        match avail_of d with
+        | After_rule dep when Hashtbl.mem local_set dep -> Some dep
+        | After_rule _ | At _ | Not_before_pass _ -> None)
+      ir.rules.(rid).Ir.r_deps
+  in
+  let cyclic = Hashtbl.create 4 in
+  let color = Hashtbl.create 16 in
+  let rec dfs path rid =
+    match Hashtbl.find_opt color rid with
+    | Some `Done -> ()
+    | Some `Active ->
+        (* Everything on the path from rid back to itself is cyclic. *)
+        let rec mark = function
+          | [] -> ()
+          | x :: rest ->
+              Hashtbl.replace cyclic x ();
+              if x <> rid then mark rest
+        in
+        mark path
+    | None ->
+        Hashtbl.replace color rid `Active;
+        List.iter (dfs (rid :: path)) (rule_edges rid);
+        Hashtbl.replace color rid `Done
+  in
+  List.iter (fun rid -> dfs [ rid ] rid) local_rules;
+  (* Longest-path relaxation over local rules; cyclic rules pinned at
+     infinity so their consumers fail too. *)
+  let time : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun rid ->
+      Hashtbl.replace time rid
+        (if Hashtbl.mem cyclic rid then infinity_time else 0))
+    local_rules;
+  let needs : (int, int * string) Hashtbl.t = Hashtbl.create 4 in
+  let rule_floor rid =
+    let r = ir.rules.(rid) in
+    (* A target in a child's record can only be stored once that child's
+       record has been read into memory. *)
+    let target_floor =
+      List.fold_left
+        (fun acc (t : Ir.aref) ->
+          match t.occ with
+          | Ir.Rhs i -> max acc (t_read i)
+          | Ir.Lhs | Ir.Limb_occ -> acc)
+        0 r.Ir.r_targets
+    in
+    List.fold_left
+      (fun acc d ->
+        match avail_of d with
+        | At t -> max acc t
+        | After_rule dep_rid ->
+            max acc (Option.value ~default:0 (Hashtbl.find_opt time dep_rid))
+        | Not_before_pass pb ->
+            let prev = Hashtbl.find_opt needs rid in
+            let why =
+              Format.asprintf "argument %a is computed only in pass %d"
+                (Ir.pp_aref ir prod) d pb
+            in
+            (match prev with
+            | Some (p0, _) when p0 >= pb -> ()
+            | _ -> Hashtbl.replace needs rid (pb, why));
+            max acc infinity_time)
+      target_floor r.Ir.r_deps
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun rid ->
+        let f = rule_floor rid in
+        if f > Hashtbl.find time rid then begin
+          Hashtbl.replace time rid (min f infinity_time);
+          changed := true
+        end)
+      local_rules
+  done;
+  (* Deadlines. *)
+  let failures = ref [] in
+  List.iter
+    (fun rid ->
+      let r = ir.rules.(rid) in
+      let t = Hashtbl.find time rid in
+      let deadline =
+        List.fold_left
+          (fun acc tgt ->
+            match (tgt.Ir.occ, ir.attrs.(tgt.Ir.attr).Ir.a_kind) with
+            | Ir.Rhs i, Ir.Inherited -> min acc (t_deadline_inh i)
+            | _ -> min acc t_end)
+          t_end r.Ir.r_targets
+      in
+      let fail reason needs_pass =
+        failures :=
+          { sf_rule = rid; sf_needs_pass = needs_pass; sf_reason = reason }
+          :: !failures
+      in
+      match Hashtbl.find_opt needs rid with
+      | Some (pb, why) -> fail why pb
+      | None ->
+          if Hashtbl.mem cyclic rid then
+            fail "participates in a circular chain of same-pass definitions"
+              (pass + 1)
+          else if t >= infinity_time then
+            fail "depends on a rule blocked in this pass" (pass + 1)
+          else if t > deadline then
+            fail
+              (Format.asprintf
+                 "its arguments become available only at point %d but the \
+                  target must exist at point %d of the %s pass"
+                 t deadline
+                 (match dir with L2r -> "left-to-right" | R2l -> "right-to-left"))
+              (pass + 1))
+    local_rules;
+  (* Execution order: by time point, then by local dependency rank (a rule
+     runs after same-time rules it reads from), then by rule id. *)
+  let rank : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec rank_of rid =
+    match Hashtbl.find_opt rank rid with
+    | Some r -> r
+    | None ->
+        Hashtbl.replace rank rid 0 (* cycle guard; cyclic rules fail anyway *);
+        let r =
+          List.fold_left
+            (fun acc dep -> max acc (1 + rank_of dep))
+            0 (rule_edges rid)
+        in
+        Hashtbl.replace rank rid r;
+        r
+  in
+  let times =
+    List.map (fun rid -> (rid, Hashtbl.find time rid, rank_of rid)) local_rules
+    |> List.sort (fun (r1, t1, k1) (r2, t2, k2) ->
+           compare (t1, k1, r1) (t2, k2, r2))
+    |> List.map (fun (rid, t, _) -> (rid, t))
+  in
+  (times, List.rev !failures)
+
+let compute ?(max_passes = 16) ~diag (ir : Ir.t) =
+  let nattrs = Array.length ir.attrs in
+  let passes =
+    Array.init nattrs (fun i ->
+        match ir.attrs.(i).Ir.a_kind with Ir.Intrinsic -> 0 | _ -> 1)
+  in
+  let blocked = ref [] in
+  let bump attr_id k reason =
+    if passes.(attr_id) < k then
+      if k > max_passes then begin
+        blocked := (attr_id, reason) :: !blocked;
+        false
+      end
+      else begin
+        passes.(attr_id) <- k;
+        true
+      end
+    else false
+  in
+  let changed = ref true in
+  let failed = ref false in
+  while !changed && not !failed do
+    changed := false;
+    Array.iter
+      (fun (prod : Ir.production) ->
+        (* Unify passes across a rule's targets. *)
+        List.iter
+          (fun rid ->
+            let r = ir.rules.(rid) in
+            let m =
+              List.fold_left (fun acc t -> max acc passes.(t.Ir.attr)) 1 r.Ir.r_targets
+            in
+            List.iter
+              (fun t ->
+                if bump t.Ir.attr m "multi-target rule unification" then
+                  changed := true)
+              r.Ir.r_targets)
+          prod.p_rules;
+        (* Feasibility per pass. *)
+        let max_local_pass =
+          List.fold_left
+            (fun acc rid ->
+              List.fold_left
+                (fun acc t -> max acc passes.(t.Ir.attr))
+                acc ir.rules.(rid).Ir.r_targets)
+            1 prod.p_rules
+        in
+        for k = 1 to min max_local_pass max_passes do
+          let dir = direction_of ir.strategy k in
+          let _, failures = schedule_production ir ~passes ~prod ~pass:k ~dir in
+          List.iter
+            (fun f ->
+              let r = ir.rules.(f.sf_rule) in
+              List.iter
+                (fun t ->
+                  if bump t.Ir.attr f.sf_needs_pass f.sf_reason then
+                    changed := true
+                  else if f.sf_needs_pass > max_passes then failed := true)
+                r.Ir.r_targets)
+            failures
+        done)
+      ir.prods;
+    if !blocked <> [] then failed := true
+  done;
+  if !failed || !blocked <> [] then begin
+    (* Re-derive a helpful diagnosis: report rules that still fail. *)
+    let reported = Hashtbl.create 8 in
+    Array.iter
+      (fun (prod : Ir.production) ->
+        for k = 1 to max_passes do
+          let dir = direction_of ir.strategy k in
+          let _, failures = schedule_production ir ~passes ~prod ~pass:k ~dir in
+          List.iter
+            (fun f ->
+              if f.sf_needs_pass > max_passes && not (Hashtbl.mem reported f.sf_rule)
+              then begin
+                Hashtbl.add reported f.sf_rule ();
+                let r = ir.rules.(f.sf_rule) in
+                Diag.error diag r.Ir.r_span
+                  "not evaluable in %d alternating passes: semantic function %a: %s"
+                  max_passes (Ir.pp_rule ir) r f.sf_reason
+              end)
+            failures
+        done)
+      ir.prods;
+    if Hashtbl.length reported = 0 then
+      Diag.error diag Loc.dummy
+        "grammar is not evaluable in %d alternating passes" max_passes;
+    None
+  end
+  else begin
+    let n_passes = Array.fold_left max 1 passes in
+    Some { passes; n_passes; strategy = ir.strategy }
+  end
+
+let compute_exn ?max_passes ir =
+  let diag = Diag.create () in
+  match compute ?max_passes ~diag ir with
+  | Some r -> r
+  | None -> failwith (Format.asprintf "Pass_assign:@.%a" Diag.pp_all diag)

@@ -1,0 +1,73 @@
+(** Alternating-pass evaluability analysis (overlay 4).
+
+    Assigns every attribute a pass number such that all its instances can be
+    evaluated during that pass, where pass directions alternate: with the
+    [bottom_up] parser strategy the first intermediate file is a
+    left-to-right postfix linearization, so pass 1 runs right-to-left; with
+    [recursive_descent] pass 1 runs left-to-right (paper §II).
+
+    The in-pass ordering criterion is the paper's {e relaxed} one (§III,
+    second optimization): a semantic function may run at any point of the
+    production-procedure where its arguments are available — earlier than
+    the "ordered ASE" of Pozefsky–Jazayeri — under the hard constraints
+    that a child's pass-[k] inherited attributes exist before that child is
+    visited, that a child's stored attributes exist only once its record
+    has been read (which sequential file access forces to happen in visit
+    order), and that its pass-[k] synthesized attributes exist only after
+    its visit returns.
+
+    The algorithm raises pass numbers to a fixpoint and diagnoses grammars
+    that are not evaluable within [max_passes] alternating passes, naming
+    the blocking attributes. *)
+
+type direction = L2r | R2l
+
+val direction_of : Ag_ast.strategy -> int -> direction
+(** Direction of pass [k] (1-based) under a strategy. *)
+
+type result = {
+  passes : int array;  (** attribute id -> pass; intrinsic attributes are 0 *)
+  n_passes : int;  (** at least 1 *)
+  strategy : Ag_ast.strategy;
+}
+
+val compute :
+  ?max_passes:int ->
+  diag:Lg_support.Diag.collector ->
+  Ir.t ->
+  result option
+(** [max_passes] defaults to 16. [None] iff errors were reported. *)
+
+val compute_exn : ?max_passes:int -> Ir.t -> result
+
+val direction : result -> int -> direction
+
+(** {1 In-pass timing — shared with the scheduler}
+
+    Time points within one production visit, [n] = number of children, and
+    [oi] the 1-based position of a child in visit order: entry is 0, a
+    child's record read is [3*oi - 2], the deadline for its inherited
+    attributes [3*oi - 1], its visit completion [3*oi], and production end
+    [3*n + 1]. *)
+
+val child_order : direction -> nchildren:int -> int array
+(** Visit order: [child_order dir ~nchildren].(position_in_visit_order) =
+    child index. *)
+
+type schedule_failure = {
+  sf_rule : int;
+  sf_needs_pass : int;  (** smallest pass that could admit the rule *)
+  sf_reason : string;
+}
+
+val schedule_production :
+  Ir.t ->
+  passes:int array ->
+  prod:Ir.production ->
+  pass:int ->
+  dir:direction ->
+  (int * int) list * schedule_failure list
+(** [(rule_id, time)] for every rule of the production assigned to [pass],
+    in execution order: ascending time point, same-time rules ordered so
+    that a rule follows the same-time rules it reads from, then by rule
+    id. An empty failure list means the pass is feasible here. *)

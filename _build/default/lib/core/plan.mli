@@ -1,0 +1,75 @@
+(** Evaluation plans: the executable form of a generated evaluator.
+
+    One {!prod_plan} corresponds to one of the paper's {e production-
+    procedures}: the ordered reads and writes of child APT records,
+    recursive visits, semantic-function evaluations, and — under static
+    subsumption — the save/set/restore traffic on global variables. The
+    engine ({!Engine}) interprets plans; the code generator
+    ({!Pascal_gen}) prints them; both therefore describe the same
+    evaluator. *)
+
+(** Where a value lives during a pass, relative to one production
+    invocation. *)
+type loc =
+  | Lnode of Ir.occ * int
+      (** slot in the in-memory node of an occurrence: the symbol's
+          attributes in declaration order, then (for [Lhs]) the limb
+          attributes of the node's production *)
+  | Lglobal of int  (** statically allocated global variable *)
+  | Lframe of int  (** per-invocation temporary (the [_QZP] temps) *)
+
+(** {!Ir.cexpr} with attribute references resolved to locations. *)
+type rexpr =
+  | Rconst of Lg_support.Value.t
+  | Rread of loc
+  | Rcall of string * rexpr list
+  | Rbinop of Ag_ast.binop * rexpr * rexpr
+  | Rnot of rexpr
+  | Rneg of rexpr
+  | Rif of (rexpr * rexpr list) list * rexpr list
+
+type action =
+  | Read_child of int  (** child index (production position, 0-based) *)
+  | Visit_child of int  (** recursive production-procedure call *)
+  | Write_child of int
+  | Eval of { rule : int; code : rexpr; targets : loc list }
+  | Save of { global : int; frame : int }  (** frame := global *)
+  | Set_global of { global : int; from : loc }
+  | Restore of { global : int; frame : int }  (** global := frame *)
+  | Capture of { global : int; frame : int }
+      (** frame := global, snapshotting a child's synthesized result *)
+
+type prod_plan = {
+  pp_prod : int;
+  pp_actions : action list;
+  pp_frame_size : int;
+  pp_subsumed_rules : int list;  (** rules elided entirely (subsumed) *)
+}
+
+type pass_plan = {
+  pl_pass : int;  (** 1-based *)
+  pl_dir : Pass_assign.direction;
+  pl_prods : prod_plan array;  (** indexed by production id *)
+}
+
+type t = {
+  ir : Ir.t;
+  passes : Pass_assign.result;
+  dead : Dead.t;
+  alloc : Subsume.allocation;
+  pass_plans : pass_plan array;  (** index [k-1] is pass [k] *)
+}
+
+val slot_in_node : Ir.t -> Ir.production -> Ir.aref -> int
+(** In-memory slot of an attribute reference (see {!loc}). *)
+
+val node_slots : Ir.t -> sym:int -> prod:int -> int
+(** In-memory slot count of a node: symbol attributes plus, for interior
+    nodes ([prod >= 0]), the limb attributes of its production. *)
+
+val record_attrs : t -> sym:int -> prod:int -> pass:int -> int list
+(** Attribute ids stored in this node's record in the file written at the
+    end of [pass], in slot order: the write set of the symbol followed by
+    the write set of the production's limb. *)
+
+val pp_action : Ir.t -> Ir.production -> Format.formatter -> action -> unit

@@ -1,0 +1,323 @@
+open Plan
+
+exception Infeasible of string
+
+(* Can the subtree rooted at a symbol contain a node labelled with [target]?
+   Precomputed transitive closure over the phrase structure. *)
+let below_relation (ir : Ir.t) =
+  let n = Array.length ir.symbols in
+  let below = Array.make n [] in
+  Array.iter
+    (fun (p : Ir.production) ->
+      Array.iter
+        (fun s ->
+          if not (List.mem s below.(p.p_lhs)) then
+            below.(p.p_lhs) <- s :: below.(p.p_lhs))
+        p.p_rhs)
+    ir.prods;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun s succs ->
+        List.iter
+          (fun s' ->
+            List.iter
+              (fun s'' ->
+                if not (List.mem s'' below.(s)) then begin
+                  below.(s) <- s'' :: below.(s);
+                  changed := true
+                end)
+              below.(s'))
+          succs)
+      below
+  done;
+  fun sym -> sym :: below.(sym)
+
+(* Where an attribute instance's value can be found, possibly via a chain
+   of subsumed copies. *)
+type wloc = Wloc of loc | Walias of Ir.aref
+
+let build (ir : Ir.t) (pr : Pass_assign.result) ~dead ~(alloc : Subsume.allocation) =
+  let below = below_relation ir in
+  (* Does pass-k evaluation anywhere under [sym] leave global [g] set? *)
+  let syn_members_of_global =
+    Array.make (max 1 alloc.n_globals) []
+  in
+  Array.iter
+    (fun (a : Ir.attr) ->
+      let g = alloc.global_of.(a.a_id) in
+      if g >= 0 && a.a_kind = Ir.Synthesized then
+        syn_members_of_global.(g) <- a.a_id :: syn_members_of_global.(g))
+    ir.attrs;
+  let subtree_sets_global ~sym ~pass g =
+    List.exists
+      (fun aid ->
+        pr.Pass_assign.passes.(aid) = pass
+        && List.mem ir.attrs.(aid).Ir.a_sym (below sym))
+      syn_members_of_global.(g)
+  in
+  let build_prod (prod : Ir.production) pass dir =
+    let times, failures =
+      Pass_assign.schedule_production ir ~passes:pr.Pass_assign.passes ~prod
+        ~pass ~dir
+    in
+    (match failures with
+    | [] -> ()
+    | f :: _ ->
+        raise
+          (Infeasible
+             (Printf.sprintf "production %s, pass %d: rule %d: %s" prod.p_tag
+                pass f.Pass_assign.sf_rule f.Pass_assign.sf_reason)));
+    (* [times] is already in execution order (time, dependency rank). *)
+    let pending = ref times in
+    let actions = ref [] in
+    let emit a = actions := a :: !actions in
+    let frame_count = ref 0 in
+    let fresh_frame () =
+      let f = !frame_count in
+      incr frame_count;
+      f
+    in
+    let subsumed = ref [] in
+    (* alias sets per global *)
+    let aliases = Array.make (max 1 alloc.n_globals) [] in
+    let where : (Ir.aref, wloc) Hashtbl.t = Hashtbl.create 16 in
+    (* (global, new-value frame, target aref) to push around each child *)
+    let child_setups = Array.make (max 1 (Array.length prod.p_rhs)) [] in
+    (* (global, frame, lhs aref) assigned at the very end *)
+    let final_sets = ref [] in
+    (* deferred LHS-synthesized subsumable copies: (rule, tgt, src, g) *)
+    let deferred = ref [] in
+    (* An attribute lives in its global only during its own evaluation
+       pass; in later passes its value is an ordinary record field. *)
+    let is_static a =
+      alloc.static.(a) && alloc.global_of.(a) >= 0
+      && pr.Pass_assign.passes.(a) = pass
+    in
+    let rec loc_of (aref : Ir.aref) =
+      let g = if is_static aref.Ir.attr then alloc.global_of.(aref.Ir.attr) else -1 in
+      if g >= 0 && List.mem aref aliases.(g) then Lglobal g
+      else
+        match Hashtbl.find_opt where aref with
+        | Some (Wloc l) -> l
+        | Some (Walias src) -> loc_of src
+        | None ->
+            if g >= 0 then
+              raise
+                (Infeasible
+                   (Format.asprintf
+                      "production %s, pass %d: no location for static %a"
+                      prod.p_tag pass (Ir.pp_aref ir prod) aref))
+            else Lnode (aref.Ir.occ, slot_in_node ir prod aref)
+    in
+    let rec resolve (e : Ir.cexpr) =
+      match e with
+      | Ir.Cconst v -> Rconst v
+      | Ir.Cref a -> Rread (loc_of a)
+      | Ir.Ccall (f, args) -> Rcall (f, List.map resolve args)
+      | Ir.Cbinop (op, a, b) -> Rbinop (op, resolve a, resolve b)
+      | Ir.Cnot a -> Rnot (resolve a)
+      | Ir.Cneg a -> Rneg (resolve a)
+      | Ir.Cif (branches, else_) ->
+          Rif
+            ( List.map (fun (c, vs) -> (resolve c, List.map resolve vs)) branches,
+              List.map resolve else_ )
+    in
+    let emit_rule rid =
+      let r = ir.rules.(rid) in
+      (* Subsumable copy handling. *)
+      let as_subsumable_copy =
+        match (r.Ir.r_targets, r.Ir.r_rhs) with
+        | [ tgt ], Ir.Cref src
+          when is_static tgt.Ir.attr && is_static src.Ir.attr
+               && alloc.global_of.(tgt.Ir.attr) = alloc.global_of.(src.Ir.attr)
+          ->
+            Some (tgt, src, alloc.global_of.(tgt.Ir.attr))
+        | _ -> None
+      in
+      match as_subsumable_copy with
+      | Some (tgt, src, g) when tgt.Ir.occ <> Ir.Lhs ->
+          (* Child-inherited copy: subsumed when the global already holds
+             the source. *)
+          if List.mem src aliases.(g) then begin
+            subsumed := rid :: !subsumed;
+            aliases.(g) <- tgt :: aliases.(g)
+          end
+          else begin
+            (* Explicit: evaluate into a temp and bracket the visit. *)
+            let ft = fresh_frame () in
+            emit (Eval { rule = rid; code = resolve (Ir.Cref src); targets = [ Lframe ft ] });
+            Hashtbl.replace where tgt (Wloc (Lframe ft));
+            match tgt.Ir.occ with
+            | Ir.Rhs i -> child_setups.(i) <- (g, ft, tgt) :: child_setups.(i)
+            | Ir.Lhs | Ir.Limb_occ -> assert false
+          end
+      | Some (tgt, src, g) ->
+          (* LHS-synthesized copy: decide at the end of the procedure. *)
+          deferred := (rid, tgt, src, g) :: !deferred;
+          Hashtbl.replace where tgt (Walias src)
+      | None ->
+          let code = resolve r.Ir.r_rhs in
+          let targets =
+            List.map
+              (fun (tgt : Ir.aref) ->
+                if is_static tgt.Ir.attr then begin
+                  let g = alloc.global_of.(tgt.Ir.attr) in
+                  let ft = fresh_frame () in
+                  Hashtbl.replace where tgt (Wloc (Lframe ft));
+                  (match tgt.Ir.occ with
+                  | Ir.Rhs i ->
+                      child_setups.(i) <- (g, ft, tgt) :: child_setups.(i)
+                  | Ir.Lhs -> final_sets := (g, ft, tgt) :: !final_sets
+                  | Ir.Limb_occ -> assert false (* limbs are never static *));
+                  Lframe ft
+                end
+                else Lnode (tgt.Ir.occ, slot_in_node ir prod tgt))
+              r.Ir.r_targets
+          in
+          emit (Eval { rule = rid; code; targets })
+    in
+    let emit_rules_up_to t =
+      let rec go () =
+        match !pending with
+        | (rid, rt) :: rest when rt <= t ->
+            pending := rest;
+            emit_rule rid;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    (* A later-scheduled rule needs this reference — directly, or through a
+       chain of deferred (aliased) copies? *)
+    let rec resolves_to aref dep =
+      dep = aref
+      ||
+      match Hashtbl.find_opt where dep with
+      | Some (Walias s) -> resolves_to aref s
+      | Some (Wloc _) | None -> false
+    in
+    let needed_later aref =
+      List.exists
+        (fun (rid, _) ->
+          List.exists (resolves_to aref) ir.rules.(rid).Ir.r_deps)
+        !pending
+      || List.exists (fun (_, _, src, _) -> resolves_to aref src) !deferred
+    in
+    (* At entry the caller has already set every statically allocated
+       inherited attribute of the LHS into its global (or left it there by
+       a subsumed copy). *)
+    List.iter
+      (fun (a : Ir.attr) ->
+        if
+          a.a_kind = Ir.Inherited && is_static a.a_id
+          && pr.Pass_assign.passes.(a.a_id) = pass
+        then
+          aliases.(alloc.global_of.(a.a_id)) <-
+            [ { Ir.occ = Ir.Lhs; attr = a.a_id } ])
+      (Ir.attrs_of_sym ir prod.p_lhs);
+    let n = Array.length prod.p_rhs in
+    let order = Pass_assign.child_order dir ~nchildren:n in
+    emit_rules_up_to 0;
+    Array.iteri
+      (fun pos i ->
+        let oi = pos + 1 in
+        emit (Read_child i);
+        emit_rules_up_to ((3 * oi) - 1);
+        (* push inherited globals for this child *)
+        let setups =
+          List.sort (fun (g1, _, _) (g2, _, _) -> compare g1 g2) child_setups.(i)
+        in
+        let pushed =
+          List.map
+            (fun (g, ft_new, tgt) ->
+              let t_old = fresh_frame () in
+              emit (Save { global = g; frame = t_old });
+              List.iter
+                (fun a -> Hashtbl.replace where a (Wloc (Lframe t_old)))
+                aliases.(g);
+              let old = aliases.(g) in
+              emit (Set_global { global = g; from = Lframe ft_new });
+              aliases.(g) <- [ tgt ];
+              (g, t_old, old))
+            setups
+        in
+        let child_sym = prod.p_rhs.(i) in
+        if ir.symbols.(child_sym).Ir.s_kind = Ir.Nonterminal then
+          emit (Visit_child i);
+        (* synthesized-global effects of the visit *)
+        for g = 0 to alloc.n_globals - 1 do
+          if alloc.group_is_syn.(g) && subtree_sets_global ~sym:child_sym ~pass g
+          then aliases.(g) <- []
+        done;
+        List.iter
+          (fun (a : Ir.attr) ->
+            let g = alloc.global_of.(a.a_id) in
+            if
+              g >= 0
+              && a.a_kind = Ir.Synthesized
+              && pr.Pass_assign.passes.(a.a_id) = pass
+            then begin
+              let aref = { Ir.occ = Ir.Rhs i; attr = a.a_id } in
+              aliases.(g) <- [ aref ];
+              if needed_later aref then begin
+                let ft = fresh_frame () in
+                emit (Capture { global = g; frame = ft });
+                Hashtbl.replace where aref (Wloc (Lframe ft))
+              end
+            end)
+          (Ir.attrs_of_sym ir child_sym);
+        emit (Write_child i);
+        (* pop inherited globals, reverse order *)
+        List.iter
+          (fun (g, t_old, old_aliases) ->
+            emit (Restore { global = g; frame = t_old });
+            aliases.(g) <- old_aliases)
+          (List.rev pushed);
+        emit_rules_up_to (3 * oi))
+      order;
+    emit_rules_up_to ((3 * n) + 1);
+    (* final global assignments for LHS-synthesized statics *)
+    List.iter
+      (fun (g, ft, tgt) ->
+        emit (Set_global { global = g; from = Lframe ft });
+        aliases.(g) <- [ tgt ])
+      (List.rev !final_sets);
+    List.iter
+      (fun (rid, tgt, src, g) ->
+        if List.mem src aliases.(g) then begin
+          subsumed := rid :: !subsumed;
+          aliases.(g) <- tgt :: aliases.(g)
+        end
+        else begin
+          (* The global was clobbered after the source was produced: the
+             copy must execute after all (an Eval, so it is traced). *)
+          emit
+            (Eval
+               {
+                 rule = rid;
+                 code = Rread (loc_of src);
+                 targets = [ Lglobal g ];
+               });
+          aliases.(g) <- [ tgt ]
+        end)
+      (List.rev !deferred);
+    {
+      pp_prod = prod.p_id;
+      pp_actions = List.rev !actions;
+      pp_frame_size = !frame_count;
+      pp_subsumed_rules = List.rev !subsumed;
+    }
+  in
+  let pass_plans =
+    Array.init pr.Pass_assign.n_passes (fun idx ->
+        let pass = idx + 1 in
+        let dir = Pass_assign.direction pr pass in
+        {
+          pl_pass = pass;
+          pl_dir = dir;
+          pl_prods = Array.map (fun prod -> build_prod prod pass dir) ir.prods;
+        })
+  in
+  { ir; passes = pr; dead; alloc; pass_plans }

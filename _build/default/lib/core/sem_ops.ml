@@ -1,0 +1,34 @@
+(* Shared dynamic semantics of the infix operators, used by both the
+   alternating-pass engine and the demand-driven oracle so differential
+   tests compare evaluation order, never operator meaning. Arithmetic and
+   ordering apply to integers; anything else becomes an uninterpreted term,
+   matching the paper's treatment of unknown operations. *)
+
+open Lg_support
+
+let truthy = Value.is_true
+
+let binop op a b =
+  match (op, a, b) with
+  | Ag_ast.Add, Value.Int x, Value.Int y -> Value.Int (x + y)
+  | Ag_ast.Sub, Value.Int x, Value.Int y -> Value.Int (x - y)
+  | Ag_ast.Eq, _, _ -> Value.Bool (Value.equal a b)
+  | Ag_ast.Ne, _, _ -> Value.Bool (not (Value.equal a b))
+  | Ag_ast.Lt, Value.Int x, Value.Int y -> Value.Bool (x < y)
+  | Ag_ast.Gt, Value.Int x, Value.Int y -> Value.Bool (x > y)
+  | Ag_ast.Le, Value.Int x, Value.Int y -> Value.Bool (x <= y)
+  | Ag_ast.Ge, Value.Int x, Value.Int y -> Value.Bool (x >= y)
+  | Ag_ast.And, _, _ -> Value.Bool (truthy a && truthy b)
+  | Ag_ast.Or, _, _ -> Value.Bool (truthy a || truthy b)
+  | Ag_ast.Add, _, _ -> Value.Term ("+", [ a; b ])
+  | Ag_ast.Sub, _, _ -> Value.Term ("-", [ a; b ])
+  | Ag_ast.Lt, _, _ -> Value.Term ("<", [ a; b ])
+  | Ag_ast.Gt, _, _ -> Value.Term (">", [ a; b ])
+  | Ag_ast.Le, _, _ -> Value.Term ("<=", [ a; b ])
+  | Ag_ast.Ge, _, _ -> Value.Term (">=", [ a; b ])
+
+let not_ a = Value.Bool (not (truthy a))
+
+let neg = function
+  | Value.Int n -> Value.Int (-n)
+  | v -> Value.Term ("-", [ v ])

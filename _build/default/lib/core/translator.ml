@@ -1,0 +1,154 @@
+open Lg_support
+open Lg_apt
+
+type t = {
+  artifact : Driver.artifact;
+  cfg : Lg_grammar.Cfg.t;
+  tables : Lg_lalr.Tables.t;
+  scanner : Lg_scanner.Tables.t;
+  names : Interner.t;
+  intrinsics : Lg_scanner.Engine.token -> string -> Value.t option;
+}
+
+let interner t = t.names
+let ir t = t.artifact.Driver.ir
+let plan t = t.artifact.Driver.plan
+let parse_tables t = t.tables
+
+let make ?options ?(intrinsics = fun _ _ -> None) ~scanner ~ag_source ~file () =
+  match Driver.process ?options ~file ag_source with
+  | Error diag -> Error diag
+  | Ok artifact ->
+      let cfg = Ir.to_cfg artifact.Driver.ir in
+      let tables = Lg_lalr.Tables.build cfg in
+      Ok
+        {
+          artifact;
+          cfg;
+          tables;
+          scanner = Lg_scanner.Tables.compile scanner;
+          names = Interner.create ();
+          intrinsics;
+        }
+
+let make_exn ?options ?intrinsics ~scanner ~ag_source ~file () =
+  match make ?options ?intrinsics ~scanner ~ag_source ~file () with
+  | Ok t -> t
+  | Error diag ->
+      failwith (Format.asprintf "Translator.make:@.%a" Diag.pp_all diag)
+
+(* Build the intrinsic slot array of a terminal occurrence. *)
+let leaf_of_token t sym (token : Lg_scanner.Engine.token) =
+  let ir = ir t in
+  let attrs = Ir.attrs_of_sym ir sym in
+  let vals =
+    List.map
+      (fun (a : Ir.attr) ->
+        match t.intrinsics token a.a_name with
+        | Some v -> v
+        | None -> (
+            match a.a_name with
+            | "LINE" ->
+                Value.Int token.Lg_scanner.Engine.span.Loc.start_p.Loc.line
+            | "COL" -> Value.Int token.Lg_scanner.Engine.span.Loc.start_p.Loc.col
+            | "NAME" ->
+                Value.Name (Interner.intern t.names token.Lg_scanner.Engine.lexeme)
+            | "BASENAME" ->
+                (* the lexeme with its numeric occurrence suffix stripped:
+                   "expr1" -> "expr" *)
+                let base, _ =
+                  Ag_ast.strip_occurrence_suffix token.Lg_scanner.Engine.lexeme
+                in
+                Value.Name (Interner.intern t.names base)
+            | "TEXT" -> Value.Str token.Lg_scanner.Engine.lexeme
+            | "LEXVAL" -> (
+                match int_of_string_opt token.Lg_scanner.Engine.lexeme with
+                | Some n -> Value.Int n
+                | None -> Value.Str token.Lg_scanner.Engine.lexeme)
+            | _ -> Value.Bottom))
+      attrs
+  in
+  Tree.leaf ~sym ~attrs:(Array.of_list vals)
+
+let tree_of_source t ~file ~diag source =
+  let ir = ir t in
+  let tokens = Lg_scanner.Engine.scan t.scanner ~file ~diag source in
+  let input =
+    List.filter_map
+      (fun (token : Lg_scanner.Engine.token) ->
+        match Lg_grammar.Cfg.find_terminal t.cfg token.kind with
+        | Some term -> Some (term, token)
+        | None ->
+            Diag.error diag token.span
+              "scanner produced token %S which is not a terminal of the grammar"
+              token.kind;
+            None)
+      tokens
+  in
+  if not (Diag.is_ok diag) then None
+  else
+    let shift term token =
+      (* terminal index in the CFG -> symbol id in the IR *)
+      let name = Lg_grammar.Cfg.terminal_name t.cfg term in
+      let sym =
+        match
+          Array.to_list ir.Ir.symbols
+          |> List.find_opt (fun (s : Ir.symbol) ->
+                 String.equal s.s_name name && s.s_kind = Ir.Terminal)
+        with
+        | Some s -> s.Ir.s_id
+        | None -> assert false
+      in
+      leaf_of_token t sym token
+    in
+    let reduce prod children =
+      Tree.interior ~prod ~sym:ir.Ir.prods.(prod).Ir.p_lhs ~children
+    in
+    match Lg_lalr.Driver.parse t.tables ~shift ~reduce input with
+    | Ok tree -> Some tree
+    | Error e ->
+        let tokens_arr = Array.of_list input in
+        let span =
+          if e.Lg_lalr.Driver.at < Array.length tokens_arr then
+            (snd tokens_arr.(e.Lg_lalr.Driver.at)).Lg_scanner.Engine.span
+          else Loc.span file Loc.start_pos Loc.start_pos
+        in
+        let expected =
+          e.Lg_lalr.Driver.expected
+          |> List.map (Lg_grammar.Cfg.terminal_name t.cfg)
+          |> String.concat ", "
+        in
+        Diag.error diag span "syntax error; expected one of: %s" expected;
+        None
+
+type translation = {
+  outputs : (string * Value.t) list;
+  eval_stats : Engine.run_stats;
+  tree_size : int;
+  input_lines : int;
+}
+
+let translate ?engine_options t ~file source =
+  let diag = Diag.create () in
+  match tree_of_source t ~file ~diag source with
+  | None -> Error diag
+  | Some tree -> (
+      try
+        let result = Engine.run ?options:engine_options (plan t) tree in
+        Ok
+          {
+            outputs = result.Engine.outputs;
+            eval_stats = result.Engine.stats;
+            tree_size = Tree.size tree;
+            input_lines = Lg_scanner.Engine.line_count source;
+          }
+      with Engine.Evaluation_error msg ->
+        Diag.error diag (Loc.span file Loc.start_pos Loc.start_pos)
+          "evaluation failed: %s" msg;
+        Error diag)
+
+let translate_exn ?engine_options t ~file source =
+  match translate ?engine_options t ~file source with
+  | Ok tr -> tr
+  | Error diag ->
+      failwith (Format.asprintf "Translator.translate:@.%a" Diag.pp_all diag)

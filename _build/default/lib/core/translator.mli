@@ -1,0 +1,75 @@
+(** A complete generated translator: the user-facing artifact of the
+    translator-writing system.
+
+    Bundles everything the TWS derives from one AG source: the checked
+    grammar, the evaluation plan, LALR parse tables built from {e the same}
+    phrase structure ({!Ir.to_cfg} — the paper's shared-input-file
+    discipline), and a generated scanner. [translate] then runs input text
+    through scanner, parser (building the APT and setting intrinsic
+    attributes), and the alternating-pass evaluator, returning the root's
+    synthesized attributes.
+
+    Intrinsic attributes are populated from tokens: by convention an
+    intrinsic attribute named [LINE] receives the token's line number,
+    [COL] its column, [NAME] its name-table index (interned lexeme),
+    [BASENAME] the name-table index of the lexeme with its numeric
+    occurrence suffix stripped, and [TEXT] its lexeme; anything else is
+    supplied by the [intrinsics] callback. *)
+
+type t
+
+val interner : t -> Lg_support.Interner.t
+(** The translator's name table ([NAME] intrinsics index into it). *)
+
+val ir : t -> Ir.t
+val plan : t -> Plan.t
+val parse_tables : t -> Lg_lalr.Tables.t
+
+val make :
+  ?options:Driver.options ->
+  ?intrinsics:
+    (Lg_scanner.Engine.token -> string -> Lg_support.Value.t option) ->
+  scanner:Lg_scanner.Spec.t ->
+  ag_source:string ->
+  file:string ->
+  unit ->
+  (t, Lg_support.Diag.collector) result
+(** Build a translator from an AG source text. Scanner token kinds must
+    coincide with the AG's terminal names (unknown kinds are reported when
+    encountered). [intrinsics token attr_name] supplies values for
+    intrinsic attributes beyond the conventional four. *)
+
+val make_exn :
+  ?options:Driver.options ->
+  ?intrinsics:
+    (Lg_scanner.Engine.token -> string -> Lg_support.Value.t option) ->
+  scanner:Lg_scanner.Spec.t ->
+  ag_source:string ->
+  file:string ->
+  unit ->
+  t
+
+type translation = {
+  outputs : (string * Lg_support.Value.t) list;
+  eval_stats : Engine.run_stats;
+  tree_size : int;  (** APT nodes *)
+  input_lines : int;
+}
+
+val translate :
+  ?engine_options:Engine.options ->
+  t ->
+  file:string ->
+  string ->
+  (translation, Lg_support.Diag.collector) result
+
+val translate_exn :
+  ?engine_options:Engine.options -> t -> file:string -> string -> translation
+
+val tree_of_source :
+  t ->
+  file:string ->
+  diag:Lg_support.Diag.collector ->
+  string ->
+  Lg_apt.Tree.t option
+(** Scanner + parser only: the APT with intrinsic attributes set. *)

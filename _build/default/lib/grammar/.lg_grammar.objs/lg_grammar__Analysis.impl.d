@@ -1,0 +1,1 @@
+lib/grammar/analysis.ml: Array Cfg Int List Set

@@ -1,0 +1,1 @@
+lib/grammar/cfg.mli: Format

@@ -1,0 +1,1 @@
+lib/grammar/sentence_gen.ml: Analysis Array Cfg List Printf

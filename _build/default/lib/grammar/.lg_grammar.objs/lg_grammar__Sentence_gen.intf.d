@@ -1,0 +1,1 @@
+lib/grammar/sentence_gen.mli: Analysis Cfg

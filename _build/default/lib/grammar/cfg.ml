@@ -1,0 +1,134 @@
+type symbol = T of int | NT of int
+
+type production = {
+  index : int;
+  lhs : int;
+  rhs : symbol array;
+  tag : string;
+}
+
+type t = {
+  terminals : string array;
+  nonterminals : string array;
+  productions : production array;
+  start : int;
+  prods_of : int list array;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+let eof = 0
+
+let make ~terminals ~nonterminals ~start prods =
+  if List.mem "$" terminals then ill_formed "terminal \"$\" is reserved";
+  let terminals = Array.of_list ("$" :: terminals) in
+  let nonterminals = Array.of_list nonterminals in
+  let index = Hashtbl.create 64 in
+  let add_sym name sym =
+    if Hashtbl.mem index name then ill_formed "duplicate symbol %S" name;
+    Hashtbl.add index name sym
+  in
+  Array.iteri (fun i name -> add_sym name (T i)) terminals;
+  Array.iteri (fun i name -> add_sym name (NT i)) nonterminals;
+  let resolve name =
+    match Hashtbl.find_opt index name with
+    | Some sym -> sym
+    | None -> ill_formed "unknown symbol %S" name
+  in
+  let start =
+    match resolve start with
+    | NT i -> i
+    | T _ -> ill_formed "start symbol %S is a terminal" start
+  in
+  let productions =
+    Array.of_list
+      (List.mapi
+         (fun index (lhs_name, rhs_names, tag) ->
+           let lhs =
+             match resolve lhs_name with
+             | NT i -> i
+             | T _ -> ill_formed "terminal %S on a left-hand side" lhs_name
+           in
+           let rhs = Array.of_list (List.map resolve rhs_names) in
+           Array.iter
+             (function
+               | T 0 -> ill_formed "\"$\" cannot appear in a production"
+               | T _ | NT _ -> ())
+             rhs;
+           { index; lhs; rhs; tag })
+         prods)
+  in
+  let prods_of = Array.make (Array.length nonterminals) [] in
+  Array.iter
+    (fun p -> prods_of.(p.lhs) <- p.index :: prods_of.(p.lhs))
+    productions;
+  Array.iteri (fun i l -> prods_of.(i) <- List.rev l) prods_of;
+  { terminals; nonterminals; productions; start; prods_of }
+
+let terminal_count g = Array.length g.terminals
+let nonterminal_count g = Array.length g.nonterminals
+let production_count g = Array.length g.productions
+let terminal_name g i = g.terminals.(i)
+let nonterminal_name g i = g.nonterminals.(i)
+
+let symbol_name g = function
+  | T i -> g.terminals.(i)
+  | NT i -> g.nonterminals.(i)
+
+let array_find_index p a =
+  let n = Array.length a in
+  let rec go i = if i >= n then None else if p a.(i) then Some i else go (i + 1) in
+  go 0
+
+let find_terminal g name = array_find_index (String.equal name) g.terminals
+let find_nonterminal g name = array_find_index (String.equal name) g.nonterminals
+
+let unreachable g =
+  let seen = Array.make (nonterminal_count g) false in
+  let rec visit nt =
+    if not seen.(nt) then begin
+      seen.(nt) <- true;
+      List.iter
+        (fun pi ->
+          Array.iter
+            (function NT m -> visit m | T _ -> ())
+            g.productions.(pi).rhs)
+        g.prods_of.(nt)
+    end
+  in
+  visit g.start;
+  List.filter (fun nt -> not seen.(nt)) (List.init (nonterminal_count g) Fun.id)
+
+let unproductive g =
+  let productive = Array.make (nonterminal_count g) false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        if not productive.(p.lhs) then
+          let all_ok =
+            Array.for_all
+              (function T _ -> true | NT m -> productive.(m))
+              p.rhs
+          in
+          if all_ok then begin
+            productive.(p.lhs) <- true;
+            changed := true
+          end)
+      g.productions
+  done;
+  List.filter
+    (fun nt -> not productive.(nt))
+    (List.init (nonterminal_count g) Fun.id)
+
+let pp_production g ppf p =
+  Format.fprintf ppf "%s ::=" (nonterminal_name g p.lhs);
+  Array.iter (fun sym -> Format.fprintf ppf " %s" (symbol_name g sym)) p.rhs;
+  if p.tag <> "" then Format.fprintf ppf "  -> %s" p.tag
+
+let pp ppf g =
+  Array.iter
+    (fun p -> Format.fprintf ppf "%3d: %a@." p.index (pp_production g) p)
+    g.productions

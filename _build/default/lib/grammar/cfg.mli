@@ -1,0 +1,61 @@
+(** Context-free grammars: the phrase-structure half of an attribute
+    grammar.
+
+    LINGUIST-86 and its LALR parse-table builder read the same input file;
+    in this reproduction both consume a value of this type, which the AG
+    front end extracts from the AG source. Terminal 0 is always the
+    reserved end-of-input marker ["$"]. *)
+
+type symbol = T of int | NT of int
+
+type production = {
+  index : int;  (** position in {!productions}; also the reduce action id *)
+  lhs : int;  (** nonterminal index *)
+  rhs : symbol array;
+  tag : string;  (** the production's limb name / label *)
+}
+
+type t = private {
+  terminals : string array;  (** [terminals.(0) = "$"] *)
+  nonterminals : string array;
+  productions : production array;
+  start : int;  (** start nonterminal index *)
+  prods_of : int list array;  (** productions deriving each nonterminal *)
+}
+
+exception Ill_formed of string
+
+val make :
+  terminals:string list ->
+  nonterminals:string list ->
+  start:string ->
+  (string * string list * string) list ->
+  t
+(** [make ~terminals ~nonterminals ~start prods] with each production as
+    [(lhs, rhs_symbol_names, tag)]. The ["$"] terminal is added
+    automatically and must not be declared.
+    @raise Ill_formed on duplicate or unknown symbol names, a terminal on
+    the left-hand side, or an undeclared start symbol. *)
+
+val eof : int
+(** Index of the reserved end-of-input terminal (always [0]). *)
+
+val terminal_count : t -> int
+val nonterminal_count : t -> int
+val production_count : t -> int
+
+val terminal_name : t -> int -> string
+val nonterminal_name : t -> int -> string
+val symbol_name : t -> symbol -> string
+
+val find_terminal : t -> string -> int option
+val find_nonterminal : t -> string -> int option
+
+val unreachable : t -> int list
+(** Nonterminals not reachable from the start symbol. *)
+
+val unproductive : t -> int list
+(** Nonterminals that derive no terminal string. *)
+
+val pp_production : t -> Format.formatter -> production -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type rng = int -> int
+
+let pick_production (g : Cfg.t) analysis ~rng ~budget nt =
+  let candidates = g.prods_of.(nt) in
+  if candidates = [] then
+    invalid_arg
+      (Printf.sprintf "Sentence_gen: nonterminal %s has no productions"
+         (Cfg.nonterminal_name g nt));
+  let viable =
+    List.filter
+      (fun pi ->
+        Analysis.min_height_production analysis g.productions.(pi) < max_int)
+      candidates
+  in
+  if viable = [] then
+    invalid_arg
+      (Printf.sprintf "Sentence_gen: nonterminal %s is unproductive"
+         (Cfg.nonterminal_name g nt));
+  if budget > 0 then List.nth viable (rng (List.length viable))
+  else
+    (* Budget exhausted: take a production of minimal derivation height. *)
+    let best =
+      List.fold_left
+        (fun best pi ->
+          let h = Analysis.min_height_production analysis g.productions.(pi) in
+          match best with
+          | Some (_, hb) when hb <= h -> best
+          | _ -> Some (pi, h))
+        None viable
+    in
+    match best with Some (pi, _) -> pi | None -> assert false
+
+let derivation (g : Cfg.t) analysis ~rng ~size =
+  if Analysis.min_height analysis g.start = max_int then
+    invalid_arg "Sentence_gen: start symbol is unproductive";
+  let terminals = ref [] and parse = ref [] in
+  let budget = ref size in
+  let rec expand nt =
+    decr budget;
+    let pi = pick_production g analysis ~rng ~budget:!budget nt in
+    let p = g.productions.(pi) in
+    Array.iter
+      (function
+        | Cfg.T t -> terminals := t :: !terminals
+        | Cfg.NT m -> expand m)
+      p.rhs;
+    parse := pi :: !parse
+  in
+  expand g.start;
+  (List.rev !terminals, List.rev !parse)
+
+let sentence g analysis ~rng ~size = fst (derivation g analysis ~rng ~size)

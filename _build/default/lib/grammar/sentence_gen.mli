@@ -1,0 +1,22 @@
+(** Random sentence generation from a CFG.
+
+    Used by the property-based tests: sentences generated here must parse
+    under the LALR tables built for the same grammar, and the resulting
+    right-parse must rebuild the derivation. Generation is bounded: once
+    the size budget is spent, only minimum-height productions are chosen,
+    so generation always terminates on a productive grammar. *)
+
+type rng = int -> int
+(** [rng bound] returns a uniform value in [0, bound). *)
+
+val sentence :
+  Cfg.t -> Analysis.t -> rng:rng -> size:int -> int list
+(** A random terminal string (terminal indices, end marker excluded)
+    derivable from the start symbol.
+    @raise Invalid_argument if the start symbol is unproductive. *)
+
+val derivation :
+  Cfg.t -> Analysis.t -> rng:rng -> size:int -> int list * int list
+(** [(terminals, right_parse)] where [right_parse] is the bottom-up
+    (postfix, left-to-right) sequence of production indices of the chosen
+    derivation — comparable with the LR parser's output. *)

@@ -1,0 +1,1 @@
+lib/lalr/driver.ml: Array Cfg Lg_grammar List Tables

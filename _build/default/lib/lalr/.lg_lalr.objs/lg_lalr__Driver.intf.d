@@ -1,0 +1,1 @@
+lib/lalr/driver.mli: Tables

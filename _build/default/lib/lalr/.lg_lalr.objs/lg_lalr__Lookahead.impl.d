@@ -1,0 +1,1 @@
+lib/lalr/lookahead.ml: Analysis Array Cfg Hashtbl Int Lg_grammar List Lr0 Option Set

@@ -1,0 +1,1 @@
+lib/lalr/lookahead.mli: Lr0

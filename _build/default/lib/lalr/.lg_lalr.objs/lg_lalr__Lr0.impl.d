@@ -1,0 +1,1 @@
+lib/lalr/lr0.ml: Array Cfg Format Hashtbl Lg_grammar List Set

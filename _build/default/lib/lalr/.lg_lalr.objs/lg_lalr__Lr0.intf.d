@@ -1,0 +1,1 @@
+lib/lalr/lr0.mli: Format Lg_grammar

@@ -1,0 +1,1 @@
+lib/lalr/tables.ml: Array Cfg Format Fun Hashtbl Lg_grammar List Lookahead Lr0 Option Printf

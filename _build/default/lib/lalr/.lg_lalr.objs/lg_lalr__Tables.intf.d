@@ -1,0 +1,1 @@
+lib/lalr/tables.mli: Format Lg_grammar Lr0

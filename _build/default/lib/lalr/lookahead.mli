@@ -1,0 +1,18 @@
+(** LALR(1) lookahead computation (DeRemer–Pennello, 1982).
+
+    Computes, for every reduction item in every LR(0) state, the set of
+    terminals on which the reduction applies, via the Reads/Includes
+    relations and the digraph algorithm. This is the polynomial-time
+    "efficient computation of LALR(1) look-ahead sets" contemporaneous with
+    the paper's own LALR parse-table builder. *)
+
+type t
+
+val compute : Lr0.t -> t
+
+val lookaheads : t -> state:int -> prod:int -> int list
+(** Terminals (sorted indices) on which production [prod] is reduced in
+    [state]. The augmented production reduces only on the end marker. *)
+
+val nt_transition_count : t -> int
+(** Number of nonterminal transitions — a size statistic for reports. *)

@@ -1,0 +1,167 @@
+open Lg_grammar
+
+type assoc = Left | Right | Nonassoc
+type action = Shift of int | Reduce of int | Accept | Error
+
+type conflict = {
+  state : int;
+  terminal : int;
+  shift : int option;
+  reduces : int list;
+  chosen : action;
+  by_precedence : bool;
+}
+
+type t = {
+  grammar : Cfg.t;
+  lr0 : Lr0.t;
+  actions : action array;  (** state * nterms + terminal *)
+  gotos : int array;  (** state * nnts + nt; -1 = none *)
+  nterms : int;
+  nnts : int;
+  conflicts : conflict list;
+}
+
+let prod_precedence prec_of_terminal (g : Cfg.t) prod =
+  let p = g.productions.(prod) in
+  Array.fold_left
+    (fun acc sym ->
+      match sym with Cfg.T t -> ( match prec_of_terminal t with Some _ as r -> r | None -> acc)
+      | Cfg.NT _ -> acc)
+    None p.rhs
+
+let build ?(precedence = []) g =
+  let lr0 = Lr0.build g in
+  let la = Lookahead.compute lr0 in
+  let nterms = Cfg.terminal_count g in
+  let nnts = Cfg.nonterminal_count g in
+  let nstates = Lr0.state_count lr0 in
+  let actions = Array.make (nstates * nterms) Error in
+  let gotos = Array.make (nstates * nnts) (-1) in
+  let prec_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, level, assoc) ->
+      match Cfg.find_terminal g name with
+      | Some ti -> Hashtbl.replace prec_tbl ti (level, assoc)
+      | None -> invalid_arg (Printf.sprintf "Tables.build: unknown terminal %S" name))
+    precedence;
+  let prec_of_terminal t = Hashtbl.find_opt prec_tbl t in
+  let conflicts = ref [] in
+  for s = 0 to nstates - 1 do
+    (* Shifts and gotos. *)
+    List.iter
+      (fun (sym, dst) ->
+        match sym with
+        | Cfg.T t -> actions.((s * nterms) + t) <- Shift dst
+        | Cfg.NT nt -> gotos.((s * nnts) + nt) <- dst)
+      (Lr0.state lr0 s).Lr0.transitions;
+    (* Reductions on their lookaheads. *)
+    List.iter
+      (fun prod ->
+        List.iter
+          (fun t ->
+            let cell = (s * nterms) + t in
+            let reduce_action =
+              if prod = Lr0.augmented_prod lr0 then Accept else Reduce prod
+            in
+            match actions.(cell) with
+            | Error -> actions.(cell) <- reduce_action
+            | Shift dst -> (
+                (* shift/reduce: try operator precedence. *)
+                let rp =
+                  if prod = Lr0.augmented_prod lr0 then None
+                  else
+                    Option.map fst (prod_precedence prec_of_terminal g prod)
+                in
+                let tp = prec_of_terminal t in
+                match (rp, tp) with
+                | Some rl, Some (tl, assoc) ->
+                    let chosen =
+                      if rl > tl then reduce_action
+                      else if rl < tl then Shift dst
+                      else
+                        match assoc with
+                        | Left -> reduce_action
+                        | Right -> Shift dst
+                        | Nonassoc -> Error
+                    in
+                    actions.(cell) <- chosen;
+                    conflicts :=
+                      {
+                        state = s;
+                        terminal = t;
+                        shift = Some dst;
+                        reduces = [ prod ];
+                        chosen;
+                        by_precedence = true;
+                      }
+                      :: !conflicts
+                | _ ->
+                    (* Unresolved: default to shift, like yacc. *)
+                    conflicts :=
+                      {
+                        state = s;
+                        terminal = t;
+                        shift = Some dst;
+                        reduces = [ prod ];
+                        chosen = Shift dst;
+                        by_precedence = false;
+                      }
+                      :: !conflicts)
+            | Reduce other ->
+                (* reduce/reduce: lower production index wins. *)
+                let winner = min prod other and loser = max prod other in
+                actions.(cell) <- Reduce winner;
+                conflicts :=
+                  {
+                    state = s;
+                    terminal = t;
+                    shift = None;
+                    reduces = [ winner; loser ];
+                    chosen = Reduce winner;
+                    by_precedence = false;
+                  }
+                  :: !conflicts
+            | Accept ->
+                conflicts :=
+                  {
+                    state = s;
+                    terminal = t;
+                    shift = None;
+                    reduces = [ prod ];
+                    chosen = Accept;
+                    by_precedence = false;
+                  }
+                  :: !conflicts)
+          (Lookahead.lookaheads la ~state:s ~prod))
+      (Lr0.reductions lr0 s)
+  done;
+  { grammar = g; lr0; actions; gotos; nterms; nnts; conflicts = List.rev !conflicts }
+
+let grammar t = t.grammar
+let automaton t = t.lr0
+let action t ~state ~terminal = t.actions.((state * t.nterms) + terminal)
+
+let goto_nt t ~state ~nt =
+  match t.gotos.((state * t.nnts) + nt) with -1 -> None | s -> Some s
+
+let start_state _ = 0
+let conflicts t = t.conflicts
+let unresolved_conflicts t = List.filter (fun c -> not c.by_precedence) t.conflicts
+
+let expected_terminals t ~state =
+  List.filter
+    (fun term ->
+      match action t ~state ~terminal:term with
+      | Error -> false
+      | Shift _ | Reduce _ | Accept -> true)
+    (List.init t.nterms Fun.id)
+
+let state_count t = Lr0.state_count t.lr0
+let table_bytes t = 2 * (Array.length t.actions + Array.length t.gotos)
+
+let pp_conflict t ppf c =
+  let kind = match c.shift with Some _ -> "shift/reduce" | None -> "reduce/reduce" in
+  Format.fprintf ppf "%s conflict in state %d on %s (%s)" kind c.state
+    (Cfg.terminal_name t.grammar c.terminal)
+    (if c.by_precedence then "resolved by precedence" else "unresolved")

@@ -1,0 +1,1 @@
+lib/languages/assembler.ml: Diag Hashtbl Interner Lg_scanner Lg_support Linguist List Loc Option Printf Stack_machine String Value

@@ -1,0 +1,1 @@
+lib/languages/assembler.mli: Lg_scanner Lg_support Linguist Stack_machine

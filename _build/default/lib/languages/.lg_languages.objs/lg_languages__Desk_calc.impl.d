@@ -1,0 +1,1 @@
+lib/languages/desk_calc.ml: Diag Hashtbl Interner Lg_scanner Lg_support Linguist List Loc Printf String Value

@@ -1,0 +1,1 @@
+lib/languages/desk_calc.mli: Lg_scanner Linguist

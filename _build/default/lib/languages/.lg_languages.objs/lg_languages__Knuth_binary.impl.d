@@ -1,0 +1,1 @@
+lib/languages/knuth_binary.ml: Char Lg_scanner Lg_support Linguist List Printf String

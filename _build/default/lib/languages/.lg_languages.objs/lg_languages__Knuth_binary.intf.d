@@ -1,0 +1,1 @@
+lib/languages/knuth_binary.mli: Lg_scanner Linguist

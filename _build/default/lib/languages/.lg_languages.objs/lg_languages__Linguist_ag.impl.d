@@ -1,0 +1,1 @@
+lib/languages/linguist_ag.ml: Interner Lg_support Linguist List Value

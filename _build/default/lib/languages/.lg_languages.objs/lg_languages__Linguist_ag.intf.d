@@ -1,0 +1,1 @@
+lib/languages/linguist_ag.mli: Lg_scanner Linguist

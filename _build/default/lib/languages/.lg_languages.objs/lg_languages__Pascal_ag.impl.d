@@ -1,0 +1,1 @@
+lib/languages/pascal_ag.ml: Interner Lg_scanner Lg_support Linguist List Option Printf Stack_machine Value

@@ -1,0 +1,1 @@
+lib/languages/stack_machine.ml: Array Buffer Format Hashtbl Lg_support List Option Printf Value

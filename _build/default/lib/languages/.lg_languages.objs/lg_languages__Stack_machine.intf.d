@@ -1,0 +1,1 @@
+lib/languages/stack_machine.mli: Lg_support

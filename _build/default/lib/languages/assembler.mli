@@ -1,0 +1,57 @@
+(** A symbolic assembler as an attribute grammar: the classic forward-
+    reference problem that motivates multi-pass translation.
+
+    The source language is a list of optionally labelled instructions:
+
+    {v
+      start:  push 0
+              store acc
+      loop:   load acc
+              push 1
+              add
+              store acc
+              load acc
+              push 5
+              lt
+              jt loop        ; a backward reference
+              jf done        ; a forward reference
+      done:   load acc
+              out
+    v}
+
+    Three alternating passes under the [bottom_up] strategy:
+
+    + pass 1 (right-to-left): each instruction's size rises ([LEN]);
+    + pass 2 (left-to-right): addresses flow down as a prefix sum ([ADDR]),
+      and the label table is threaded left to right ([SYMS]/[SYMSOUT]) so
+      duplicate labels are caught in order;
+    + pass 3 (right-to-left): the complete label table returns down the
+      tree ([LABELS]) — only now are forward references resolvable — and
+      the relative jump offsets are computed ([CODE], [MSGS]).
+
+    Output is a {!Stack_machine} program (relative jumps computed from
+    label address minus the jump's own successor address — pure arithmetic
+    on synthesized lengths, no back-patching). *)
+
+val ag_source : string
+val scanner : Lg_scanner.Spec.t
+
+val translator : unit -> Linguist.Translator.t
+val translator_with :
+  options:Linguist.Driver.options -> unit -> Linguist.Translator.t
+
+type assembled = {
+  code : Lg_support.Value.t;  (** a {!Stack_machine} program *)
+  messages : (int * string * string) list;
+      (** (line, tag, label): duplicate or undefined labels *)
+}
+
+val assemble : ?translator:Linguist.Translator.t -> string -> assembled
+(** @raise Failure on scan/parse errors. *)
+
+val run : ?translator:Linguist.Translator.t -> string -> Stack_machine.outcome
+(** Assemble and execute. @raise Failure on assembly messages. *)
+
+val reference : string -> assembled
+(** A conventional hand-written two-pass assembler for the same syntax:
+    the differential-testing oracle. *)

@@ -1,0 +1,28 @@
+(** A desk-calculator translator built from an attribute grammar: sequences
+    of assignments and [print] statements.
+
+    The environment is a partial function threaded left to right through
+    the statement list ([ENVOUT] of one statement feeding [ENV] of the
+    next), which is inexpressible in a right-to-left pass — under the
+    [bottom_up] strategy everything therefore lands in pass 2, exercising
+    the alternating-pass machinery. Undefined variables produce messages
+    built with the list-processing package ([cons$msg] / [merge$msgs]),
+    exactly the error-collection idiom of the LINGUIST-86 grammar itself. *)
+
+val ag_source : string
+val scanner : Lg_scanner.Spec.t
+
+val translator : unit -> Linguist.Translator.t
+val translator_with :
+  options:Linguist.Driver.options -> unit -> Linguist.Translator.t
+
+type outcome = {
+  printed : int list;  (** values of [print] statements, in order *)
+  errors : (int * string) list;  (** (line, variable) of undefined uses *)
+}
+
+val run : ?translator:Linguist.Translator.t -> string -> outcome
+(** @raise Failure on scan/parse errors. *)
+
+val reference : string -> outcome
+(** Hand-written interpreter for the same little language: the oracle. *)

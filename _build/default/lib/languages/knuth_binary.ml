@@ -1,0 +1,103 @@
+let ag_source =
+  {|# Knuth's binary numbers, with fractions (fixed-point, 16 fraction bits).
+grammar KnuthBinary;
+root number;
+strategy bottom_up;
+
+terminals
+  BIT has intrinsic BVAL : int;
+  POINT;
+end
+
+nonterminals
+  number has syn VAL : int;
+  list has syn VAL : int, syn LEN : int, inh SCALE : int;
+  bit has syn VAL : int, inh SCALE : int;
+end
+
+limbs
+  WholeLimb;
+  FracLimb;
+  SingleLimb;
+  SnocLimb;
+  DigitLimb;
+end
+
+productions
+  number ::= list -> WholeLimb :
+    list.SCALE = 0;
+    # number.VAL = list.VAL inserted implicitly
+
+  number ::= list0 POINT list1 -> FracLimb :
+    list0.SCALE = 0,
+    list1.SCALE = 0 - list1.LEN,
+    number.VAL = list0.VAL + list1.VAL;
+
+  list ::= bit -> SingleLimb :
+    list.LEN = 1;
+    # list.VAL = bit.VAL and bit.SCALE = list.SCALE inserted implicitly
+
+  list0 ::= list1 bit -> SnocLimb :
+    list0.VAL = list1.VAL + bit.VAL,
+    list1.SCALE = list0.SCALE + 1,
+    list0.LEN = list1.LEN + 1;
+    # bit.SCALE = list0.SCALE inserted implicitly
+
+  bit ::= BIT -> DigitLimb :
+    bit.VAL = if BIT.BVAL = 1 then Pow2(16 + bit.SCALE) else 0 endif;
+end
+|}
+
+let scanner =
+  Lg_scanner.Spec.make
+    [
+      ("WS", "[ \\t\\n]+", Lg_scanner.Spec.Skip);
+      ("BIT", "[01]", Lg_scanner.Spec.Token);
+      ("POINT", "\\.", Lg_scanner.Spec.Token);
+    ]
+
+let intrinsics (token : Lg_scanner.Engine.token) attr =
+  match attr with
+  | "BVAL" -> Some (Lg_support.Value.Int (int_of_string token.lexeme))
+  | _ -> None
+
+let translator_with ~options () =
+  Linguist.Translator.make_exn ~options ~intrinsics ~scanner ~ag_source
+    ~file:"knuth_binary.ag" ()
+
+let translator () = translator_with ~options:Linguist.Driver.default_options ()
+
+let fixed_value input =
+  let t = translator () in
+  let tr = Linguist.Translator.translate_exn t ~file:"<input>" input in
+  match List.assoc_opt "VAL" tr.Linguist.Translator.outputs with
+  | Some (Lg_support.Value.Int n) -> n
+  | Some v ->
+      failwith
+        (Printf.sprintf "Knuth_binary: non-integer value %s"
+           (Lg_support.Value.to_string v))
+  | None -> failwith "Knuth_binary: VAL missing"
+
+let value input = float_of_int (fixed_value input) /. 65536.0
+
+let expected input =
+  let point = String.index_opt input '.' in
+  let digits part = String.to_seq part |> List.of_seq in
+  let whole, frac =
+    match point with
+    | None -> (input, "")
+    | Some i ->
+        (String.sub input 0 i, String.sub input (i + 1) (String.length input - i - 1))
+  in
+  let whole_value =
+    List.fold_left
+      (fun acc c -> (acc *. 2.0) +. if Char.equal c '1' then 1.0 else 0.0)
+      0.0 (digits whole)
+  in
+  let _, frac_value =
+    List.fold_left
+      (fun (scale, acc) c ->
+        (scale /. 2.0, acc +. if Char.equal c '1' then scale else 0.0))
+      (0.5, 0.0) (digits frac)
+  in
+  whole_value +. frac_value

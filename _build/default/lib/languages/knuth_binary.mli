@@ -1,0 +1,28 @@
+(** Knuth's binary-numbers attribute grammar — the original example from
+    "Semantics of context-free languages" [K], with the fractional part
+    that forces a second (alternating) evaluation pass: the scale of the
+    fraction digits depends on the fraction's own synthesized length.
+
+    Values are fixed-point with 16 fractional bits ("110.01" evaluates to
+    6.25, reported as [409600]). The copy-rules threading [SCALE] down and
+    [VAL] up are exactly the shapes static subsumption targets, and two of
+    them are inserted implicitly. *)
+
+val ag_source : string
+val scanner : Lg_scanner.Spec.t
+
+val translator : unit -> Linguist.Translator.t
+(** Fresh translator (own name table); plans are rebuilt each call. *)
+
+val translator_with :
+  options:Linguist.Driver.options -> unit -> Linguist.Translator.t
+
+val fixed_value : string -> int
+(** Translate a binary literal like ["110.01"]; the root [VAL] in units of
+    2{^ -16}. @raise Failure on scan/parse/evaluation errors. *)
+
+val value : string -> float
+(** [fixed_value] scaled back to a float. *)
+
+val expected : string -> float
+(** Independent arithmetic oracle computed directly from the string. *)

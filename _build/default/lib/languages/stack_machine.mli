@@ -1,0 +1,30 @@
+(** The target of the Pascal-subset translators: a small stack machine.
+
+    Programs are attribute values — a {!Lg_support.Value.List} of
+    uninterpreted instruction terms, exactly as the attribute grammar's
+    semantic functions build them with the list-processing package:
+
+    - [Push(n)], [Load(name)], [Store(name)]
+    - [Add], [Sub], [Mul], [Lt], [Gt], [Eq], [Not]
+    - [JmpF(k)] pop; jump k instructions forward when false/zero
+    - [Jmp(k)] relative jump (k may be negative)
+    - [Writeln] pop and append to the output
+
+    Booleans live on the stack as 0/1. Names are name-table indices. *)
+
+type outcome = {
+  output : int list;
+  steps : int;  (** instructions executed *)
+}
+
+exception Stuck of string
+(** Malformed program, stack underflow, or fuel exhaustion. *)
+
+val run : ?fuel:int -> Lg_support.Value.t -> outcome
+(** [fuel] bounds executed instructions (default 1_000_000).
+    @raise Stuck as above. *)
+
+val disassemble : Lg_support.Value.t -> string
+(** One instruction per line, numbered. *)
+
+val instruction_count : Lg_support.Value.t -> int

@@ -1,0 +1,1 @@
+lib/regex/char_class.ml: Char Format Int List Set Stdlib

@@ -1,0 +1,1 @@
+lib/regex/char_class.mli: Format

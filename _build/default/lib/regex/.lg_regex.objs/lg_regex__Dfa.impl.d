@@ -1,0 +1,1 @@
+lib/regex/dfa.ml: Array Char Char_class Hashtbl List Nfa String

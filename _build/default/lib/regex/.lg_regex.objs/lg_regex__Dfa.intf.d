@@ -1,0 +1,1 @@
+lib/regex/dfa.mli: Nfa

@@ -1,0 +1,1 @@
+lib/regex/nfa.ml: Array Char_class List Regex_syntax String

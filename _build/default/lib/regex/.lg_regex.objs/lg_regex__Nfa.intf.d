@@ -1,0 +1,1 @@
+lib/regex/nfa.mli: Char_class Regex_syntax

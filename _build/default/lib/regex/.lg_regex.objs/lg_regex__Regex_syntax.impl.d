@@ -1,0 +1,1 @@
+lib/regex/regex_syntax.ml: Buffer Char Char_class Format List Printf String

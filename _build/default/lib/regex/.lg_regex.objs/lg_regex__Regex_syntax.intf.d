@@ -1,0 +1,1 @@
+lib/regex/regex_syntax.mli: Char_class Format

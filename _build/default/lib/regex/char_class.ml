@@ -1,0 +1,83 @@
+(* Canonical form: sorted, disjoint, non-adjacent inclusive ranges. *)
+type t = (int * int) list
+
+let empty = []
+let any = [ (0, 255) ]
+
+let normalize ranges =
+  let sorted = List.sort Stdlib.compare ranges in
+  let rec merge = function
+    | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 + 1 ->
+        merge ((a1, max b1 b2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let singleton c = [ (Char.code c, Char.code c) ]
+
+let range lo hi =
+  if lo > hi then invalid_arg "Char_class.range: lo > hi";
+  [ (Char.code lo, Char.code hi) ]
+
+let of_list chars = normalize (List.map (fun c -> (Char.code c, Char.code c)) chars)
+let union a b = normalize (a @ b)
+
+let negate t =
+  let rec go next = function
+    | [] -> if next <= 255 then [ (next, 255) ] else []
+    | (a, b) :: rest ->
+        if next < a then (next, a - 1) :: go (b + 1) rest else go (b + 1) rest
+  in
+  go 0 t
+
+let inter a b = negate (union (negate a) (negate b))
+let diff a b = inter a (negate b)
+let is_empty t = t = []
+
+let mem c t =
+  let n = Char.code c in
+  List.exists (fun (a, b) -> a <= n && n <= b) t
+
+let equal = Stdlib.( = )
+let compare = Stdlib.compare
+let ranges t = t
+let cardinal t = List.fold_left (fun acc (a, b) -> acc + b - a + 1) 0 t
+let choose = function [] -> None | (a, _) :: _ -> Some (Char.chr a)
+
+let iter f t =
+  List.iter
+    (fun (a, b) ->
+      for n = a to b do
+        f (Char.chr n)
+      done)
+    t
+
+let split_alphabet classes =
+  (* Collect boundary points: a class member range [a,b] contributes cut
+     points a and b+1. The partition pieces lie between consecutive cuts. *)
+  let module Iset = Set.Make (Int) in
+  let cuts =
+    List.fold_left
+      (fun acc cls ->
+        List.fold_left
+          (fun acc (a, b) -> Iset.add a (Iset.add (b + 1) acc))
+          acc cls)
+      (Iset.add 0 (Iset.add 256 Iset.empty))
+      classes
+  in
+  let points = Iset.elements cuts in
+  let rec pieces = function
+    | a :: (b :: _ as rest) when a < 256 -> [ (a, b - 1) ] :: pieces rest
+    | _ -> []
+  in
+  pieces points
+
+let pp ppf t =
+  let pp_range ppf (a, b) =
+    if a = b then Format.fprintf ppf "%C" (Char.chr a)
+    else Format.fprintf ppf "%C-%C" (Char.chr a) (Char.chr b)
+  in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp_range)
+    t

@@ -1,0 +1,43 @@
+(** Character classes as sorted disjoint byte ranges.
+
+    The scanner generator works over the 8-bit alphabet; classes are kept in
+    a canonical form (sorted, disjoint, maximally merged ranges), so equal
+    classes are structurally equal. *)
+
+type t
+(** A set of bytes (0–255). *)
+
+val empty : t
+val any : t
+(** All 256 bytes. *)
+
+val singleton : char -> t
+val range : char -> char -> t
+(** [range lo hi]; @raise Invalid_argument if [lo > hi]. *)
+
+val of_list : char list -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val negate : t -> t
+val diff : t -> t -> t
+val is_empty : t -> bool
+val mem : char -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val ranges : t -> (int * int) list
+(** The canonical inclusive ranges, ascending. *)
+
+val cardinal : t -> int
+val choose : t -> char option
+(** Smallest member, if any. *)
+
+val iter : (char -> unit) -> t -> unit
+
+val split_alphabet : t list -> t list
+(** [split_alphabet classes] partitions the full byte alphabet into the
+    coarsest equivalence classes such that every input class is a union of
+    them. The scanner's DFA uses one column per equivalence class instead of
+    256. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,215 @@
+type t =
+  | Eps
+  | Chars of Char_class.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+exception Parse_error of string * int
+
+let error msg pos = raise (Parse_error (msg, pos))
+
+let escape_char pos = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | ('\\' | '.' | '|' | '(' | ')' | '[' | ']' | '*' | '+' | '?' | '-' | '^' | '"') as c
+    -> c
+  | c -> error (Printf.sprintf "unknown escape '\\%c'" c) pos
+
+let literal s =
+  let rec go i =
+    if i >= String.length s then Eps
+    else if i = String.length s - 1 then Chars (Char_class.singleton s.[i])
+    else Seq (Chars (Char_class.singleton s.[i]), go (i + 1))
+  in
+  go 0
+
+let any_but_newline = Char_class.negate (Char_class.singleton '\n')
+
+(* Grammar: alt ::= seq ('|' seq)* ; seq ::= postfix+ | eps ; postfix ::=
+   atom ('*'|'+'|'?')* ; atom ::= char | '.' | class | group | string. *)
+let parse src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let next () =
+    if !pos >= n then error "unexpected end of regex" !pos;
+    let c = src.[!pos] in
+    incr pos;
+    c
+  in
+  let parse_class () =
+    let negated =
+      match peek () with
+      | Some '^' ->
+          incr pos;
+          true
+      | _ -> false
+    in
+    let rec items acc =
+      match peek () with
+      | None -> error "unterminated character class" !pos
+      | Some ']' ->
+          incr pos;
+          acc
+      | Some _ ->
+          let start = !pos in
+          let c = next () in
+          let c = if Char.equal c '\\' then escape_char start (next ()) else c in
+          let item =
+            match peek () with
+            | Some '-' when !pos + 1 < n && not (Char.equal src.[!pos + 1] ']') ->
+                incr pos;
+                let hi_pos = !pos in
+                let hi = next () in
+                let hi =
+                  if Char.equal hi '\\' then escape_char hi_pos (next ()) else hi
+                in
+                if Char.compare c hi > 0 then error "inverted range" start;
+                Char_class.range c hi
+            | _ -> Char_class.singleton c
+          in
+          items (Char_class.union acc item)
+    in
+    let cls = items Char_class.empty in
+    if negated then Char_class.negate cls else cls
+  in
+  let parse_string_literal () =
+    let buf = Buffer.create 8 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          Buffer.add_char buf (escape_char (!pos - 1) (next ()));
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some '|' ->
+        incr pos;
+        Alt (left, parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let rec go acc =
+      match peek () with
+      | None | Some ('|' | ')') -> acc
+      | Some _ -> go (Seq (acc, parse_postfix ()))
+    in
+    match peek () with
+    | None | Some ('|' | ')') -> Eps
+    | Some _ -> go (parse_postfix ())
+  and parse_postfix () =
+    let atom = parse_atom () in
+    let rec wrap atom =
+      match peek () with
+      | Some '*' ->
+          incr pos;
+          wrap (Star atom)
+      | Some '+' ->
+          incr pos;
+          wrap (Plus atom)
+      | Some '?' ->
+          incr pos;
+          wrap (Opt atom)
+      | _ -> atom
+    in
+    wrap atom
+  and parse_atom () =
+    let start = !pos in
+    match next () with
+    | '(' ->
+        let inner = parse_alt () in
+        (match peek () with
+        | Some ')' ->
+            incr pos;
+            inner
+        | _ -> error "unbalanced '('" start)
+    | '[' -> Chars (parse_class ())
+    | '.' -> Chars any_but_newline
+    | '"' -> literal (parse_string_literal ())
+    | '\\' -> Chars (Char_class.singleton (escape_char start (next ())))
+    | ('*' | '+' | '?') -> error "repetition operator with nothing to repeat" start
+    | (')' | ']') as c -> error (Printf.sprintf "unexpected '%c'" c) start
+    | c -> Chars (Char_class.singleton c)
+  in
+  let re = parse_alt () in
+  if !pos <> n then error "unexpected ')'" !pos;
+  re
+
+let rec nullable = function
+  | Eps | Star _ | Opt _ -> true
+  | Chars _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Plus a -> nullable a
+
+(* Backtracking reference matcher, used only as a test oracle. Stars guard
+   against nullable bodies by requiring progress. *)
+let matches re s =
+  let n = String.length s in
+  let rec go re i k =
+    match re with
+    | Eps -> k i
+    | Chars cc -> i < n && Char_class.mem s.[i] cc && k (i + 1)
+    | Seq (a, b) -> go a i (fun j -> go b j k)
+    | Alt (a, b) -> go a i k || go b i k
+    | Star a -> k i || go a i (fun j -> j > i && go (Star a) j k)
+    | Plus a -> go a i (fun j -> k j || (j > i && go (Plus a) j k))
+    | Opt a -> k i || go a i k
+  in
+  go re 0 (fun i -> i = n)
+
+let pp_char ppf c =
+  match c with
+  | '\n' -> Format.pp_print_string ppf "\\n"
+  | '\t' -> Format.pp_print_string ppf "\\t"
+  | '\r' -> Format.pp_print_string ppf "\\r"
+  | '\000' -> Format.pp_print_string ppf "\\0"
+  | ('\\' | '.' | '|' | '(' | ')' | '[' | ']' | '*' | '+' | '?' | '"') as c ->
+      Format.fprintf ppf "\\%c" c
+  | c -> Format.pp_print_char ppf c
+
+let pp_class ppf cls =
+  if Char_class.equal cls any_but_newline then Format.pp_print_char ppf '.'
+  else begin
+    Format.pp_print_char ppf '[';
+    List.iter
+      (fun (a, b) ->
+        if a = b then pp_char ppf (Char.chr a)
+        else Format.fprintf ppf "%a-%a" pp_char (Char.chr a) pp_char (Char.chr b))
+      (Char_class.ranges cls);
+    Format.pp_print_char ppf ']'
+  end
+
+(* Precedence: 0 = alternation, 1 = sequence, 2 = postfix/atom. *)
+let rec pp_prec prec ppf re =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match re with
+  | Eps -> Format.pp_print_string ppf "()"
+  | Chars cls -> (
+      match Char_class.ranges cls with
+      | [ (a, b) ] when a = b -> pp_char ppf (Char.chr a)
+      | _ -> pp_class ppf cls)
+  | Seq (a, b) ->
+      paren (prec > 1) (fun ppf ->
+          Format.fprintf ppf "%a%a" (pp_prec 1) a (pp_prec 1) b)
+  | Alt (a, b) ->
+      paren (prec > 0) (fun ppf ->
+          Format.fprintf ppf "%a|%a" (pp_prec 0) a (pp_prec 0) b)
+  | Star a -> Format.fprintf ppf "%a*" (pp_prec 2) a
+  | Plus a -> Format.fprintf ppf "%a+" (pp_prec 2) a
+  | Opt a -> Format.fprintf ppf "%a?" (pp_prec 2) a
+
+let pp ppf re = pp_prec 0 ppf re

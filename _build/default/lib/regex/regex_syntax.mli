@@ -1,0 +1,40 @@
+(** Regular-expression abstract syntax and concrete-syntax parser.
+
+    LINGUIST-86's companion tool "generates a lexical scanner for a set of
+    regular expressions"; this is that input notation. Supported syntax:
+
+    - [ab] concatenation, [a|b] alternation, [a*] [a+] [a?] repetition
+    - [(...)] grouping
+    - [\[a-z_\]] character classes, [\[^...\]] negated classes
+    - [.] any byte except newline
+    - escapes [\n \t \r \\ \. \| \( \) \[ \] \* \+ \? \- \^]
+    - ["literal"] quoted literal strings (every character taken verbatim) *)
+
+type t =
+  | Eps  (** matches the empty string *)
+  | Chars of Char_class.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+exception Parse_error of string * int
+(** Message and byte offset within the regex source. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val literal : string -> t
+(** The regex matching exactly the given string. *)
+
+val nullable : t -> bool
+(** Does the expression match the empty string? *)
+
+val matches : t -> string -> bool
+(** Direct (derivative-free, backtracking) reference matcher; used as the
+    test oracle against the NFA/DFA pipeline. Exponential in the worst case
+    — test use only. *)
+
+val pp : Format.formatter -> t -> unit
+(** Re-parsable concrete syntax. *)

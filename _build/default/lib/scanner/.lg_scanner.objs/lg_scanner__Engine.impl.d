@@ -1,0 +1,1 @@
+lib/scanner/engine.ml: Char Diag Format Lg_regex Lg_support List Loc Spec String Tables

@@ -1,0 +1,1 @@
+lib/scanner/engine.mli: Format Lg_support Tables

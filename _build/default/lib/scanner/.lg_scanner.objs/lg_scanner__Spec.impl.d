@@ -1,0 +1,1 @@
+lib/scanner/spec.ml: Hashtbl Lg_regex List Printf

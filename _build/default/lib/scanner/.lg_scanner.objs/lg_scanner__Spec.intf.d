@@ -1,0 +1,1 @@
+lib/scanner/spec.mli: Lg_regex

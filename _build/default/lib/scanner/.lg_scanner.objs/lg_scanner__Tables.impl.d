@@ -1,0 +1,1 @@
+lib/scanner/tables.ml: Array Hashtbl Lg_regex List Spec String

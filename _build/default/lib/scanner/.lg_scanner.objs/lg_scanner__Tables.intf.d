@@ -1,0 +1,1 @@
+lib/scanner/tables.mli: Lg_regex Spec

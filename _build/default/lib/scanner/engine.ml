@@ -1,0 +1,48 @@
+open Lg_support
+
+type token = { kind : string; lexeme : string; span : Loc.span }
+
+let pp_token ppf t = Format.fprintf ppf "%s(%S)@%a" t.kind t.lexeme Loc.pp t.span
+
+let advance_over pos lexeme =
+  String.fold_left Loc.advance pos lexeme
+
+let scan tables ~file ~diag input =
+  let dfa = Tables.dfa tables in
+  let n = String.length input in
+  let rec go pos acc =
+    if pos.Loc.offset >= n then List.rev acc
+    else
+      match Lg_regex.Dfa.exec_longest dfa input pos.Loc.offset with
+      | None ->
+          let c = input.[pos.Loc.offset] in
+          let next = Loc.advance pos c in
+          Diag.error diag (Loc.span file pos next)
+            "illegal character %C" c;
+          go next acc
+      | Some (rule_id, end_offset) ->
+          let rule = Tables.rule_of_id tables rule_id in
+          let lexeme = String.sub input pos.Loc.offset (end_offset - pos.Loc.offset) in
+          let next = advance_over pos lexeme in
+          let acc =
+            match rule.Spec.action with
+            | Skip -> acc
+            | Token ->
+                let kind = Tables.keyword_kind tables ~rule_name:rule.Spec.name ~lexeme in
+                { kind; lexeme; span = Loc.span file pos next } :: acc
+          in
+          go next acc
+  in
+  go Loc.start_pos []
+
+let line_count input =
+  let lines = ref 0 and saw_tail = ref false in
+  String.iter
+    (fun c ->
+      if Char.equal c '\n' then begin
+        incr lines;
+        saw_tail := false
+      end
+      else saw_tail := true)
+    input;
+  if !saw_tail then !lines + 1 else !lines

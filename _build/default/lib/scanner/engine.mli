@@ -1,0 +1,23 @@
+(** Table-driven scanner: the interpreter of generated {!Tables}.
+
+    Longest match wins; among equal-length matches the first-declared rule
+    wins. On an unmatchable byte the engine reports a diagnostic, skips one
+    byte, and resumes — LINGUIST-86's overlay 1 likewise collects all
+    syntactic errors rather than stopping at the first. *)
+
+type token = { kind : string; lexeme : string; span : Lg_support.Loc.span }
+
+val pp_token : Format.formatter -> token -> unit
+
+val scan :
+  Tables.t ->
+  file:string ->
+  diag:Lg_support.Diag.collector ->
+  string ->
+  token list
+(** Scan a whole input. [Skip] rules produce no tokens. Never raises on bad
+    input; errors go to [diag]. *)
+
+val line_count : string -> int
+(** Number of source lines, counting a trailing fragment as a line — the
+    unit of the paper's lines-per-minute throughput figures. *)

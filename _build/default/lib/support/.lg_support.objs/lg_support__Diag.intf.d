@@ -1,0 +1,1 @@
+lib/support/diag.mli: Format Loc

@@ -1,0 +1,1 @@
+lib/support/interner.ml: Array Hashtbl String Sys

@@ -1,0 +1,1 @@
+lib/support/loc.ml: Char Format

@@ -1,0 +1,1 @@
+lib/support/value.ml: Buffer Char Format Hashtbl Interner List Printf Stdlib String Sys

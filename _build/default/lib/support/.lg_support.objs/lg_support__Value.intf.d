@@ -1,0 +1,1 @@
+lib/support/value.mli: Buffer Format Interner

@@ -1,0 +1,39 @@
+type severity = Error | Warning | Info
+type t = { severity : severity; span : Loc.span; message : string }
+
+type collector = { mutable items : t list; mutable errors : int; mutable n : int }
+
+let create () = { items = []; errors = 0; n = 0 }
+
+let add c d =
+  c.items <- d :: c.items;
+  c.n <- c.n + 1;
+  match d.severity with Error -> c.errors <- c.errors + 1 | Warning | Info -> ()
+
+let report severity c span fmt =
+  Format.kasprintf (fun message -> add c { severity; span; message }) fmt
+
+let error c span fmt = report Error c span fmt
+let warning c span fmt = report Warning c span fmt
+let info c span fmt = report Info c span fmt
+let error_count c = c.errors
+let count c = c.n
+let is_ok c = c.errors = 0
+
+let to_list c =
+  List.stable_sort
+    (fun a b -> Loc.compare_span a.span b.span)
+    (List.rev c.items)
+
+let string_of_severity = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp ppf d =
+  Format.fprintf ppf "%a: %s: %s" Loc.pp d.span
+    (string_of_severity d.severity)
+    d.message
+
+let pp_all ppf c =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) (to_list c)

@@ -1,0 +1,30 @@
+(** Diagnostics: collection and rendering of translator messages.
+
+    LINGUIST-86 writes "a list of all syntactic errors to another
+    intermediate file" and later merges semantic messages into the listing
+    (the attribute-grammar functions [cons$msg] / [merge$msgs]). This module
+    is the shared sink those phases report into. *)
+
+type severity = Error | Warning | Info
+
+type t = { severity : severity; span : Loc.span; message : string }
+
+type collector
+(** Mutable accumulator of diagnostics, in arrival order. *)
+
+val create : unit -> collector
+val error : collector -> Loc.span -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warning : collector -> Loc.span -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : collector -> Loc.span -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val add : collector -> t -> unit
+
+val error_count : collector -> int
+val count : collector -> int
+val is_ok : collector -> bool
+(** True when no [Error] has been reported. *)
+
+val to_list : collector -> t list
+(** All diagnostics sorted by source position (listing order), stably. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_all : Format.formatter -> collector -> unit

@@ -1,0 +1,52 @@
+type name = int
+
+type t = {
+  by_text : (string, name) Hashtbl.t;
+  mutable texts : string array;
+  mutable next : int;
+  mutable bytes : int;
+}
+
+let create ?(initial_size = 64) () =
+  {
+    by_text = Hashtbl.create initial_size;
+    texts = Array.make (max 1 initial_size) "";
+    next = 0;
+    bytes = 0;
+  }
+
+let grow t =
+  let cap = Array.length t.texts in
+  if t.next >= cap then begin
+    let texts = Array.make (2 * cap) "" in
+    Array.blit t.texts 0 texts 0 cap;
+    t.texts <- texts
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.by_text s with
+  | Some n -> n
+  | None ->
+      let n = t.next in
+      grow t;
+      t.texts.(n) <- s;
+      t.next <- n + 1;
+      t.bytes <- t.bytes + String.length s;
+      Hashtbl.add t.by_text s n;
+      n
+
+let find_opt t s = Hashtbl.find_opt t.by_text s
+let mem t s = Hashtbl.mem t.by_text s
+
+let text t n =
+  if n < 0 || n >= t.next then invalid_arg "Interner.text: foreign name";
+  t.texts.(n)
+
+let count t = t.next
+
+let iter t f =
+  for n = 0 to t.next - 1 do
+    f n t.texts.(n)
+  done
+
+let footprint_bytes t = t.bytes + (t.next * (Sys.word_size / 8))

@@ -1,0 +1,1 @@
+test/ag_gen.ml: Array Buffer Char List Printf String

@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Array Diag Lg_apt Lg_grammar Lg_support Linguist List String Value

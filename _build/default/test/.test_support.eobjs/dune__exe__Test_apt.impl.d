@@ -1,0 +1,1 @@
+test/test_apt.ml: Alcotest Aptfile Array Buffer Build Filename Fun Io_stats Lg_apt Lg_support List Node QCheck QCheck_alcotest Sys Tree Value

@@ -1,0 +1,1 @@
+test/test_circularity.ml: Alcotest Circularity Driver Fixtures Lg_languages Lg_support Linguist List

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Ag_parse Alcotest Check Driver Fixtures Lg_languages Lg_support Linguist List Listing Pascal_gen Pass_assign Printf String Translator

@@ -1,0 +1,1 @@
+test/test_front.ml: Ag_ast Ag_parse Alcotest Array Demand Driver Engine Fixtures Format Ir Lg_apt Lg_grammar Lg_lalr Lg_languages Lg_support Linguist List Option Printf

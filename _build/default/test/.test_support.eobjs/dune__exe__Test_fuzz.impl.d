@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Ag_gen Ag_parse Alcotest Check Demand Driver Engine Fixtures Format Lg_support Linguist List Pass_assign Printf Random Schedule String

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Analysis Array Cfg Lg_grammar List Option QCheck QCheck_alcotest Random Sentence_gen

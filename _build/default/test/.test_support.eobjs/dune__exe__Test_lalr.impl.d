@@ -1,0 +1,1 @@
+test/test_lalr.ml: Alcotest Analysis Array Cfg Driver Lg_grammar Lg_lalr List Option QCheck QCheck_alcotest Random Sentence_gen String Tables

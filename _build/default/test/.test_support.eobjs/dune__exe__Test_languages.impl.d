@@ -1,0 +1,1 @@
+test/test_languages.ml: Alcotest Assembler Desk_calc Fixtures Knuth_binary Lazy Lg_baseline Lg_languages Lg_support Linguist List Pascal_ag Printf QCheck QCheck_alcotest Stack_machine String Value

@@ -1,0 +1,1 @@
+test/test_linguist_ag.mli:

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Diag Fixtures Format Lg_apt Lg_grammar Lg_lalr Lg_languages Lg_support Linguist List Random String Value

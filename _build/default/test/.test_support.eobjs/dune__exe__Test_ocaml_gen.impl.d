@@ -1,0 +1,1 @@
+test/test_ocaml_gen.ml: Alcotest Driver Filename Fixtures Lg_languages Linguist List Ocaml_gen Printf String Sys

@@ -1,0 +1,1 @@
+test/test_ocaml_gen.mli:

@@ -1,0 +1,1 @@
+test/test_passes.ml: Ag_ast Alcotest Array Buffer Demand Driver Engine Fixtures Ir Lg_apt Lg_languages Lg_support Linguist List Pass_assign Plan Printf String

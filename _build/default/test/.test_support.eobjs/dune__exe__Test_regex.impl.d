@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Char Char_class Dfa Format Lg_regex List Nfa Printf QCheck QCheck_alcotest Regex_syntax String

@@ -1,0 +1,1 @@
+test/test_scanner.ml: Alcotest Diag Engine Lg_scanner Lg_support List Loc QCheck QCheck_alcotest Spec String Tables

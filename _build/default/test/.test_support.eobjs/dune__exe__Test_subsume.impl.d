@@ -1,0 +1,1 @@
+test/test_subsume.ml: Alcotest Array Dead Demand Driver Engine Fixtures Ir Lg_apt Lg_languages Lg_support Linguist List Option Pass_assign Plan Printf Random String Subsume Value

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Buffer Diag Interner Lg_support List Loc Option Printf QCheck QCheck_alcotest String Value

@@ -1,0 +1,207 @@
+(* Random attribute-grammar generation for whole-pipeline fuzzing.
+
+   Grammars are generated as *text* and pushed through the real front end,
+   so the scanner, parser, checker and implicit-copy-rule machinery are
+   fuzzed together with pass assignment, scheduling, subsumption, and the
+   engine/oracle pair. Generated grammars are well-formed by construction
+   (declared symbols, complete rule sets — some deliberately left to the
+   implicit copy-rule mechanism); they may still be rejected by the
+   evaluability test (circular or too many passes), which callers treat as
+   a discard, not a failure. *)
+
+type config = {
+  n_nonterminals : int;  (** besides the root *)
+  n_terminals : int;
+  max_rhs : int;
+  max_expr_depth : int;
+}
+
+let default_config =
+  { n_nonterminals = 3; n_terminals = 2; max_rhs = 3; max_expr_depth = 2 }
+
+(* Attribute name pools are shared across symbols so that same-name
+   copy-rules (the subsumption targets) arise naturally. *)
+let inh_pool = [| "ENV"; "DEPTH" |]
+let syn_pool = [| "VAL"; "SIZE" |]
+
+type sym = {
+  name : string;
+  inh : string list;
+  syn : string list;
+  terminal : bool;
+}
+
+let pick rng a = a.(rng (Array.length a))
+
+let subset rng pool ~at_least =
+  let chosen =
+    Array.to_list pool |> List.filter (fun _ -> rng 2 = 0)
+  in
+  if List.length chosen >= at_least then chosen
+  else [ pool.(rng (Array.length pool)) ]
+
+(* One production: lhs, rhs symbols, and which (occurrence, attr) targets
+   get explicit rules vs are left for the implicit mechanism. *)
+let generate ?(config = default_config) rng =
+  let terminals =
+    List.init config.n_terminals (fun i ->
+        {
+          name = Printf.sprintf "t%c" (Char.chr (Char.code 'a' + i));
+          inh = [];
+          syn = [ "V" ];
+          terminal = true;
+        })
+  in
+  let root =
+    { name = "start"; inh = []; syn = subset rng syn_pool ~at_least:1; terminal = false }
+  in
+  let nonterminals =
+    root
+    :: List.init config.n_nonterminals (fun i ->
+           {
+             name = Printf.sprintf "n%c" (Char.chr (Char.code 'a' + i));
+             inh = subset rng inh_pool ~at_least:0;
+             syn = subset rng syn_pool ~at_least:1;
+             terminal = false;
+           })
+  in
+  let all_nts = Array.of_list nonterminals in
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "grammar Fuzz;\nroot start;\nstrategy %s;\n"
+    (if rng 2 = 0 then "bottom_up" else "recursive_descent");
+  addf "terminals\n";
+  List.iter
+    (fun t -> addf "  %s has intrinsic V : int;\n" t.name)
+    terminals;
+  addf "end\nnonterminals\n";
+  List.iter
+    (fun nt ->
+      let attrs =
+        List.map (fun a -> Printf.sprintf "inh %s : int" a) nt.inh
+        @ List.map (fun a -> Printf.sprintf "syn %s : int" a) nt.syn
+      in
+      addf "  %s has %s;\n" nt.name (String.concat ", " attrs))
+    nonterminals;
+  addf "end\nlimbs\n";
+  (* one limb per production; productions enumerated below in same order *)
+  let limb_count = ref 0 in
+  let productions = ref [] in
+  (* Every nonterminal gets one terminal-only production (productivity)
+     plus 1-2 recursive ones. *)
+  List.iteri
+    (fun nt_idx _nt ->
+      let n_extra = 1 + rng 2 in
+      let shapes =
+        [ `Leaf ]
+        :: List.init n_extra (fun _ ->
+               List.init (1 + rng config.max_rhs) (fun _ ->
+                   if rng 3 = 0 then `Term (rng config.n_terminals)
+                   else `Nt (rng (Array.length all_nts))))
+      in
+      List.iter
+        (fun shape -> productions := (nt_idx, shape) :: !productions)
+        shapes)
+    nonterminals;
+  let productions = List.rev !productions in
+  List.iteri
+    (fun i _ ->
+      ignore i;
+      incr limb_count;
+      addf "  Limb%d has TMP : int;\n" !limb_count)
+    productions;
+  addf "end\nproductions\n";
+  (* Render a production with complete (possibly implicit) semantics. *)
+  let render_prod limb_idx (lhs_idx, shape) =
+    let lhs = all_nts.(lhs_idx) in
+    let rhs_syms =
+      List.map
+        (function
+          | `Leaf -> List.nth terminals (rng config.n_terminals)
+          | `Term k -> List.nth terminals k
+          | `Nt k -> all_nts.(k))
+        (match shape with [ `Leaf ] -> [ `Leaf ] | s -> s)
+    in
+    (* occurrence names: base + index over LHS-then-RHS occurrence list *)
+    let occ_name sym_name occ_index =
+      (* occ_index: 0 = LHS, i>0 = RHS position i-1; suffix counts
+         occurrences of the same base symbol *)
+      let all = lhs.name :: List.map (fun s -> s.name) rhs_syms in
+      let same = List.filteri (fun j n -> j <= occ_index && String.equal n sym_name) all in
+      let total = List.filter (String.equal sym_name) all in
+      if List.length total = 1 then sym_name
+      else Printf.sprintf "%s%d" sym_name (List.length same - 1)
+    in
+    let lhs_occ = occ_name lhs.name 0 in
+    let rhs_occ i = occ_name (List.nth rhs_syms i).name (i + 1) in
+    (* available references for expressions *)
+    let refs =
+      List.map (fun a -> Printf.sprintf "%s.%s" lhs_occ a) lhs.inh
+      @ List.concat
+          (List.mapi
+             (fun i s ->
+               List.map (fun a -> Printf.sprintf "%s.%s" (rhs_occ i) a) s.syn
+               @
+               if s.terminal then [ Printf.sprintf "%s.V" (rhs_occ i) ] else [])
+             rhs_syms)
+    in
+    let refs = Array.of_list ("1" :: "2" :: refs) in
+    let rec expr depth =
+      if depth = 0 then pick rng refs
+      else
+        match rng 5 with
+        | 0 -> Printf.sprintf "(%s + %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 1 -> Printf.sprintf "(%s - %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 2 -> Printf.sprintf "Max(%s, %s)" (expr (depth - 1)) (expr (depth - 1))
+        | 3 -> Printf.sprintf "IncrIfZero(%s, %s)" (expr (depth - 1)) (expr (depth - 1))
+        | _ -> pick rng refs
+    in
+    let top_expr () =
+      if rng 4 = 0 then
+        Printf.sprintf "if %s = %s then %s else %s endif" (pick rng refs)
+          (pick rng refs)
+          (expr (rng config.max_expr_depth))
+          (expr (rng config.max_expr_depth))
+      else expr (rng config.max_expr_depth)
+    in
+    let rules = ref [] in
+    let addr target rhs = rules := Printf.sprintf "%s = %s" target rhs :: !rules in
+    (* limb attr *)
+    addr (Printf.sprintf "Limb%d.TMP" limb_idx) (top_expr ());
+    (* RHS inherited attrs: sometimes left implicit when legal *)
+    List.iteri
+      (fun i s ->
+        List.iter
+          (fun a ->
+            let implicit_ok = List.mem a lhs.inh in
+            if not (implicit_ok && rng 2 = 0) then
+              addr (Printf.sprintf "%s.%s" (rhs_occ i) a) (top_expr ()))
+          s.inh)
+      rhs_syms;
+    (* LHS synthesized attrs: sometimes left implicit when legal *)
+    List.iter
+      (fun a ->
+        let carriers =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun s -> if List.mem a s.syn then Some s.name else None)
+               rhs_syms)
+        in
+        let occurrences_of_carrier =
+          match carriers with
+          | [ c ] ->
+              List.length
+                (List.filter (fun s -> String.equal s.name c) rhs_syms)
+          | _ -> 0
+        in
+        let implicit_ok = occurrences_of_carrier = 1 in
+        if not (implicit_ok && rng 2 = 0) then
+          addr (Printf.sprintf "%s.%s" lhs_occ a) (top_expr ()))
+      lhs.syn;
+    let rhs_text = String.concat " " (List.mapi (fun i _ -> rhs_occ i) rhs_syms) in
+    addf "  %s ::= %s -> Limb%d :\n    %s;\n" lhs_occ rhs_text limb_idx
+      (String.concat ",\n    " (List.rev !rules))
+  in
+  List.iteri (fun i p -> render_prod (i + 1) p) productions;
+  addf "end\n";
+  Buffer.contents buf

@@ -1,0 +1,215 @@
+(* Tests for the Pascal code generator, the listing generator, and the
+   overlay driver. *)
+open Linguist
+
+let contains = Fixtures.contains_substring
+
+let artifact_of src = Driver.process_exn ~file:"<t>" src
+
+let test_modules_per_pass () =
+  let a = artifact_of Lg_languages.Knuth_binary.ag_source in
+  Alcotest.(check int) "one module per pass" a.Driver.passes.Pass_assign.n_passes
+    (List.length a.Driver.modules);
+  List.iteri
+    (fun i (m : Pascal_gen.module_code) ->
+      Alcotest.(check int) "pass number" (i + 1) m.Pascal_gen.pass;
+      Alcotest.(check bool) "husk bytes > 0" true (m.Pascal_gen.husk_bytes > 0);
+      Alcotest.(check bool) "total = husk + sem" true
+        (Pascal_gen.total_bytes m
+        = m.Pascal_gen.husk_bytes + m.Pascal_gen.sem_bytes))
+    a.Driver.modules
+
+let test_generated_shape () =
+  let a = artifact_of Lg_languages.Knuth_binary.ag_source in
+  let m2 = List.nth a.Driver.modules 1 in
+  let text = m2.Pascal_gen.text in
+  (* production-procedures in the paper's style *)
+  Alcotest.(check bool) "procedure per production" true
+    (contains ~needle:"procedure SNOCLIMBPP2" text);
+  Alcotest.(check bool) "GetNode calls" true (contains ~needle:"GetNodeBIT" text);
+  Alcotest.(check bool) "PutNode calls" true (contains ~needle:"PutNodeBIT" text);
+  Alcotest.(check bool) "recursive visit" true (contains ~needle:"LISTPP2" text);
+  Alcotest.(check bool) "direction comment" true
+    (contains ~needle:"left-to-right pass" text)
+
+let test_subsumed_copies_commented () =
+  (* In the desk calculator the ENV copies down the expression tree are
+     subsumed: they must appear as comments, not as code. *)
+  let a = artifact_of Lg_languages.Desk_calc.ag_source in
+  let all_text =
+    String.concat "\n" (List.map (fun m -> m.Pascal_gen.text) a.Driver.modules)
+  in
+  let subsumed = Fixtures.subsumed_rules_of a.Driver.plan in
+  Alcotest.(check bool) "some copies subsumed" true (subsumed <> []);
+  Alcotest.(check bool) "subsumed copy printed as comment" true
+    (contains ~needle:"{ expr$1.ENV = expr$lhs.ENV" all_text
+    || contains ~needle:".ENV = " all_text);
+  let total_subsumed =
+    List.fold_left
+      (fun acc (m : Pascal_gen.module_code) -> acc + m.Pascal_gen.subsumed_count)
+      0 a.Driver.modules
+  in
+  Alcotest.(check int) "subsumed counts agree" (List.length subsumed)
+    total_subsumed
+
+let test_subsumption_shrinks_sem_code () =
+  let sem_bytes options src =
+    let a = Driver.process_exn ~options ~file:"<t>" src in
+    List.fold_left
+      (fun acc (m : Pascal_gen.module_code) -> acc + m.Pascal_gen.sem_bytes)
+      0 a.Driver.modules
+  in
+  List.iter
+    (fun src ->
+      let with_sub = sem_bytes Driver.default_options src in
+      let without =
+        sem_bytes { Driver.default_options with subsumption = false } src
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "with (%d) < without (%d)" with_sub without)
+        true (with_sub < without))
+    [ Lg_languages.Pascal_ag.ag_source; Lg_languages.Desk_calc.ag_source ]
+
+let test_codegen_deterministic () =
+  (* Bootstrap determinism: generating twice gives identical bytes. *)
+  let gen () =
+    let a = artifact_of Lg_languages.Pascal_ag.ag_source in
+    String.concat "\x00" (List.map (fun m -> m.Pascal_gen.text) a.Driver.modules)
+  in
+  Alcotest.(check string) "identical output" (gen ()) (gen ())
+
+let test_husk_uniform_across_passes () =
+  (* "For a given grammar the size of the husk is the same for every
+     pass" — reads, writes, visits and declarations depend only on the
+     production shapes. *)
+  let a = artifact_of Lg_languages.Knuth_binary.ag_source in
+  match a.Driver.modules with
+  | m1 :: rest ->
+      List.iter
+        (fun (m : Pascal_gen.module_code) ->
+          (* frame temp declarations differ slightly; allow 15%. *)
+          let h1 = m1.Pascal_gen.husk_bytes and h2 = m.Pascal_gen.husk_bytes in
+          Alcotest.(check bool)
+            (Printf.sprintf "husk within 15%% (%d vs %d)" h1 h2)
+            true
+            (abs (h1 - h2) * 100 <= 15 * max h1 h2))
+        rest
+  | [] -> Alcotest.fail "no modules"
+
+(* ----- listing ----- *)
+
+let test_listing_contents () =
+  let a = artifact_of Lg_languages.Knuth_binary.ag_source in
+  let listing = a.Driver.listing in
+  Alcotest.(check bool) "source lines numbered" true
+    (contains ~needle:"grammar KnuthBinary" listing);
+  Alcotest.(check bool) "implicit copy-rules marked" true
+    (contains ~needle:"# implicit" listing);
+  Alcotest.(check bool) "statistics block" true
+    (contains ~needle:"semantic functions" listing);
+  Alcotest.(check bool) "pass summary" true
+    (contains ~needle:"evaluable in 2 alternating passes" listing);
+  Alcotest.(check bool) "pass annotations" true
+    (contains ~needle:"# pass 2" listing);
+  Alcotest.(check bool) "attribute lifetime table" true
+    (contains ~needle:"--- attributes ---" listing);
+  Alcotest.(check bool) "temporary attrs marked" true
+    (contains ~needle:"temporary (stack only)" listing);
+  Alcotest.(check bool) "significant attrs marked" true
+    (contains ~needle:"significant (in APT files)" listing)
+
+let test_listing_messages_at_lines () =
+  let diag = Lg_support.Diag.create () in
+  let src = "grammar X;\nnonterminals a has syn P : t;\nend\nproductions\n  a ::= ;\nend\n" in
+  (match Ag_parse.parse ~file:"<t>" ~diag src with
+  | Some ast -> ignore (Check.check ~diag ast)
+  | None -> ());
+  let listing = Listing.errors_only ~source:src ~file:"<t>" diag in
+  Alcotest.(check bool) "error under its line" true
+    (contains ~needle:"***    ERROR" listing)
+
+(* ----- driver ----- *)
+
+let test_overlay_timings_present () =
+  let a = artifact_of Lg_languages.Pascal_ag.ag_source in
+  let names = List.map fst a.Driver.overlay_seconds in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " timed") true (List.mem expected names))
+    [ "parse"; "semantic"; "evaluability"; "planning"; "listing"; "codegen pass 1" ];
+  Alcotest.(check bool) "throughput positive" true
+    (Driver.throughput_lines_per_minute a > 0.0)
+
+let test_driver_error_path () =
+  match Driver.process ~file:"<t>" "grammar Broken; nonterminals a has syn" with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error diag ->
+      Alcotest.(check bool) "diagnostics collected" true
+        (Lg_support.Diag.error_count diag > 0)
+
+(* ----- translator ----- *)
+
+let test_translator_scan_error () =
+  let t = Lg_languages.Desk_calc.translator () in
+  match Translator.translate t ~file:"<t>" "x := @@ 1;" with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error diag ->
+      Alcotest.(check bool) "illegal character reported" true
+        (List.exists
+           (fun (d : Lg_support.Diag.t) ->
+             Fixtures.contains_substring ~needle:"illegal character" d.message)
+           (Lg_support.Diag.to_list diag))
+
+let test_translator_parse_error () =
+  let t = Lg_languages.Desk_calc.translator () in
+  match Translator.translate t ~file:"<t>" "x := ;" with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error diag ->
+      Alcotest.(check bool) "syntax error reported" true
+        (List.exists
+           (fun (d : Lg_support.Diag.t) ->
+             Fixtures.contains_substring ~needle:"syntax error" d.message)
+           (Lg_support.Diag.to_list diag))
+
+let test_translator_intrinsics () =
+  let t = Lg_languages.Desk_calc.translator () in
+  let tr = Translator.translate_exn t ~file:"<t>" "zz := 5;\nprint zz;" in
+  Alcotest.(check int) "tree size counted" 16 tr.Translator.tree_size;
+  Alcotest.(check int) "input lines" 2 tr.Translator.input_lines;
+  (* the name table interned the identifier *)
+  Alcotest.(check bool) "zz interned" true
+    (Lg_support.Interner.mem (Translator.interner t) "zz")
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "pascal",
+        [
+          Alcotest.test_case "modules per pass" `Quick test_modules_per_pass;
+          Alcotest.test_case "generated shape" `Quick test_generated_shape;
+          Alcotest.test_case "subsumed as comments" `Quick
+            test_subsumed_copies_commented;
+          Alcotest.test_case "subsumption shrinks code" `Quick
+            test_subsumption_shrinks_sem_code;
+          Alcotest.test_case "deterministic" `Quick test_codegen_deterministic;
+          Alcotest.test_case "husk uniform" `Quick test_husk_uniform_across_passes;
+        ] );
+      ( "listing",
+        [
+          Alcotest.test_case "contents" `Quick test_listing_contents;
+          Alcotest.test_case "messages at lines" `Quick
+            test_listing_messages_at_lines;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "overlay timings" `Quick test_overlay_timings_present;
+          Alcotest.test_case "error path" `Quick test_driver_error_path;
+        ] );
+      ( "translator",
+        [
+          Alcotest.test_case "scan error" `Quick test_translator_scan_error;
+          Alcotest.test_case "parse error" `Quick test_translator_parse_error;
+          Alcotest.test_case "intrinsics and name table" `Quick
+            test_translator_intrinsics;
+        ] );
+    ]

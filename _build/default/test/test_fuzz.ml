@@ -1,0 +1,104 @@
+(* Whole-pipeline fuzzing: random attribute grammars, generated as text,
+   through scanner -> parser -> checker -> pass assignment -> scheduling ->
+   subsumption -> engine, differentially against the oracle. *)
+open Linguist
+
+type verdict =
+  | Accepted  (** evaluable; differential checks ran and passed *)
+  | Rejected_evaluability  (** circular or needs too many passes: fine *)
+  | Front_end_error of string  (** generator emitted an invalid grammar: bug *)
+  | Mismatch of string  (** engine disagreed with the oracle: bug *)
+
+let check_one seed =
+  let st = Random.State.make [| seed |] in
+  let rng bound = Random.State.int st bound in
+  let source = Ag_gen.generate rng in
+  let diag = Lg_support.Diag.create () in
+  match Ag_parse.parse ~file:"<fuzz>" ~diag source with
+  | None -> Front_end_error (Format.asprintf "%a" Lg_support.Diag.pp_all diag)
+  | Some ast -> (
+      match Check.check ~diag ast with
+      | None -> Front_end_error (Format.asprintf "%a" Lg_support.Diag.pp_all diag)
+      | Some ir -> (
+          let pdiag = Lg_support.Diag.create () in
+          match Pass_assign.compute ~max_passes:8 ~diag:pdiag ir with
+          | None -> Rejected_evaluability
+          | Some _ -> (
+              try
+                let tree = Fixtures.random_tree ir ~rng ~size:(10 + rng 40) in
+                let failures =
+                  List.filter_map
+                    (fun (combo, options) ->
+                      let plan = Driver.plan_of_ir ~options ir in
+                      let engine, oracle = Fixtures.run_both plan tree in
+                      let outputs_equal =
+                        List.for_all2
+                          (fun (_, v1) (_, v2) -> Lg_support.Value.equal v1 v2)
+                          engine.Engine.outputs oracle.Demand.outputs
+                      in
+                      if
+                        outputs_equal
+                        && Fixtures.traces_agree plan engine.Engine.trace
+                             oracle.Demand.applications
+                      then None
+                      else Some combo)
+                    Fixtures.all_option_combos
+                in
+                match failures with
+                | [] -> Accepted
+                | combos ->
+                    Mismatch
+                      (Printf.sprintf "seed %d: combos [%s] disagree:\n%s" seed
+                         (String.concat "; " combos)
+                         source)
+              with
+              | Demand.Circular _ ->
+                  (* pass assignment accepted but an instance is circular:
+                     must be impossible *)
+                  Mismatch
+                    (Printf.sprintf
+                       "seed %d: oracle found a cycle in an accepted grammar:\n%s"
+                       seed source)
+              | Schedule.Infeasible msg ->
+                  Mismatch
+                    (Printf.sprintf
+                       "seed %d: scheduling failed on an accepted grammar (%s):\n%s"
+                       seed msg source))))
+
+let test_fuzz_campaign () =
+  let accepted = ref 0 and rejected = ref 0 in
+  for seed = 1 to 300 do
+    match check_one seed with
+    | Accepted -> incr accepted
+    | Rejected_evaluability -> incr rejected
+    | Front_end_error msg ->
+        Alcotest.failf "seed %d produced an invalid grammar: %s" seed msg
+    | Mismatch msg -> Alcotest.failf "%s" msg
+  done;
+  (* the campaign must not be vacuous in either direction *)
+  Alcotest.(check bool)
+    (Printf.sprintf "accepted %d, rejected %d" !accepted !rejected)
+    true
+    (!accepted >= 80 && !rejected > 0)
+
+let test_fuzz_grammar_is_parseable_text () =
+  (* The generator's output is valid surface syntax across many seeds
+     (kept separate so syntax breakage is reported early and precisely). *)
+  for seed = 1000 to 1050 do
+    let st = Random.State.make [| seed |] in
+    let rng bound = Random.State.int st bound in
+    let source = Ag_gen.generate rng in
+    ignore (Ag_parse.parse_exn ~file:"<fuzz>" source)
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "generator emits valid syntax" `Quick
+            test_fuzz_grammar_is_parseable_text;
+          Alcotest.test_case "300-seed differential campaign" `Slow
+            test_fuzz_campaign;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(* Tests for CFG construction and the classic grammar analyses. *)
+open Lg_grammar
+
+(* The canonical expression grammar. *)
+let expr_grammar () =
+  Cfg.make
+    ~terminals:[ "+"; "*"; "("; ")"; "id" ]
+    ~nonterminals:[ "E"; "T"; "F" ]
+    ~start:"E"
+    [
+      ("E", [ "E"; "+"; "T" ], "Add");
+      ("E", [ "T" ], "ET");
+      ("T", [ "T"; "*"; "F" ], "Mul");
+      ("T", [ "F" ], "TF");
+      ("F", [ "("; "E"; ")" ], "Paren");
+      ("F", [ "id" ], "Id");
+    ]
+
+(* Grammar with nullable nonterminals: S -> A B c ; A -> a | eps ; B -> b | eps *)
+let nullable_grammar () =
+  Cfg.make
+    ~terminals:[ "a"; "b"; "c" ]
+    ~nonterminals:[ "S"; "A"; "B" ]
+    ~start:"S"
+    [
+      ("S", [ "A"; "B"; "c" ], "");
+      ("A", [ "a" ], "");
+      ("A", [], "");
+      ("B", [ "b" ], "");
+      ("B", [], "");
+    ]
+
+let terminal g name = Option.get (Cfg.find_terminal g name)
+let nonterminal g name = Option.get (Cfg.find_nonterminal g name)
+
+let test_make_validates () =
+  let bad f = match f () with
+    | exception Cfg.Ill_formed _ -> ()
+    | _ -> Alcotest.fail "expected Ill_formed"
+  in
+  bad (fun () ->
+      Cfg.make ~terminals:[ "a"; "a" ] ~nonterminals:[ "S" ] ~start:"S" []);
+  bad (fun () ->
+      Cfg.make ~terminals:[ "a" ] ~nonterminals:[ "S" ] ~start:"X" []);
+  bad (fun () ->
+      Cfg.make ~terminals:[ "a" ] ~nonterminals:[ "S" ] ~start:"a" []);
+  bad (fun () ->
+      Cfg.make ~terminals:[ "a" ] ~nonterminals:[ "S" ] ~start:"S"
+        [ ("a", [], "") ]);
+  bad (fun () ->
+      Cfg.make ~terminals:[ "a" ] ~nonterminals:[ "S" ] ~start:"S"
+        [ ("S", [ "nope" ], "") ]);
+  bad (fun () ->
+      Cfg.make ~terminals:[ "$" ] ~nonterminals:[ "S" ] ~start:"S" [])
+
+let test_eof_reserved () =
+  let g = expr_grammar () in
+  Alcotest.(check string) "terminal 0 is $" "$" (Cfg.terminal_name g Cfg.eof)
+
+let test_nullable () =
+  let g = nullable_grammar () in
+  let a = Analysis.compute g in
+  Alcotest.(check bool) "A nullable" true (Analysis.nullable_nt a (nonterminal g "A"));
+  Alcotest.(check bool) "B nullable" true (Analysis.nullable_nt a (nonterminal g "B"));
+  Alcotest.(check bool) "S not nullable" false
+    (Analysis.nullable_nt a (nonterminal g "S"))
+
+let test_first () =
+  let g = nullable_grammar () in
+  let a = Analysis.compute g in
+  let first_of name = Analysis.first_nt a (nonterminal g name) in
+  Alcotest.(check (list int)) "FIRST(S) = {a,b,c}"
+    [ terminal g "a"; terminal g "b"; terminal g "c" ]
+    (first_of "S");
+  Alcotest.(check (list int)) "FIRST(A) = {a}" [ terminal g "a" ] (first_of "A")
+
+let test_follow () =
+  let g = expr_grammar () in
+  let a = Analysis.compute g in
+  let follow name = Analysis.follow_nt a (nonterminal g name) in
+  let expect_e = List.sort compare [ Cfg.eof; terminal g "+"; terminal g ")" ] in
+  Alcotest.(check (list int)) "FOLLOW(E)" expect_e (follow "E");
+  let expect_f =
+    List.sort compare [ Cfg.eof; terminal g "+"; terminal g "*"; terminal g ")" ]
+  in
+  Alcotest.(check (list int)) "FOLLOW(F)" expect_f (follow "F")
+
+let test_first_seq () =
+  let g = nullable_grammar () in
+  let a = Analysis.compute g in
+  let rhs = [| Cfg.NT (nonterminal g "A"); Cfg.NT (nonterminal g "B") |] in
+  Alcotest.(check (list int)) "FIRST(AB extra)"
+    (List.sort compare [ terminal g "a"; terminal g "b"; terminal g "c" ])
+    (Analysis.first_seq a rhs ~from:0 ~extra:[ terminal g "c" ]);
+  Alcotest.(check bool) "AB nullable" true (Analysis.nullable_seq a rhs ~from:0)
+
+let test_unreachable_unproductive () =
+  let g =
+    Cfg.make ~terminals:[ "a" ]
+      ~nonterminals:[ "S"; "Dead"; "Loop" ]
+      ~start:"S"
+      [ ("S", [ "a" ], ""); ("Dead", [ "a" ], ""); ("Loop", [ "Loop" ], "") ]
+  in
+  Alcotest.(check (list int)) "unreachable"
+    [ nonterminal g "Dead"; nonterminal g "Loop" ]
+    (Cfg.unreachable g);
+  Alcotest.(check (list int)) "unproductive" [ nonterminal g "Loop" ]
+    (Cfg.unproductive g)
+
+let test_min_height () =
+  let g = expr_grammar () in
+  let a = Analysis.compute g in
+  Alcotest.(check int) "F min height" 1 (Analysis.min_height a (nonterminal g "F"));
+  Alcotest.(check int) "T min height" 2 (Analysis.min_height a (nonterminal g "T"));
+  Alcotest.(check int) "E min height" 3 (Analysis.min_height a (nonterminal g "E"))
+
+(* Sentence generation terminates and only emits declared terminals. *)
+let prop_sentence_gen_wellformed =
+  QCheck.Test.make ~name:"generated sentences use declared terminals" ~count:200
+    QCheck.(pair (int_bound 1000) (int_bound 30))
+    (fun (seed, size) ->
+      let g = expr_grammar () in
+      let a = Analysis.compute g in
+      let st = Random.State.make [| seed |] in
+      let rng bound = Random.State.int st bound in
+      let sentence = Sentence_gen.sentence g a ~rng ~size in
+      List.for_all (fun t -> t >= 1 && t < Cfg.terminal_count g) sentence)
+
+(* The emitted right-parse really derives the emitted sentence: replaying
+   the productions bottom-up with a stack reconstructs it. *)
+let prop_right_parse_consistent =
+  QCheck.Test.make ~name:"derivation right-parse rebuilds sentence" ~count:200
+    QCheck.(pair (int_bound 1000) (int_bound 30))
+    (fun (seed, size) ->
+      let g = expr_grammar () in
+      let a = Analysis.compute g in
+      let st = Random.State.make [| seed |] in
+      let rng bound = Random.State.int st bound in
+      let sentence, parse = Sentence_gen.derivation g a ~rng ~size in
+      (* Replay the postfix production order with a stack of
+         (nonterminal, frontier) pairs: each reduction pops its
+         nonterminal children (rightmost topmost) and splices terminal
+         leaves in place; the final frontier must equal the sentence. *)
+      let ok = ref true in
+      let vstack = ref [] in
+      List.iter
+        (fun pi ->
+          let p = g.Cfg.productions.(pi) in
+          let rec take rhs_rev acc =
+            match rhs_rev with
+            | [] -> Some acc
+            | Cfg.NT nt :: rest -> (
+                match !vstack with
+                | (nt', leaves) :: tail when nt' = nt ->
+                    vstack := tail;
+                    take rest (leaves :: acc)
+                | _ -> None)
+            | Cfg.T t :: rest -> take rest ([ t ] :: acc)
+          in
+          match take (List.rev (Array.to_list p.Cfg.rhs)) [] with
+          | None -> ok := false
+          | Some children ->
+              vstack := (p.Cfg.lhs, List.concat children) :: !vstack)
+        parse;
+      (match !vstack with
+      | [ (nt, leaves) ] when nt = g.Cfg.start ->
+          if leaves <> sentence then ok := false
+      | _ -> ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "grammar"
+    [
+      ( "cfg",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "eof reserved" `Quick test_eof_reserved;
+          Alcotest.test_case "unreachable/unproductive" `Quick
+            test_unreachable_unproductive;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "nullable" `Quick test_nullable;
+          Alcotest.test_case "first" `Quick test_first;
+          Alcotest.test_case "follow" `Quick test_follow;
+          Alcotest.test_case "first_seq" `Quick test_first_seq;
+          Alcotest.test_case "min height" `Quick test_min_height;
+        ] );
+      ( "generation",
+        [
+          QCheck_alcotest.to_alcotest prop_sentence_gen_wellformed;
+          QCheck_alcotest.to_alcotest prop_right_parse_consistent;
+        ] );
+    ]

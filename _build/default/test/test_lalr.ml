@@ -1,0 +1,322 @@
+(* Tests for the LALR table builder and the table-driven LR driver. *)
+open Lg_grammar
+open Lg_lalr
+
+let expr_grammar () =
+  Cfg.make
+    ~terminals:[ "+"; "*"; "("; ")"; "id" ]
+    ~nonterminals:[ "E"; "T"; "F" ]
+    ~start:"E"
+    [
+      ("E", [ "E"; "+"; "T" ], "Add");
+      ("E", [ "T" ], "ET");
+      ("T", [ "T"; "*"; "F" ], "Mul");
+      ("T", [ "F" ], "TF");
+      ("F", [ "("; "E"; ")" ], "Paren");
+      ("F", [ "id" ], "Id");
+    ]
+
+(* LALR(1) but not SLR(1): the classic grammar (dragon book 4.22 family).
+   S -> L = R | R ; L -> * R | id ; R -> L *)
+let lalr_not_slr () =
+  Cfg.make
+    ~terminals:[ "="; "*"; "id" ]
+    ~nonterminals:[ "S"; "L"; "R" ]
+    ~start:"S"
+    [
+      ("S", [ "L"; "="; "R" ], "");
+      ("S", [ "R" ], "");
+      ("L", [ "*"; "R" ], "");
+      ("L", [ "id" ], "");
+      ("R", [ "L" ], "");
+    ]
+
+(* Not LALR(1): requires full LR(1) (reduce/reduce under LALR merging).
+   S -> a E c | a F d | b F c | b E d ; E -> e ; F -> e *)
+let not_lalr () =
+  Cfg.make
+    ~terminals:[ "a"; "b"; "c"; "d"; "e" ]
+    ~nonterminals:[ "S"; "E"; "F" ]
+    ~start:"S"
+    [
+      ("S", [ "a"; "E"; "c" ], "");
+      ("S", [ "a"; "F"; "d" ], "");
+      ("S", [ "b"; "F"; "c" ], "");
+      ("S", [ "b"; "E"; "d" ], "");
+      ("E", [ "e" ], "");
+      ("F", [ "e" ], "");
+    ]
+
+(* Dangling else. *)
+let dangling_else () =
+  Cfg.make
+    ~terminals:[ "if"; "then"; "else"; "expr"; "other" ]
+    ~nonterminals:[ "S" ]
+    ~start:"S"
+    [
+      ("S", [ "if"; "expr"; "then"; "S"; "else"; "S" ], "IfElse");
+      ("S", [ "if"; "expr"; "then"; "S" ], "If");
+      ("S", [ "other" ], "Other");
+    ]
+
+let terminal g name = Option.get (Cfg.find_terminal g name)
+
+let tokens_of g names = List.map (fun n -> (terminal g n, n)) names
+
+let test_expr_accepts () =
+  let g = expr_grammar () in
+  let t = Tables.build g in
+  Alcotest.(check int) "no conflicts" 0 (List.length (Tables.conflicts t));
+  List.iter
+    (fun (input, expect) ->
+      let toks = tokens_of g input in
+      let ok = match Driver.right_parse t toks with Ok _ -> true | Error _ -> false in
+      Alcotest.(check bool) (String.concat " " input) expect ok)
+    [
+      ([ "id" ], true);
+      ([ "id"; "+"; "id" ], true);
+      ([ "id"; "+"; "id"; "*"; "id" ], true);
+      ([ "("; "id"; "+"; "id"; ")"; "*"; "id" ], true);
+      ([ "id"; "+" ], false);
+      ([ "("; "id" ], false);
+      ([ ")"; "id" ], false);
+      ([], false);
+    ]
+
+let test_expr_right_parse () =
+  let g = expr_grammar () in
+  let t = Tables.build g in
+  (* id + id * id : right parse is
+     F->id, T->F, E->T, F->id, T->F, F->id, T->T*F, E->E+T *)
+  match Driver.right_parse t (tokens_of g [ "id"; "+"; "id"; "*"; "id" ]) with
+  | Ok parse ->
+      let tags = List.map (fun pi -> g.Cfg.productions.(pi).Cfg.tag) parse in
+      Alcotest.(check (list string)) "right parse order"
+        [ "Id"; "TF"; "ET"; "Id"; "TF"; "Id"; "Mul"; "Add" ]
+        tags
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_semantic_values () =
+  let g = expr_grammar () in
+  let t = Tables.build g in
+  (* Evaluate arithmetic with id=7. *)
+  let shift term _ = if term = terminal g "id" then 7 else 0 in
+  let reduce pi vs =
+    match (g.Cfg.productions.(pi).Cfg.tag, vs) with
+    | "Add", [ a; _; b ] -> a + b
+    | "Mul", [ a; _; b ] -> a * b
+    | "Paren", [ _; e; _ ] -> e
+    | ("ET" | "TF"), [ v ] -> v
+    | "Id", [ v ] -> v
+    | _ -> Alcotest.fail "bad reduction shape"
+  in
+  match Driver.parse t ~shift ~reduce (tokens_of g [ "id"; "+"; "id"; "*"; "id" ]) with
+  | Ok v -> Alcotest.(check int) "7+7*7" 56 v
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_lalr_not_slr_builds_cleanly () =
+  let g = lalr_not_slr () in
+  let t = Tables.build g in
+  Alcotest.(check int) "LALR resolves what SLR cannot" 0
+    (List.length (Tables.conflicts t));
+  List.iter
+    (fun (input, expect) ->
+      let ok =
+        match Driver.right_parse t (tokens_of g input) with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      Alcotest.(check bool) (String.concat " " input) expect ok)
+    [
+      ([ "id"; "="; "id" ], true);
+      ([ "*"; "id"; "="; "*"; "*"; "id" ], true);
+      ([ "id" ], true);
+      ([ "="; "id" ], false);
+    ]
+
+let test_not_lalr_reports_conflict () =
+  let g = not_lalr () in
+  let t = Tables.build g in
+  Alcotest.(check bool) "reduce/reduce conflict detected" true
+    (List.exists (fun c -> c.Tables.shift = None) (Tables.unresolved_conflicts t))
+
+let test_dangling_else_default_shift () =
+  let g = dangling_else () in
+  let t = Tables.build g in
+  let unresolved = Tables.unresolved_conflicts t in
+  Alcotest.(check int) "one shift/reduce conflict" 1 (List.length unresolved);
+  (* Default resolution (shift) binds the else to the inner if. *)
+  match
+    Driver.right_parse t
+      (tokens_of g [ "if"; "expr"; "then"; "if"; "expr"; "then"; "other"; "else"; "other" ])
+  with
+  | Ok parse ->
+      let tags = List.map (fun pi -> g.Cfg.productions.(pi).Cfg.tag) parse in
+      Alcotest.(check (list string)) "else binds inner"
+        [ "Other"; "Other"; "IfElse"; "If" ]
+        tags
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_precedence_resolution () =
+  (* Ambiguous expression grammar fixed by precedence declarations. *)
+  let g =
+    Cfg.make
+      ~terminals:[ "+"; "*"; "id" ]
+      ~nonterminals:[ "E" ]
+      ~start:"E"
+      [
+        ("E", [ "E"; "+"; "E" ], "Add");
+        ("E", [ "E"; "*"; "E" ], "Mul");
+        ("E", [ "id" ], "Id");
+      ]
+  in
+  let t =
+    Tables.build ~precedence:[ ("+", 1, Tables.Left); ("*", 2, Tables.Left) ] g
+  in
+  Alcotest.(check int) "all conflicts resolved by precedence" 0
+    (List.length (Tables.unresolved_conflicts t));
+  let shift term _ = if term = terminal g "id" then 3 else 0 in
+  let reduce pi vs =
+    match (g.Cfg.productions.(pi).Cfg.tag, vs) with
+    | "Add", [ a; _; b ] -> a + b
+    | "Mul", [ a; _; b ] -> a * b
+    | "Id", [ v ] -> v
+    | _ -> Alcotest.fail "bad reduction"
+  in
+  (match Driver.parse t ~shift ~reduce (tokens_of g [ "id"; "+"; "id"; "*"; "id" ]) with
+  | Ok v -> Alcotest.(check int) "precedence: 3+3*3" 12 v
+  | Error _ -> Alcotest.fail "parse failed");
+  match Driver.parse t ~shift ~reduce (tokens_of g [ "id"; "+"; "id"; "+"; "id" ]) with
+  | Ok v -> Alcotest.(check int) "left assoc: (3+3)+3" 9 v
+  | Error _ -> Alcotest.fail "parse failed"
+
+let test_error_reporting () =
+  let g = expr_grammar () in
+  let t = Tables.build g in
+  match Driver.right_parse t (tokens_of g [ "id"; "+"; ")" ]) with
+  | Ok _ -> Alcotest.fail "should not parse"
+  | Error e ->
+      Alcotest.(check int) "error at token 2" 2 e.Driver.at;
+      let expected = List.map (Cfg.terminal_name g) e.Driver.expected in
+      Alcotest.(check bool) "expects id" true (List.mem "id" expected);
+      Alcotest.(check bool) "expects (" true (List.mem "(" expected);
+      Alcotest.(check bool) "does not expect +" false (List.mem "+" expected)
+
+let test_empty_rhs_grammar () =
+  (* A grammar with epsilon productions parses correctly. *)
+  let g =
+    Cfg.make
+      ~terminals:[ "a"; "b" ]
+      ~nonterminals:[ "S"; "A" ]
+      ~start:"S"
+      [ ("S", [ "A"; "b" ], ""); ("A", [ "a" ], ""); ("A", [], "") ]
+  in
+  let t = Tables.build g in
+  Alcotest.(check int) "no conflicts" 0 (List.length (Tables.conflicts t));
+  Alcotest.(check bool) "b" true (Driver.accepts t [ terminal g "b" ]);
+  Alcotest.(check bool) "ab" true
+    (Driver.accepts t [ terminal g "a"; terminal g "b" ]);
+  Alcotest.(check bool) "a" false (Driver.accepts t [ terminal g "a" ])
+
+let test_diagnose_multiple_errors () =
+  let g = expr_grammar () in
+  let t = Tables.build g in
+  (* "id + ) id ( id +" : several independent errors *)
+  let errors =
+    Driver.diagnose t (tokens_of g [ "id"; "+"; ")"; "id"; "("; "id"; "+" ])
+  in
+  Alcotest.(check bool) "more than one error found" true (List.length errors >= 2);
+  (* positions are increasing *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a.Driver.at <= b.Driver.at && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "positions increase" true (increasing errors)
+
+let test_diagnose_clean_input () =
+  let g = expr_grammar () in
+  let t = Tables.build g in
+  Alcotest.(check int) "no errors on valid input" 0
+    (List.length (Driver.diagnose t (tokens_of g [ "id"; "+"; "id" ])))
+
+let prop_diagnose_agrees_with_parse =
+  QCheck.Test.make ~name:"diagnose = [] iff parse succeeds" ~count:200
+    QCheck.(pair (int_bound 10000) (small_list (int_range 1 5)))
+    (fun (seed, noise) ->
+      let g = expr_grammar () in
+      let a = Analysis.compute g in
+      let t = Tables.build g in
+      let st = Random.State.make [| seed |] in
+      let rng bound = Random.State.int st bound in
+      let sentence = Sentence_gen.sentence g a ~rng ~size:10 in
+      (* maybe corrupt the sentence with noise tokens *)
+      let corrupted =
+        List.concat_map
+          (fun tok -> if rng 6 = 0 then noise @ [ tok ] else [ tok ])
+          sentence
+      in
+      let input = List.map (fun x -> (x, ())) corrupted in
+      let parse_ok =
+        match Driver.right_parse t input with Ok _ -> true | Error _ -> false
+      in
+      let diag_clean = Driver.diagnose t input = [] in
+      parse_ok = diag_clean)
+
+(* Property: random sentences from the grammar parse, and the driver's
+   right-parse equals the generator's derivation order. *)
+let prop_generated_sentences_parse =
+  QCheck.Test.make ~name:"random sentences parse; right-parses agree" ~count:300
+    QCheck.(pair (int_bound 10000) (int_bound 40))
+    (fun (seed, size) ->
+      let g = expr_grammar () in
+      let a = Analysis.compute g in
+      let t = Tables.build g in
+      let st = Random.State.make [| seed |] in
+      let rng bound = Random.State.int st bound in
+      let sentence, derivation = Sentence_gen.derivation g a ~rng ~size in
+      match Driver.right_parse t (List.map (fun x -> (x, ())) sentence) with
+      | Ok parse -> parse = derivation
+      | Error _ -> false)
+
+(* Property: the expression grammar is unambiguous, so parsing a sentence
+   twice is deterministic, and junk suffixes are rejected. *)
+let prop_junk_rejected =
+  QCheck.Test.make ~name:"sentence + junk token is rejected" ~count:200
+    QCheck.(pair (int_bound 10000) (int_bound 20))
+    (fun (seed, size) ->
+      let g = expr_grammar () in
+      let a = Analysis.compute g in
+      let t = Tables.build g in
+      let st = Random.State.make [| seed |] in
+      let rng bound = Random.State.int st bound in
+      let sentence = Sentence_gen.sentence g a ~rng ~size in
+      let junk = sentence @ [ terminal g ")" ] in
+      not (Driver.accepts t junk))
+
+let () =
+  Alcotest.run "lalr"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "expr accepts" `Quick test_expr_accepts;
+          Alcotest.test_case "right parse order" `Quick test_expr_right_parse;
+          Alcotest.test_case "semantic values" `Quick test_semantic_values;
+          Alcotest.test_case "LALR > SLR" `Quick test_lalr_not_slr_builds_cleanly;
+          Alcotest.test_case "non-LALR detected" `Quick test_not_lalr_reports_conflict;
+          Alcotest.test_case "dangling else" `Quick test_dangling_else_default_shift;
+          Alcotest.test_case "precedence" `Quick test_precedence_resolution;
+          Alcotest.test_case "error reporting" `Quick test_error_reporting;
+          Alcotest.test_case "epsilon productions" `Quick test_empty_rhs_grammar;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_generated_sentences_parse;
+          QCheck_alcotest.to_alcotest prop_junk_rejected;
+          QCheck_alcotest.to_alcotest prop_diagnose_agrees_with_parse;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "multiple errors" `Quick test_diagnose_multiple_errors;
+          Alcotest.test_case "clean input" `Quick test_diagnose_clean_input;
+        ] );
+    ]

@@ -1,0 +1,88 @@
+(* Tests for the OCaml backend: the generated evaluator source must be
+   valid OCaml — it is fed to the actual compiler — and mirror the plans
+   the engine executes. *)
+open Linguist
+
+let contains = Fixtures.contains_substring
+
+let generate src = Ocaml_gen.generate (Driver.process_exn ~file:"<t>" src).Driver.plan
+
+let compiles text =
+  let base = Filename.temp_file "lg_gen" "" in
+  Sys.remove base;
+  let ml = base ^ ".ml" in
+  let oc = open_out ml in
+  output_string oc text;
+  close_out oc;
+  let rc =
+    Sys.command
+      (Printf.sprintf "ocamlopt -c -w -a -o %s.cmx %s > %s.log 2>&1" base ml base)
+  in
+  List.iter
+    (fun ext ->
+      let f = base ^ ext in
+      if Sys.file_exists f then Sys.remove f)
+    [ ".ml"; ".cmx"; ".cmi"; ".cmo"; ".o"; ".log" ];
+  rc = 0
+
+let test_generated_code_compiles () =
+  List.iter
+    (fun (name, src) ->
+      let code = generate src in
+      Alcotest.(check bool) (name ^ " compiles") true
+        (compiles code.Ocaml_gen.text))
+    [
+      ("knuth_binary.ag", Lg_languages.Knuth_binary.ag_source);
+      ("desk_calc.ag", Lg_languages.Desk_calc.ag_source);
+      ("pascal_subset.ag", Lg_languages.Pascal_ag.ag_source);
+      ("linguist.ag", Lg_languages.Linguist_ag.ag_source);
+      ("sum fixture", Fixtures.sum_grammar);
+      ("env fixture", Fixtures.env_grammar);
+    ]
+
+let test_shape () =
+  let code = generate Lg_languages.Knuth_binary.ag_source in
+  let text = code.Ocaml_gen.text in
+  Alcotest.(check bool) "functor over the runtime" true
+    (contains ~needle:"module Make (R : RUNTIME)" text);
+  Alcotest.(check bool) "dispatch per pass" true
+    (contains ~needle:"and visit_pass2 (node : R.node)" text);
+  Alcotest.(check bool) "entry points array" true
+    (contains ~needle:"let passes = [|" text);
+  Alcotest.(check bool) "reads children" true (contains ~needle:"R.get_node" text);
+  Alcotest.(check bool) "writes children" true (contains ~needle:"R.put_node" text);
+  Alcotest.(check bool) "byte accounting consistent" true
+    (code.Ocaml_gen.husk_bytes > 0 && code.Ocaml_gen.sem_bytes > 0)
+
+let test_subsumed_copies_commented () =
+  let code = generate Lg_languages.Desk_calc.ag_source in
+  Alcotest.(check bool) "some copies subsumed" true
+    (code.Ocaml_gen.subsumed_count > 0);
+  Alcotest.(check bool) "marked in the source" true
+    (contains ~needle:"(* subsumed:" code.Ocaml_gen.text)
+
+let test_globals_declared_when_static () =
+  let code = generate Lg_languages.Desk_calc.ag_source in
+  Alcotest.(check bool) "global refs for static groups" true
+    (contains ~needle:"= ref R.bottom" code.Ocaml_gen.text)
+
+let test_deterministic () =
+  let a = generate Lg_languages.Pascal_ag.ag_source in
+  let b = generate Lg_languages.Pascal_ag.ag_source in
+  Alcotest.(check bool) "same bytes" true
+    (String.equal a.Ocaml_gen.text b.Ocaml_gen.text)
+
+let () =
+  Alcotest.run "ocaml_gen"
+    [
+      ( "backend",
+        [
+          Alcotest.test_case "generated code compiles" `Quick
+            test_generated_code_compiles;
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "subsumed comments" `Quick
+            test_subsumed_copies_commented;
+          Alcotest.test_case "globals" `Quick test_globals_declared_when_static;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

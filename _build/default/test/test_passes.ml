@@ -1,0 +1,434 @@
+(* Tests for the alternating-pass evaluability analysis (overlay 4). *)
+open Linguist
+
+let passes_of ?(max_passes = 16) src =
+  let ir = Fixtures.ir_of_source src in
+  (ir, Pass_assign.compute_exn ~max_passes ir)
+
+let pass_of ir pr sym attr =
+  let sym_id =
+    Array.to_list ir.Ir.symbols
+    |> List.find (fun (s : Ir.symbol) -> String.equal s.s_name sym)
+    |> fun s -> s.Ir.s_id
+  in
+  match Ir.find_attr ir ~sym:sym_id ~name:attr with
+  | Some a -> pr.Pass_assign.passes.(a.Ir.a_id)
+  | None -> Alcotest.failf "no attribute %s.%s" sym attr
+
+let test_directions () =
+  Alcotest.(check bool) "bottom_up pass 1 is R2L" true
+    (Pass_assign.direction_of Ag_ast.Bottom_up 1 = Pass_assign.R2l);
+  Alcotest.(check bool) "bottom_up pass 2 is L2R" true
+    (Pass_assign.direction_of Ag_ast.Bottom_up 2 = Pass_assign.L2r);
+  Alcotest.(check bool) "recursive_descent pass 1 is L2R" true
+    (Pass_assign.direction_of Ag_ast.Recursive_descent 1 = Pass_assign.L2r);
+  Alcotest.(check bool) "recursive_descent pass 4 is R2L" true
+    (Pass_assign.direction_of Ag_ast.Recursive_descent 4 = Pass_assign.R2l)
+
+let test_sum_grammar_one_pass () =
+  let _, pr = passes_of Fixtures.sum_grammar in
+  Alcotest.(check int) "one pass" 1 pr.Pass_assign.n_passes
+
+let test_knuth_two_passes () =
+  let ir, pr = passes_of Lg_languages.Knuth_binary.ag_source in
+  Alcotest.(check int) "two passes" 2 pr.Pass_assign.n_passes;
+  Alcotest.(check int) "LEN in pass 1" 1 (pass_of ir pr "list" "LEN");
+  Alcotest.(check int) "SCALE in pass 2" 2 (pass_of ir pr "list" "SCALE");
+  Alcotest.(check int) "VAL in pass 2" 2 (pass_of ir pr "list" "VAL");
+  Alcotest.(check int) "intrinsic in pass 0" 0 (pass_of ir pr "BIT" "BVAL")
+
+(* A left-to-right chain: each item's IN comes from its left sibling's
+   OUT. One pass under recursive_descent, two under bottom_up. *)
+let chain_grammar strategy =
+  Printf.sprintf
+    {|
+grammar Chain;
+root top;
+strategy %s;
+terminals K has intrinsic V : int; end
+nonterminals
+  top has syn TOTAL : int;
+  seq has inh ACC : int, syn OUT : int;
+end
+limbs TopL; ConsL; OneL; end
+productions
+  top ::= seq -> TopL :
+    seq.ACC = 0,
+    top.TOTAL = seq.OUT;
+  seq0 ::= seq1 K -> ConsL :
+    seq1.ACC = seq0.ACC,
+    seq0.OUT = seq1.OUT + K.V;
+  seq ::= K -> OneL :
+    seq.OUT = seq.ACC + K.V;
+end
+|}
+    strategy
+
+(* A right-to-left chain forces the opposite. *)
+let rchain_grammar strategy =
+  Printf.sprintf
+    {|
+grammar RChain;
+root top;
+strategy %s;
+terminals K has intrinsic V : int; end
+nonterminals
+  top has syn TOTAL : int;
+  seq has inh FROMRIGHT : int, syn LEFTMOST : int;
+end
+limbs TopL; ConsL; OneL; end
+productions
+  top ::= seq -> TopL :
+    seq.FROMRIGHT = 0,
+    top.TOTAL = seq.LEFTMOST;
+  seq0 ::= K seq1 -> ConsL :
+    seq1.FROMRIGHT = seq0.FROMRIGHT,
+    seq0.LEFTMOST = seq1.LEFTMOST + K.V;
+  seq ::= K -> OneL :
+    seq.LEFTMOST = seq.FROMRIGHT + K.V;
+end
+|}
+    strategy
+
+let test_direction_sensitivity () =
+  (* The chain grammars are symmetric; only sibling-to-sibling flow is
+     direction sensitive. Build one that needs it: *)
+  let sibling strategy =
+    Printf.sprintf
+      {|
+grammar Sib;
+root top;
+strategy %s;
+terminals K has intrinsic V : int; end
+nonterminals
+  top has syn TOTAL : int;
+  item has inh IN : int, syn OUT : int;
+end
+limbs TopL; PairL; OneL; end
+productions
+  top ::= item0 item1 -> TopL :
+    item0.IN = 0,
+    item1.IN = item0.OUT,
+    top.TOTAL = item1.OUT;
+  item ::= K -> OneL :
+    item.OUT = item.IN + K.V;
+end
+|}
+      strategy
+  in
+  let _, pr_rd = passes_of (sibling "recursive_descent") in
+  Alcotest.(check int) "L2R flow: 1 pass under recursive_descent" 1
+    pr_rd.Pass_assign.n_passes;
+  let _, pr_bu = passes_of (sibling "bottom_up") in
+  Alcotest.(check int) "L2R flow: 2 passes under bottom_up" 2
+    pr_bu.Pass_assign.n_passes;
+  (* And the mirror image. *)
+  let sibling_r strategy =
+    Printf.sprintf
+      {|
+grammar SibR;
+root top;
+strategy %s;
+terminals K has intrinsic V : int; end
+nonterminals
+  top has syn TOTAL : int;
+  item has inh IN : int, syn OUT : int;
+end
+limbs TopL; OneL; end
+productions
+  top ::= item0 item1 -> TopL :
+    item1.IN = 0,
+    item0.IN = item1.OUT,
+    top.TOTAL = item0.OUT;
+  item ::= K -> OneL :
+    item.OUT = item.IN + K.V;
+end
+|}
+      strategy
+  in
+  let _, pr_rd = passes_of (sibling_r "recursive_descent") in
+  Alcotest.(check int) "R2L flow: 2 passes under recursive_descent" 2
+    pr_rd.Pass_assign.n_passes;
+  let _, pr_bu = passes_of (sibling_r "bottom_up") in
+  Alcotest.(check int) "R2L flow: 1 pass under bottom_up" 1
+    pr_bu.Pass_assign.n_passes;
+  ignore (chain_grammar, rchain_grammar)
+
+(* The paper's relaxed in-pass ordering (SIII, second optimization):
+   "there is nothing to prevent us from evaluating a synthesized
+   attribute-instance of the left-hand-side ... before visiting some
+   right-hand-side sub-APT". Here top.S is computable after visiting [a]
+   and feeds [b]'s inherited attribute: one pass under the relaxed rule,
+   impossible under the strict paradigm (synthesized only at the end). *)
+let test_relaxed_ordering_beats_strict_paradigm () =
+  let src =
+    {|
+grammar Relax;
+root top;
+strategy recursive_descent;
+terminals K has intrinsic V : int; end
+nonterminals
+  top has syn S : int, syn OUT2 : int;
+  a has syn OUT : int;
+  b has inh IN : int, syn OUT : int;
+end
+limbs TopL; AL; BL; end
+productions
+  top ::= a b -> TopL :
+    top.S = a.OUT + 1,
+    b.IN = top.S,
+    top.OUT2 = b.OUT;
+  a ::= K -> AL :
+    a.OUT = K.V;
+  b ::= K -> BL :
+    b.OUT = b.IN + K.V;
+end
+|}
+  in
+  let ir, pr = passes_of src in
+  Alcotest.(check int) "one pass suffices" 1 pr.Pass_assign.n_passes;
+  (* and the schedule really places the S rule before b's visit *)
+  let plan = Driver.plan_of_ir ir in
+  let top_plan = plan.Plan.pass_plans.(0).Plan.pl_prods.(0) in
+  let rec check_order seen_s = function
+    | [] -> Alcotest.fail "no visit of b found"
+    | Plan.Eval { targets; _ } :: rest ->
+        let defines_s =
+          List.exists
+            (function
+              | Plan.Lnode (Ir.Lhs, 0) -> true
+              | _ -> false)
+            targets
+        in
+        check_order (seen_s || defines_s) rest
+    | Plan.Visit_child 1 :: _ ->
+        Alcotest.(check bool) "top.S evaluated before visiting b" true seen_s
+    | _ :: rest -> check_order seen_s rest
+  in
+  check_order false top_plan.Plan.pp_actions;
+  (* semantics confirmed against the oracle *)
+  let k_sym =
+    (Array.to_list ir.Ir.symbols
+    |> List.find (fun (s : Ir.symbol) -> s.Ir.s_name = "K"))
+      .Ir.s_id
+  in
+  let leaf v = Lg_apt.Tree.leaf ~sym:k_sym ~attrs:[| Lg_support.Value.Int v |] in
+  let node prod children =
+    Lg_apt.Tree.interior ~prod ~sym:ir.Ir.prods.(prod).Ir.p_lhs ~children
+  in
+  let tree = node 0 [ node 1 [ leaf 10 ]; node 2 [ leaf 5 ] ] in
+  let engine, oracle = Fixtures.run_both plan tree in
+  List.iter2
+    (fun (n, v1) (_, v2) -> Alcotest.check Fixtures.check_value n v2 v1)
+    engine.Engine.outputs oracle.Demand.outputs;
+  Alcotest.check Fixtures.check_value "OUT2 = (10+1)+5" (Lg_support.Value.Int 16)
+    (List.assoc "OUT2" engine.Engine.outputs)
+
+(* Zigzag: attribute A1 flows left to right, A2 needs A1 and flows right to
+   left, A3 needs A2 and flows left to right... forces one pass each. *)
+let zigzag depth =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "grammar Zig;\nroot top;\nstrategy recursive_descent;\nterminals K has intrinsic V : int; end\n";
+  Buffer.add_string buf "nonterminals\n  top has syn TOTAL : int;\n  item has ";
+  let attrs =
+    List.init depth (fun i ->
+        Printf.sprintf "inh IN%d : int, syn OUT%d : int" i i)
+  in
+  Buffer.add_string buf (String.concat ", " attrs);
+  Buffer.add_string buf ";\nend\nlimbs TopL; OneL; end\nproductions\n";
+  (* top ::= item0 item1 *)
+  Buffer.add_string buf "  top ::= item0 item1 -> TopL :\n";
+  let rules = ref [] in
+  for i = 0 to depth - 1 do
+    if i = 0 then begin
+      rules := "item0.IN0 = 0" :: !rules;
+      rules := "item1.IN0 = item0.OUT0" :: !rules
+    end
+    else if i mod 2 = 1 then begin
+      (* right-to-left level, seeded by the previous level's output *)
+      rules := Printf.sprintf "item1.IN%d = item1.OUT%d" i (i - 1) :: !rules;
+      rules := Printf.sprintf "item0.IN%d = item1.OUT%d" i i :: !rules
+    end
+    else begin
+      rules := Printf.sprintf "item0.IN%d = item0.OUT%d" i (i - 1) :: !rules;
+      rules := Printf.sprintf "item1.IN%d = item0.OUT%d" i i :: !rules
+    end
+  done;
+  rules := Printf.sprintf "top.TOTAL = item1.OUT%d" (depth - 1) :: !rules;
+  Buffer.add_string buf ("    " ^ String.concat ",\n    " (List.rev !rules));
+  Buffer.add_string buf ";\n  item ::= K -> OneL :\n    ";
+  Buffer.add_string buf
+    (String.concat ",\n    "
+       (List.init depth (fun i ->
+            Printf.sprintf "item.OUT%d = item.IN%d + K.V" i i)));
+  Buffer.add_string buf ";\nend\n";
+  Buffer.contents buf
+
+let test_zigzag_passes () =
+  List.iter
+    (fun depth ->
+      let _, pr = passes_of (zigzag depth) in
+      Alcotest.(check int)
+        (Printf.sprintf "zigzag depth %d" depth)
+        depth pr.Pass_assign.n_passes)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_not_evaluable_reported () =
+  let diag = Lg_support.Diag.create () in
+  let ir = Fixtures.ir_of_source (zigzag 6) in
+  (match Pass_assign.compute ~max_passes:4 ~diag ir with
+  | Some _ -> Alcotest.fail "expected failure with max_passes=4"
+  | None -> ());
+  Alcotest.(check bool) "reports blocking rule" true
+    (Lg_support.Diag.error_count diag > 0)
+
+let test_circular_rejected () =
+  (* x.A = y.B, y.B = x.A within one production: a genuine cycle. *)
+  let src =
+    {|
+grammar Circ;
+root top;
+terminals K; end
+nonterminals
+  top has syn TOTAL : int;
+  x has inh A : int, syn B : int;
+end
+limbs TopL; XL; end
+productions
+  top ::= x -> TopL :
+    x.A = x.B,
+    top.TOTAL = x.B;
+  x ::= K -> XL :
+    x.B = x.A;
+end
+|}
+  in
+  let diag = Lg_support.Diag.create () in
+  let ir = Fixtures.ir_of_source src in
+  (match Pass_assign.compute ~max_passes:8 ~diag ir with
+  | Some _ -> Alcotest.fail "circular grammar must be rejected"
+  | None -> ());
+  ignore diag
+
+let test_local_cycle_rejected () =
+  (* Two limb attributes defined in terms of each other. *)
+  let src =
+    {|
+grammar LCyc;
+root top;
+terminals K; end
+nonterminals top has syn TOTAL : int; end
+limbs TopL has P : int, Q : int; end
+productions
+  top ::= K -> TopL :
+    TopL.P = Q + 1,
+    TopL.Q = P + 1,
+    top.TOTAL = P;
+end
+|}
+  in
+  let diag = Lg_support.Diag.create () in
+  let ir = Fixtures.ir_of_source src in
+  match Pass_assign.compute ~max_passes:8 ~diag ir with
+  | Some _ -> Alcotest.fail "local cycle must be rejected"
+  | None -> ()
+
+let test_multi_target_pass_unification () =
+  (* One rule defines both a pass-1-able and a pass-2-needing attribute:
+     both must land in pass 2. *)
+  let src =
+    {|
+grammar MT;
+root top;
+strategy bottom_up;
+terminals K has intrinsic V : int; end
+nonterminals
+  top has syn TOTAL : int;
+  item has inh IN : int, syn EASY : int, syn HARD : int;
+end
+limbs TopL; OneL; end
+productions
+  top ::= item0 item1 -> TopL :
+    item0.IN = 0,
+    item1.IN = item0.HARD,
+    top.TOTAL = item1.EASY;
+  item ::= K -> OneL :
+    item.EASY, item.HARD = if item.IN = 0 then K.V, K.V else K.V + 1, K.V + 1 endif;
+end
+|}
+  in
+  let ir, pr = passes_of src in
+  (* HARD feeds item1.IN left-to-right; under bottom_up that is pass 2,
+     and the multi-target rule drags EASY along. *)
+  Alcotest.(check int) "EASY unified to 2" 2 (pass_of ir pr "item" "EASY");
+  Alcotest.(check int) "HARD in pass 2" 2 (pass_of ir pr "item" "HARD")
+
+let test_schedule_orders_child_inh_before_visit () =
+  let ir = Fixtures.ir_of_source Fixtures.sum_grammar in
+  let pr = Pass_assign.compute_exn ir in
+  let plan = Driver.plan_of_ir ir in
+  Array.iter
+    (fun (pass_plan : Plan.pass_plan) ->
+      Array.iter
+        (fun (pp : Plan.prod_plan) ->
+          (* For every child: Read before any Eval targeting it; every Eval
+             targeting child-inherited slots before its Visit; Visit before
+             Write. *)
+          let seen_read = Array.make 8 false in
+          let seen_visit = Array.make 8 false in
+          List.iter
+            (fun (action : Plan.action) ->
+              match action with
+              | Plan.Read_child i -> seen_read.(i) <- true
+              | Plan.Visit_child i ->
+                  Alcotest.(check bool) "read before visit" true seen_read.(i);
+                  seen_visit.(i) <- true
+              | Plan.Write_child i ->
+                  Alcotest.(check bool) "read before write" true seen_read.(i)
+              | Plan.Eval { targets; _ } ->
+                  List.iter
+                    (fun loc ->
+                      match loc with
+                      | Plan.Lnode (Ir.Rhs i, _) ->
+                          Alcotest.(check bool) "child read before store" true
+                            seen_read.(i);
+                          Alcotest.(check bool) "stored before visit" false
+                            seen_visit.(i)
+                      | _ -> ())
+                    targets
+              | Plan.Save _ | Plan.Set_global _ | Plan.Restore _ | Plan.Capture _
+                ->
+                  ())
+            pp.Plan.pp_actions)
+        pass_plan.Plan.pl_prods)
+    plan.Plan.pass_plans;
+  ignore pr
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "assignment",
+        [
+          Alcotest.test_case "directions" `Quick test_directions;
+          Alcotest.test_case "one pass" `Quick test_sum_grammar_one_pass;
+          Alcotest.test_case "knuth two passes" `Quick test_knuth_two_passes;
+          Alcotest.test_case "direction sensitivity" `Quick
+            test_direction_sensitivity;
+          Alcotest.test_case "relaxed ordering (earlier than ordered ASE)" `Quick
+            test_relaxed_ordering_beats_strict_paradigm;
+          Alcotest.test_case "zigzag needs k passes" `Quick test_zigzag_passes;
+          Alcotest.test_case "max passes exceeded" `Quick
+            test_not_evaluable_reported;
+          Alcotest.test_case "circularity rejected" `Quick test_circular_rejected;
+          Alcotest.test_case "local cycle rejected" `Quick
+            test_local_cycle_rejected;
+          Alcotest.test_case "multi-target unification" `Quick
+            test_multi_target_pass_unification;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "action ordering invariants" `Quick
+            test_schedule_orders_child_inh_before_visit;
+        ] );
+    ]

@@ -1,0 +1,220 @@
+(* Tests for the regex/NFA/DFA pipeline of the scanner generator. *)
+open Lg_regex
+
+(* ----- char classes ----- *)
+
+let test_class_normalization () =
+  let c = Char_class.union (Char_class.range 'a' 'f') (Char_class.range 'd' 'k') in
+  Alcotest.(check (list (pair int int)))
+    "adjacent ranges merge"
+    [ (Char.code 'a', Char.code 'k') ]
+    (Char_class.ranges c);
+  let c2 = Char_class.union (Char_class.range 'a' 'b') (Char_class.range 'c' 'd') in
+  Alcotest.(check (list (pair int int)))
+    "touching ranges merge"
+    [ (Char.code 'a', Char.code 'd') ]
+    (Char_class.ranges c2)
+
+let test_class_negate_involution () =
+  let c = Char_class.union (Char_class.singleton 'x') (Char_class.range '0' '9') in
+  Alcotest.(check bool) "negate . negate = id" true
+    (Char_class.equal c (Char_class.negate (Char_class.negate c)));
+  Alcotest.(check int) "negate cardinal" (256 - Char_class.cardinal c)
+    (Char_class.cardinal (Char_class.negate c))
+
+let test_split_alphabet () =
+  let classes = [ Char_class.range 'a' 'f'; Char_class.range 'd' 'k' ] in
+  let pieces = Char_class.split_alphabet classes in
+  (* Pieces must partition the alphabet. *)
+  let total = List.fold_left (fun acc p -> acc + Char_class.cardinal p) 0 pieces in
+  Alcotest.(check int) "partition covers alphabet" 256 total;
+  (* Every input class is a union of pieces. *)
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun piece ->
+          let inter = Char_class.inter cls piece in
+          Alcotest.(check bool) "piece inside or outside each class" true
+            (Char_class.is_empty inter || Char_class.equal inter piece))
+        pieces)
+    classes
+
+(* ----- regex parsing ----- *)
+
+let test_parse_and_print () =
+  List.iter
+    (fun src ->
+      let re = Regex_syntax.parse src in
+      let printed = Format.asprintf "%a" Regex_syntax.pp re in
+      let re2 = Regex_syntax.parse printed in
+      (* printing then reparsing preserves the language on a few probes *)
+      List.iter
+        (fun probe ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s vs %s on %S" src printed probe)
+            (Regex_syntax.matches re probe)
+            (Regex_syntax.matches re2 probe))
+        [ ""; "a"; "ab"; "abc"; "ba"; "aaa"; "a1"; "z" ])
+    [ "a"; "ab*"; "(a|b)*c"; "[a-z]+"; "[^a-z]"; "a?b+"; "\"a|b\""; "a|"; "x(y|z)?" ]
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Regex_syntax.parse src with
+      | exception Regex_syntax.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" src)
+    [ "("; ")"; "*"; "[a"; "[z-a]"; "a\\"; "\"unterminated" ]
+
+let test_literal () =
+  let re = Regex_syntax.literal "begin" in
+  Alcotest.(check bool) "matches itself" true (Regex_syntax.matches re "begin");
+  Alcotest.(check bool) "not prefix" false (Regex_syntax.matches re "begi");
+  Alcotest.(check bool) "empty literal" true
+    (Regex_syntax.matches (Regex_syntax.literal "") "")
+
+let test_nullable () =
+  let null src = Regex_syntax.nullable (Regex_syntax.parse src) in
+  Alcotest.(check bool) "a* nullable" true (null "a*");
+  Alcotest.(check bool) "a+ not" false (null "a+");
+  Alcotest.(check bool) "a? nullable" true (null "a?");
+  Alcotest.(check bool) "a|() nullable" true (null "a|()");
+  Alcotest.(check bool) "ab not" false (null "ab")
+
+(* ----- NFA / DFA ----- *)
+
+let pipeline res =
+  let tagged = List.mapi (fun i re -> (re, i)) res in
+  let nfa = Nfa.build tagged in
+  let dfa = Dfa.of_nfa nfa in
+  let min_dfa = Dfa.minimize dfa in
+  (nfa, dfa, min_dfa)
+
+let test_dfa_agrees_with_backtracker () =
+  let re = Regex_syntax.parse "(a|b)*abb" in
+  let _, dfa, min_dfa = pipeline [ re ] in
+  List.iter
+    (fun s ->
+      let expect = Regex_syntax.matches re s in
+      let full t =
+        match Dfa.exec_longest t s 0 with
+        | Some (_, e) -> e = String.length s
+        | None -> String.length s = 0 && false
+      in
+      Alcotest.(check bool) (Printf.sprintf "dfa %S" s) expect (full dfa);
+      Alcotest.(check bool) (Printf.sprintf "min %S" s) expect (full min_dfa))
+    [ "abb"; "aabb"; "babb"; "ab"; ""; "abab"; "bbabb"; "abbb" ]
+
+let test_priority () =
+  (* Rule 0 (keyword-ish) must beat rule 1 on ties. *)
+  let r0 = Regex_syntax.literal "if" in
+  let r1 = Regex_syntax.parse "[a-z]+" in
+  let _, _, dfa = pipeline [ r0; r1 ] in
+  (match Dfa.exec_longest dfa "if" 0 with
+  | Some (rule, 2) -> Alcotest.(check int) "keyword wins tie" 0 rule
+  | _ -> Alcotest.fail "no match");
+  match Dfa.exec_longest dfa "iffy" 0 with
+  | Some (rule, 4) -> Alcotest.(check int) "longest match wins" 1 rule
+  | _ -> Alcotest.fail "longest match expected"
+
+let test_minimize_reduces () =
+  (* (a|b)*abb over a two-letter alphabet minimizes to 4 live states. *)
+  let re = Regex_syntax.parse "(a|b)*abb" in
+  let _, dfa, min_dfa = pipeline [ re ] in
+  Alcotest.(check bool) "minimization not larger" true
+    (Dfa.state_count min_dfa <= Dfa.state_count dfa);
+  Alcotest.(check int) "known minimal size" 4 (Dfa.state_count min_dfa)
+
+(* Random regexes: NFA simulation, DFA and minimized DFA agree on random
+   strings over a small alphabet. *)
+
+let regex_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun c -> Regex_syntax.Chars (Char_class.singleton c)) (char_range 'a' 'c');
+        return (Regex_syntax.Chars (Char_class.range 'a' 'b'));
+        return Regex_syntax.Eps;
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      let sub = go (depth - 1) in
+      frequency
+        [
+          (2, leaf);
+          (3, map2 (fun a b -> Regex_syntax.Seq (a, b)) sub sub);
+          (2, map2 (fun a b -> Regex_syntax.Alt (a, b)) sub sub);
+          (1, map (fun a -> Regex_syntax.Star a) sub);
+          (1, map (fun a -> Regex_syntax.Plus a) sub);
+          (1, map (fun a -> Regex_syntax.Opt a) sub);
+        ]
+  in
+  go 4
+
+let string_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (int_bound 8))
+
+let prop_pipeline_agreement =
+  QCheck.Test.make ~name:"NFA = DFA = minimized DFA on random input" ~count:300
+    (QCheck.make
+       ~print:(fun (re, s) -> Format.asprintf "%a on %S" Regex_syntax.pp re s)
+       QCheck.Gen.(pair regex_gen string_gen))
+    (fun (re, s) ->
+      let nfa, dfa, min_dfa = pipeline [ re ] in
+      let norm = function Some (r, e) -> Some (r, e) | None -> None in
+      let a = norm (Nfa.scan_longest nfa s 0) in
+      let b = norm (Dfa.exec_longest dfa s 0) in
+      let c = norm (Dfa.exec_longest min_dfa s 0) in
+      a = b && b = c)
+
+let prop_oracle_agreement =
+  QCheck.Test.make ~name:"DFA full-match agrees with backtracking oracle"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (re, s) -> Format.asprintf "%a on %S" Regex_syntax.pp re s)
+       QCheck.Gen.(pair regex_gen string_gen))
+    (fun (re, s) ->
+      let oracle = Regex_syntax.matches re s in
+      (* The DFA reports longest prefix matches; full match means reaching
+         exactly the end. An empty-string match is invisible to
+         exec_longest when the regex is nullable, handle it directly. *)
+      let _, _, dfa = pipeline [ re ] in
+      let dfa_full =
+        if String.length s = 0 then Regex_syntax.nullable re
+        else
+          (* check whether some run consumes everything: walk manually *)
+          let rec walk st i =
+            if st < 0 then false
+            else if i = String.length s then Dfa.accept dfa st >= 0
+            else walk (Dfa.next dfa st s.[i]) (i + 1)
+          in
+          walk (Dfa.start dfa) 0
+      in
+      oracle = dfa_full)
+
+let () =
+  Alcotest.run "regex"
+    [
+      ( "char_class",
+        [
+          Alcotest.test_case "normalization" `Quick test_class_normalization;
+          Alcotest.test_case "negate involution" `Quick test_class_negate_involution;
+          Alcotest.test_case "split alphabet" `Quick test_split_alphabet;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "parse/print" `Quick test_parse_and_print;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "literal" `Quick test_literal;
+          Alcotest.test_case "nullable" `Quick test_nullable;
+        ] );
+      ( "automata",
+        [
+          Alcotest.test_case "dfa vs backtracker" `Quick test_dfa_agrees_with_backtracker;
+          Alcotest.test_case "rule priority" `Quick test_priority;
+          Alcotest.test_case "minimization" `Quick test_minimize_reduces;
+          QCheck_alcotest.to_alcotest prop_pipeline_agreement;
+          QCheck_alcotest.to_alcotest prop_oracle_agreement;
+        ] );
+    ]

@@ -1,0 +1,16 @@
+(* Writes the built-in attribute grammars out as .ag files; a dune rule in
+   grammars/ promotes the results into the source tree so the CLI and
+   curious readers get real files. *)
+let () =
+  List.iter
+    (fun (path, contents) ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc)
+    [
+      ("knuth_binary.ag", Lg_languages.Knuth_binary.ag_source);
+      ("desk_calc.ag", Lg_languages.Desk_calc.ag_source);
+      ("pascal_subset.ag", Lg_languages.Pascal_ag.ag_source);
+      ("assembler.ag", Lg_languages.Assembler.ag_source);
+      ("linguist.ag", Lg_languages.Linguist_ag.ag_source);
+    ]
