@@ -430,6 +430,97 @@ let ablations () =
         (1000.0 *. disk_s)
         (disk_s /. Float.max 1e-9 mem_s))
 
+(* ============ APT store comparison (the paged-store subsystem) ============ *)
+
+let floppy_seek_seconds = 0.040
+(* average seek + rotational latency of the period device; the legacy
+   backward reader pays this per record, the paged stores per page run *)
+
+let store_bench () =
+  section "Stores: APT store backends on the pascal_subset workload";
+  let t = Pascal_ag.translator () in
+  let program = Workloads.synthetic_pascal 1500 in
+  let diag = Lg_support.Diag.create () in
+  let tree = Option.get (Translator.tree_of_source t ~file:"<p>" ~diag program) in
+  let plan = Translator.plan t in
+  let stores = [ "mem"; "disk"; "paged"; "prefetch"; "paged+zip" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let backend = Lg_apt.Aptfile.backend_of_store_name name in
+        let (r : Engine.result), wall =
+          wall_time (fun () ->
+              Engine.run
+                ~options:{ Engine.default_options with backend }
+                plan tree)
+        in
+        (name, r.Engine.stats.Engine.total_io, wall))
+      stores
+  in
+  rowf "  %-10s %12s %8s %8s %11s %9s %6s %9s %10s %11s\n" "store"
+    "bytes moved" "pages" "seeks" "pool h/m" "prefetch" "ratio" "wall ms"
+    "model (s)" "+seeks (s)";
+  List.iter
+    (fun (name, (io : Lg_apt.Io_stats.t), wall) ->
+      rowf "  %-10s %12d %8d %8d %5d/%-5d %9d %6s %9.2f %10.2f %11.2f\n" name
+        (Lg_apt.Io_stats.total_bytes io)
+        (Lg_apt.Io_stats.total_pages io)
+        io.Lg_apt.Io_stats.seeks io.Lg_apt.Io_stats.pool_hits
+        io.Lg_apt.Io_stats.pool_misses io.Lg_apt.Io_stats.prefetch_hits
+        (match Lg_apt.Io_stats.compression_ratio io with
+        | Some r -> Printf.sprintf "%.2f" r
+        | None -> "-")
+        (1000.0 *. wall)
+        (Lg_apt.Io_stats.modeled_seconds io
+           ~bytes_per_second:floppy_bytes_per_second)
+        (Lg_apt.Io_stats.modeled_seconds_seek io
+           ~bytes_per_second:floppy_bytes_per_second
+           ~seek_seconds:floppy_seek_seconds))
+    rows;
+  let bytes name =
+    let _, io, _ = List.find (fun (n, _, _) -> String.equal n name) rows in
+    Lg_apt.Io_stats.total_bytes io
+  in
+  rowf "  shape: paged <= disk on bytes moved: %b; paged+zip < disk: %b\n"
+    (bytes "paged" <= bytes "disk")
+    (bytes "paged+zip" < bytes "disk");
+  (* machine-readable trajectory for the perf dashboard across PRs *)
+  let json =
+    Printf.sprintf
+      "{\n  \"workload\": \"pascal_subset synthetic (1500 statements)\",\n  \
+       \"apt_nodes\": %d,\n  \"floppy_bytes_per_second\": %.0f,\n  \
+       \"floppy_seek_seconds\": %.3f,\n  \"stores\": [\n%s\n  ]\n}\n"
+      (Lg_apt.Tree.size tree) floppy_bytes_per_second floppy_seek_seconds
+      (String.concat ",\n"
+         (List.map
+            (fun (name, (io : Lg_apt.Io_stats.t), wall) ->
+              Printf.sprintf
+                "    {\"store\": %S, \"wall_ms\": %.3f, \
+                 \"modeled_seconds\": %.3f, \"modeled_seconds_seek\": %.3f, \
+                 \"io\": %s}"
+                name (1000.0 *. wall)
+                (Lg_apt.Io_stats.modeled_seconds io
+                   ~bytes_per_second:floppy_bytes_per_second)
+                (Lg_apt.Io_stats.modeled_seconds_seek io
+                   ~bytes_per_second:floppy_bytes_per_second
+                   ~seek_seconds:floppy_seek_seconds)
+                (Lg_apt.Io_stats.to_json io))
+            rows))
+  in
+  let oc = open_out "BENCH_apt.json" in
+  output_string oc json;
+  close_out oc;
+  rowf "  wrote BENCH_apt.json (%d stores)\n" (List.length rows);
+  register_bechamel "stores/paged evaluator run (1500-stmt program)" (fun () ->
+      ignore
+        (Engine.run
+           ~options:
+             {
+               Engine.default_options with
+               backend = Lg_apt.Aptfile.backend_of_store_name "paged";
+             }
+           plan tree))
+
 (* ============ generated vs interpretive (Schulz) ablation ============ *)
 
 let schulz_ablation () =
@@ -500,7 +591,7 @@ let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("f1", f1); ("f2", f2); ("abl", ablations); ("policy", policy_ablation);
-    ("schulz", schulz_ablation);
+    ("schulz", schulz_ablation); ("stores", store_bench);
   ]
 
 let () =

@@ -14,12 +14,19 @@ let read_file path =
   close_in ic;
   s
 
-let options_of ~subsumption ~dead_opt ~max_passes =
+let options_of ~subsumption ~dead_opt ~max_passes ~apt_store ~apt_page_size =
+  if apt_page_size <= 0 then
+    failwith
+      (Printf.sprintf "--apt-page-size must be positive (got %d)" apt_page_size);
+  let config =
+    { Lg_apt.Apt_store.default_config with page_size = apt_page_size }
+  in
   {
     Linguist.Driver.default_options with
     subsumption;
     dead_opt;
     max_passes;
+    apt_backend = Lg_apt.Aptfile.backend_of_store_name ~config apt_store;
   }
 
 let process ~options path =
@@ -50,8 +57,28 @@ let max_passes =
     & info [ "max-passes" ] ~docv:"N"
         ~doc:"Reject grammars needing more than $(docv) alternating passes.")
 
-let with_options f no_sub no_dead max_passes =
-  f (options_of ~subsumption:(not no_sub) ~dead_opt:(not no_dead) ~max_passes)
+let apt_store =
+  Arg.(
+    value & opt string "mem"
+    & info [ "apt-store" ] ~docv:"STORE"
+        ~doc:
+          "APT store backing the intermediate files of evaluator runs: \
+           $(b,mem), $(b,disk), $(b,paged), $(b,prefetch), $(b,zip) or \
+           $(b,paged+zip) (see the $(b,stores) subcommand).")
+
+let apt_page_size =
+  Arg.(
+    value & opt int Lg_apt.Apt_store.default_config.Lg_apt.Apt_store.page_size
+    & info [ "apt-page-size" ] ~docv:"BYTES"
+        ~doc:"Page size for the paged APT stores.")
+
+let with_options f no_sub no_dead max_passes apt_store apt_page_size =
+  match
+    options_of ~subsumption:(not no_sub) ~dead_opt:(not no_dead) ~max_passes
+      ~apt_store ~apt_page_size
+  with
+  | options -> f options
+  | exception Failure msg -> `Error (false, msg)
 
 let check_cmd =
   let run options path =
@@ -72,9 +99,11 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Check an attribute grammar.")
     Term.(
       ret
-        (const (fun no_sub no_dead mp path ->
-             with_options (fun options -> run options path) no_sub no_dead mp)
-        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg))
+        (const (fun no_sub no_dead mp store page path ->
+             with_options (fun options -> run options path) no_sub no_dead mp
+               store page)
+        $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ file_arg))
 
 let stats_cmd =
   let run options path =
@@ -103,9 +132,11 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print grammar statistics (the paper's E1 row).")
     Term.(
       ret
-        (const (fun no_sub no_dead mp path ->
-             with_options (fun options -> run options path) no_sub no_dead mp)
-        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg))
+        (const (fun no_sub no_dead mp store page path ->
+             with_options (fun options -> run options path) no_sub no_dead mp
+               store page)
+        $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ file_arg))
 
 let out_dir =
   Arg.(
@@ -139,6 +170,8 @@ let compile_cmd =
           artifact.Linguist.Driver.overlay_seconds;
         Printf.printf "throughput: %.0f lines/minute\n"
           (Linguist.Driver.throughput_lines_per_minute artifact);
+        Printf.printf "apt store: %s\n"
+          (Lg_apt.Aptfile.backend_name options.Linguist.Driver.apt_backend);
         `Ok ()
     | Error () -> `Error (false, "errors in " ^ path)
   in
@@ -147,9 +180,11 @@ let compile_cmd =
        ~doc:"Generate the listing and the per-pass evaluator modules.")
     Term.(
       ret
-        (const (fun no_sub no_dead mp path dir ->
-             with_options (fun options -> run options path dir) no_sub no_dead mp)
-        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg $ out_dir))
+        (const (fun no_sub no_dead mp store page path dir ->
+             with_options (fun options -> run options path dir) no_sub no_dead
+               mp store page)
+        $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ file_arg $ out_dir))
 
 let tables_cmd =
   (* the companion parse-table builder, fed "exactly the same input file" *)
@@ -184,9 +219,11 @@ let tables_cmd =
           (the companion parse-table builder).")
     Term.(
       ret
-        (const (fun no_sub no_dead mp path ->
-             with_options (fun options -> run options path) no_sub no_dead mp)
-        $ no_subsumption $ no_dead_opt $ max_passes $ file_arg))
+        (const (fun no_sub no_dead mp store page path ->
+             with_options (fun options -> run options path) no_sub no_dead mp
+               store page)
+        $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ file_arg))
 
 let analyze_cmd =
   (* the self-hosted path: the evaluator GENERATED from linguist.ag does
@@ -215,6 +252,21 @@ let analyze_cmd =
           evaluator generated from linguist.ag).")
     Term.(ret (const run $ file_arg))
 
+let stores_cmd =
+  let run () =
+    Printf.printf "registered APT stores (select with --apt-store):\n";
+    List.iter
+      (fun name ->
+        Printf.printf "  %-10s %s\n" name
+          (Option.value ~default:"" (Lg_apt.Store_registry.description name)))
+      (Lg_apt.Store_registry.names ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stores"
+       ~doc:"List the registered APT store backends for the intermediate files.")
+    Term.(ret (const run $ const ()))
+
 let self_cmd =
   let run () =
     let t = Lg_languages.Linguist_ag.translator () in
@@ -239,4 +291,10 @@ let () =
         "A translator-writing system based on attribute grammars \
          (a reproduction of LINGUIST-86, Farrow 1982)."
   in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd; self_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd;
+            self_cmd; stores_cmd;
+          ]))

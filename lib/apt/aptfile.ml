@@ -1,154 +1,87 @@
-type backend = Mem | Disk of { dir : string }
+(* The APT file façade: node codec + record accounting over a pluggable
+   byte-record store ([Apt_store]). The legacy [Mem]/[Disk] backends keep
+   their seed byte format and accounting; everything else comes from the
+   store registry. *)
 
-(* Record framing: 4-byte little-endian payload length on both sides, so
-   the stream can be walked from either end with O(1) buffering. *)
+type backend =
+  | Mem
+  | Disk of { dir : string }
+  | Store of { name : string; config : Apt_store.config }
 
-type file_data = Mem_data of string | Disk_data of { path : string; size : int }
-type file = { data : file_data; records : int }
+type file = Apt_store.file
 
 type writer = {
-  w_backend : backend;
   w_stats : Io_stats.t option;
   buf : Buffer.t;  (** per-record scratch *)
-  mutable w_records : int;
-  sink : [ `Mem of Buffer.t | `Disk of string * out_channel ];
+  inner_w : Apt_store.writer;
 }
 
-type reader = {
-  r_stats : Io_stats.t option;
-  mutable remaining : int;  (** records left *)
-  mutable r_pos : int;
-  source : [ `Mem of string | `Disk of in_channel ];
-  direction : [ `Forward | `Backward ];
-}
+type reader = { r_stats : Io_stats.t option; inner_r : Apt_store.reader }
 
-let tally_write stats bytes =
-  match stats with
-  | Some s ->
-      s.Io_stats.bytes_written <- s.Io_stats.bytes_written + bytes;
-      s.Io_stats.records_written <- s.Io_stats.records_written + 1
-  | None -> ()
+let store_of_backend = function
+  | Mem -> Store_legacy.mem ()
+  | Disk { dir } -> Store_legacy.disk { Apt_store.default_config with dir = Some dir }
+  | Store { name; config } -> Store_registry.find ~config name
 
-let tally_read stats bytes =
-  match stats with
-  | Some s ->
-      s.Io_stats.bytes_read <- s.Io_stats.bytes_read + bytes;
-      s.Io_stats.records_read <- s.Io_stats.records_read + 1
-  | None -> ()
+let backend_of_store_name ?(config = Apt_store.default_config) name =
+  match name with
+  | "mem" -> Mem
+  | "disk" ->
+      Disk
+        {
+          dir =
+            (match config.Apt_store.dir with
+            | Some d -> d
+            | None -> Filename.get_temp_dir_name ());
+        }
+  | name ->
+      if not (List.mem name (Store_registry.names ())) then
+        ignore (Store_registry.find ~config name) (* raises with the known names *);
+      Store { name; config }
 
-let u32_to_bytes n =
-  let b = Bytes.create 4 in
-  Bytes.set_uint8 b 0 (n land 0xff);
-  Bytes.set_uint8 b 1 ((n lsr 8) land 0xff);
-  Bytes.set_uint8 b 2 ((n lsr 16) land 0xff);
-  Bytes.set_uint8 b 3 ((n lsr 24) land 0xff);
-  b
-
-let u32_of_string s pos =
-  Char.code s.[pos]
-  lor (Char.code s.[pos + 1] lsl 8)
-  lor (Char.code s.[pos + 2] lsl 16)
-  lor (Char.code s.[pos + 3] lsl 24)
+let backend_name = function
+  | Mem -> "mem"
+  | Disk _ -> "disk"
+  | Store { name; _ } -> name
 
 let writer ?stats backend =
   (match stats with
   | Some s -> s.Io_stats.files_created <- s.Io_stats.files_created + 1
   | None -> ());
-  let sink =
-    match backend with
-    | Mem -> `Mem (Buffer.create 4096)
-    | Disk { dir } ->
-        let path = Filename.temp_file ~temp_dir:dir "apt" ".tmp" in
-        `Disk (path, open_out_bin path)
-  in
-  { w_backend = backend; w_stats = stats; buf = Buffer.create 256; w_records = 0; sink }
+  let store = store_of_backend backend in
+  { w_stats = stats; buf = Buffer.create 256; inner_w = store.Apt_store.start stats }
 
 let write w node =
   Buffer.clear w.buf;
   Node.encode w.buf node;
-  let len = Buffer.length w.buf in
-  let frame = Bytes.to_string (u32_to_bytes len) in
-  (match w.sink with
-  | `Mem out ->
-      Buffer.add_string out frame;
-      Buffer.add_buffer out w.buf;
-      Buffer.add_string out frame
-  | `Disk (_, oc) ->
-      output_string oc frame;
-      Buffer.output_buffer oc w.buf;
-      output_string oc frame);
-  w.w_records <- w.w_records + 1;
-  tally_write w.w_stats (len + 8)
+  w.inner_w.Apt_store.put (Buffer.contents w.buf);
+  match w.w_stats with
+  | Some s -> s.Io_stats.records_written <- s.Io_stats.records_written + 1
+  | None -> ()
 
-let close_writer w =
-  let data =
-    match w.sink with
-    | `Mem out -> Mem_data (Buffer.contents out)
-    | `Disk (path, oc) ->
-        close_out oc;
-        let ic = open_in_bin path in
-        let size = in_channel_length ic in
-        close_in ic;
-        Disk_data { path; size }
-  in
-  { data; records = w.w_records }
+let close_writer w = w.inner_w.Apt_store.close ()
 
-let size_bytes f =
-  match f.data with
-  | Mem_data s -> String.length s
-  | Disk_data { size; _ } -> size
+let size_bytes (f : file) = f.Apt_store.f_size
+let record_count (f : file) = f.Apt_store.f_records
+let store_name (f : file) = f.Apt_store.f_store
+let backing_path (f : file) = f.Apt_store.f_path
 
-let record_count f = f.records
+let read_forward ?stats (f : file) =
+  { r_stats = stats; inner_r = f.Apt_store.f_read stats `Forward }
 
-let read_forward ?stats f =
-  let source =
-    match f.data with
-    | Mem_data s -> `Mem s
-    | Disk_data { path; _ } -> `Disk (open_in_bin path)
-  in
-  { r_stats = stats; remaining = f.records; r_pos = 0; source; direction = `Forward }
-
-let read_backward ?stats f =
-  let size = size_bytes f in
-  let source =
-    match f.data with
-    | Mem_data s -> `Mem s
-    | Disk_data { path; _ } -> `Disk (open_in_bin path)
-  in
-  { r_stats = stats; remaining = f.records; r_pos = size; source; direction = `Backward }
-
-let read_bytes r pos len =
-  match r.source with
-  | `Mem s ->
-      if pos + len > String.length s then failwith "Aptfile: truncated file";
-      String.sub s pos len
-  | `Disk ic ->
-      seek_in ic pos;
-      really_input_string ic len
+let read_backward ?stats (f : file) =
+  { r_stats = stats; inner_r = f.Apt_store.f_read stats `Backward }
 
 let read_next r =
-  if r.remaining = 0 then None
-  else begin
-    r.remaining <- r.remaining - 1;
-    match r.direction with
-    | `Forward ->
-        let header = read_bytes r r.r_pos 4 in
-        let len = u32_of_string header 0 in
-        let payload = read_bytes r (r.r_pos + 4) len in
-        r.r_pos <- r.r_pos + len + 8;
-        tally_read r.r_stats (len + 8);
-        Some (Node.decode payload)
-    | `Backward ->
-        let trailer = read_bytes r (r.r_pos - 4) 4 in
-        let len = u32_of_string trailer 0 in
-        let payload = read_bytes r (r.r_pos - 4 - len) len in
-        r.r_pos <- r.r_pos - len - 8;
-        tally_read r.r_stats (len + 8);
-        Some (Node.decode payload)
-  end
+  match r.inner_r.Apt_store.next () with
+  | None -> None
+  | Some payload ->
+      (match r.r_stats with
+      | Some s -> s.Io_stats.records_read <- s.Io_stats.records_read + 1
+      | None -> ());
+      Some (Node.decode payload)
 
-let close_reader r =
-  match r.source with `Mem _ -> () | `Disk ic -> close_in ic
+let close_reader r = r.inner_r.Apt_store.close_reader ()
 
 let to_list ?stats f =
   let r = read_forward ?stats f in
@@ -164,7 +97,4 @@ let of_list ?stats backend nodes =
   List.iter (write w) nodes;
   close_writer w
 
-let dispose f =
-  match f.data with
-  | Mem_data _ -> ()
-  | Disk_data { path; _ } -> ( try Sys.remove path with Sys_error _ -> ())
+let dispose (f : file) = f.Apt_store.f_dispose ()

@@ -4,6 +4,16 @@ type t = {
   mutable records_read : int;
   mutable records_written : int;
   mutable files_created : int;
+  (* page-level counters (paged/prefetching stores) *)
+  mutable pages_read : int;
+  mutable pages_written : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable prefetch_hits : int;
+  mutable seeks : int;
+  (* compression accounting (zip store layers) *)
+  mutable raw_bytes_read : int;
+  mutable raw_bytes_written : int;
 }
 
 let create () =
@@ -13,6 +23,14 @@ let create () =
     records_read = 0;
     records_written = 0;
     files_created = 0;
+    pages_read = 0;
+    pages_written = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    prefetch_hits = 0;
+    seeks = 0;
+    raw_bytes_read = 0;
+    raw_bytes_written = 0;
   }
 
 let reset t =
@@ -20,22 +38,80 @@ let reset t =
   t.bytes_written <- 0;
   t.records_read <- 0;
   t.records_written <- 0;
-  t.files_created <- 0
+  t.files_created <- 0;
+  t.pages_read <- 0;
+  t.pages_written <- 0;
+  t.pool_hits <- 0;
+  t.pool_misses <- 0;
+  t.prefetch_hits <- 0;
+  t.seeks <- 0;
+  t.raw_bytes_read <- 0;
+  t.raw_bytes_written <- 0
 
 let add ~into t =
   into.bytes_read <- into.bytes_read + t.bytes_read;
   into.bytes_written <- into.bytes_written + t.bytes_written;
   into.records_read <- into.records_read + t.records_read;
   into.records_written <- into.records_written + t.records_written;
-  into.files_created <- into.files_created + t.files_created
+  into.files_created <- into.files_created + t.files_created;
+  into.pages_read <- into.pages_read + t.pages_read;
+  into.pages_written <- into.pages_written + t.pages_written;
+  into.pool_hits <- into.pool_hits + t.pool_hits;
+  into.pool_misses <- into.pool_misses + t.pool_misses;
+  into.prefetch_hits <- into.prefetch_hits + t.prefetch_hits;
+  into.seeks <- into.seeks + t.seeks;
+  into.raw_bytes_read <- into.raw_bytes_read + t.raw_bytes_read;
+  into.raw_bytes_written <- into.raw_bytes_written + t.raw_bytes_written
 
 let total_bytes t = t.bytes_read + t.bytes_written
+let total_pages t = t.pages_read + t.pages_written
+
+let compression_ratio t =
+  if t.raw_bytes_written > 0 && t.bytes_written > 0 then
+    Some (float_of_int t.raw_bytes_written /. float_of_int t.bytes_written)
+  else None
 
 let modeled_seconds t ~bytes_per_second =
   float_of_int (total_bytes t) /. bytes_per_second
 
+let modeled_seconds_seek t ~bytes_per_second ~seek_seconds =
+  modeled_seconds t ~bytes_per_second +. (float_of_int t.seeks *. seek_seconds)
+
 let pp ppf t =
   Format.fprintf ppf
-    "read %d B / %d rec; wrote %d B / %d rec; %d files"
-    t.bytes_read t.records_read t.bytes_written t.records_written
-    t.files_created
+    "read %d B / %d rec; wrote %d B / %d rec; %d files" t.bytes_read
+    t.records_read t.bytes_written t.records_written t.files_created;
+  if total_pages t > 0 then
+    Format.fprintf ppf "; pages %dr/%dw; pool %d hit/%d miss; %d prefetched"
+      t.pages_read t.pages_written t.pool_hits t.pool_misses t.prefetch_hits;
+  if t.seeks > 0 then Format.fprintf ppf "; %d seeks" t.seeks;
+  match compression_ratio t with
+  | Some r -> Format.fprintf ppf "; %d raw B (%.2fx compression)" t.raw_bytes_written r
+  | None -> ()
+
+let to_json t =
+  let fields =
+    [
+      ("bytes_read", string_of_int t.bytes_read);
+      ("bytes_written", string_of_int t.bytes_written);
+      ("records_read", string_of_int t.records_read);
+      ("records_written", string_of_int t.records_written);
+      ("files_created", string_of_int t.files_created);
+      ("pages_read", string_of_int t.pages_read);
+      ("pages_written", string_of_int t.pages_written);
+      ("pool_hits", string_of_int t.pool_hits);
+      ("pool_misses", string_of_int t.pool_misses);
+      ("prefetch_hits", string_of_int t.prefetch_hits);
+      ("seeks", string_of_int t.seeks);
+      ("raw_bytes_read", string_of_int t.raw_bytes_read);
+      ("raw_bytes_written", string_of_int t.raw_bytes_written);
+      ( "compression_ratio",
+        match compression_ratio t with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "null" );
+    ]
+  in
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"

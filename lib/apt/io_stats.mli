@@ -3,7 +3,13 @@
     LINGUIST-86's operating characteristics hinge on the observation that
     the generated evaluators are I/O bound; every byte and record moved
     through the APT files is tallied here so the benchmark harness can
-    attribute time to transfer volume (experiments E4, E6, F2). *)
+    attribute time to transfer volume (experiments E4, E6, F2).
+
+    Byte counters record traffic against the backing medium and are
+    maintained by the store implementations ({!Apt_store}); record
+    counters are maintained by the {!Aptfile} façade. Page-level counters
+    are populated only by the paged/prefetching stores; raw-byte counters
+    only by compressing store layers. *)
 
 type t = {
   mutable bytes_read : int;
@@ -11,16 +17,46 @@ type t = {
   mutable records_read : int;
   mutable records_written : int;
   mutable files_created : int;
+  mutable pages_read : int;  (** pages fetched from the medium *)
+  mutable pages_written : int;  (** pages flushed to the medium *)
+  mutable pool_hits : int;  (** page requests served from the buffer pool *)
+  mutable pool_misses : int;  (** page requests that went to the medium *)
+  mutable prefetch_hits : int;  (** pool hits on pages loaded by read-ahead *)
+  mutable seeks : int;  (** non-contiguous repositionings of the medium *)
+  mutable raw_bytes_read : int;
+      (** bytes the base store would have moved uncompressed (payload +
+          framing) for the records delivered *)
+  mutable raw_bytes_written : int;
+      (** bytes the base store would have moved uncompressed (payload +
+          framing) for the records accepted *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
 val add : into:t -> t -> unit
+(** Field-wise accumulation; covers every counter. *)
 
 val total_bytes : t -> int
+val total_pages : t -> int
+
+val compression_ratio : t -> float option
+(** [raw_bytes_written / bytes_written] when a compressing layer ran,
+    [None] otherwise. Above 1.0 means the store shrank the stream. *)
 
 val modeled_seconds : t -> bytes_per_second:float -> float
 (** Transfer time under a sequential-device cost model — the floppy/rigid
     disk of the paper's 8086 host. *)
 
+val modeled_seconds_seek :
+  t -> bytes_per_second:float -> seek_seconds:float -> float
+(** Like {!modeled_seconds} but charging each recorded seek separately —
+    distinguishes the per-record seeking of the legacy backward reader
+    from a paged store's few page-boundary seeks. *)
+
 val pp : Format.formatter -> t -> unit
+(** Prints every populated counter group. *)
+
+val to_json : t -> string
+(** One flat JSON object with every counter plus the derived
+    [compression_ratio]; used by the bench harness's [BENCH_apt.json]. *)

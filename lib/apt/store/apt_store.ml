@@ -1,0 +1,135 @@
+(* The pluggable APT store layer.
+
+   A store moves opaque byte records (the payloads produced by
+   [Node.encode]) to and from some medium and hands them back as a
+   sequential stream readable from either end — the only access pattern
+   the alternating-pass evaluator ever needs. The [Aptfile] façade keeps
+   the node codec and record accounting; stores own the on-medium layout
+   and the byte/page/seek accounting. *)
+
+type direction = [ `Forward | `Backward ]
+
+type config = {
+  dir : string option;  (** backing directory; [None] = system temp dir *)
+  page_size : int;
+  pool_pages : int;  (** buffer-pool capacity, in pages *)
+  prefetch_pages : int;  (** read-ahead window on sequential access *)
+  zip_block : int;  (** records per compressed block in zip layers *)
+}
+
+let default_config =
+  { dir = None; page_size = 4096; pool_pages = 8; prefetch_pages = 2; zip_block = 32 }
+
+(* ---- the erased, first-class store values ---- *)
+
+type reader = { next : unit -> string option; close_reader : unit -> unit }
+
+type file = {
+  f_store : string;  (** name of the store that wrote it *)
+  f_size : int;  (** bytes occupied on the medium *)
+  f_records : int;
+  f_path : string option;  (** backing file, exposed for tests/tools *)
+  f_read : Io_stats.t option -> direction -> reader;
+  f_dispose : unit -> unit;
+}
+
+type writer = { put : string -> unit; close : unit -> file }
+type t = { s_name : string; start : Io_stats.t option -> writer }
+
+(* ---- the module signature a store implementation satisfies ---- *)
+
+module type APT_STORE = sig
+  val name : string
+
+  type writer
+  type file
+  type reader
+
+  val open_writer : Io_stats.t option -> writer
+  val put : writer -> string -> unit
+  val close_writer : writer -> file
+  val size_bytes : file -> int
+  val record_count : file -> int
+  val backing_path : file -> string option
+  val open_reader : Io_stats.t option -> direction -> file -> reader
+  val next : reader -> string option
+  val close_reader : reader -> unit
+  val dispose : file -> unit
+end
+
+let pack (module M : APT_STORE) : t =
+  let wrap_file (f : M.file) : file =
+    {
+      f_store = M.name;
+      f_size = M.size_bytes f;
+      f_records = M.record_count f;
+      f_path = M.backing_path f;
+      f_read =
+        (fun stats dir ->
+          let r = M.open_reader stats dir f in
+          { next = (fun () -> M.next r); close_reader = (fun () -> M.close_reader r) });
+      f_dispose = (fun () -> M.dispose f);
+    }
+  in
+  {
+    s_name = M.name;
+    start =
+      (fun stats ->
+        let w = M.open_writer stats in
+        { put = M.put w; close = (fun () -> wrap_file (M.close_writer w)) });
+  }
+
+(* ---- the legacy record frame, shared by every on-medium layout ----
+
+   4-byte little-endian payload length on both sides of the payload, so
+   the stream can be walked from either end with O(1) buffering. *)
+
+module Frame = struct
+  let overhead = 8
+
+  let u32_to_string n =
+    let b = Bytes.create 4 in
+    Bytes.set_uint8 b 0 (n land 0xff);
+    Bytes.set_uint8 b 1 ((n lsr 8) land 0xff);
+    Bytes.set_uint8 b 2 ((n lsr 16) land 0xff);
+    Bytes.set_uint8 b 3 ((n lsr 24) land 0xff);
+    Bytes.unsafe_to_string b
+
+  let u32_of_string s pos =
+    Char.code s.[pos]
+    lor (Char.code s.[pos + 1] lsl 8)
+    lor (Char.code s.[pos + 2] lsl 16)
+    lor (Char.code s.[pos + 3] lsl 24)
+end
+
+(* ---- varints, shared by the zip layer's block codec ---- *)
+
+module Varint = struct
+  let add buf n =
+    let rec go u =
+      if u land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr u)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x7f)));
+        go (u lsr 7)
+      end
+    in
+    if n < 0 then invalid_arg "Apt_store.Varint.add: negative";
+    go n
+
+  let read s pos =
+    let rec go pos shift acc =
+      if pos >= String.length s then failwith "Apt_store.Varint.read: truncated";
+      let byte = Char.code s.[pos] in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+    in
+    go pos 0 0
+end
+
+let temp_path config =
+  let dir =
+    match config.dir with Some d -> d | None -> Filename.get_temp_dir_name ()
+  in
+  Filename.temp_file ~temp_dir:dir "apt" ".tmp"
+
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()

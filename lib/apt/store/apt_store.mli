@@ -1,0 +1,81 @@
+(** The pluggable APT store layer.
+
+    A store moves opaque byte records — the payloads produced by
+    {!Node.encode} — to and from some medium, and streams them back
+    sequentially from either end: the only access pattern the
+    alternating-pass evaluator needs (paper §II/§IV). The {!Aptfile}
+    façade keeps the node codec and record accounting; stores own the
+    on-medium layout and tally bytes, pages and seeks into {!Io_stats}.
+
+    A store can be written two ways: directly as the erased record type
+    {!t} (closures), or as a module satisfying {!APT_STORE} and erased
+    with {!pack}. Registration happens in {!Store_registry}. *)
+
+type direction = [ `Forward | `Backward ]
+
+type config = {
+  dir : string option;  (** backing directory; [None] = system temp dir *)
+  page_size : int;  (** page size for paged stores, bytes *)
+  pool_pages : int;  (** buffer-pool capacity, in pages *)
+  prefetch_pages : int;  (** read-ahead window on sequential access *)
+  zip_block : int;  (** records per compressed block in zip layers *)
+}
+
+val default_config : config
+(** 4 KiB pages, 8-page pool, 2-page read-ahead, 32-record blocks. *)
+
+type reader = { next : unit -> string option; close_reader : unit -> unit }
+
+type file = {
+  f_store : string;  (** name of the store that wrote it *)
+  f_size : int;  (** bytes occupied on the medium *)
+  f_records : int;
+  f_path : string option;  (** backing file, exposed for tests/tools *)
+  f_read : Io_stats.t option -> direction -> reader;
+  f_dispose : unit -> unit;
+}
+
+type writer = { put : string -> unit; close : unit -> file }
+type t = { s_name : string; start : Io_stats.t option -> writer }
+
+(** What a store implementation provides before type erasure. *)
+module type APT_STORE = sig
+  val name : string
+
+  type writer
+  type file
+  type reader
+
+  val open_writer : Io_stats.t option -> writer
+  val put : writer -> string -> unit
+  val close_writer : writer -> file
+  val size_bytes : file -> int
+  val record_count : file -> int
+  val backing_path : file -> string option
+  val open_reader : Io_stats.t option -> direction -> file -> reader
+  val next : reader -> string option
+  val close_reader : reader -> unit
+  val dispose : file -> unit
+end
+
+val pack : (module APT_STORE) -> t
+(** Erase an [APT_STORE] module into a first-class store value. *)
+
+(** The legacy record frame shared by the byte-compatible layouts:
+    a 4-byte little-endian payload length on {e both} sides. *)
+module Frame : sig
+  val overhead : int
+  val u32_to_string : int -> string
+  val u32_of_string : string -> int -> int
+end
+
+(** LEB128-style varints, used by the zip layer's block codec. *)
+module Varint : sig
+  val add : Buffer.t -> int -> unit
+  val read : string -> int -> int * int  (** (value, next position) *)
+end
+
+val temp_path : config -> string
+(** Fresh temp file under [config.dir] (or the system temp dir). *)
+
+val remove_quietly : string -> unit

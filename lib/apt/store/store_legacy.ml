@@ -1,0 +1,167 @@
+(* The two seed backends, kept byte-for-byte compatible: every record is
+   [u32 len | payload | u32 len]. [mem] is implemented as an [APT_STORE]
+   module run through [Apt_store.pack] (proving the signature is the real
+   plug point); [disk] is the unbuffered whole-record file store whose
+   per-record seeking the paged stores exist to beat — its reader now
+   tallies those repositionings into [Io_stats.seeks]. *)
+
+open Apt_store
+
+let tally_write stats bytes =
+  match stats with
+  | Some s -> s.Io_stats.bytes_written <- s.Io_stats.bytes_written + bytes
+  | None -> ()
+
+let tally_read stats bytes =
+  match stats with
+  | Some s -> s.Io_stats.bytes_read <- s.Io_stats.bytes_read + bytes
+  | None -> ()
+
+let tally_seek stats =
+  match stats with
+  | Some s -> s.Io_stats.seeks <- s.Io_stats.seeks + 1
+  | None -> ()
+
+module Mem : APT_STORE = struct
+  let name = "mem"
+
+  type writer = { buf : Buffer.t; w_stats : Io_stats.t option; mutable w_records : int }
+  type file = { data : string; records : int }
+
+  type reader = {
+    r_data : string;
+    mutable pos : int;
+    r_dir : direction;
+    r_stats : Io_stats.t option;
+  }
+
+  let open_writer stats = { buf = Buffer.create 4096; w_stats = stats; w_records = 0 }
+
+  let put w payload =
+    let len = String.length payload in
+    let frame = Frame.u32_to_string len in
+    Buffer.add_string w.buf frame;
+    Buffer.add_string w.buf payload;
+    Buffer.add_string w.buf frame;
+    w.w_records <- w.w_records + 1;
+    tally_write w.w_stats (len + Frame.overhead)
+
+  let close_writer w = { data = Buffer.contents w.buf; records = w.w_records }
+  let size_bytes f = String.length f.data
+  let record_count f = f.records
+  let backing_path _ = None
+
+  let open_reader stats dir f =
+    let pos = match dir with `Forward -> 0 | `Backward -> String.length f.data in
+    { r_data = f.data; pos; r_dir = dir; r_stats = stats }
+
+  let slice r pos len =
+    if pos < 0 || pos + len > String.length r.r_data then
+      failwith "Aptfile: truncated file";
+    String.sub r.r_data pos len
+
+  let next r =
+    match r.r_dir with
+    | `Forward ->
+        if r.pos >= String.length r.r_data then None
+        else begin
+          let len = Frame.u32_of_string (slice r r.pos 4) 0 in
+          let payload = slice r (r.pos + 4) len in
+          r.pos <- r.pos + len + Frame.overhead;
+          tally_read r.r_stats (len + Frame.overhead);
+          Some payload
+        end
+    | `Backward ->
+        if r.pos <= 0 then None
+        else begin
+          let len = Frame.u32_of_string (slice r (r.pos - 4) 4) 0 in
+          let payload = slice r (r.pos - 4 - len) len in
+          r.pos <- r.pos - len - Frame.overhead;
+          tally_read r.r_stats (len + Frame.overhead);
+          Some payload
+        end
+
+  let close_reader _ = ()
+  let dispose _ = ()
+end
+
+let mem () = pack (module Mem)
+
+(* ---- the unbuffered disk store ---- *)
+
+type disk_writer = {
+  path : string;
+  oc : out_channel;
+  dw_stats : Io_stats.t option;
+  mutable dw_records : int;
+}
+
+let disk config : t =
+  let open_reader file_path size stats dir =
+    let ic = open_in_bin file_path in
+    let pos = ref (match dir with `Forward -> 0 | `Backward -> size) in
+    let phys = ref 0 in
+    (* every non-contiguous repositioning is a seek on the period device *)
+    let read_at p len =
+      if p < 0 || p + len > size then failwith "Aptfile: truncated file";
+      if p <> !phys then begin
+        tally_seek stats;
+        seek_in ic p
+      end;
+      phys := p + len;
+      really_input_string ic len
+    in
+    let next () =
+      match dir with
+      | `Forward ->
+          if !pos >= size then None
+          else begin
+            let len = Frame.u32_of_string (read_at !pos 4) 0 in
+            let payload = read_at (!pos + 4) len in
+            pos := !pos + len + Frame.overhead;
+            tally_read stats (len + Frame.overhead);
+            Some payload
+          end
+      | `Backward ->
+          if !pos <= 0 then None
+          else begin
+            let len = Frame.u32_of_string (read_at (!pos - 4) 4) 0 in
+            let payload = read_at (!pos - 4 - len) len in
+            pos := !pos - len - Frame.overhead;
+            tally_read stats (len + Frame.overhead);
+            Some payload
+          end
+    in
+    { next; close_reader = (fun () -> close_in ic) }
+  in
+  let close_writer w =
+    let size = pos_out w.oc in
+    close_out w.oc;
+    {
+      f_store = "disk";
+      f_size = size;
+      f_records = w.dw_records;
+      f_path = Some w.path;
+      f_read = (fun stats dir -> open_reader w.path size stats dir);
+      f_dispose = (fun () -> remove_quietly w.path);
+    }
+  in
+  {
+    s_name = "disk";
+    start =
+      (fun stats ->
+        let path = temp_path config in
+        let w = { path; oc = open_out_bin path; dw_stats = stats; dw_records = 0 } in
+        {
+          put =
+            (fun payload ->
+              let len = String.length payload in
+              let frame = Frame.u32_to_string len in
+              output_string w.oc frame;
+              output_string w.oc payload;
+              output_string w.oc frame;
+              w.dw_records <- w.dw_records + 1;
+              tally_write w.dw_stats (len + Frame.overhead));
+          close = (fun () -> close_writer w);
+        });
+  }

@@ -1,0 +1,86 @@
+(* The paged disk store: the same framed record layout as the legacy
+   [disk] store (files are byte-identical), but all I/O goes through a
+   fixed-size page buffer pool ([Store_pager]), so a backward scan costs
+   one physical read per page instead of two seeks per record. With
+   [prefetch > 0] the pool reads ahead in the detected scan direction —
+   that configuration is registered separately as the "prefetch" store. *)
+
+open Apt_store
+
+(* [want] tells the pool which neighbouring bytes the decode certainly
+   needs next, so a frame probe never pays for the far side of the page:
+   a header's page is read from the header up (the payload lies above),
+   a backward trailer's page from the trailer down. *)
+let frame_len_at pager pos ~want =
+  Frame.u32_of_string (Store_pager.read pager ~pos ~len:4 ~want) 0
+
+let corrupt what = failwith (Printf.sprintf "Aptfile: corrupt record frame (%s)" what)
+
+let make ?(name = "paged") ?(prefetch = 0) config : t =
+  let open_reader path size stats dir =
+    let pager =
+      Store_pager.create ?stats ~page_size:config.page_size
+        ~capacity:config.pool_pages ~prefetch ~path ~size ()
+    in
+    let pos = ref (match dir with `Forward -> 0 | `Backward -> size) in
+    let next () =
+      match dir with
+      | `Forward ->
+          if !pos >= size then None
+          else begin
+            let len = frame_len_at pager !pos ~want:`High in
+            if len < 0 || !pos + len + Frame.overhead > size then
+              corrupt "forward header";
+            if frame_len_at pager (!pos + 4 + len) ~want:`High <> len then
+              corrupt "trailer disagrees with header";
+            let payload = Store_pager.read pager ~pos:(!pos + 4) ~len ~want:`High in
+            pos := !pos + len + Frame.overhead;
+            Some payload
+          end
+      | `Backward ->
+          if !pos <= 0 then None
+          else begin
+            let len = frame_len_at pager (!pos - 4) ~want:`Low in
+            if len < 0 || !pos - len - Frame.overhead < 0 then
+              corrupt "backward trailer";
+            if frame_len_at pager (!pos - len - Frame.overhead) ~want:`High <> len
+            then corrupt "header disagrees with trailer";
+            let payload =
+              Store_pager.read pager ~pos:(!pos - 4 - len) ~len ~want:`Low
+            in
+            pos := !pos - len - Frame.overhead;
+            Some payload
+          end
+    in
+    { next; close_reader = (fun () -> Store_pager.close pager) }
+  in
+  {
+    s_name = name;
+    start =
+      (fun stats ->
+        let path = temp_path config in
+        let w =
+          Store_pager.create_writer ?stats ~page_size:config.page_size ~path ()
+        in
+        let records = ref 0 in
+        {
+          put =
+            (fun payload ->
+              let frame = Frame.u32_to_string (String.length payload) in
+              Store_pager.append w frame;
+              Store_pager.append w payload;
+              Store_pager.append w frame;
+              incr records);
+          close =
+            (fun () ->
+              let size = Store_pager.close_writer w in
+              {
+                f_store = name;
+                f_size = size;
+                f_records = !records;
+                f_path = Some path;
+                f_read = (fun stats dir -> open_reader path size stats dir);
+                f_dispose = (fun () -> remove_quietly path);
+              });
+        });
+  }

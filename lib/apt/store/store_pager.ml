@@ -1,0 +1,280 @@
+(* Page-grained I/O for the paged stores: an LRU buffer pool over a
+   backing file, with optional read-ahead, plus a page-buffered append
+   writer. All byte/page/seek accounting for paged stores happens here.
+
+   Cost model: one physical operation transfers one contiguous byte range
+   and costs a seek only when it does not start where the previous
+   operation left the head. Pool entries hold a contiguous *segment* of a
+   page: a miss fetches from the requested offset toward the side the
+   caller says the scan needs next ([want]), and later requests extend the
+   segment with prefix/suffix fetches instead of re-reading held bytes.
+   A full sequential scan therefore moves exactly [size] bytes — never
+   more than the legacy store — and a partial read (say, just the root
+   record) is never charged for bytes on the far side of a frame. *)
+
+type page = {
+  mutable base : int;  (** offset within the page of [data]'s first byte *)
+  mutable data : string;
+  mutable tick : int;
+  mutable prefetched : bool;
+}
+
+type t = {
+  ic : in_channel;
+  size : int;
+  page_size : int;
+  capacity : int;
+  prefetch : int;
+  stats : Io_stats.t option;
+  pages : (int, page) Hashtbl.t;
+  mutable clock : int;
+  mutable phys : int;  (** where the medium's head currently sits *)
+  mutable last_page : int;  (** last explicitly requested page *)
+  mutable last_dir : int;  (** +1 / -1 / 0: detected scan direction *)
+}
+
+let create ?stats ~page_size ~capacity ~prefetch ~path ~size () =
+  if page_size <= 0 then invalid_arg "Store_pager.create: page_size";
+  {
+    ic = open_in_bin path;
+    size;
+    page_size;
+    capacity = max 2 capacity;
+    prefetch = max 0 prefetch;
+    stats;
+    pages = Hashtbl.create 16;
+    clock = 0;
+    phys = 0;
+    last_page = min_int;
+    last_dir = 0;
+  }
+
+let close t = close_in t.ic
+
+let page_len t n = min t.page_size (t.size - (n * t.page_size))
+let tally f t = match t.stats with Some s -> f s | None -> ()
+
+let evict_to_capacity t =
+  while Hashtbl.length t.pages >= t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun n p acc ->
+          match acc with
+          | Some (_, best) when best <= p.tick -> acc
+          | _ -> Some (n, p.tick))
+        t.pages None
+    in
+    match victim with
+    | Some (n, _) -> Hashtbl.remove t.pages n
+    | None -> ()
+  done
+
+(* One physical transfer of the absolute byte range [start, stop). *)
+let transfer t ~start ~stop =
+  let len = stop - start in
+  if start <> t.phys then begin
+    tally (fun s -> s.Io_stats.seeks <- s.Io_stats.seeks + 1) t;
+    seek_in t.ic start
+  end;
+  let run =
+    try really_input_string t.ic len
+    with End_of_file -> failwith "Aptfile: truncated file (page read past EOF)"
+  in
+  t.phys <- stop;
+  tally (fun s -> s.Io_stats.bytes_read <- s.Io_stats.bytes_read + len) t;
+  run
+
+let touch t p =
+  t.clock <- t.clock + 1;
+  p.tick <- t.clock;
+  if p.prefetched then begin
+    p.prefetched <- false;
+    tally (fun s -> s.Io_stats.prefetch_hits <- s.Io_stats.prefetch_hits + 1) t
+  end
+
+(* Serve bytes [lo, hi) of page [n]'s local coordinates. On a miss the
+   fetch is widened to the end of the page on the [want] side (those
+   bytes carry the rest of the record the caller is decoding); the other
+   side stays unread until the scan actually gets there, at which point
+   the segment is extended in place. Sequential misses additionally pull
+   whole read-ahead pages in the scan direction. *)
+let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
+  let plen = page_len t n in
+  let start_of n = n * t.page_size in
+  let dir =
+    if n = t.last_page + 1 then 1 else if n = t.last_page - 1 then -1 else 0
+  in
+  let sequential = dir <> 0 in
+  let dir = if dir <> 0 then dir else t.last_dir in
+  t.last_page <- n;
+  if dir <> 0 then t.last_dir <- dir;
+  let serve p = String.sub p.data (lo - p.base) (hi - lo) in
+  match Hashtbl.find_opt t.pages n with
+  | Some p when p.base <= lo && hi <= p.base + String.length p.data ->
+      touch t p;
+      tally (fun s -> s.Io_stats.pool_hits <- s.Io_stats.pool_hits + 1) t;
+      serve p
+  | Some p ->
+      (* held segment doesn't cover the request: extend it *)
+      tally (fun s -> s.Io_stats.pool_misses <- s.Io_stats.pool_misses + 1) t;
+      let dlo, dhi =
+        match want with `Low -> (0, hi) | `High -> (lo, plen)
+      in
+      let dlo = min dlo p.base and dhi = max dhi (p.base + String.length p.data) in
+      if dlo < p.base then begin
+        let prefix = transfer t ~start:(start_of n + dlo) ~stop:(start_of n + p.base) in
+        p.data <- prefix ^ p.data;
+        p.base <- dlo
+      end;
+      let pend = p.base + String.length p.data in
+      if dhi > pend then
+        p.data <- p.data ^ transfer t ~start:(start_of n + pend) ~stop:(start_of n + dhi);
+      touch t p;
+      serve p
+  | None ->
+      tally (fun s -> s.Io_stats.pool_misses <- s.Io_stats.pool_misses + 1) t;
+      let dlo, dhi =
+        match want with `Low -> (0, hi) | `High -> (lo, plen)
+      in
+      (* read-ahead: whole neighbouring pages in the scan direction, in
+         the same physical transfer, stopping at any page already held *)
+      let ahead = if sequential then min t.prefetch (t.capacity - 1) else 0 in
+      let last_file_page = if t.size = 0 then -1 else (t.size - 1) / t.page_size in
+      let lo_page, hi_page =
+        if dir > 0 then begin
+          let h = ref n in
+          while
+            !h < min last_file_page (n + ahead)
+            && not (Hashtbl.mem t.pages (!h + 1))
+          do
+            incr h
+          done;
+          (n, !h)
+        end
+        else if dir < 0 then begin
+          let l = ref n in
+          while !l > max 0 (n - ahead) && not (Hashtbl.mem t.pages (!l - 1)) do
+            decr l
+          done;
+          (!l, n)
+        end
+        else (n, n)
+      in
+      let start = if lo_page < n then start_of lo_page else start_of n + dlo in
+      let stop = if hi_page > n then start_of hi_page + page_len t hi_page else start_of n + dhi in
+      let run = transfer t ~start ~stop in
+      tally
+        (fun s -> s.Io_stats.pages_read <- s.Io_stats.pages_read + (hi_page - lo_page + 1))
+        t;
+      for m = lo_page to hi_page do
+        evict_to_capacity t;
+        t.clock <- t.clock + 1;
+        let m_lo = max start (start_of m) and m_hi = min stop (start_of m + page_len t m) in
+        Hashtbl.replace t.pages m
+          {
+            base = m_lo - start_of m;
+            data = String.sub run (m_lo - start) (m_hi - m_lo);
+            tick = t.clock;
+            prefetched = m <> n;
+          }
+      done;
+      let p = Hashtbl.find t.pages n in
+      touch t p;
+      p.prefetched <- false;
+      serve p
+
+let read t ~pos ~len ~want =
+  if pos < 0 || len < 0 || pos + len > t.size then
+    failwith "Aptfile: truncated file";
+  if len = 0 then ""
+  else begin
+    let first = pos / t.page_size and last = (pos + len - 1) / t.page_size in
+    if first = last then
+      page_slice t first ~lo:(pos - (first * t.page_size))
+        ~hi:(pos + len - (first * t.page_size)) ~want
+    else begin
+      let buf = Buffer.create len in
+      Buffer.add_string buf
+        (page_slice t first ~lo:(pos - (first * t.page_size))
+           ~hi:(page_len t first) ~want);
+      (* Interior pages lie entirely inside this one record, so pooling
+         them buys nothing — a record wider than the pool would evict the
+         very boundary pages the scan is about to revisit. Absent interior
+         pages are fetched raw, in contiguous runs, and never pooled. *)
+      let n = ref (first + 1) in
+      while !n < last do
+        match Hashtbl.find_opt t.pages !n with
+        | Some _ ->
+            Buffer.add_string buf
+              (page_slice t !n ~lo:0 ~hi:(page_len t !n) ~want);
+            incr n
+        | None ->
+            let hi = ref !n in
+            while !hi + 1 < last && not (Hashtbl.mem t.pages (!hi + 1)) do
+              incr hi
+            done;
+            tally
+              (fun s ->
+                s.Io_stats.pool_misses <- s.Io_stats.pool_misses + (!hi - !n + 1);
+                s.Io_stats.pages_read <- s.Io_stats.pages_read + (!hi - !n + 1))
+              t;
+            Buffer.add_string buf
+              (transfer t ~start:(!n * t.page_size)
+                 ~stop:((!hi * t.page_size) + page_len t !hi));
+            n := !hi + 1
+      done;
+      Buffer.add_string buf
+        (page_slice t last ~lo:0 ~hi:(pos + len - (last * t.page_size)) ~want);
+      if Buffer.length buf <> len then failwith "Aptfile: truncated file";
+      Buffer.contents buf
+    end
+  end
+
+(* ---- page-buffered append writer ---- *)
+
+type w = {
+  oc : out_channel;
+  w_page_size : int;
+  w_stats : Io_stats.t option;
+  buf : Buffer.t;
+  mutable written : int;
+}
+
+let create_writer ?stats ~page_size ~path () =
+  if page_size <= 0 then invalid_arg "Store_pager.create_writer: page_size";
+  {
+    oc = open_out_bin path;
+    w_page_size = page_size;
+    w_stats = stats;
+    buf = Buffer.create (2 * page_size);
+    written = 0;
+  }
+
+let tally_w f w = match w.w_stats with Some s -> f s | None -> ()
+
+let flush_pages w ~all =
+  let len = Buffer.length w.buf in
+  let whole = len / w.w_page_size * w.w_page_size in
+  let flushed = if all then len else whole in
+  if flushed > 0 then begin
+    let s = Buffer.contents w.buf in
+    output_substring w.oc s 0 flushed;
+    Buffer.clear w.buf;
+    Buffer.add_substring w.buf s flushed (len - flushed);
+    w.written <- w.written + flushed;
+    tally_w
+      (fun st ->
+        st.Io_stats.bytes_written <- st.Io_stats.bytes_written + flushed;
+        st.Io_stats.pages_written <-
+          st.Io_stats.pages_written + ((flushed + w.w_page_size - 1) / w.w_page_size))
+      w
+  end
+
+let append w s =
+  Buffer.add_string w.buf s;
+  if Buffer.length w.buf >= w.w_page_size then flush_pages w ~all:false
+
+let close_writer w =
+  flush_pages w ~all:true;
+  close_out w.oc;
+  w.written

@@ -1,0 +1,11 @@
+(* The prefetching store: the paged store with read-ahead enabled. On a
+   pool miss during a sequential scan the pager fetches the next
+   [prefetch_pages] pages of the scan direction in the same physical
+   operation; hits on those pages are tallied as [Io_stats.prefetch_hits].
+   The alternating-pass evaluator's access pattern is purely sequential,
+   so nearly every page after the first arrives ahead of its use. *)
+
+let make (config : Apt_store.config) =
+  Store_paged.make ~name:"prefetch"
+    ~prefetch:(max 1 config.prefetch_pages)
+    config

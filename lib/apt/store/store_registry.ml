@@ -1,0 +1,50 @@
+(* The store registry: name -> configured store. The builtin table is
+   populated here (not by side effects in the implementation modules, so
+   selective linking can never lose a backend); [register] is the
+   extension point for out-of-tree stores, used e.g. by the test suite to
+   plug a custom [APT_STORE] module in via [Apt_store.pack]. *)
+
+type entry = {
+  description : string;
+  make : Apt_store.config -> Apt_store.t;
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+let register ~name ~description make =
+  Hashtbl.replace table name { description; make }
+
+let () =
+  register ~name:"mem"
+    ~description:"in-memory buffer, legacy record framing (the paper's virtual-memory answer)"
+    (fun _ -> Store_legacy.mem ());
+  register ~name:"disk"
+    ~description:"unbuffered temp file, legacy record framing (the seed default)"
+    Store_legacy.disk;
+  register ~name:"paged"
+    ~description:"paged temp file with an LRU buffer pool (same byte format as disk)"
+    (fun c -> Store_paged.make c);
+  register ~name:"prefetch"
+    ~description:"paged store reading ahead N pages on sequential access"
+    Store_prefetch.make;
+  register ~name:"zip"
+    ~description:"front-coded block compression layered over the disk store"
+    (fun c -> Store_zip.layer ~name:"zip" c (Store_legacy.disk c));
+  register ~name:"paged+zip"
+    ~description:"front-coded block compression layered over the paged store"
+    (fun c -> Store_zip.layer ~name:"paged+zip" c (Store_paged.make c))
+
+let names () = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let description name =
+  match Hashtbl.find_opt table name with
+  | Some e -> Some e.description
+  | None -> None
+
+let find ?(config = Apt_store.default_config) name =
+  match Hashtbl.find_opt table name with
+  | Some e -> e.make config
+  | None ->
+      failwith
+        (Printf.sprintf "unknown APT store %S (registered: %s)" name
+           (String.concat ", " (names ())))

@@ -1,0 +1,22 @@
+(** The APT store registry: name -> configured store.
+
+    Builtins: ["mem"], ["disk"] (the byte-compatible seed backends),
+    ["paged"] (LRU buffer pool), ["prefetch"] (paged + read-ahead),
+    ["zip"] and ["paged+zip"] (front-coded block compression layered
+    over disk/paged). [register] plugs in out-of-tree stores, e.g. an
+    {!Apt_store.APT_STORE} module erased with {!Apt_store.pack}. *)
+
+val register :
+  name:string ->
+  description:string ->
+  (Apt_store.config -> Apt_store.t) ->
+  unit
+(** Replaces any existing entry of the same name. *)
+
+val names : unit -> string list
+(** Sorted registered names. *)
+
+val description : string -> string option
+
+val find : ?config:Apt_store.config -> string -> Apt_store.t
+(** @raise Failure on an unknown name, listing the registered ones. *)

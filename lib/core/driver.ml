@@ -6,6 +6,7 @@ type options = {
   max_passes : int;
   emit_listing : bool;
   emit_code : bool;
+  apt_backend : Lg_apt.Aptfile.backend;
 }
 
 let default_options =
@@ -15,7 +16,11 @@ let default_options =
     max_passes = 16;
     emit_listing = true;
     emit_code = true;
+    apt_backend = Lg_apt.Aptfile.Mem;
   }
+
+let engine_options options =
+  { Engine.default_options with Engine.backend = options.apt_backend }
 
 type artifact = {
   ir : Ir.t;

@@ -14,9 +14,17 @@ type options = {
   max_passes : int;  (** default 16 *)
   emit_listing : bool;  (** default true *)
   emit_code : bool;  (** default true *)
+  apt_backend : Lg_apt.Aptfile.backend;
+      (** store backing the intermediate APT files of any evaluator run
+          built from this artifact (default [Mem]); see
+          {!Lg_apt.Store_registry} for the available stores *)
 }
 
 val default_options : options
+
+val engine_options : options -> Engine.options
+(** {!Engine.default_options} with the backend selection applied —
+    threads [--apt-store] from the CLI down to evaluator runs. *)
 
 type artifact = {
   ir : Ir.t;

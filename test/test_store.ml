@@ -1,0 +1,363 @@
+(* Tests for the pluggable APT store subsystem: every registered store
+   must stream records back in both directions, the byte-compatible
+   stores must pin the legacy on-medium format exactly, corrupt or
+   truncated backing files must fail loudly, and the registry must accept
+   out-of-tree stores packed from an APT_STORE module. *)
+open Lg_support
+open Lg_apt
+open Apt_store
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "storetest" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let config_in dir = { default_config with dir = Some dir }
+
+(* A config that forces multi-page records and pool pressure. *)
+let tiny_pages dir =
+  { (config_in dir) with page_size = 32; pool_pages = 3; prefetch_pages = 2 }
+
+let drain (r : reader) =
+  let rec go acc =
+    match r.next () with Some p -> go (p :: acc) | None -> List.rev acc
+  in
+  let all = go [] in
+  r.close_reader ();
+  all
+
+let store_roundtrip name (store : Apt_store.t) payloads =
+  let w = store.start None in
+  List.iter w.put payloads;
+  let f = w.close () in
+  Alcotest.(check int)
+    (name ^ ": record count")
+    (List.length payloads) f.f_records;
+  Alcotest.(check (list string))
+    (name ^ ": forward")
+    payloads
+    (drain (f.f_read None `Forward));
+  Alcotest.(check (list string))
+    (name ^ ": backward = reverse")
+    (List.rev payloads)
+    (drain (f.f_read None `Backward));
+  f.f_dispose ()
+
+let sample_payloads =
+  [ "alpha"; ""; "alphabet"; String.make 10000 'x'; "\x00\xff\x7f"; "z" ]
+
+let every_store dir k =
+  List.iter
+    (fun name -> k name (Store_registry.find ~config:(config_in dir) name))
+    (Store_registry.names ())
+
+let test_roundtrip_all_stores () =
+  with_temp_dir @@ fun dir ->
+  every_store dir (fun name store -> store_roundtrip name store sample_payloads)
+
+let test_empty_and_single () =
+  with_temp_dir @@ fun dir ->
+  every_store dir (fun name store ->
+      store_roundtrip (name ^ " empty") store [];
+      store_roundtrip (name ^ " single") store [ "only" ])
+
+(* Records wider than the whole pool still round-trip (they bypass the
+   pool's interior pages), and so do tiny pages generally. *)
+let test_tiny_pages () =
+  with_temp_dir @@ fun dir ->
+  List.iter
+    (fun name ->
+      store_roundtrip
+        (name ^ " tiny pages")
+        (Store_registry.find ~config:(tiny_pages dir) name)
+        [ String.make 500 'a'; "b"; ""; String.make 77 'c'; "dd" ])
+    [ "paged"; "prefetch"; "paged+zip" ]
+
+let payloads_gen =
+  QCheck.Gen.(
+    list_size (int_bound 60)
+      (oneof
+         [
+           string_size (int_bound 20);
+           string_size (int_range 100 600);
+           return "";
+         ]))
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"every store round-trips random payload lists"
+    ~count:60
+    (QCheck.make payloads_gen)
+    (fun payloads ->
+      with_temp_dir @@ fun dir ->
+      List.iter
+        (fun name ->
+          let store = Store_registry.find ~config:(tiny_pages dir) name in
+          let w = store.start None in
+          List.iter w.put payloads;
+          let f = w.close () in
+          let fwd = drain (f.f_read None `Forward) in
+          let bwd = drain (f.f_read None `Backward) in
+          f.f_dispose ();
+          if fwd <> payloads then
+            QCheck.Test.fail_reportf "%s: forward mismatch" name;
+          if bwd <> List.rev payloads then
+            QCheck.Test.fail_reportf "%s: backward mismatch" name)
+        (Store_registry.names ());
+      true)
+
+(* ----- the legacy on-medium format, pinned byte for byte ----- *)
+
+let le32 n =
+  String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let legacy_bytes payloads =
+  String.concat ""
+    (List.map (fun p -> le32 (String.length p) ^ p ^ le32 (String.length p))
+       payloads)
+
+let file_bytes path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_legacy_format_pin () =
+  with_temp_dir @@ fun dir ->
+  let payloads = [ "AB"; ""; "xyz" ] in
+  let expected = legacy_bytes payloads in
+  List.iter
+    (fun name ->
+      let store = Store_registry.find ~config:(config_in dir) name in
+      let w = store.start None in
+      List.iter w.put payloads;
+      let f = w.close () in
+      Alcotest.(check int) (name ^ ": size") (String.length expected) f.f_size;
+      (match f.f_path with
+      | Some path ->
+          Alcotest.(check string)
+            (name ^ ": on-medium bytes")
+            expected (file_bytes path)
+      | None -> ());
+      f.f_dispose ())
+    [ "mem"; "disk"; "paged"; "prefetch" ]
+
+(* ----- corruption and truncation fail loudly ----- *)
+
+let fails_to_read (f : file) dir =
+  match drain (f.f_read None dir) with
+  | exception Failure _ -> true
+  | _ -> false
+
+let write_store dir name payloads =
+  let store = Store_registry.find ~config:(config_in dir) name in
+  let w = store.start None in
+  List.iter w.put payloads;
+  w.close ()
+
+let patch_byte path offset value =
+  let bytes = Bytes.of_string (file_bytes path) in
+  Bytes.set bytes offset (Char.chr value);
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let test_corrupt_frames () =
+  with_temp_dir @@ fun dir ->
+  let f = write_store dir "paged" [ "hello"; "world" ] in
+  let path = Option.get f.f_path in
+  (* header length of the first record made absurd *)
+  patch_byte path 3 0x7f;
+  Alcotest.(check bool) "corrupt header: forward fails" true
+    (fails_to_read f `Forward);
+  f.f_dispose ();
+  let f = write_store dir "paged" [ "hello"; "world" ] in
+  let path = Option.get f.f_path in
+  (* trailer of the last record no longer matches its header *)
+  patch_byte path (f.f_size - 4) 0x09;
+  Alcotest.(check bool) "corrupt trailer: backward fails" true
+    (fails_to_read f `Backward);
+  f.f_dispose ()
+
+let test_truncated_file () =
+  with_temp_dir @@ fun dir ->
+  let f = write_store dir "paged" [ String.make 300 'q'; "tail" ] in
+  let path = Option.get f.f_path in
+  let keep = String.sub (file_bytes path) 0 (f.f_size - 10) in
+  let oc = open_out_bin path in
+  output_string oc keep;
+  close_out oc;
+  Alcotest.(check bool) "truncated: forward fails" true (fails_to_read f `Forward);
+  Alcotest.(check bool) "truncated: backward fails" true
+    (fails_to_read f `Backward);
+  f.f_dispose ()
+
+let test_corrupt_zip_block () =
+  with_temp_dir @@ fun dir ->
+  let f = write_store dir "zip" [ "hello"; "help!" ] in
+  let path = Option.get f.f_path in
+  (* the first record's suffix-length varint, inside the block payload
+     (4 frame bytes, block-record count, shared-prefix varint) *)
+  patch_byte path 6 0x7f;
+  Alcotest.(check bool) "corrupt block: read fails" true
+    (fails_to_read f `Forward);
+  f.f_dispose ()
+
+(* ----- stats through the store stack ----- *)
+
+let scan_with_stats store payloads dir =
+  let stats = Io_stats.create () in
+  let w = store.start (Some stats) in
+  List.iter w.put payloads;
+  let f = w.close () in
+  ignore (drain (f.f_read (Some stats) dir));
+  f.f_dispose ();
+  (stats, f)
+
+let test_paged_stats () =
+  with_temp_dir @@ fun dir ->
+  let payloads = List.init 64 (fun i -> String.make (20 + (i mod 7)) 'p') in
+  let stats, f =
+    scan_with_stats
+      (Store_registry.find ~config:(tiny_pages dir) "paged")
+      payloads `Backward
+  in
+  Alcotest.(check int) "full scan reads exactly the file" f.f_size
+    stats.Io_stats.bytes_read;
+  Alcotest.(check int) "and writes it once" f.f_size stats.Io_stats.bytes_written;
+  Alcotest.(check bool) "pages were written" true (stats.Io_stats.pages_written > 0);
+  Alcotest.(check bool) "pool took hits" true (stats.Io_stats.pool_hits > 0);
+  Alcotest.(check bool) "seeks counted" true (stats.Io_stats.seeks > 0);
+  let pstats, _ =
+    scan_with_stats
+      (Store_registry.find ~config:(tiny_pages dir) "prefetch")
+      payloads `Forward
+  in
+  Alcotest.(check bool) "read-ahead pages got used" true
+    (pstats.Io_stats.prefetch_hits > 0);
+  Alcotest.(check bool) "read-ahead costs fewer seeks" true
+    (pstats.Io_stats.seeks < stats.Io_stats.seeks)
+
+let test_zip_ratio () =
+  with_temp_dir @@ fun dir ->
+  let payloads = List.init 200 (fun i -> Printf.sprintf "record-%06d-suffix" i) in
+  let stats, _ =
+    scan_with_stats
+      (Store_registry.find ~config:(config_in dir) "paged+zip")
+      payloads `Forward
+  in
+  match Io_stats.compression_ratio stats with
+  | None -> Alcotest.fail "no compression ratio reported"
+  | Some r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "front-coding beats framing (%.2fx)" r)
+        true (r > 1.0)
+
+(* ----- an out-of-tree store through the registry ----- *)
+
+module Reverse_mem : APT_STORE = struct
+  (* deliberately weird layout — keeps records reversed in memory — to
+     prove the signature, not the layout, is the contract *)
+  let name = "test-reverse"
+
+  type file = string list ref
+  type writer = file
+  type reader = { mutable left : string list }
+
+  let open_writer _ = ref []
+  let put w p = w := p :: !w
+  let close_writer w = w
+  let size_bytes f = List.fold_left (fun a p -> a + String.length p) 0 !f
+  let record_count f = List.length !f
+  let backing_path _ = None
+
+  let open_reader _ dir f =
+    { left = (match dir with `Forward -> List.rev !f | `Backward -> !f) }
+
+  let next r =
+    match r.left with
+    | [] -> None
+    | p :: rest ->
+        r.left <- rest;
+        Some p
+
+  let close_reader _ = ()
+  let dispose f = f := []
+end
+
+let test_registered_custom_store () =
+  Store_registry.register ~name:"test-reverse"
+    ~description:"unit-test store packed from an APT_STORE module"
+    (fun _config -> pack (module Reverse_mem));
+  Alcotest.(check bool) "listed" true
+    (List.mem "test-reverse" (Store_registry.names ()));
+  with_temp_dir @@ fun dir ->
+  store_roundtrip "packed module" (Store_registry.find "test-reverse")
+    sample_payloads;
+  (* and it is reachable from the façade, like any --apt-store value *)
+  let backend =
+    Aptfile.backend_of_store_name ~config:(config_in dir) "test-reverse"
+  in
+  let nodes =
+    [
+      Node.leaf ~sym:1 ~attrs:[| Value.Int 7 |];
+      Node.interior ~prod:2 ~sym:0 ~attrs:[| Value.Str "s" |];
+    ]
+  in
+  let file = Aptfile.of_list backend nodes in
+  Alcotest.(check bool) "façade roundtrip" true
+    (List.for_all2 Node.equal nodes (Aptfile.to_list file));
+  Aptfile.dispose file
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_unknown_store_rejected () =
+  match Aptfile.backend_of_store_name "no-such-store" with
+  | exception Failure msg ->
+      Alcotest.(check bool) "error lists the registry" true
+        (contains ~sub:"paged" msg)
+  | _ -> Alcotest.fail "unknown store accepted"
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "all registered stores" `Quick
+            test_roundtrip_all_stores;
+          Alcotest.test_case "empty and single-record files" `Quick
+            test_empty_and_single;
+          Alcotest.test_case "tiny pages, records wider than the pool" `Quick
+            test_tiny_pages;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+        ] );
+      ( "format",
+        [ Alcotest.test_case "legacy layout pinned byte-for-byte" `Quick
+            test_legacy_format_pin ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "corrupt frames" `Quick test_corrupt_frames;
+          Alcotest.test_case "truncated backing file" `Quick test_truncated_file;
+          Alcotest.test_case "corrupt compressed block" `Quick
+            test_corrupt_zip_block;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "paged pool accounting" `Quick test_paged_stats;
+          Alcotest.test_case "compression ratio" `Quick test_zip_ratio;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "custom packed store" `Quick
+            test_registered_custom_store;
+          Alcotest.test_case "unknown names rejected" `Quick
+            test_unknown_store_rejected;
+        ] );
+    ]
