@@ -175,7 +175,20 @@ let floppy_bytes_per_second = 25_000.0
 
 let e4 () =
   section "E4: overlay times and the I/O-bound evaluator (paper SV)";
+  (* The overlay rows are read back from the tracing subsystem's spans —
+     the same spans --trace-out exports — not from ad-hoc timers. *)
+  let tr = Lg_support.Trace.ambient () in
+  let mark = Lg_support.Trace.span_count tr in
   let a = Driver.process_exn ~file:"linguist.ag" Linguist_ag.ag_source in
+  let overlays =
+    if Lg_support.Trace.enabled tr then
+      List.filteri (fun i _ -> i >= mark) (Lg_support.Trace.spans tr)
+      |> List.filter_map (fun (sp : Lg_support.Trace.span) ->
+             if String.equal sp.Lg_support.Trace.sp_cat "overlay" then
+               Some (sp.Lg_support.Trace.sp_name, sp.Lg_support.Trace.sp_dur)
+             else None)
+    else a.Driver.overlay_seconds
+  in
   let paper =
     [
       ("parse", 80.0); ("semantic", 42.0 +. 25.0); ("evaluability", 9.0);
@@ -184,7 +197,7 @@ let e4 () =
   in
   let total_paper = 243.0 in
   let total_measured =
-    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 a.Driver.overlay_seconds
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 overlays
   in
   rowf "  %-22s %12s %14s\n" "overlay" "paper share" "measured share";
   List.iter
@@ -196,7 +209,7 @@ let e4 () =
       in
       rowf "  %-22s %11.1f%% %13.1f%%\n" name paper_share
         (100.0 *. seconds /. total_measured))
-    a.Driver.overlay_seconds;
+    overlays;
   (* The generated evaluator's I/O profile on a large input. *)
   let t = Linguist_ag.translator () in
   let source = Workloads.synthetic_ag 300 in
@@ -595,15 +608,33 @@ let all =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+  let rec split_args names trace_out = function
+    | [] -> (List.rev names, trace_out)
+    | "--trace-out" :: path :: rest -> split_args names (Some path) rest
+    | a :: rest -> split_args (a :: names) trace_out rest
   in
+  let names, trace_out =
+    split_args [] None (List.tl (Array.to_list Sys.argv))
+  in
+  let requested = match names with [] -> List.map fst all | l -> l in
+  (* One ambient tracer across every experiment: the driver overlays,
+     evaluator passes (with per-pass Io_stats) and table constructions all
+     report into it, and E4's table is derived from its spans. *)
+  let tr = Lg_support.Trace.create () in
+  Lg_support.Trace.install tr;
   List.iter
     (fun name ->
       match List.assoc_opt name all with
       | Some f -> f ()
       | None -> Printf.printf "unknown experiment %s\n" name)
     requested;
+  Lg_support.Trace.install Lg_support.Trace.null;
+  let write path =
+    Lg_support.Trace.write_chrome ~process_name:"linguist-bench" tr ~path;
+    Printf.printf "wrote %s (%d spans)\n" path
+      (Lg_support.Trace.span_count tr)
+  in
+  print_newline ();
+  write "BENCH_trace.json";
+  Option.iter write trace_out;
   run_bechamel ()

@@ -72,6 +72,47 @@ let apt_page_size =
     & info [ "apt-page-size" ] ~docv:"BYTES"
         ~doc:"Page size for the paged APT stores.")
 
+let trace_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Profile the whole run and write Chrome trace_event JSON to \
+           $(docv) — load it in chrome://tracing or Perfetto. Spans cover \
+           every overlay, evaluator pass (with APT I/O counters), and \
+           table construction; see docs/OBSERVABILITY.md.")
+
+let trace_attrs =
+  Arg.(
+    value & flag
+    & info [ "trace-attrs" ]
+        ~doc:
+          "Also record per-production attribute-evaluation counts on \
+           evaluator pass spans (attribute-level debugging). Without \
+           $(b,--trace-out), the trace summary is printed to stderr.")
+
+(* Install the ambient tracer around a command so every layer — driver
+   overlays, evaluator passes reached through Translator, table builders —
+   reports into one trace without explicit threading. *)
+let with_trace ~trace_out ~trace_attrs ~label f =
+  if trace_out = None && not trace_attrs then f ()
+  else begin
+    let tr = Lg_support.Trace.create () in
+    Lg_support.Trace.install ~attr_counts:trace_attrs tr;
+    let finish () =
+      Lg_support.Trace.install Lg_support.Trace.null;
+      match trace_out with
+      | Some path ->
+          Lg_support.Trace.write_chrome
+            ~process_name:("linguist-cli " ^ label) tr ~path;
+          Printf.eprintf "trace: wrote %s (%d spans)\n%!" path
+            (Lg_support.Trace.span_count tr)
+      | None -> Format.eprintf "%a@?" Lg_support.Trace.pp_summary tr
+    in
+    Fun.protect ~finally:finish (fun () ->
+        Lg_support.Trace.span tr ~cat:"cli" label f)
+  end
+
 let with_options f no_sub no_dead max_passes apt_store apt_page_size =
   match
     options_of ~subsumption:(not no_sub) ~dead_opt:(not no_dead) ~max_passes
@@ -99,11 +140,14 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Check an attribute grammar.")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page path ->
-             with_options (fun options -> run options path) no_sub no_dead mp
-               store page)
+        (const (fun no_sub no_dead mp store page tout tattrs path ->
+             with_options
+               (fun options ->
+                 with_trace ~trace_out:tout ~trace_attrs:tattrs ~label:"check"
+                   (fun () -> run options path))
+               no_sub no_dead mp store page)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
-        $ file_arg))
+        $ trace_out $ trace_attrs $ file_arg))
 
 let stats_cmd =
   let run options path =
@@ -132,11 +176,14 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print grammar statistics (the paper's E1 row).")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page path ->
-             with_options (fun options -> run options path) no_sub no_dead mp
-               store page)
+        (const (fun no_sub no_dead mp store page tout tattrs path ->
+             with_options
+               (fun options ->
+                 with_trace ~trace_out:tout ~trace_attrs:tattrs ~label:"stats"
+                   (fun () -> run options path))
+               no_sub no_dead mp store page)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
-        $ file_arg))
+        $ trace_out $ trace_attrs $ file_arg))
 
 let out_dir =
   Arg.(
@@ -180,11 +227,14 @@ let compile_cmd =
        ~doc:"Generate the listing and the per-pass evaluator modules.")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page path dir ->
-             with_options (fun options -> run options path dir) no_sub no_dead
-               mp store page)
+        (const (fun no_sub no_dead mp store page tout tattrs path dir ->
+             with_options
+               (fun options ->
+                 with_trace ~trace_out:tout ~trace_attrs:tattrs
+                   ~label:"compile" (fun () -> run options path dir))
+               no_sub no_dead mp store page)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
-        $ file_arg $ out_dir))
+        $ trace_out $ trace_attrs $ file_arg $ out_dir))
 
 let tables_cmd =
   (* the companion parse-table builder, fed "exactly the same input file" *)
@@ -219,11 +269,14 @@ let tables_cmd =
           (the companion parse-table builder).")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page path ->
-             with_options (fun options -> run options path) no_sub no_dead mp
-               store page)
+        (const (fun no_sub no_dead mp store page tout tattrs path ->
+             with_options
+               (fun options ->
+                 with_trace ~trace_out:tout ~trace_attrs:tattrs
+                   ~label:"tables" (fun () -> run options path))
+               no_sub no_dead mp store page)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
-        $ file_arg))
+        $ trace_out $ trace_attrs $ file_arg))
 
 let analyze_cmd =
   (* the self-hosted path: the evaluator GENERATED from linguist.ag does
@@ -250,7 +303,12 @@ let analyze_cmd =
        ~doc:
          "Analyze an attribute grammar with the self-hosted analyzer (the \
           evaluator generated from linguist.ag).")
-    Term.(ret (const run $ file_arg))
+    Term.(
+      ret
+        (const (fun tout tattrs path ->
+             with_trace ~trace_out:tout ~trace_attrs:tattrs ~label:"analyze"
+               (fun () -> run path))
+        $ trace_out $ trace_attrs $ file_arg))
 
 let stores_cmd =
   let run () =
@@ -282,7 +340,12 @@ let self_cmd =
   in
   Cmd.v
     (Cmd.info "self" ~doc:"Run the self-generation demonstration.")
-    Term.(ret (const run $ const ()))
+    Term.(
+      ret
+        (const (fun tout tattrs ->
+             with_trace ~trace_out:tout ~trace_attrs:tattrs ~label:"self"
+               (fun () -> run ()))
+        $ trace_out $ trace_attrs))
 
 let () =
   let info =

@@ -16,6 +16,42 @@ type t = {
   mutable raw_bytes_written : int;
 }
 
+(* The single field table: every counter appears here exactly once, and
+   [fields]/[set_field]/[add]/[reset]/[to_json] are all derived from it,
+   so a newly added counter cannot be silently dropped from any of them.
+   (The property tests additionally pin the table's length against the
+   record's runtime size.) *)
+let field_specs : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("bytes_read", (fun t -> t.bytes_read), fun t v -> t.bytes_read <- v);
+    ( "bytes_written",
+      (fun t -> t.bytes_written),
+      fun t v -> t.bytes_written <- v );
+    ("records_read", (fun t -> t.records_read), fun t v -> t.records_read <- v);
+    ( "records_written",
+      (fun t -> t.records_written),
+      fun t v -> t.records_written <- v );
+    ( "files_created",
+      (fun t -> t.files_created),
+      fun t v -> t.files_created <- v );
+    ("pages_read", (fun t -> t.pages_read), fun t v -> t.pages_read <- v);
+    ( "pages_written",
+      (fun t -> t.pages_written),
+      fun t v -> t.pages_written <- v );
+    ("pool_hits", (fun t -> t.pool_hits), fun t v -> t.pool_hits <- v);
+    ("pool_misses", (fun t -> t.pool_misses), fun t v -> t.pool_misses <- v);
+    ( "prefetch_hits",
+      (fun t -> t.prefetch_hits),
+      fun t v -> t.prefetch_hits <- v );
+    ("seeks", (fun t -> t.seeks), fun t v -> t.seeks <- v);
+    ( "raw_bytes_read",
+      (fun t -> t.raw_bytes_read),
+      fun t v -> t.raw_bytes_read <- v );
+    ( "raw_bytes_written",
+      (fun t -> t.raw_bytes_written),
+      fun t v -> t.raw_bytes_written <- v );
+  ]
+
 let create () =
   {
     bytes_read = 0;
@@ -33,35 +69,19 @@ let create () =
     raw_bytes_written = 0;
   }
 
-let reset t =
-  t.bytes_read <- 0;
-  t.bytes_written <- 0;
-  t.records_read <- 0;
-  t.records_written <- 0;
-  t.files_created <- 0;
-  t.pages_read <- 0;
-  t.pages_written <- 0;
-  t.pool_hits <- 0;
-  t.pool_misses <- 0;
-  t.prefetch_hits <- 0;
-  t.seeks <- 0;
-  t.raw_bytes_read <- 0;
-  t.raw_bytes_written <- 0
+let fields t = List.map (fun (name, get, _) -> (name, get t)) field_specs
+
+let set_field t name v =
+  match
+    List.find_opt (fun (n, _, _) -> String.equal n name) field_specs
+  with
+  | Some (_, _, set) -> set t v
+  | None -> invalid_arg (Printf.sprintf "Io_stats.set_field: unknown counter %S" name)
+
+let reset t = List.iter (fun (_, _, set) -> set t 0) field_specs
 
 let add ~into t =
-  into.bytes_read <- into.bytes_read + t.bytes_read;
-  into.bytes_written <- into.bytes_written + t.bytes_written;
-  into.records_read <- into.records_read + t.records_read;
-  into.records_written <- into.records_written + t.records_written;
-  into.files_created <- into.files_created + t.files_created;
-  into.pages_read <- into.pages_read + t.pages_read;
-  into.pages_written <- into.pages_written + t.pages_written;
-  into.pool_hits <- into.pool_hits + t.pool_hits;
-  into.pool_misses <- into.pool_misses + t.pool_misses;
-  into.prefetch_hits <- into.prefetch_hits + t.prefetch_hits;
-  into.seeks <- into.seeks + t.seeks;
-  into.raw_bytes_read <- into.raw_bytes_read + t.raw_bytes_read;
-  into.raw_bytes_written <- into.raw_bytes_written + t.raw_bytes_written
+  List.iter (fun (_, get, set) -> set into (get into + get t)) field_specs
 
 let total_bytes t = t.bytes_read + t.bytes_written
 let total_pages t = t.pages_read + t.pages_written
@@ -91,25 +111,13 @@ let pp ppf t =
 
 let to_json t =
   let fields =
-    [
-      ("bytes_read", string_of_int t.bytes_read);
-      ("bytes_written", string_of_int t.bytes_written);
-      ("records_read", string_of_int t.records_read);
-      ("records_written", string_of_int t.records_written);
-      ("files_created", string_of_int t.files_created);
-      ("pages_read", string_of_int t.pages_read);
-      ("pages_written", string_of_int t.pages_written);
-      ("pool_hits", string_of_int t.pool_hits);
-      ("pool_misses", string_of_int t.pool_misses);
-      ("prefetch_hits", string_of_int t.prefetch_hits);
-      ("seeks", string_of_int t.seeks);
-      ("raw_bytes_read", string_of_int t.raw_bytes_read);
-      ("raw_bytes_written", string_of_int t.raw_bytes_written);
-      ( "compression_ratio",
-        match compression_ratio t with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "null" );
-    ]
+    List.map (fun (name, v) -> (name, string_of_int v)) (fields t)
+    @ [
+        ( "compression_ratio",
+          match compression_ratio t with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "null" );
+      ]
   in
   "{"
   ^ String.concat ", "

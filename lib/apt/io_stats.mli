@@ -37,6 +37,17 @@ val reset : t -> unit
 val add : into:t -> t -> unit
 (** Field-wise accumulation; covers every counter. *)
 
+val fields : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order. [add],
+    [reset], [to_json] and this function are all derived from one internal
+    field table, so they cannot drift apart when counters are added; the
+    list is also how counters are attached to trace spans
+    ({!Lg_support.Trace}). *)
+
+val set_field : t -> string -> int -> unit
+(** Set one counter by name (the write-side of {!fields}; used by tests
+    and decoders). @raise Invalid_argument on an unknown name. *)
+
 val total_bytes : t -> int
 val total_pages : t -> int
 

@@ -7,6 +7,7 @@ type options = {
   emit_listing : bool;
   emit_code : bool;
   apt_backend : Lg_apt.Aptfile.backend;
+  tracer : Trace.t;
 }
 
 let default_options =
@@ -17,10 +18,15 @@ let default_options =
     emit_listing = true;
     emit_code = true;
     apt_backend = Lg_apt.Aptfile.Mem;
+    tracer = Trace.null;
   }
 
 let engine_options options =
-  { Engine.default_options with Engine.backend = options.apt_backend }
+  {
+    Engine.default_options with
+    Engine.backend = options.apt_backend;
+    Engine.tracer = options.tracer;
+  }
 
 type artifact = {
   ir : Ir.t;
@@ -35,12 +41,19 @@ type artifact = {
   source_lines : int;
 }
 
-let timed timings name f =
-  let t0 = Sys.time () in
-  let result = f () in
-  let t1 = Sys.time () in
-  timings := (name, t1 -. t0) :: !timings;
-  result
+(* Every overlay runs inside a span of category "overlay"; the artifact's
+   [overlay_seconds] table is read back from those spans, so the timings
+   the benches report (experiment E4) and the timings an exported trace
+   shows are one measurement. When no tracer is installed, a private one
+   supplies the clock. *)
+let timed tr name f = Trace.span tr ~cat:"overlay" name f
+
+let overlay_spans tr ~from =
+  List.filteri (fun i _ -> i >= from) (Trace.spans tr)
+  |> List.filter_map (fun (sp : Trace.span) ->
+         if String.equal sp.Trace.sp_cat "overlay" then
+           Some (sp.Trace.sp_name, sp.Trace.sp_dur)
+         else None)
 
 let analyses ~options ir pr =
   let mode = if options.dead_opt then Dead.Optimized else Dead.Keep_all in
@@ -58,20 +71,25 @@ let plan_of_ir ?(options = default_options) ir =
 
 let process ?(options = default_options) ~file source =
   let diag = Diag.create () in
-  let timings = ref [] in
+  let tr =
+    let resolved = Trace.resolve options.tracer in
+    if Trace.enabled resolved then resolved else Trace.create ()
+  in
+  let mark = Trace.span_count tr in
+  Trace.span tr ~cat:"driver" "driver.process" @@ fun () ->
   let source_lines = Lg_scanner.Engine.line_count source in
-  let ast = timed timings "parse" (fun () -> Ag_parse.parse ~file ~diag source) in
+  let ast = timed tr "parse" (fun () -> Ag_parse.parse ~file ~diag source) in
   match ast with
   | None -> Error diag
   | Some ast -> (
       let ir =
-        timed timings "semantic" (fun () -> Check.check ~source_lines ~diag ast)
+        timed tr "semantic" (fun () -> Check.check ~source_lines ~diag ast)
       in
       match ir with
       | None -> Error diag
       | Some ir -> (
           let pr =
-            timed timings "evaluability" (fun () ->
+            timed tr "evaluability" (fun () ->
                 Pass_assign.compute ~max_passes:options.max_passes ~diag ir)
           in
           match pr with
@@ -82,13 +100,13 @@ let process ?(options = default_options) ~file source =
               Error diag
           | Some pr ->
               let plan =
-                timed timings "planning" (fun () ->
+                timed tr "planning" (fun () ->
                     let dead, alloc = analyses ~options ir pr in
                     Schedule.build ir pr ~dead ~alloc)
               in
               let listing =
                 if options.emit_listing then
-                  timed timings "listing" (fun () ->
+                  timed tr "listing" (fun () ->
                       Listing.generate ~source ~passes:pr
                         ~dead:plan.Plan.dead ~alloc:plan.Plan.alloc ir diag)
                 else ""
@@ -96,7 +114,7 @@ let process ?(options = default_options) ~file source =
               let modules =
                 if options.emit_code then
                   List.init pr.Pass_assign.n_passes (fun i ->
-                      timed timings
+                      timed tr
                         (Printf.sprintf "codegen pass %d" (i + 1))
                         (fun () -> Pascal_gen.generate_pass plan ~pass:(i + 1)))
                 else []
@@ -111,7 +129,7 @@ let process ?(options = default_options) ~file source =
                   modules;
                   listing;
                   diag;
-                  overlay_seconds = List.rev !timings;
+                  overlay_seconds = overlay_spans tr ~from:mark;
                   source_lines;
                 }))
 

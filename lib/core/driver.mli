@@ -18,13 +18,21 @@ type options = {
       (** store backing the intermediate APT files of any evaluator run
           built from this artifact (default [Mem]); see
           {!Lg_apt.Store_registry} for the available stores *)
+  tracer : Lg_support.Trace.t;
+      (** telemetry sink (default {!Lg_support.Trace.null}). Every overlay
+          runs in a span of category ["overlay"] under a ["driver.process"]
+          root; [overlay_seconds] is read back from those spans, so traces
+          and the E4 bench table come from one measurement. Resolved
+          against the ambient tracer ({!Lg_support.Trace.install}); when
+          neither is enabled a private tracer supplies the timings. *)
 }
 
 val default_options : options
 
 val engine_options : options -> Engine.options
-(** {!Engine.default_options} with the backend selection applied —
-    threads [--apt-store] from the CLI down to evaluator runs. *)
+(** {!Engine.default_options} with the backend and tracer applied —
+    threads [--apt-store] / [--trace-out] from the CLI down to evaluator
+    runs. *)
 
 type artifact = {
   ir : Ir.t;
@@ -37,7 +45,8 @@ type artifact = {
   diag : Lg_support.Diag.collector;
   overlay_seconds : (string * float) list;
       (** ("parse", _), ("semantic", _), ("evaluability", _),
-          ("planning", _), ("listing", _), ("codegen pass k", _) ... *)
+          ("planning", _), ("listing", _), ("codegen pass k", _) ...;
+          durations of this run's ["overlay"] trace spans *)
   source_lines : int;
 }
 

@@ -6,10 +6,26 @@ type options = {
   record_trace : bool;
   keep_files : bool;
   interpretive : bool;
+  tracer : Trace.t;
+  trace_attrs : bool;
 }
 
 let default_options =
-  { backend = Aptfile.Mem; record_trace = false; keep_files = false; interpretive = false }
+  {
+    backend = Aptfile.Mem;
+    record_trace = false;
+    keep_files = false;
+    interpretive = false;
+    tracer = Trace.null;
+    trace_attrs = false;
+  }
+
+(* Every Io_stats counter, as span arguments; zero counters are elided to
+   keep exported traces lean. *)
+let io_args (io : Io_stats.t) =
+  List.filter_map
+    (fun (name, v) -> if v = 0 then None else Some (name, Trace.Int v))
+    (Io_stats.fields io)
 
 type pass_stats = {
   ps_pass : int;
@@ -165,6 +181,10 @@ let run ?(options = default_options) (plan : Plan.t) tree =
   if options.interpretive && plan.Plan.alloc.Subsume.n_globals > 0 then
     invalid_arg
       "Engine.run: interpretive mode needs a plan without static subsumption";
+  let tr = Trace.resolve options.tracer in
+  let trace_attrs =
+    Trace.enabled tr && (options.trace_attrs || Trace.ambient_attr_counts ())
+  in
   let n_passes = plan.Plan.passes.Pass_assign.n_passes in
   let acc =
     { rules = 0; moves = 0; open_nodes = 0; max_open = 0; resident = 0; max_resident = 0 }
@@ -179,6 +199,9 @@ let run ?(options = default_options) (plan : Plan.t) tree =
     let io = Io_stats.create () in
     Array.fill globals 0 (Array.length globals) Value.Bottom;
     let pass_rules = ref 0 and pass_moves = ref 0 in
+    let attr_counts =
+      if trace_attrs then Array.make (Array.length ir.prods) 0 else [||]
+    in
     let reader =
       if pass = 1 && plan.Plan.passes.Pass_assign.strategy = Ag_ast.Recursive_descent
       then Aptfile.read_forward ~stats:io input_file
@@ -315,6 +338,8 @@ let run ?(options = default_options) (plan : Plan.t) tree =
           | Plan.Eval { rule; code; targets } ->
               acc.rules <- acc.rules + 1;
               incr pass_rules;
+              if trace_attrs then
+                attr_counts.(ns.ns_prod) <- attr_counts.(ns.ns_prod) + 1;
               let values =
                 if options.interpretive then interp_rule rule
                 else eval_multi code
@@ -361,6 +386,25 @@ let run ?(options = default_options) (plan : Plan.t) tree =
     Aptfile.close_reader reader;
     let out = Aptfile.close_writer writer in
     max_file_bytes := max !max_file_bytes (Aptfile.size_bytes out);
+    if Trace.enabled tr then begin
+      (* attach this pass's accounting to the open "pass k" span *)
+      Trace.add_args tr
+        (io_args io
+        @ [
+            ("rules", Trace.Int !pass_rules);
+            ("global_moves", Trace.Int !pass_moves);
+            ("file_bytes", Trace.Int (Aptfile.size_bytes out));
+          ]);
+      if trace_attrs then
+        Trace.add_args tr
+          (List.concat
+             (List.mapi
+                (fun p c ->
+                  if c > 0 then
+                    [ ("evals:" ^ ir.prods.(p).Ir.p_tag, Trace.Int c) ]
+                  else [])
+                (Array.to_list attr_counts)))
+    end;
     Io_stats.add ~into:total_io io;
     per_pass :=
       {
@@ -373,15 +417,25 @@ let run ?(options = default_options) (plan : Plan.t) tree =
       :: !per_pass;
     out
   in
+  Trace.span tr ~cat:"engine" "engine.run" @@ fun () ->
   let init_io = Io_stats.create () in
-  let file0 = initial_file ~stats:init_io plan options.backend tree in
+  let file0 =
+    Trace.span tr ~cat:"pass" "linearize" (fun () ->
+        let f = initial_file ~stats:init_io plan options.backend tree in
+        Trace.add_args tr (io_args init_io);
+        f)
+  in
   Io_stats.add ~into:total_io init_io;
   max_file_bytes := max !max_file_bytes (Aptfile.size_bytes file0);
   let final_file =
     let rec go file pass =
       if pass > n_passes then file
       else begin
-        let out = run_pass file pass in
+        let out =
+          Trace.span tr ~cat:"pass"
+            (Printf.sprintf "pass %d" pass)
+            (fun () -> run_pass file pass)
+        in
         if not options.keep_files then Aptfile.dispose file;
         go out (pass + 1)
       end
@@ -406,6 +460,9 @@ let run ?(options = default_options) (plan : Plan.t) tree =
       (Ir.attrs_of_sym ir ir.root)
   in
   if not options.keep_files then Aptfile.dispose final_file;
+  Trace.counter tr "rules_evaluated" acc.rules;
+  Trace.counter tr "global_moves" acc.moves;
+  Trace.counter tr "apt_bytes_moved" (Io_stats.total_bytes total_io);
   {
     outputs;
     stats =

@@ -23,6 +23,16 @@ type options = {
           its generated in-line code against this). Requires a plan built
           without static subsumption.
           @raise Invalid_argument from {!run} otherwise *)
+  tracer : Lg_support.Trace.t;
+      (** telemetry sink (default {!Lg_support.Trace.null}); resolved
+          against the ambient tracer, so a CLI-installed tracer sees
+          evaluator runs without explicit threading. Each run contributes
+          an ["engine.run"] span with one ["pass k"] child per pass
+          carrying the pass's {!Lg_apt.Io_stats} counters as arguments *)
+  trace_attrs : bool;
+      (** record per-production attribute-evaluation counts on each pass
+          span (the CLI's [--trace-attrs] debugging mode, à la
+          Sasaki–Sassa); effective only when a tracer is enabled *)
 }
 
 val default_options : options

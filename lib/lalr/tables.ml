@@ -30,9 +30,17 @@ let prod_precedence prec_of_terminal (g : Cfg.t) prod =
       | Cfg.NT _ -> acc)
     None p.rhs
 
-let build ?(precedence = []) g =
-  let lr0 = Lr0.build g in
-  let la = Lookahead.compute lr0 in
+let build ?(trace = Lg_support.Trace.null) ?(precedence = []) g =
+  let tr = Lg_support.Trace.resolve trace in
+  Lg_support.Trace.span tr ~cat:"tables" "lalr.build" @@ fun () ->
+  let lr0 =
+    Lg_support.Trace.span tr ~cat:"tables" "lalr.lr0" (fun () -> Lr0.build g)
+  in
+  let la =
+    Lg_support.Trace.span tr ~cat:"tables" "lalr.lookahead" (fun () ->
+        Lookahead.compute lr0)
+  in
+  Lg_support.Trace.span tr ~cat:"tables" "lalr.fill" @@ fun () ->
   let nterms = Cfg.terminal_count g in
   let nnts = Cfg.nonterminal_count g in
   let nstates = Lr0.state_count lr0 in
@@ -136,6 +144,11 @@ let build ?(precedence = []) g =
           (Lookahead.lookaheads la ~state:s ~prod))
       (Lr0.reductions lr0 s)
   done;
+  Lg_support.Trace.add_args tr
+    [
+      ("states", Lg_support.Trace.Int nstates);
+      ("conflicts", Lg_support.Trace.Int (List.length !conflicts));
+    ];
   { grammar = g; lr0; actions; gotos; nterms; nnts; conflicts = List.rev !conflicts }
 
 let grammar t = t.grammar

@@ -6,12 +6,27 @@ type t = {
   keyword_rule_set : (string, unit) Hashtbl.t;
 }
 
-let compile (spec : Spec.t) =
+let compile ?(trace = Lg_support.Trace.null) (spec : Spec.t) =
+  let tr = Lg_support.Trace.resolve trace in
+  Lg_support.Trace.span tr ~cat:"tables" "scanner.compile" @@ fun () ->
   let rules = Array.of_list spec.rules in
   let tagged =
     List.mapi (fun idx (rule : Spec.rule) -> (rule.pattern, idx)) spec.rules
   in
-  let dfa = Lg_regex.Dfa.minimize (Lg_regex.Dfa.of_nfa (Lg_regex.Nfa.build tagged)) in
+  let nfa =
+    Lg_support.Trace.span tr ~cat:"tables" "scanner.nfa" (fun () ->
+        Lg_regex.Nfa.build tagged)
+  in
+  let dfa0 =
+    Lg_support.Trace.span tr ~cat:"tables" "scanner.determinize" (fun () ->
+        Lg_regex.Dfa.of_nfa nfa)
+  in
+  let dfa =
+    Lg_support.Trace.span tr ~cat:"tables" "scanner.minimize" (fun () ->
+        Lg_regex.Dfa.minimize dfa0)
+  in
+  Lg_support.Trace.add_args tr
+    [ ("dfa_table_bytes", Lg_support.Trace.Int (Lg_regex.Dfa.table_bytes dfa)) ];
   let keyword_table = Hashtbl.create 32 in
   List.iter (fun (lexeme, kind) -> Hashtbl.replace keyword_table lexeme kind) spec.keywords;
   let keyword_rule_set = Hashtbl.create 4 in

@@ -7,7 +7,11 @@
 
 type t
 
-val compile : Spec.t -> t
+val compile : ?trace:Lg_support.Trace.t -> Spec.t -> t
+(** [trace] (default {!Lg_support.Trace.null}, resolved against the
+    ambient tracer) records ["scanner.nfa"] / ["scanner.determinize"] /
+    ["scanner.minimize"] spans under ["scanner.compile"], with the packed
+    table size as an argument. *)
 
 val dfa : t -> Lg_regex.Dfa.t
 val spec : t -> Spec.t

@@ -1,0 +1,171 @@
+(* End-to-end tests of the installed command-line interface: golden output
+   for the `stores` listing, the --trace-out / --trace-attrs telemetry
+   flags, and the diagnostics (exit code + stderr) for invalid invocations.
+
+   Runs the real executable; dune's deps field makes ../bin/linguist_cli.exe
+   and the promoted grammars available in the test's build directory. *)
+
+(* Resolve siblings of this test binary inside _build, so the suite works
+   under both `dune runtest` (cwd = build dir) and `dune exec`. *)
+let build_root = Filename.dirname (Filename.dirname Sys.executable_name)
+let cli = Filename.concat build_root (Filename.concat "bin" "linguist_cli.exe")
+
+let grammar =
+  Filename.concat build_root (Filename.concat "grammars" "linguist.ag")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Run the CLI with [args]; return (exit code, stdout, stderr). *)
+let run args =
+  let out = Filename.temp_file "cli_out" ".txt" in
+  let err = Filename.temp_file "cli_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s > %s 2> %s"
+      (Filename.quote_command cli args)
+      (Filename.quote out) (Filename.quote err)
+  in
+  let rc = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (rc, stdout, stderr)
+
+let contains = Fixtures.contains_substring
+
+let expect_ok name (rc, _, stderr) =
+  if rc <> 0 then Alcotest.failf "%s: exit %d, stderr: %s" name rc stderr
+
+(* cmdliner reports all user errors (bad flag values, unknown options,
+   missing files) through the same documented exit code. *)
+let cli_error_code = 124
+
+let expect_cli_error name fragment (rc, _, stderr) =
+  Alcotest.(check int) (name ^ ": exit code") cli_error_code rc;
+  if not (contains ~needle:fragment stderr) then
+    Alcotest.failf "%s: stderr missing %S:\n%s" name fragment stderr
+
+(* ---------------------------------------------------------------- *)
+
+let test_stores_listing () =
+  let ((_, stdout, _) as r) = run [ "stores" ] in
+  expect_ok "stores" r;
+  if not (contains ~needle:"registered APT stores" stdout) then
+    Alcotest.failf "stores: missing header:\n%s" stdout;
+  (* golden against the registry itself: every store is listed with its
+     description, so the listing cannot rot as stores are added *)
+  List.iter
+    (fun name ->
+      if not (contains ~needle:("\n  " ^ name) stdout) then
+        Alcotest.failf "stores: %s not listed:\n%s" name stdout;
+      match Lg_apt.Store_registry.description name with
+      | Some d when not (contains ~needle:d stdout) ->
+          Alcotest.failf "stores: description of %s not listed" name
+      | _ -> ())
+    (Lg_apt.Store_registry.names ())
+
+let test_check_ok () =
+  let ((_, stdout, _) as r) = run [ "check"; grammar ] in
+  expect_ok "check" r;
+  if not (contains ~needle:"ok — evaluable in 4 alternating passes" stdout)
+  then Alcotest.failf "check: unexpected stdout:\n%s" stdout
+
+let test_trace_out () =
+  let path = Filename.temp_file "cli_trace" ".json" in
+  let ((_, _, stderr) as r) = run [ "check"; "--trace-out"; path; grammar ] in
+  expect_ok "check --trace-out" r;
+  if not (contains ~needle:("trace: wrote " ^ path) stderr) then
+    Alcotest.failf "--trace-out: no confirmation on stderr:\n%s" stderr;
+  let j = Json_mini.parse (read_file path) in
+  Sys.remove path;
+  Alcotest.(check string)
+    "displayTimeUnit" "ms"
+    (Json_mini.to_str (Json_mini.member_exn "displayTimeUnit" j));
+  let events = Json_mini.to_list (Json_mini.member_exn "traceEvents" j) in
+  let phase e = Json_mini.to_str (Json_mini.member_exn "ph" e) in
+  let name e = Json_mini.to_str (Json_mini.member_exn "name" e) in
+  let num k e = Json_mini.to_num (Json_mini.member_exn k e) in
+  if not (List.exists (fun e -> phase e = "M") events) then
+    Alcotest.fail "no metadata event";
+  let xs = List.filter (fun e -> phase e = "X") events in
+  if List.length xs < 8 then
+    Alcotest.failf "only %d span events" (List.length xs);
+  List.iter
+    (fun e ->
+      if num "ts" e < 0.0 || num "dur" e < 0.0 then
+        Alcotest.failf "negative ts/dur on %s" (name e);
+      Alcotest.(check (float 0.0)) "pid" 1.0 (num "pid" e);
+      Alcotest.(check (float 0.0)) "tid" 1.0 (num "tid" e))
+    xs;
+  (* acceptance criterion: the driver overlays account for (nearly) all of
+     the pipeline's wall time *)
+  let cat e =
+    match Json_mini.member "cat" e with Some (Json_mini.Str s) -> s | _ -> ""
+  in
+  let driver =
+    match List.find_opt (fun e -> name e = "driver.process") xs with
+    | Some e -> e
+    | None -> Alcotest.fail "no driver.process span"
+  in
+  let overlay_total =
+    List.fold_left
+      (fun acc e -> if cat e = "overlay" then acc +. num "dur" e else acc)
+      0.0 xs
+  in
+  if overlay_total < 0.9 *. num "dur" driver then
+    Alcotest.failf "overlay spans cover %.0f of %.0f us" overlay_total
+      (num "dur" driver)
+
+let test_trace_attrs_summary () =
+  let ((_, _, stderr) as r) = run [ "check"; "--trace-attrs"; grammar ] in
+  expect_ok "check --trace-attrs" r;
+  List.iter
+    (fun fragment ->
+      if not (contains ~needle:fragment stderr) then
+        Alcotest.failf "--trace-attrs summary missing %S:\n%s" fragment stderr)
+    [ "trace summary"; "driver.process"; "parse"; "planning" ]
+
+let test_bad_store () =
+  expect_cli_error "--apt-store bogus" "unknown APT store \"bogus\""
+    (run [ "check"; "--apt-store"; "bogus"; grammar ])
+
+let test_bad_page_size () =
+  expect_cli_error "--apt-page-size 0" "--apt-page-size must be positive"
+    (run [ "check"; "--apt-page-size"; "0"; grammar ])
+
+let test_unknown_flag () =
+  expect_cli_error "unknown option" "unknown option '--no-such-flag'"
+    (run [ "check"; "--no-such-flag"; grammar ])
+
+let test_missing_file () =
+  expect_cli_error "missing file" "no '/no/such/file.ag' file"
+    (run [ "check"; "/no/such/file.ag" ])
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "commands",
+        [
+          Alcotest.test_case "stores lists the registry" `Quick
+            test_stores_listing;
+          Alcotest.test_case "check accepts linguist.ag" `Quick test_check_ok;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "--trace-out writes valid Chrome JSON" `Quick
+            test_trace_out;
+          Alcotest.test_case "--trace-attrs prints a summary" `Quick
+            test_trace_attrs_summary;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "unknown store" `Quick test_bad_store;
+          Alcotest.test_case "invalid page size" `Quick test_bad_page_size;
+          Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
+          Alcotest.test_case "missing input file" `Quick test_missing_file;
+        ] );
+    ]
