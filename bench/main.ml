@@ -534,6 +534,107 @@ let store_bench () =
              }
            plan tree))
 
+(* ============ framing overhead and fault absorption ============ *)
+
+let faults_bench () =
+  section "Faults: checksummed-framing overhead and transient-fault absorption";
+  let t = Pascal_ag.translator () in
+  let program = Workloads.synthetic_pascal 1500 in
+  let diag = Lg_support.Diag.create () in
+  let tree = Option.get (Translator.tree_of_source t ~file:"<p>" ~diag program) in
+  let plan = Translator.plan t in
+  let run_with config store =
+    let backend = Lg_apt.Aptfile.backend_of_store_name ~config store in
+    wall_time (fun () ->
+        Engine.run ~options:{ Engine.default_options with backend } plan tree)
+  in
+  let base = Lg_apt.Apt_store.default_config in
+  let bytes (r : Engine.result) =
+    Lg_apt.Io_stats.total_bytes r.Engine.stats.Engine.total_io
+  in
+  (* 1. what the CRC32 framing costs over the unchecked seed layout *)
+  let format_rows =
+    List.map
+      (fun (label, config) ->
+        let r, wall = run_with config "disk" in
+        (label, bytes r, wall))
+      [ ("framed-v1", base); ("legacy", { base with legacy_format = true }) ]
+  in
+  rowf "  %-12s %14s %10s\n" "format" "bytes moved" "wall ms";
+  List.iter
+    (fun (label, b, wall) ->
+      rowf "  %-12s %14d %10.2f\n" label b (1000.0 *. wall))
+    format_rows;
+  let framed_b, framed_s =
+    match format_rows with (_, b, s) :: _ -> (b, s) | [] -> assert false
+  in
+  let legacy_b, legacy_s =
+    match List.rev format_rows with (_, b, s) :: _ -> (b, s) | [] -> assert false
+  in
+  rowf "  framing overhead: %+.1f%% bytes, %+.1f%% wall\n"
+    (100.0 *. float_of_int (framed_b - legacy_b) /. float_of_int legacy_b)
+    (100.0 *. (framed_s -. legacy_s) /. Float.max 1e-9 legacy_s);
+  (* 2. transient EIO absorbed by the pager's bounded retries *)
+  let fault_rows =
+    List.map
+      (fun rate ->
+        let config =
+          if rate = 0.0 then base
+          else
+            {
+              base with
+              faults =
+                Some
+                  {
+                    Lg_apt.Apt_store.f_seed = 11;
+                    f_rate = rate;
+                    f_kinds = [ Lg_apt.Apt_store.Transient_io ];
+                  };
+            }
+        in
+        let r, wall = run_with config "faulty" in
+        (rate, r.Engine.stats.Engine.total_io.Lg_apt.Io_stats.retries, wall))
+      [ 0.0; 0.02; 0.05 ]
+  in
+  rowf "  %-12s %10s %10s\n" "fault rate" "retries" "wall ms";
+  List.iter
+    (fun (rate, retries, wall) ->
+      rowf "  %-12.3f %10d %10.2f\n" rate retries (1000.0 *. wall))
+    fault_rows;
+  rowf "  shape: every run completed; retries grow with the fault rate\n";
+  let json =
+    Printf.sprintf
+      "{\n  \"workload\": \"pascal_subset synthetic (1500 statements)\",\n  \
+       \"formats\": [\n%s\n  ],\n  \"transient\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (label, b, wall) ->
+              Printf.sprintf
+                "    {\"format\": %S, \"bytes_moved\": %d, \"wall_ms\": %.3f}"
+                label b (1000.0 *. wall))
+            format_rows))
+      (String.concat ",\n"
+         (List.map
+            (fun (rate, retries, wall) ->
+              Printf.sprintf
+                "    {\"rate\": %.3f, \"retries\": %d, \"wall_ms\": %.3f}"
+                rate retries (1000.0 *. wall))
+            fault_rows))
+  in
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc json;
+  close_out oc;
+  rowf "  wrote BENCH_faults.json\n";
+  register_bechamel "faults/framed disk evaluator run" (fun () ->
+      ignore
+        (Engine.run
+           ~options:
+             {
+               Engine.default_options with
+               backend = Lg_apt.Aptfile.backend_of_store_name "disk";
+             }
+           plan tree))
+
 (* ============ generated vs interpretive (Schulz) ablation ============ *)
 
 let schulz_ablation () =
@@ -605,6 +706,7 @@ let all =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("f1", f1); ("f2", f2); ("abl", ablations); ("policy", policy_ablation);
     ("schulz", schulz_ablation); ("stores", store_bench);
+    ("faults", faults_bench);
   ]
 
 let () =

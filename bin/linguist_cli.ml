@@ -14,12 +14,27 @@ let read_file path =
   close_in ic;
   s
 
-let options_of ~subsumption ~dead_opt ~max_passes ~apt_store ~apt_page_size =
+let options_of ~subsumption ~dead_opt ~max_passes ~apt_store ~apt_page_size
+    ~apt_faults ~apt_durable ~depth_budget ~node_budget =
   if apt_page_size <= 0 then
     failwith
       (Printf.sprintf "--apt-page-size must be positive (got %d)" apt_page_size);
+  let faults =
+    match apt_faults with
+    | None -> None
+    | Some spec -> (
+        match Lg_apt.Store_faulty.parse_spec spec with
+        | Ok s -> Some s
+        | Error msg ->
+            failwith (Printf.sprintf "--apt-faults %s: %s" spec msg))
+  in
   let config =
-    { Lg_apt.Apt_store.default_config with page_size = apt_page_size }
+    {
+      Lg_apt.Apt_store.default_config with
+      page_size = apt_page_size;
+      durable = apt_durable;
+      faults;
+    }
   in
   {
     Linguist.Driver.default_options with
@@ -27,7 +42,18 @@ let options_of ~subsumption ~dead_opt ~max_passes ~apt_store ~apt_page_size =
     dead_opt;
     max_passes;
     apt_backend = Lg_apt.Aptfile.backend_of_store_name ~config apt_store;
+    depth_budget;
+    node_budget;
   }
+
+(* APT integrity and resource failures are typed (Apt_error); render them
+   as diagnostics and exit with their stable code instead of letting
+   cmdliner's catch-all turn them into a backtrace. *)
+let guard f =
+  try f ()
+  with Lg_apt.Apt_error.Error e ->
+    Format.eprintf "%a@." Lg_support.Diag.pp (Lg_apt.Apt_error.to_diag e);
+    exit (Lg_apt.Apt_error.exit_code e)
 
 let process ~options path =
   let source = read_file path in
@@ -72,6 +98,41 @@ let apt_page_size =
     & info [ "apt-page-size" ] ~docv:"BYTES"
         ~doc:"Page size for the paged APT stores.")
 
+let apt_faults =
+  Arg.(
+    value & opt (some string) None
+    & info [ "apt-faults" ] ~docv:"SEED:RATE:KINDS"
+        ~doc:
+          "Deterministic fault injection for the APT stores: an RNG seed, \
+           a per-opportunity rate in [0,1], and a comma-separated list of \
+           kinds — $(b,transient), $(b,short), $(b,flip), $(b,torn), or \
+           $(b,all). Write-side kinds (flip, torn) damage the medium only \
+           under $(b,--apt-store) $(b,faulty); read-side kinds apply to \
+           any paged store and are absorbed by bounded retries.")
+
+let apt_durable =
+  Arg.(
+    value & flag
+    & info [ "apt-durable" ]
+        ~doc:"fsync APT backing files before their atomic rename.")
+
+let depth_budget =
+  Arg.(
+    value & opt int Linguist.Engine.default_depth_budget
+    & info [ "depth-budget" ] ~docv:"N"
+        ~doc:
+          "Abort evaluation with a diagnostic when the APT tree nests \
+           deeper than $(docv) open nodes, instead of overflowing the \
+           stack.")
+
+let node_budget =
+  Arg.(
+    value & opt int 0
+    & info [ "node-budget" ] ~docv:"N"
+        ~doc:
+          "Abort evaluation with a diagnostic when one pass reads more \
+           than $(docv) APT records; 0 means unlimited.")
+
 let trace_out =
   Arg.(
     value & opt (some string) None
@@ -113,10 +174,12 @@ let with_trace ~trace_out ~trace_attrs ~label f =
         Lg_support.Trace.span tr ~cat:"cli" label f)
   end
 
-let with_options f no_sub no_dead max_passes apt_store apt_page_size =
+let with_options f no_sub no_dead max_passes apt_store apt_page_size apt_faults
+    apt_durable depth_budget node_budget =
   match
     options_of ~subsumption:(not no_sub) ~dead_opt:(not no_dead) ~max_passes
-      ~apt_store ~apt_page_size
+      ~apt_store ~apt_page_size ~apt_faults ~apt_durable ~depth_budget
+      ~node_budget
   with
   | options -> f options
   | exception Failure msg -> `Error (false, msg)
@@ -140,13 +203,16 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Check an attribute grammar.")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page tout tattrs path ->
+        (const (fun no_sub no_dead mp store page faults durable db nb tout
+                    tattrs path ->
              with_options
                (fun options ->
-                 with_trace ~trace_out:tout ~trace_attrs:tattrs ~label:"check"
-                   (fun () -> run options path))
-               no_sub no_dead mp store page)
+                 guard (fun () ->
+                     with_trace ~trace_out:tout ~trace_attrs:tattrs
+                       ~label:"check" (fun () -> run options path)))
+               no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ apt_faults $ apt_durable $ depth_budget $ node_budget
         $ trace_out $ trace_attrs $ file_arg))
 
 let stats_cmd =
@@ -176,13 +242,16 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print grammar statistics (the paper's E1 row).")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page tout tattrs path ->
+        (const (fun no_sub no_dead mp store page faults durable db nb tout
+                    tattrs path ->
              with_options
                (fun options ->
-                 with_trace ~trace_out:tout ~trace_attrs:tattrs ~label:"stats"
-                   (fun () -> run options path))
-               no_sub no_dead mp store page)
+                 guard (fun () ->
+                     with_trace ~trace_out:tout ~trace_attrs:tattrs
+                       ~label:"stats" (fun () -> run options path)))
+               no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ apt_faults $ apt_durable $ depth_budget $ node_budget
         $ trace_out $ trace_attrs $ file_arg))
 
 let out_dir =
@@ -227,13 +296,16 @@ let compile_cmd =
        ~doc:"Generate the listing and the per-pass evaluator modules.")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page tout tattrs path dir ->
+        (const (fun no_sub no_dead mp store page faults durable db nb tout
+                    tattrs path dir ->
              with_options
                (fun options ->
-                 with_trace ~trace_out:tout ~trace_attrs:tattrs
-                   ~label:"compile" (fun () -> run options path dir))
-               no_sub no_dead mp store page)
+                 guard (fun () ->
+                     with_trace ~trace_out:tout ~trace_attrs:tattrs
+                       ~label:"compile" (fun () -> run options path dir)))
+               no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ apt_faults $ apt_durable $ depth_budget $ node_budget
         $ trace_out $ trace_attrs $ file_arg $ out_dir))
 
 let tables_cmd =
@@ -269,21 +341,28 @@ let tables_cmd =
           (the companion parse-table builder).")
     Term.(
       ret
-        (const (fun no_sub no_dead mp store page tout tattrs path ->
+        (const (fun no_sub no_dead mp store page faults durable db nb tout
+                    tattrs path ->
              with_options
                (fun options ->
-                 with_trace ~trace_out:tout ~trace_attrs:tattrs
-                   ~label:"tables" (fun () -> run options path))
-               no_sub no_dead mp store page)
+                 guard (fun () ->
+                     with_trace ~trace_out:tout ~trace_attrs:tattrs
+                       ~label:"tables" (fun () -> run options path)))
+               no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
+        $ apt_faults $ apt_durable $ depth_budget $ node_budget
         $ trace_out $ trace_attrs $ file_arg))
 
 let analyze_cmd =
   (* the self-hosted path: the evaluator GENERATED from linguist.ag does
      the analysis, not the native checker *)
-  let run path =
+  let run options path =
     let t = Lg_languages.Linguist_ag.translator () in
-    let a = Lg_languages.Linguist_ag.analyze ~translator:t (read_file path) in
+    let engine_options = Linguist.Driver.engine_options options in
+    let a =
+      Lg_languages.Linguist_ag.analyze ~engine_options ~translator:t
+        (read_file path)
+    in
     Printf.printf
       "%s (analyzed by the evaluator generated from linguist.ag):\n" path;
     Printf.printf
@@ -305,10 +384,57 @@ let analyze_cmd =
           evaluator generated from linguist.ag).")
     Term.(
       ret
-        (const (fun tout tattrs path ->
-             with_trace ~trace_out:tout ~trace_attrs:tattrs ~label:"analyze"
-               (fun () -> run path))
-        $ trace_out $ trace_attrs $ file_arg))
+        (const (fun store page faults durable db nb tout tattrs path ->
+             with_options
+               (fun options ->
+                 guard (fun () ->
+                     with_trace ~trace_out:tout ~trace_attrs:tattrs
+                       ~label:"analyze" (fun () -> run options path)))
+               false false 16 store page faults durable db nb)
+        $ apt_store $ apt_page_size $ apt_faults $ apt_durable $ depth_budget
+        $ node_budget $ trace_out $ trace_attrs $ file_arg))
+
+let fsck_cmd =
+  let apt_file_arg =
+    Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.apt")
+  in
+  let recover_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recover" ] ~docv:"OUT"
+          ~doc:
+            "Write the longest valid prefix of $(i,FILE.apt) to $(docv) — \
+             atomically, reframed with fresh checksums. This also migrates \
+             legacy (unchecksummed) files to the framed format.")
+  in
+  let run path out =
+    let report = Lg_apt.Salvage.scan path in
+    Format.printf "%a" Lg_apt.Salvage.pp_report report;
+    (match out with
+    | Some out ->
+        let n = Lg_apt.Salvage.recover report ~out in
+        Printf.printf "recovered %d records to %s\n" n out
+    | None -> ());
+    match report.Lg_apt.Salvage.sv_issue with
+    | None -> `Ok ()
+    | Some e ->
+        (* dirty files exit with the stable code of the first failure,
+           even when recovery succeeded — scripts can tell "was damaged"
+           from "was clean" *)
+        flush stdout;
+        exit (Lg_apt.Apt_error.exit_code e)
+  in
+  Cmd.v
+    (Cmd.info "apt-fsck"
+       ~doc:
+         "Scan an APT file record by record, report per-record integrity \
+          with byte offsets, and optionally recover the longest valid \
+          prefix to a fresh file.")
+    Term.(
+      ret
+        (const (fun path out -> guard (fun () -> run path out))
+        $ apt_file_arg $ recover_out))
 
 let stores_cmd =
   let run () =
@@ -359,5 +485,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd;
-            self_cmd; stores_cmd;
+            self_cmd; stores_cmd; fsck_cmd;
           ]))

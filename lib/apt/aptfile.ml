@@ -23,21 +23,14 @@ let store_of_backend = function
   | Disk { dir } -> Store_legacy.disk { Apt_store.default_config with dir = Some dir }
   | Store { name; config } -> Store_registry.find ~config name
 
+(* Every name resolves through the registry — including "mem" and
+   "disk" — so the whole config (durable, legacy_format, faults, ...)
+   reaches the store. The bare [Mem]/[Disk] variants remain for callers
+   that construct backends programmatically with default behavior. *)
 let backend_of_store_name ?(config = Apt_store.default_config) name =
-  match name with
-  | "mem" -> Mem
-  | "disk" ->
-      Disk
-        {
-          dir =
-            (match config.Apt_store.dir with
-            | Some d -> d
-            | None -> Filename.get_temp_dir_name ());
-        }
-  | name ->
-      if not (List.mem name (Store_registry.names ())) then
-        ignore (Store_registry.find ~config name) (* raises with the known names *);
-      Store { name; config }
+  if not (List.mem name (Store_registry.names ())) then
+    ignore (Store_registry.find ~config name) (* raises with the known names *);
+  Store { name; config }
 
 let backend_name = function
   | Mem -> "mem"

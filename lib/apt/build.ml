@@ -8,7 +8,14 @@ let read_tree reader ~order ~arity ~rebuild =
   let next () =
     match Aptfile.read_next reader with
     | Some node -> node
-    | None -> failwith "Build.read_tree: truncated stream"
+    | None ->
+        Apt_error.raise_
+          (Apt_error.Truncated_file
+             {
+               path = None;
+               offset = -1;
+               detail = "APT stream ended before the tree was complete";
+             })
   in
   let rec read_node () =
     let node = next () in

@@ -11,6 +11,9 @@ type t = {
   mutable pool_misses : int;
   mutable prefetch_hits : int;
   mutable seeks : int;
+  (* resilience counters (retry/quarantine policy in Store_pager) *)
+  mutable retries : int;
+  mutable pages_quarantined : int;
   (* compression accounting (zip store layers) *)
   mutable raw_bytes_read : int;
   mutable raw_bytes_written : int;
@@ -44,6 +47,10 @@ let field_specs : (string * (t -> int) * (t -> int -> unit)) list =
       (fun t -> t.prefetch_hits),
       fun t v -> t.prefetch_hits <- v );
     ("seeks", (fun t -> t.seeks), fun t v -> t.seeks <- v);
+    ("retries", (fun t -> t.retries), fun t v -> t.retries <- v);
+    ( "pages_quarantined",
+      (fun t -> t.pages_quarantined),
+      fun t v -> t.pages_quarantined <- v );
     ( "raw_bytes_read",
       (fun t -> t.raw_bytes_read),
       fun t v -> t.raw_bytes_read <- v );
@@ -65,6 +72,8 @@ let create () =
     pool_misses = 0;
     prefetch_hits = 0;
     seeks = 0;
+    retries = 0;
+    pages_quarantined = 0;
     raw_bytes_read = 0;
     raw_bytes_written = 0;
   }
@@ -105,6 +114,9 @@ let pp ppf t =
     Format.fprintf ppf "; pages %dr/%dw; pool %d hit/%d miss; %d prefetched"
       t.pages_read t.pages_written t.pool_hits t.pool_misses t.prefetch_hits;
   if t.seeks > 0 then Format.fprintf ppf "; %d seeks" t.seeks;
+  if t.retries > 0 || t.pages_quarantined > 0 then
+    Format.fprintf ppf "; %d retries/%d quarantined" t.retries
+      t.pages_quarantined;
   match compression_ratio t with
   | Some r -> Format.fprintf ppf "; %d raw B (%.2fx compression)" t.raw_bytes_written r
   | None -> ()

@@ -23,6 +23,12 @@ type t = {
   mutable pool_misses : int;  (** page requests that went to the medium *)
   mutable prefetch_hits : int;  (** pool hits on pages loaded by read-ahead *)
   mutable seeks : int;  (** non-contiguous repositionings of the medium *)
+  mutable retries : int;
+      (** physical reads repeated after a transient I/O fault
+          ({!Store_pager}'s bounded retry-with-backoff policy) *)
+  mutable pages_quarantined : int;
+      (** pages given up on after the retry budget was exhausted;
+          further reads of a quarantined page fail immediately *)
   mutable raw_bytes_read : int;
       (** bytes the base store would have moved uncompressed (payload +
           framing) for the records delivered *)

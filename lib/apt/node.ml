@@ -41,9 +41,13 @@ let encode buf t =
   add_varint (Array.length t.attrs);
   Array.iter (Value.encode buf) t.attrs
 
+let corrupt offset detail =
+  Apt_error.raise_ (Apt_error.Corrupt_record { path = None; offset; detail })
+
 let read_varint s pos =
   let rec go pos shift acc =
-    if pos >= String.length s then failwith "Node.decode: truncated";
+    if pos >= String.length s then
+      corrupt pos "truncated node payload (varint runs off the record)";
     let byte = Char.code s.[pos] in
     let acc = acc lor ((byte land 0x7f) lsl shift) in
     if byte land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
@@ -57,11 +61,16 @@ let decode s =
   let pos = ref pos in
   let attrs =
     Array.init nattrs (fun _ ->
-        let v, next = Value.decode s !pos in
+        (* Value.decode predates the typed channel and still reports
+           through Failure; promote so callers see one error type *)
+        let v, next =
+          try Value.decode s !pos with Failure msg -> corrupt !pos msg
+        in
         pos := next;
         v)
   in
-  if !pos <> String.length s then failwith "Node.decode: trailing bytes";
+  if !pos <> String.length s then
+    corrupt !pos "node payload has trailing bytes";
   { prod = prod1 - 1; sym; attrs }
 
 let encoded_size t =

@@ -7,11 +7,30 @@
     façade keeps the node codec and record accounting; stores own the
     on-medium layout and tally bytes, pages and seeks into {!Io_stats}.
 
+    Byte-compatible stores write the checksummed {e framed} layout
+    ({!Framed}, {!Record_codec}) unless [config.legacy_format] asks for
+    the unchecked seed layout; readers sniff the file signature and
+    accept both. Integrity failures surface as {!Apt_error} values.
+
     A store can be written two ways: directly as the erased record type
     {!t} (closures), or as a module satisfying {!APT_STORE} and erased
     with {!pack}. Registration happens in {!Store_registry}. *)
 
 type direction = [ `Forward | `Backward ]
+
+(** Deterministic fault injection (see {!Store_faulty}): which faults,
+    how often, and the RNG seed that makes a campaign reproducible. *)
+type fault_kind =
+  | Transient_io  (** read fails once (EIO); absorbed by pager retries *)
+  | Short_read  (** a physical read returns fewer bytes than asked *)
+  | Bit_flip  (** one bit of the written file is flipped *)
+  | Torn_write  (** the written file is truncated mid-record *)
+
+type fault_spec = {
+  f_seed : int;
+  f_rate : float;  (** per-opportunity injection probability, in [0,1] *)
+  f_kinds : fault_kind list;
+}
 
 type config = {
   dir : string option;  (** backing directory; [None] = system temp dir *)
@@ -19,10 +38,14 @@ type config = {
   pool_pages : int;  (** buffer-pool capacity, in pages *)
   prefetch_pages : int;  (** read-ahead window on sequential access *)
   zip_block : int;  (** records per compressed block in zip layers *)
+  durable : bool;  (** fsync backing files before the atomic rename *)
+  legacy_format : bool;  (** write the unchecked seed layout (benches) *)
+  faults : fault_spec option;  (** deterministic fault injection *)
 }
 
 val default_config : config
-(** 4 KiB pages, 8-page pool, 2-page read-ahead, 32-record blocks. *)
+(** 4 KiB pages, 8-page pool, 2-page read-ahead, 32-record blocks;
+    framed format, no fsync, no faults. *)
 
 type reader = { next : unit -> string option; close_reader : unit -> unit }
 
@@ -61,12 +84,70 @@ end
 val pack : (module APT_STORE) -> t
 (** Erase an [APT_STORE] module into a first-class store value. *)
 
+(** CRC32 (IEEE 802.3 polynomial), the record checksum of the framed
+    format. *)
+module Crc32 : sig
+  val digest : string -> int
+end
+
 (** The legacy record frame shared by the byte-compatible layouts:
     a 4-byte little-endian payload length on {e both} sides. *)
 module Frame : sig
   val overhead : int
   val u32_to_string : int -> string
   val u32_of_string : string -> int -> int
+end
+
+(** Constants of the checksummed framed format, version 1: the file
+    opens with the {!Framed.magic} signature and every record is
+    [u32 len | u32 crc | payload | u32 crc | u32 len]. *)
+module Framed : sig
+  val magic : string
+
+  val data_start : int
+  (** byte offset of the first record *)
+
+  val overhead : int
+  (** framing bytes added per record *)
+end
+
+type format = Framed_v1 | Legacy
+
+(** The shared record walk: given a positioned byte [source], decode
+    records in either direction under either on-medium format, raising
+    typed {!Apt_error} values (with file offsets) on any integrity
+    failure. All byte-compatible stores and the {!Salvage} scanner are
+    built on this one codec. *)
+module Record_codec : sig
+  type source = {
+    src_path : string option;
+    src_size : int;
+    src_read : pos:int -> len:int -> want:[ `Low | `High ] -> string;
+  }
+
+  val sniff : source -> format
+  (** Decide the format from the file signature. A signature within one
+      byte of {!Framed.magic} raises [Version_mismatch] — damaged or
+      future-versioned files are never silently parsed as legacy. *)
+
+  val sniff_prefix : path:string option -> size:int -> string -> format
+  (** Like {!sniff} for callers that already hold the first bytes. *)
+
+  val data_start : format -> int
+  val overhead : format -> int
+  val start_marker : format -> string
+  (** What a writer emits before the first record. *)
+
+  val frame : format -> string -> string * string
+  (** [(header, trailer)] strings for a payload. *)
+
+  val next_forward : format -> source -> pos:int -> (string * int) option
+  (** Record starting at [pos] and the position after it; [None] at the
+      end of the stream. *)
+
+  val next_backward : format -> source -> pos:int -> (string * int) option
+  (** Record ending at [pos] and the position before it; [None] at the
+      start of the stream. *)
 end
 
 (** LEB128-style varints, used by the zip layer's block codec. *)
@@ -79,3 +160,15 @@ val temp_path : config -> string
 (** Fresh temp file under [config.dir] (or the system temp dir). *)
 
 val remove_quietly : string -> unit
+
+(** Crash-safe output channels: stream into [path ^ ".part"], atomically
+    rename over [path] on {!Atomic_out.commit} (fsyncing first when
+    [durable]). The final path never holds a partial stream. *)
+module Atomic_out : sig
+  type ch
+
+  val create : ?durable:bool -> string -> ch
+  val channel : ch -> out_channel
+  val commit : ch -> unit
+  val abort : ch -> unit
+end

@@ -1,9 +1,15 @@
-(* The two seed backends, kept byte-for-byte compatible: every record is
-   [u32 len | payload | u32 len]. [mem] is implemented as an [APT_STORE]
+(* The two whole-record backends. [Mem] is implemented as an [APT_STORE]
    module run through [Apt_store.pack] (proving the signature is the real
    plug point); [disk] is the unbuffered whole-record file store whose
-   per-record seeking the paged stores exist to beat — its reader now
-   tallies those repositionings into [Io_stats.seeks]. *)
+   per-record seeking the paged stores exist to beat — its reader tallies
+   those repositionings into [Io_stats.seeks].
+
+   Both write the checksummed framed layout by default (or the seed's
+   unchecked [u32 len | payload | u32 len] when asked for the legacy
+   format) and sniff the signature on read, so either store reads either
+   layout. All record decoding goes through [Apt_store.Record_codec],
+   which turns every integrity failure into a typed [Apt_error] with a
+   file offset. *)
 
 open Apt_store
 
@@ -22,29 +28,37 @@ let tally_seek stats =
   | Some s -> s.Io_stats.seeks <- s.Io_stats.seeks + 1
   | None -> ()
 
-module Mem : APT_STORE = struct
+module Mem (F : sig
+  val format : format
+end) : APT_STORE = struct
   let name = "mem"
 
   type writer = { buf : Buffer.t; w_stats : Io_stats.t option; mutable w_records : int }
   type file = { data : string; records : int }
 
   type reader = {
-    r_data : string;
+    source : Record_codec.source;
+    r_format : format;
     mutable pos : int;
     r_dir : direction;
     r_stats : Io_stats.t option;
   }
 
-  let open_writer stats = { buf = Buffer.create 4096; w_stats = stats; w_records = 0 }
+  let open_writer stats =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf (Record_codec.start_marker F.format);
+    (* the signature hits the medium like any other byte *)
+    tally_write stats (Record_codec.data_start F.format);
+    { buf; w_stats = stats; w_records = 0 }
 
   let put w payload =
-    let len = String.length payload in
-    let frame = Frame.u32_to_string len in
-    Buffer.add_string w.buf frame;
+    let header, trailer = Record_codec.frame F.format payload in
+    Buffer.add_string w.buf header;
     Buffer.add_string w.buf payload;
-    Buffer.add_string w.buf frame;
+    Buffer.add_string w.buf trailer;
     w.w_records <- w.w_records + 1;
-    tally_write w.w_stats (len + Frame.overhead)
+    tally_write w.w_stats
+      (String.length payload + Record_codec.overhead F.format)
 
   let close_writer w = { data = Buffer.contents w.buf; records = w.w_records }
   let size_bytes f = String.length f.data
@@ -52,91 +66,115 @@ module Mem : APT_STORE = struct
   let backing_path _ = None
 
   let open_reader stats dir f =
-    let pos = match dir with `Forward -> 0 | `Backward -> String.length f.data in
-    { r_data = f.data; pos; r_dir = dir; r_stats = stats }
-
-  let slice r pos len =
-    if pos < 0 || pos + len > String.length r.r_data then
-      failwith "Aptfile: truncated file";
-    String.sub r.r_data pos len
+    let source =
+      {
+        Record_codec.src_path = None;
+        src_size = String.length f.data;
+        src_read =
+          (fun ~pos ~len ~want:_ ->
+            if pos < 0 || pos + len > String.length f.data then
+              Apt_error.raise_
+                (Apt_error.Truncated_file
+                   { path = None; offset = pos; detail = "read past end of buffer" });
+            String.sub f.data pos len);
+      }
+    in
+    let r_format = Record_codec.sniff source in
+    (* the signature was inspected, like any other store's sniff read *)
+    tally_read stats (Record_codec.data_start r_format);
+    let pos =
+      match dir with
+      | `Forward -> Record_codec.data_start r_format
+      | `Backward -> String.length f.data
+    in
+    { source; r_format; pos; r_dir = dir; r_stats = stats }
 
   let next r =
-    match r.r_dir with
-    | `Forward ->
-        if r.pos >= String.length r.r_data then None
-        else begin
-          let len = Frame.u32_of_string (slice r r.pos 4) 0 in
-          let payload = slice r (r.pos + 4) len in
-          r.pos <- r.pos + len + Frame.overhead;
-          tally_read r.r_stats (len + Frame.overhead);
-          Some payload
-        end
-    | `Backward ->
-        if r.pos <= 0 then None
-        else begin
-          let len = Frame.u32_of_string (slice r (r.pos - 4) 4) 0 in
-          let payload = slice r (r.pos - 4 - len) len in
-          r.pos <- r.pos - len - Frame.overhead;
-          tally_read r.r_stats (len + Frame.overhead);
-          Some payload
-        end
+    let step =
+      match r.r_dir with
+      | `Forward -> Record_codec.next_forward r.r_format r.source ~pos:r.pos
+      | `Backward -> Record_codec.next_backward r.r_format r.source ~pos:r.pos
+    in
+    match step with
+    | None -> None
+    | Some (payload, pos) ->
+        r.pos <- pos;
+        tally_read r.r_stats
+          (String.length payload + Record_codec.overhead r.r_format);
+        Some payload
 
   let close_reader _ = ()
   let dispose _ = ()
 end
 
-let mem () = pack (module Mem)
+let mem ?(format = Framed_v1) () =
+  let module M = Mem (struct
+    let format = format
+  end) in
+  pack (module M)
 
 (* ---- the unbuffered disk store ---- *)
 
 type disk_writer = {
   path : string;
-  oc : out_channel;
+  out : Atomic_out.ch;
+  d_format : format;
   dw_stats : Io_stats.t option;
   mutable dw_records : int;
 }
 
 let disk config : t =
+  let format = if config.legacy_format then Legacy else Framed_v1 in
   let open_reader file_path size stats dir =
     let ic = open_in_bin file_path in
-    let pos = ref (match dir with `Forward -> 0 | `Backward -> size) in
     let phys = ref 0 in
     (* every non-contiguous repositioning is a seek on the period device *)
-    let read_at p len =
-      if p < 0 || p + len > size then failwith "Aptfile: truncated file";
-      if p <> !phys then begin
+    let read_at ~pos ~len ~want:_ =
+      if pos < 0 || pos + len > size then
+        Apt_error.raise_
+          (Apt_error.Truncated_file
+             {
+               path = Some file_path;
+               offset = pos;
+               detail = "read past end of file";
+             });
+      if pos <> !phys then begin
         tally_seek stats;
-        seek_in ic p
+        seek_in ic pos
       end;
-      phys := p + len;
+      phys := pos + len;
       really_input_string ic len
     in
+    let source =
+      { Record_codec.src_path = Some file_path; src_size = size; src_read = read_at }
+    in
+    let r_format = Record_codec.sniff source in
+    tally_read stats (Record_codec.data_start r_format);
+    let pos =
+      ref
+        (match dir with
+        | `Forward -> Record_codec.data_start r_format
+        | `Backward -> size)
+    in
     let next () =
-      match dir with
-      | `Forward ->
-          if !pos >= size then None
-          else begin
-            let len = Frame.u32_of_string (read_at !pos 4) 0 in
-            let payload = read_at (!pos + 4) len in
-            pos := !pos + len + Frame.overhead;
-            tally_read stats (len + Frame.overhead);
-            Some payload
-          end
-      | `Backward ->
-          if !pos <= 0 then None
-          else begin
-            let len = Frame.u32_of_string (read_at (!pos - 4) 4) 0 in
-            let payload = read_at (!pos - 4 - len) len in
-            pos := !pos - len - Frame.overhead;
-            tally_read stats (len + Frame.overhead);
-            Some payload
-          end
+      let step =
+        match dir with
+        | `Forward -> Record_codec.next_forward r_format source ~pos:!pos
+        | `Backward -> Record_codec.next_backward r_format source ~pos:!pos
+      in
+      match step with
+      | None -> None
+      | Some (payload, p) ->
+          pos := p;
+          tally_read stats
+            (String.length payload + Record_codec.overhead r_format);
+          Some payload
     in
     { next; close_reader = (fun () -> close_in ic) }
   in
   let close_writer w =
-    let size = pos_out w.oc in
-    close_out w.oc;
+    let size = pos_out (Atomic_out.channel w.out) in
+    Atomic_out.commit w.out;
     {
       f_store = "disk";
       f_size = size;
@@ -151,17 +189,21 @@ let disk config : t =
     start =
       (fun stats ->
         let path = temp_path config in
-        let w = { path; oc = open_out_bin path; dw_stats = stats; dw_records = 0 } in
+        let out = Atomic_out.create ~durable:config.durable path in
+        output_string (Atomic_out.channel out) (Record_codec.start_marker format);
+        tally_write stats (Record_codec.data_start format);
+        let w = { path; out; d_format = format; dw_stats = stats; dw_records = 0 } in
         {
           put =
             (fun payload ->
-              let len = String.length payload in
-              let frame = Frame.u32_to_string len in
-              output_string w.oc frame;
-              output_string w.oc payload;
-              output_string w.oc frame;
+              let header, trailer = Record_codec.frame w.d_format payload in
+              let oc = Atomic_out.channel w.out in
+              output_string oc header;
+              output_string oc payload;
+              output_string oc trailer;
               w.dw_records <- w.dw_records + 1;
-              tally_write w.dw_stats (len + Frame.overhead));
+              tally_write w.dw_stats
+                (String.length payload + Record_codec.overhead w.d_format));
           close = (fun () -> close_writer w);
         });
   }

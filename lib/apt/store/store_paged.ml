@@ -1,56 +1,65 @@
-(* The paged disk store: the same framed record layout as the legacy
-   [disk] store (files are byte-identical), but all I/O goes through a
+(* The paged disk store: the same framed record layout as the [disk]
+   store (files are byte-identical), but all I/O goes through a
    fixed-size page buffer pool ([Store_pager]), so a backward scan costs
    one physical read per page instead of two seeks per record. With
    [prefetch > 0] the pool reads ahead in the detected scan direction —
-   that configuration is registered separately as the "prefetch" store. *)
+   that configuration is registered separately as the "prefetch" store.
+
+   Record decoding is [Apt_store.Record_codec] over the pool: the codec's
+   [want] direction tells the pool which neighbouring bytes the decode
+   certainly needs next, so a frame probe never pays for the far side of
+   the page. The file signature is sniffed with one raw (unpooled) read,
+   and the pool's page-0 floor excludes those bytes — a full scan still
+   moves exactly [size] bytes. *)
 
 open Apt_store
 
-(* [want] tells the pool which neighbouring bytes the decode certainly
-   needs next, so a frame probe never pays for the far side of the page:
-   a header's page is read from the header up (the payload lies above),
-   a backward trailer's page from the trailer down. *)
-let frame_len_at pager pos ~want =
-  Frame.u32_of_string (Store_pager.read pager ~pos ~len:4 ~want) 0
-
-let corrupt what = failwith (Printf.sprintf "Aptfile: corrupt record frame (%s)" what)
-
 let make ?(name = "paged") ?(prefetch = 0) config : t =
+  let format = if config.legacy_format then Legacy else Framed_v1 in
   let open_reader path size stats dir =
-    let pager =
-      Store_pager.create ?stats ~page_size:config.page_size
-        ~capacity:config.pool_pages ~prefetch ~path ~size ()
+    (* sniff first with a raw read so the pool can floor page 0 at the
+       signature boundary *)
+    let r_format =
+      Record_codec.sniff_prefix ~path:(Some path) ~size
+        (if size >= Framed.data_start then begin
+           let ic = open_in_bin path in
+           let prefix =
+             try really_input_string ic Framed.data_start
+             with End_of_file -> ""
+           in
+           close_in ic;
+           prefix
+         end
+         else "")
     in
-    let pos = ref (match dir with `Forward -> 0 | `Backward -> size) in
+    let data_start = Record_codec.data_start r_format in
+    let pager =
+      Store_pager.create ?stats ~data_start ?faults:config.faults
+        ~page_size:config.page_size ~capacity:config.pool_pages ~prefetch
+        ~path ~size ()
+    in
+    (* charge the signature bytes through the pager so the accounting
+       matches the other stores (and leaves the head at [data_start]) *)
+    if data_start > 0 then ignore (Store_pager.pread pager ~pos:0 ~len:data_start);
+    let source =
+      {
+        Record_codec.src_path = Some path;
+        src_size = size;
+        src_read = (fun ~pos ~len ~want -> Store_pager.read pager ~pos ~len ~want);
+      }
+    in
+    let pos = ref (match dir with `Forward -> data_start | `Backward -> size) in
     let next () =
-      match dir with
-      | `Forward ->
-          if !pos >= size then None
-          else begin
-            let len = frame_len_at pager !pos ~want:`High in
-            if len < 0 || !pos + len + Frame.overhead > size then
-              corrupt "forward header";
-            if frame_len_at pager (!pos + 4 + len) ~want:`High <> len then
-              corrupt "trailer disagrees with header";
-            let payload = Store_pager.read pager ~pos:(!pos + 4) ~len ~want:`High in
-            pos := !pos + len + Frame.overhead;
-            Some payload
-          end
-      | `Backward ->
-          if !pos <= 0 then None
-          else begin
-            let len = frame_len_at pager (!pos - 4) ~want:`Low in
-            if len < 0 || !pos - len - Frame.overhead < 0 then
-              corrupt "backward trailer";
-            if frame_len_at pager (!pos - len - Frame.overhead) ~want:`High <> len
-            then corrupt "header disagrees with trailer";
-            let payload =
-              Store_pager.read pager ~pos:(!pos - 4 - len) ~len ~want:`Low
-            in
-            pos := !pos - len - Frame.overhead;
-            Some payload
-          end
+      let step =
+        match dir with
+        | `Forward -> Record_codec.next_forward r_format source ~pos:!pos
+        | `Backward -> Record_codec.next_backward r_format source ~pos:!pos
+      in
+      match step with
+      | None -> None
+      | Some (payload, p) ->
+          pos := p;
+          Some payload
     in
     { next; close_reader = (fun () -> Store_pager.close pager) }
   in
@@ -60,16 +69,18 @@ let make ?(name = "paged") ?(prefetch = 0) config : t =
       (fun stats ->
         let path = temp_path config in
         let w =
-          Store_pager.create_writer ?stats ~page_size:config.page_size ~path ()
+          Store_pager.create_writer ?stats ~durable:config.durable
+            ~page_size:config.page_size ~path ()
         in
+        Store_pager.append w (Record_codec.start_marker format);
         let records = ref 0 in
         {
           put =
             (fun payload ->
-              let frame = Frame.u32_to_string (String.length payload) in
-              Store_pager.append w frame;
+              let header, trailer = Record_codec.frame format payload in
+              Store_pager.append w header;
               Store_pager.append w payload;
-              Store_pager.append w frame;
+              Store_pager.append w trailer;
               incr records);
           close =
             (fun () ->

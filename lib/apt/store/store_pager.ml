@@ -10,7 +10,16 @@
    segment with prefix/suffix fetches instead of re-reading held bytes.
    A full sequential scan therefore moves exactly [size] bytes — never
    more than the legacy store — and a partial read (say, just the root
-   record) is never charged for bytes on the far side of a frame. *)
+   record) is never charged for bytes on the far side of a frame.
+
+   This is also where the resilience policy lives. Every physical
+   transfer runs under a bounded retry-with-backoff loop: a transient
+   fault (injected EIO or short read — see [Apt_error.Transient]) is
+   retried up to [max_attempts] times with the head position invalidated
+   so the next attempt re-seeks; each repeat is tallied into
+   [Io_stats.retries]. When the budget runs out the pages covering the
+   failing range are quarantined — further reads of them fail
+   immediately — and the caller sees a typed [Exhausted_retries]. *)
 
 type page = {
   mutable base : int;  (** offset within the page of [data]'s first byte *)
@@ -21,28 +30,52 @@ type page = {
 
 type t = {
   ic : in_channel;
+  path : string;
   size : int;
   page_size : int;
   capacity : int;
   prefetch : int;
+  data_start : int;
+      (** floor for page-0 [`Low] widening: the file signature is read
+          raw by the format sniff, so the pool never re-fetches it *)
   stats : Io_stats.t option;
   pages : (int, page) Hashtbl.t;
+  quarantined : (int, unit) Hashtbl.t;
+  faults : (Apt_store.fault_spec * Random.State.t) option;
   mutable clock : int;
   mutable phys : int;  (** where the medium's head currently sits *)
   mutable last_page : int;  (** last explicitly requested page *)
   mutable last_dir : int;  (** +1 / -1 / 0: detected scan direction *)
 }
 
-let create ?stats ~page_size ~capacity ~prefetch ~path ~size () =
+let max_attempts = 4
+
+let create ?stats ?(data_start = 0) ?faults ~page_size ~capacity ~prefetch
+    ~path ~size () =
   if page_size <= 0 then invalid_arg "Store_pager.create: page_size";
+  let faults =
+    match faults with
+    | Some ({ Apt_store.f_kinds; _ } as spec)
+      when List.exists
+             (function
+               | Apt_store.Transient_io | Apt_store.Short_read -> true
+               | _ -> false)
+             f_kinds ->
+        Some (spec, Random.State.make [| spec.Apt_store.f_seed |])
+    | _ -> None
+  in
   {
     ic = open_in_bin path;
+    path;
     size;
     page_size;
     capacity = max 2 capacity;
     prefetch = max 0 prefetch;
+    data_start;
     stats;
     pages = Hashtbl.create 16;
+    quarantined = Hashtbl.create 4;
+    faults;
     clock = 0;
     phys = 0;
     last_page = min_int;
@@ -69,20 +102,116 @@ let evict_to_capacity t =
     | None -> ()
   done
 
-(* One physical transfer of the absolute byte range [start, stop). *)
+(* Roll the fault dice before a physical read. Only the read-side kinds
+   are considered here; write-side kinds (bit flips, torn writes) are
+   applied to the medium by [Store_faulty]. *)
+let maybe_inject t ~len =
+  match t.faults with
+  | None -> ()
+  | Some (spec, rng) ->
+      if Random.State.float rng 1.0 < spec.Apt_store.f_rate then begin
+        let kinds =
+          List.filter
+            (function
+              | Apt_store.Transient_io | Apt_store.Short_read -> true
+              | _ -> false)
+            spec.Apt_store.f_kinds
+        in
+        match List.nth kinds (Random.State.int rng (List.length kinds)) with
+        | Apt_store.Transient_io -> Apt_error.transient "injected EIO"
+        | Apt_store.Short_read ->
+            (* the device really moved some bytes before giving up *)
+            let got = if len <= 1 then 0 else Random.State.int rng len in
+            (try ignore (really_input_string t.ic got) with End_of_file -> ());
+            Apt_error.transient
+              (Printf.sprintf "injected short read (%d of %d bytes)" got len)
+        | _ -> ()
+      end
+
+let quarantine_range t ~start ~stop =
+  let first = start / t.page_size
+  and last = if stop > start then (stop - 1) / t.page_size else start / t.page_size in
+  for n = first to last do
+    if not (Hashtbl.mem t.quarantined n) then begin
+      Hashtbl.replace t.quarantined n ();
+      tally
+        (fun s ->
+          s.Io_stats.pages_quarantined <- s.Io_stats.pages_quarantined + 1)
+        t
+    end
+  done
+
+let check_quarantine t ~start ~stop =
+  let first = start / t.page_size
+  and last = if stop > start then (stop - 1) / t.page_size else start / t.page_size in
+  for n = first to last do
+    if Hashtbl.mem t.quarantined n then
+      Apt_error.raise_
+        (Apt_error.Exhausted_retries
+           {
+             path = Some t.path;
+             attempts = max_attempts;
+             detail = Printf.sprintf "page %d is quarantined" n;
+           })
+  done
+
+(* One physical transfer of the absolute byte range [start, stop), under
+   the bounded retry policy. *)
 let transfer t ~start ~stop =
+  check_quarantine t ~start ~stop;
   let len = stop - start in
-  if start <> t.phys then begin
-    tally (fun s -> s.Io_stats.seeks <- s.Io_stats.seeks + 1) t;
-    seek_in t.ic start
-  end;
-  let run =
-    try really_input_string t.ic len
-    with End_of_file -> failwith "Aptfile: truncated file (page read past EOF)"
+  let attempt () =
+    maybe_inject t ~len;
+    if start <> t.phys then begin
+      tally (fun s -> s.Io_stats.seeks <- s.Io_stats.seeks + 1) t;
+      seek_in t.ic start
+    end;
+    let run =
+      try really_input_string t.ic len
+      with End_of_file ->
+        Apt_error.raise_
+          (Apt_error.Truncated_file
+             {
+               path = Some t.path;
+               offset = start;
+               detail = "page read past end of file";
+             })
+    in
+    t.phys <- stop;
+    tally (fun s -> s.Io_stats.bytes_read <- s.Io_stats.bytes_read + len) t;
+    run
   in
-  t.phys <- stop;
-  tally (fun s -> s.Io_stats.bytes_read <- s.Io_stats.bytes_read + len) t;
-  run
+  let backoff n =
+    (* a spin proportional to the attempt number stands in for the
+       device settling; nothing here can block the single-threaded
+       evaluator *)
+    for _ = 1 to n * 50 do ignore (Sys.opaque_identity n) done
+  in
+  let rec go n =
+    try attempt ()
+    with Apt_error.Transient msg ->
+      (* the head position is unknown after a failed read *)
+      t.phys <- -1;
+      if n >= max_attempts then begin
+        quarantine_range t ~start ~stop;
+        Apt_error.raise_
+          (Apt_error.Exhausted_retries
+             { path = Some t.path; attempts = n; detail = msg })
+      end
+      else begin
+        tally (fun s -> s.Io_stats.retries <- s.Io_stats.retries + 1) t;
+        backoff n;
+        go (n + 1)
+      end
+  in
+  go 1
+
+let pread t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.size then
+    Apt_error.raise_
+      (Apt_error.Truncated_file
+         { path = Some t.path; offset = pos; detail = "read past end of file" });
+  if len = 0 then "" else transfer t ~start:pos ~stop:(pos + len)
 
 let touch t p =
   t.clock <- t.clock + 1;
@@ -91,6 +220,10 @@ let touch t p =
     p.prefetched <- false;
     tally (fun s -> s.Io_stats.prefetch_hits <- s.Io_stats.prefetch_hits + 1) t
   end
+
+(* The low edge a [`Low]-widened fetch of page [n] may reach: the file
+   signature on page 0 was already read raw by the sniff. *)
+let low_edge t n = if n = 0 then min t.data_start (page_len t 0) else 0
 
 (* Serve bytes [lo, hi) of page [n]'s local coordinates. On a miss the
    fetch is widened to the end of the page on the [want] side (those
@@ -118,7 +251,7 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
       (* held segment doesn't cover the request: extend it *)
       tally (fun s -> s.Io_stats.pool_misses <- s.Io_stats.pool_misses + 1) t;
       let dlo, dhi =
-        match want with `Low -> (0, hi) | `High -> (lo, plen)
+        match want with `Low -> (low_edge t n, hi) | `High -> (lo, plen)
       in
       let dlo = min dlo p.base and dhi = max dhi (p.base + String.length p.data) in
       if dlo < p.base then begin
@@ -134,7 +267,7 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
   | None ->
       tally (fun s -> s.Io_stats.pool_misses <- s.Io_stats.pool_misses + 1) t;
       let dlo, dhi =
-        match want with `Low -> (0, hi) | `High -> (lo, plen)
+        match want with `Low -> (low_edge t n, hi) | `High -> (lo, plen)
       in
       (* read-ahead: whole neighbouring pages in the scan direction, in
          the same physical transfer, stopping at any page already held *)
@@ -160,7 +293,10 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
         end
         else (n, n)
       in
-      let start = if lo_page < n then start_of lo_page else start_of n + dlo in
+      let start =
+        if lo_page < n then start_of lo_page + low_edge t lo_page
+        else start_of n + dlo
+      in
       let stop = if hi_page > n then start_of hi_page + page_len t hi_page else start_of n + dhi in
       let run = transfer t ~start ~stop in
       tally
@@ -185,7 +321,9 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
 
 let read t ~pos ~len ~want =
   if pos < 0 || len < 0 || pos + len > t.size then
-    failwith "Aptfile: truncated file";
+    Apt_error.raise_
+      (Apt_error.Truncated_file
+         { path = Some t.path; offset = pos; detail = "read past end of file" });
   if len = 0 then ""
   else begin
     let first = pos / t.page_size and last = (pos + len - 1) / t.page_size in
@@ -225,25 +363,36 @@ let read t ~pos ~len ~want =
       done;
       Buffer.add_string buf
         (page_slice t last ~lo:0 ~hi:(pos + len - (last * t.page_size)) ~want);
-      if Buffer.length buf <> len then failwith "Aptfile: truncated file";
+      if Buffer.length buf <> len then
+        Apt_error.raise_
+          (Apt_error.Truncated_file
+             {
+               path = Some t.path;
+               offset = pos;
+               detail = "page assembly came up short";
+             });
       Buffer.contents buf
     end
   end
 
-(* ---- page-buffered append writer ---- *)
+(* ---- page-buffered append writer ----
+
+   Crash-safe: the stream goes into [path ^ ".part"] and is atomically
+   renamed over [path] on close, so a failure mid-write never leaves a
+   partial file at the final path. *)
 
 type w = {
-  oc : out_channel;
+  out : Apt_store.Atomic_out.ch;
   w_page_size : int;
   w_stats : Io_stats.t option;
   buf : Buffer.t;
   mutable written : int;
 }
 
-let create_writer ?stats ~page_size ~path () =
+let create_writer ?stats ?(durable = false) ~page_size ~path () =
   if page_size <= 0 then invalid_arg "Store_pager.create_writer: page_size";
   {
-    oc = open_out_bin path;
+    out = Apt_store.Atomic_out.create ~durable path;
     w_page_size = page_size;
     w_stats = stats;
     buf = Buffer.create (2 * page_size);
@@ -258,7 +407,7 @@ let flush_pages w ~all =
   let flushed = if all then len else whole in
   if flushed > 0 then begin
     let s = Buffer.contents w.buf in
-    output_substring w.oc s 0 flushed;
+    output_substring (Apt_store.Atomic_out.channel w.out) s 0 flushed;
     Buffer.clear w.buf;
     Buffer.add_substring w.buf s flushed (len - flushed);
     w.written <- w.written + flushed;
@@ -276,5 +425,5 @@ let append w s =
 
 let close_writer w =
   flush_pages w ~all:true;
-  close_out w.oc;
+  Apt_store.Atomic_out.commit w.out;
   w.written

@@ -16,10 +16,13 @@ let register ~name ~description make =
 
 let () =
   register ~name:"mem"
-    ~description:"in-memory buffer, legacy record framing (the paper's virtual-memory answer)"
-    (fun _ -> Store_legacy.mem ());
+    ~description:"in-memory buffer, whole-record framing (the paper's virtual-memory answer)"
+    (fun c ->
+      Store_legacy.mem
+        ~format:(if c.Apt_store.legacy_format then Apt_store.Legacy else Apt_store.Framed_v1)
+        ());
   register ~name:"disk"
-    ~description:"unbuffered temp file, legacy record framing (the seed default)"
+    ~description:"unbuffered temp file, whole-record framing (the seed default)"
     Store_legacy.disk;
   register ~name:"paged"
     ~description:"paged temp file with an LRU buffer pool (same byte format as disk)"
@@ -32,7 +35,12 @@ let () =
     (fun c -> Store_zip.layer ~name:"zip" c (Store_legacy.disk c));
   register ~name:"paged+zip"
     ~description:"front-coded block compression layered over the paged store"
-    (fun c -> Store_zip.layer ~name:"paged+zip" c (Store_paged.make c))
+    (fun c -> Store_zip.layer ~name:"paged+zip" c (Store_paged.make c));
+  register ~name:"faulty"
+    ~description:
+      "deterministic fault injection (--apt-faults seed:rate:kinds) layered \
+       over the prefetch store"
+    (fun c -> Store_faulty.layer ~name:"faulty" c (Store_prefetch.make c))
 
 let names () = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
 

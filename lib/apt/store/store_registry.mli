@@ -3,8 +3,10 @@
     Builtins: ["mem"], ["disk"] (the byte-compatible seed backends),
     ["paged"] (LRU buffer pool), ["prefetch"] (paged + read-ahead),
     ["zip"] and ["paged+zip"] (front-coded block compression layered
-    over disk/paged). [register] plugs in out-of-tree stores, e.g. an
-    {!Apt_store.APT_STORE} module erased with {!Apt_store.pack}. *)
+    over disk/paged), ["faulty"] (deterministic fault injection over
+    prefetch, see {!Store_faulty}). [register] plugs in out-of-tree
+    stores, e.g. an {!Apt_store.APT_STORE} module erased with
+    {!Apt_store.pack}. *)
 
 val register :
   name:string ->

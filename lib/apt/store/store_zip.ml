@@ -47,7 +47,13 @@ let decode_block s =
       let prefix, p1 = Varint.read s !pos in
       let suffix, p2 = Varint.read s p1 in
       if prefix > String.length !prev || p2 + suffix > String.length s then
-        failwith "Aptfile: corrupt compressed block";
+        Apt_error.raise_
+          (Apt_error.Corrupt_record
+             {
+               path = None;
+               offset = !pos;
+               detail = "front-coded block refers outside its bounds";
+             });
       let payload = String.sub !prev 0 prefix ^ String.sub s p2 suffix in
       pos := p2 + suffix;
       prev := payload;
@@ -65,6 +71,10 @@ let tally_raw_read stats bytes =
 
 let layer ~name (config : config) (base : t) : t =
   let block = max 1 config.zip_block in
+  (* what the base store's framing would have cost per record *)
+  let frame_overhead =
+    Record_codec.overhead (if config.legacy_format then Legacy else Framed_v1)
+  in
   let open_reader (base_file : file) stats dir =
     let base_reader = base_file.f_read stats dir in
     let queue = ref [] in
@@ -80,7 +90,7 @@ let layer ~name (config : config) (base : t) : t =
               let payloads = decode_block b in
               tally_raw_read stats
                 (List.fold_left
-                   (fun acc p -> acc + String.length p + Frame.overhead)
+                   (fun acc p -> acc + String.length p + frame_overhead)
                    0 payloads);
               queue :=
                 (match dir with
@@ -106,7 +116,7 @@ let layer ~name (config : config) (base : t) : t =
         {
           put =
             (fun payload ->
-              tally_raw_write stats (String.length payload + Frame.overhead);
+              tally_raw_write stats (String.length payload + frame_overhead);
               pending := payload :: !pending;
               incr pending_n;
               incr records;

@@ -8,6 +8,8 @@ type options = {
   emit_code : bool;
   apt_backend : Lg_apt.Aptfile.backend;
   tracer : Trace.t;
+  depth_budget : int;
+  node_budget : int;
 }
 
 let default_options =
@@ -19,6 +21,8 @@ let default_options =
     emit_code = true;
     apt_backend = Lg_apt.Aptfile.Mem;
     tracer = Trace.null;
+    depth_budget = Engine.default_depth_budget;
+    node_budget = 0;
   }
 
 let engine_options options =
@@ -26,6 +30,8 @@ let engine_options options =
     Engine.default_options with
     Engine.backend = options.apt_backend;
     Engine.tracer = options.tracer;
+    Engine.depth_budget = options.depth_budget;
+    Engine.node_budget = options.node_budget;
   }
 
 type artifact = {

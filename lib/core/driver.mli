@@ -25,6 +25,10 @@ type options = {
           and the E4 bench table come from one measurement. Resolved
           against the ambient tracer ({!Lg_support.Trace.install}); when
           neither is enabled a private tracer supplies the timings. *)
+  depth_budget : int;
+      (** evaluator depth budget (see {!Engine.options}); default
+          {!Engine.default_depth_budget} *)
+  node_budget : int;  (** evaluator node budget; default 0 = unlimited *)
 }
 
 val default_options : options

@@ -8,7 +8,11 @@ type options = {
   interpretive : bool;
   tracer : Trace.t;
   trace_attrs : bool;
+  depth_budget : int;
+  node_budget : int;
 }
+
+let default_depth_budget = 100_000
 
 let default_options =
   {
@@ -18,6 +22,8 @@ let default_options =
     interpretive = false;
     tracer = Trace.null;
     trace_attrs = false;
+    depth_budget = default_depth_budget;
+    node_budget = 0;
   }
 
 (* Every Io_stats counter, as span arguments; zero counters are elided to
@@ -194,6 +200,7 @@ let run ?(options = default_options) (plan : Plan.t) tree =
   let per_pass = ref [] in
   let total_io = Io_stats.create () in
   let max_file_bytes = ref 0 in
+  let nodes_read = ref 0 in
   let run_pass input_file pass =
     let pass_plan = plan.Plan.pass_plans.(pass - 1) in
     let io = Io_stats.create () in
@@ -209,6 +216,17 @@ let run ?(options = default_options) (plan : Plan.t) tree =
     in
     let writer = Aptfile.writer ~stats:io options.backend in
     let read_node () =
+      nodes_read := !nodes_read + 1;
+      if options.node_budget > 0 && !nodes_read > options.node_budget then
+        Lg_apt.Apt_error.raise_
+          (Lg_apt.Apt_error.Resource_limit
+             {
+               what = "node";
+               limit = options.node_budget;
+               detail =
+                 Printf.sprintf "pass %d read more APT records than budgeted"
+                   pass;
+             });
       match Aptfile.read_next reader with
       | Some node -> expand plan node ~pass
       | None -> fail "pass %d: intermediate file exhausted early" pass
@@ -227,6 +245,18 @@ let run ?(options = default_options) (plan : Plan.t) tree =
     in
     let enter ns frame_size =
       acc.open_nodes <- acc.open_nodes + 1;
+      (* fail with a diagnostic while the native stack still has room,
+         instead of a stack overflow deep inside [visit] *)
+      if options.depth_budget > 0 && acc.open_nodes > options.depth_budget then
+        Lg_apt.Apt_error.raise_
+          (Lg_apt.Apt_error.Resource_limit
+             {
+               what = "depth";
+               limit = options.depth_budget;
+               detail =
+                 Printf.sprintf "pass %d opened more nested nodes than budgeted"
+                   pass;
+             });
       acc.max_open <- max acc.max_open acc.open_nodes;
       let slots = Array.length ns.vals + frame_size in
       acc.resident <- acc.resident + slots;

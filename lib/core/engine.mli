@@ -33,10 +33,21 @@ type options = {
       (** record per-production attribute-evaluation counts on each pass
           span (the CLI's [--trace-attrs] debugging mode, à la
           Sasaki–Sassa); effective only when a tracer is enabled *)
+  depth_budget : int;
+      (** maximum simultaneously open (nested) nodes before the run fails
+          with a typed {!Lg_apt.Apt_error.Resource_limit} diagnostic
+          instead of a stack overflow; [0] disables the check *)
+  node_budget : int;
+      (** maximum APT records read across the whole run; [0] = unlimited *)
 }
 
+val default_depth_budget : int
+(** 100_000 open nodes — generous for real trees, small enough that the
+    budget fires long before the native stack would. *)
+
 val default_options : options
-(** [Mem] backend, no trace, files disposed as soon as consumed. *)
+(** [Mem] backend, no trace, files disposed as soon as consumed; the
+    default depth budget, no node budget. *)
 
 type pass_stats = {
   ps_pass : int;

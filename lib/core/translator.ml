@@ -128,27 +128,42 @@ type translation = {
   input_lines : int;
 }
 
+let run_tree ?engine_options t source tree =
+  let result = Engine.run ?options:engine_options (plan t) tree in
+  {
+    outputs = result.Engine.outputs;
+    eval_stats = result.Engine.stats;
+    tree_size = Tree.size tree;
+    input_lines = Lg_scanner.Engine.line_count source;
+  }
+
 let translate ?engine_options t ~file source =
   let diag = Diag.create () in
   match tree_of_source t ~file ~diag source with
   | None -> Error diag
   | Some tree -> (
-      try
-        let result = Engine.run ?options:engine_options (plan t) tree in
-        Ok
-          {
-            outputs = result.Engine.outputs;
-            eval_stats = result.Engine.stats;
-            tree_size = Tree.size tree;
-            input_lines = Lg_scanner.Engine.line_count source;
-          }
+      (* degrade gracefully: evaluation failures — logic errors and the
+         typed APT integrity/resource errors alike — come back as
+         diagnostics, never as exceptions *)
+      try Ok (run_tree ?engine_options t source tree) with
+      | Engine.Evaluation_error msg ->
+          Diag.error diag (Loc.span file Loc.start_pos Loc.start_pos)
+            "evaluation failed: %s" msg;
+          Error diag
+      | Apt_error.Error e ->
+          Apt_error.add_to_diag diag e;
+          Error diag)
+
+let translate_exn ?engine_options t ~file source =
+  let diag = Diag.create () in
+  match tree_of_source t ~file ~diag source with
+  | None ->
+      failwith (Format.asprintf "Translator.translate:@.%a" Diag.pp_all diag)
+  | Some tree -> (
+      (* [Apt_error.Error] propagates untouched so exception-style callers
+         (the CLI) can dispatch on the failure class and its exit code *)
+      try run_tree ?engine_options t source tree
       with Engine.Evaluation_error msg ->
         Diag.error diag (Loc.span file Loc.start_pos Loc.start_pos)
           "evaluation failed: %s" msg;
-        Error diag)
-
-let translate_exn ?engine_options t ~file source =
-  match translate ?engine_options t ~file source with
-  | Ok tr -> tr
-  | Error diag ->
-      failwith (Format.asprintf "Translator.translate:@.%a" Diag.pp_all diag)
+        failwith (Format.asprintf "Translator.translate:@.%a" Diag.pp_all diag))

@@ -62,9 +62,16 @@ val translate :
   file:string ->
   string ->
   (translation, Lg_support.Diag.collector) result
+(** Every failure — scan/parse errors, evaluator logic errors, and the
+    typed APT integrity/resource errors ({!Lg_apt.Apt_error}) — comes
+    back as [Error diag]; this function never raises on bad input. *)
 
 val translate_exn :
   ?engine_options:Engine.options -> t -> file:string -> string -> translation
+(** Like {!translate} but scan/parse/logic failures raise [Failure] with
+    the rendered diagnostics, while {!Lg_apt.Apt_error.Error} propagates
+    untouched so callers can dispatch on the failure class (the CLI maps
+    it to a stable exit code). *)
 
 val tree_of_source :
   t ->

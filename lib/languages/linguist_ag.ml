@@ -562,9 +562,12 @@ type analysis = {
   n_limbs : int;
 }
 
-let analyze ?translator:tr source =
+let analyze ?engine_options ?translator:tr source =
   let t = match tr with Some t -> t | None -> translator () in
-  let result = Linguist.Translator.translate_exn t ~file:"<ag-input>" source in
+  let result =
+    Linguist.Translator.translate_exn ?engine_options t ~file:"<ag-input>"
+      source
+  in
   let outputs = result.Linguist.Translator.outputs in
   let names = Linguist.Translator.interner t in
   let int_of name =

@@ -45,9 +45,14 @@ type analysis = {
 }
 
 val analyze :
-  ?translator:Linguist.Translator.t -> string -> analysis
+  ?engine_options:Linguist.Engine.options ->
+  ?translator:Linguist.Translator.t ->
+  string ->
+  analysis
 (** Run the generated evaluator over an AG source text.
-    @raise Failure on scan/parse errors. *)
+    [engine_options] selects the APT store, budgets etc. for the run.
+    @raise Failure on scan/parse errors; typed
+    {!Lg_apt.Apt_error.Error} exceptions from the store layer propagate. *)
 
 val self_analysis : unit -> analysis
 (** [analyze ag_source]: the grammar applied to its own text — the

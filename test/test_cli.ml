@@ -145,6 +145,122 @@ let test_missing_file () =
   expect_cli_error "missing file" "no '/no/such/file.ag' file"
     (run [ "check"; "/no/such/file.ag" ])
 
+let test_bad_fault_spec () =
+  expect_cli_error "--apt-faults nonsense" "--apt-faults"
+    (run [ "check"; "--apt-faults"; "nonsense"; grammar ])
+
+(* ----- typed APT failures: stable exit codes, pinned forever ----- *)
+
+(* A three-record framed APT file, optionally damaged. Record offsets:
+   4, 23, 42; total 63 bytes. *)
+let write_apt path ~damage =
+  let open Lg_apt.Apt_store in
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Record_codec.start_marker Framed_v1);
+  List.iter
+    (fun p ->
+      let header, trailer = Record_codec.frame Framed_v1 p in
+      Buffer.add_string b header;
+      Buffer.add_string b p;
+      Buffer.add_string b trailer)
+    [ "one"; "two"; "three" ];
+  let data = damage (Buffer.contents b) in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let patch off f data =
+  let b = Bytes.of_string data in
+  Bytes.set b off (Char.chr (f (Char.code (Bytes.get b off))));
+  Bytes.to_string b
+
+let with_apt damage f =
+  let path = Filename.temp_file "cli_apt" ".apt" in
+  write_apt path ~damage;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* apt-fsck prints the report (including the failure) on stdout and exits
+   with the stable code of the first integrity failure. *)
+let expect_fsck name code fragment (rc, stdout, stderr) =
+  Alcotest.(check int) (name ^ ": exit code") code rc;
+  if not (contains ~needle:fragment stdout) then
+    Alcotest.failf "%s: stdout missing %S:\n%s\nstderr:%s" name fragment
+      stdout stderr
+
+let test_fsck_clean () =
+  with_apt Fun.id @@ fun path ->
+  let ((_, stdout, _) as r) = run [ "apt-fsck"; path ] in
+  expect_ok "apt-fsck clean" r;
+  if not (contains ~needle:"3 valid records, 63 of 63 bytes valid" stdout)
+     || not (contains ~needle:"file is clean" stdout)
+  then Alcotest.failf "apt-fsck clean: unexpected report:\n%s" stdout
+
+let test_fsck_corrupt_exit_40 () =
+  with_apt (patch (42 + 8 + 1) (fun c -> c lxor 0x04)) @@ fun path ->
+  expect_fsck "corrupt record" 40 "corrupt APT record"
+    (run [ "apt-fsck"; path ])
+
+let test_fsck_truncated_exit_41 () =
+  with_apt (fun d -> String.sub d 0 (String.length d - 3)) @@ fun path ->
+  expect_fsck "truncated file" 41 "truncated APT file"
+    (run [ "apt-fsck"; path ])
+
+let test_fsck_version_exit_42 () =
+  with_apt (patch 2 (fun c -> c lxor 0x01)) @@ fun path ->
+  expect_fsck "version mismatch" 42 "APT version mismatch"
+    (run [ "apt-fsck"; path ])
+
+let test_fsck_recover () =
+  with_apt (patch (42 + 8 + 1) (fun c -> c lxor 0x04)) @@ fun path ->
+  let out = Filename.temp_file "cli_apt" ".recovered" in
+  Fun.protect ~finally:(fun () -> Sys.remove out) @@ fun () ->
+  (* dirty input: report + recovery, but still the failure's exit code *)
+  let ((rc, stdout, _) as r) = run [ "apt-fsck"; path; "--recover"; out ] in
+  ignore r;
+  Alcotest.(check int) "recover exit code" 40 rc;
+  if not (contains ~needle:("recovered 2 records to " ^ out) stdout) then
+    Alcotest.failf "apt-fsck --recover: unexpected stdout:\n%s" stdout;
+  (* the recovered file scans clean *)
+  let ((_, stdout2, _) as r2) = run [ "apt-fsck"; out ] in
+  expect_ok "apt-fsck recovered" r2;
+  if not (contains ~needle:"file is clean" stdout2) then
+    Alcotest.failf "recovered file not clean:\n%s" stdout2
+
+(* Evaluation-side typed failures surface on stderr via the guard. *)
+let expect_typed_error name code fragment (rc, _, stderr) =
+  Alcotest.(check int) (name ^ ": exit code") code rc;
+  if not (contains ~needle:fragment stderr) then
+    Alcotest.failf "%s: stderr missing %S:\n%s" name fragment stderr
+
+let test_exhausted_retries_exit_43 () =
+  (* every read hits an injected EIO; the bounded retries run out *)
+  expect_typed_error "exhausted retries" 43 "APT I/O failed"
+    (run
+       [
+         "analyze"; "--apt-store"; "faulty"; "--apt-faults"; "1:1.0:transient";
+         grammar;
+       ])
+
+let test_depth_budget_exit_44 () =
+  expect_typed_error "depth budget" 44 "evaluation exceeded the depth budget"
+    (run [ "analyze"; "--depth-budget"; "1"; grammar ])
+
+let test_node_budget_exit_44 () =
+  expect_typed_error "node budget" 44 "evaluation exceeded the node budget"
+    (run [ "analyze"; "--node-budget"; "5"; grammar ])
+
+let test_transient_faults_absorbed () =
+  (* acceptance criterion: transient EIO at a low rate never fails an
+     evaluation — the retry policy absorbs it *)
+  let ((_, _, _) as r) =
+    run
+      [
+        "analyze"; "--apt-store"; "faulty"; "--apt-faults"; "7:0.01:transient";
+        grammar;
+      ]
+  in
+  expect_ok "analyze with 1% transient faults" r
+
 let () =
   Alcotest.run "cli"
     [
@@ -167,5 +283,29 @@ let () =
           Alcotest.test_case "invalid page size" `Quick test_bad_page_size;
           Alcotest.test_case "unknown flag" `Quick test_unknown_flag;
           Alcotest.test_case "missing input file" `Quick test_missing_file;
+          Alcotest.test_case "invalid fault spec" `Quick test_bad_fault_spec;
+        ] );
+      ( "apt-fsck",
+        [
+          Alcotest.test_case "clean file" `Quick test_fsck_clean;
+          Alcotest.test_case "corrupt record exits 40" `Quick
+            test_fsck_corrupt_exit_40;
+          Alcotest.test_case "truncated file exits 41" `Quick
+            test_fsck_truncated_exit_41;
+          Alcotest.test_case "version mismatch exits 42" `Quick
+            test_fsck_version_exit_42;
+          Alcotest.test_case "--recover salvages the prefix" `Quick
+            test_fsck_recover;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "exhausted retries exit 43" `Quick
+            test_exhausted_retries_exit_43;
+          Alcotest.test_case "depth budget exits 44" `Quick
+            test_depth_budget_exit_44;
+          Alcotest.test_case "node budget exits 44" `Quick
+            test_node_budget_exit_44;
+          Alcotest.test_case "low-rate transient faults absorbed" `Quick
+            test_transient_faults_absorbed;
         ] );
     ]

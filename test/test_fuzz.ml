@@ -199,6 +199,112 @@ let test_fuzz_campaign () =
     true
     (!accepted >= n_seeds / 4 && !rejected > 0)
 
+(* ---------------------------------------------------------------- *)
+(* Fault-injection campaign: the same generated grammars evaluated over
+   the "faulty" store. Transient EIO at a low rate must be absorbed by
+   the pager's bounded retries — every run matches the oracle exactly and
+   the retry counter shows the faults were real. Destructive damage (bit
+   flips, torn writes) must either leave the run unaffected or surface as
+   a typed [Apt_error]: never a crash, never a silent mismatch. *)
+
+let faulty_backend spec =
+  let config =
+    { Lg_apt.Apt_store.default_config with faults = Some spec }
+  in
+  Lg_apt.Aptfile.backend_of_store_name ~config "faulty"
+
+let run_faulty ~spec plan tree =
+  Engine.run
+    ~options:
+      { Engine.default_options with backend = faulty_backend spec }
+    plan tree
+
+let outputs_match (engine : Engine.result) (oracle : Demand.result) =
+  List.for_all2
+    (fun (_, v1) (_, v2) -> Lg_support.Value.equal v1 v2)
+    engine.Engine.outputs oracle.Demand.outputs
+
+let test_fuzz_faulty_campaign () =
+  let evaluated = ref 0 and degraded = ref 0 and retries = ref 0 in
+  for seed = 1 to n_seeds do
+    let st = Random.State.make [| seed |] in
+    let rng bound = Random.State.int st bound in
+    let source = Ag_gen.generate rng in
+    let diag = Lg_support.Diag.create () in
+    match Ag_parse.parse ~file:"<fuzz>" ~diag source with
+    | None -> ()
+    | Some ast -> (
+        match Check.check ~diag ast with
+        | None -> ()
+        | Some ir -> (
+            let pdiag = Lg_support.Diag.create () in
+            match Pass_assign.compute ~max_passes:8 ~diag:pdiag ir with
+            | None -> ()
+            | Some _ -> (
+                match Driver.plan_of_ir ir with
+                | exception _ -> ()
+                | plan -> (
+                    let tree =
+                      Fixtures.random_tree ir ~rng ~size:(10 + rng 40)
+                    in
+                    match Demand.evaluate plan.Plan.ir tree with
+                    | exception Demand.Circular _ -> ()
+                    | oracle ->
+                        incr evaluated;
+                        (* 1%% transient EIO: retries absorb every fault *)
+                        let r =
+                          run_faulty
+                            ~spec:
+                              {
+                                Lg_apt.Apt_store.f_seed = seed;
+                                f_rate = 0.01;
+                                f_kinds = [ Lg_apt.Apt_store.Transient_io ];
+                              }
+                            plan tree
+                        in
+                        if not (outputs_match r oracle) then
+                          Alcotest.failf
+                            "seed %d: transient faults changed the result:\n%s"
+                            seed source;
+                        retries :=
+                          !retries
+                          + r.Engine.stats.Engine.total_io
+                              .Lg_apt.Io_stats.retries;
+                        (* destructive damage: identical success or a
+                           typed failure, nothing else *)
+                        let spec =
+                          {
+                            Lg_apt.Apt_store.f_seed = seed;
+                            f_rate = 0.05;
+                            f_kinds =
+                              [
+                                Lg_apt.Apt_store.Bit_flip;
+                                Lg_apt.Apt_store.Torn_write;
+                              ];
+                          }
+                        in
+                        (match run_faulty ~spec plan tree with
+                        | r2 ->
+                            if not (outputs_match r2 oracle) then
+                              Alcotest.failf
+                                "seed %d: medium damage went undetected \
+                                 (silent mismatch):\n%s"
+                                seed source
+                        | exception Lg_apt.Apt_error.Error _ -> incr degraded
+                        | exception e ->
+                            Alcotest.failf
+                              "seed %d: damage escaped the typed error \
+                               channel (%s):\n%s"
+                              seed (Printexc.to_string e) source)))))
+  done;
+  (* the campaign must not be vacuous: grammars were evaluated, transient
+     faults really fired (and were retried), and some damage was caught *)
+  Alcotest.(check bool)
+    (Printf.sprintf "evaluated %d, retried %d, degraded %d" !evaluated
+       !retries !degraded)
+    true
+    (!evaluated >= n_seeds / 4 && !retries > 0 && !degraded > 0)
+
 let test_fuzz_grammar_is_parseable_text () =
   (* The generator's output is valid surface syntax across many seeds
      (kept separate so syntax breakage is reported early and precisely). *)
@@ -279,5 +385,7 @@ let () =
             test_backends_registered;
           Alcotest.test_case "600-seed differential campaign, all stores" `Slow
             test_fuzz_campaign;
+          Alcotest.test_case "600-seed fault-injection campaign" `Slow
+            test_fuzz_faulty_campaign;
         ] );
     ]

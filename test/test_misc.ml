@@ -86,8 +86,8 @@ let test_value_decode_corruption () =
 
 let test_node_decode_corruption () =
   match Lg_apt.Node.decode "\x01\x02\x03" with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "node decode should fail"
+  | exception Lg_apt.Apt_error.Error (Lg_apt.Apt_error.Corrupt_record _) -> ()
+  | _ -> Alcotest.fail "node decode should fail with a typed error"
 
 (* ----- engine error paths ----- *)
 

@@ -110,7 +110,7 @@ let prop_roundtrip_random =
         (Store_registry.names ());
       true)
 
-(* ----- the legacy on-medium format, pinned byte for byte ----- *)
+(* ----- the on-medium formats, pinned byte for byte ----- *)
 
 let le32 n =
   String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
@@ -120,19 +120,25 @@ let legacy_bytes payloads =
     (List.map (fun p -> le32 (String.length p) ^ p ^ le32 (String.length p))
        payloads)
 
+(* The framed golden image is spelled out with independently computed
+   CRC-32 constants (IEEE polynomial, as zlib's crc32), so a codec bug
+   cannot pin itself. *)
+let framed_record ~crc p =
+  le32 (String.length p) ^ le32 crc ^ p ^ le32 crc ^ le32 (String.length p)
+
+let framed_bytes recs =
+  "APT1" ^ String.concat "" (List.map (fun (p, crc) -> framed_record ~crc p) recs)
+
 let file_bytes path =
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
   close_in ic;
   s
 
-let test_legacy_format_pin () =
-  with_temp_dir @@ fun dir ->
-  let payloads = [ "AB"; ""; "xyz" ] in
-  let expected = legacy_bytes payloads in
+let pin_format_bytes dir ~config ~expected payloads =
   List.iter
     (fun name ->
-      let store = Store_registry.find ~config:(config_in dir) name in
+      let store = Store_registry.find ~config name in
       let w = store.start None in
       List.iter w.put payloads;
       let f = w.close () in
@@ -144,17 +150,60 @@ let test_legacy_format_pin () =
             expected (file_bytes path)
       | None -> ());
       f.f_dispose ())
+    [ "mem"; "disk"; "paged"; "prefetch" ];
+  ignore dir
+
+let test_framed_format_pin () =
+  with_temp_dir @@ fun dir ->
+  pin_format_bytes dir ~config:(config_in dir)
+    ~expected:
+      (framed_bytes
+         [ ("AB", 0x30694c07); ("", 0x0); ("xyz", 0xeb8eba67) ])
+    [ "AB"; ""; "xyz" ]
+
+let test_legacy_format_pin () =
+  with_temp_dir @@ fun dir ->
+  let payloads = [ "AB"; ""; "xyz" ] in
+  pin_format_bytes dir
+    ~config:{ (config_in dir) with legacy_format = true }
+    ~expected:(legacy_bytes payloads) payloads
+
+(* Legacy (seed-era) files keep reading without any flag: sniffing falls
+   back on the absent signature. *)
+let test_legacy_files_still_read () =
+  with_temp_dir @@ fun dir ->
+  let payloads = [ "old"; ""; String.make 100 'k' ] in
+  List.iter
+    (fun name ->
+      let legacy =
+        Store_registry.find
+          ~config:{ (config_in dir) with legacy_format = true }
+          name
+      in
+      let w = legacy.start None in
+      List.iter w.put payloads;
+      let f = w.close () in
+      (* reread the same backing file through a framed-default store *)
+      Alcotest.(check (list string))
+        (name ^ ": legacy forward")
+        payloads
+        (drain (f.f_read None `Forward));
+      Alcotest.(check (list string))
+        (name ^ ": legacy backward")
+        (List.rev payloads)
+        (drain (f.f_read None `Backward));
+      f.f_dispose ())
     [ "mem"; "disk"; "paged"; "prefetch" ]
 
-(* ----- corruption and truncation fail loudly ----- *)
+(* ----- corruption and truncation fail loudly, with typed errors ----- *)
 
 let fails_to_read (f : file) dir =
   match drain (f.f_read None dir) with
-  | exception Failure _ -> true
+  | exception Apt_error.Error _ -> true
   | _ -> false
 
-let write_store dir name payloads =
-  let store = Store_registry.find ~config:(config_in dir) name in
+let write_store ?(config_of = config_in) dir name payloads =
+  let store = Store_registry.find ~config:(config_of dir) name in
   let w = store.start None in
   List.iter w.put payloads;
   w.close ()
@@ -170,18 +219,65 @@ let test_corrupt_frames () =
   with_temp_dir @@ fun dir ->
   let f = write_store dir "paged" [ "hello"; "world" ] in
   let path = Option.get f.f_path in
-  (* header length of the first record made absurd *)
-  patch_byte path 3 0x7f;
+  (* header length of the first record made absurd (magic is 4 bytes,
+     then the length's high byte at offset 7) *)
+  patch_byte path 7 0x7f;
   Alcotest.(check bool) "corrupt header: forward fails" true
     (fails_to_read f `Forward);
   f.f_dispose ();
   let f = write_store dir "paged" [ "hello"; "world" ] in
   let path = Option.get f.f_path in
-  (* trailer of the last record no longer matches its header *)
+  (* trailer length of the last record no longer matches its header *)
   patch_byte path (f.f_size - 4) 0x09;
   Alcotest.(check bool) "corrupt trailer: backward fails" true
     (fails_to_read f `Backward);
+  f.f_dispose ();
+  let f = write_store dir "paged" [ "hello"; "world" ] in
+  let path = Option.get f.f_path in
+  (* one payload byte: only the checksum can see this *)
+  patch_byte path 13 (Char.code 'H');
+  Alcotest.(check bool) "corrupt payload: checksum catches it" true
+    (fails_to_read f `Forward);
   f.f_dispose ()
+
+(* The acceptance matrix: flip a bit at EVERY offset of a framed file and
+   the read must fail with a typed error (or, for the signature, a
+   version mismatch) — in both directions. No flip is silent. *)
+let test_bit_flip_matrix () =
+  with_temp_dir @@ fun dir ->
+  let payloads = [ "hello"; ""; "worlds apart"; String.make 60 'm' ] in
+  List.iter
+    (fun name ->
+      let fresh () = write_store dir name payloads in
+      let probe = fresh () in
+      let size = probe.f_size in
+      probe.f_dispose ();
+      for offset = 0 to size - 1 do
+        List.iter
+          (fun bit ->
+            let f = fresh () in
+            let path = Option.get f.f_path in
+            let original = Char.code (file_bytes path).[offset] in
+            patch_byte path offset (original lxor (1 lsl bit));
+            List.iter
+              (fun dirn ->
+                let detected =
+                  match drain (f.f_read None dirn) with
+                  | exception Apt_error.Error _ -> true
+                  | exception e ->
+                      Alcotest.failf "%s: flip %d.%d raised %s" name offset
+                        bit (Printexc.to_string e)
+                  | payloads' -> payloads' <> payloads
+                  (* a flip must never survive as altered data *)
+                in
+                if not detected then
+                  Alcotest.failf "%s: flip at offset %d bit %d was silent"
+                    name offset bit)
+              [ `Forward; `Backward ];
+            f.f_dispose ())
+          [ 0; 7 ]
+      done)
+    [ "disk"; "paged" ]
 
 let test_truncated_file () =
   with_temp_dir @@ fun dir ->
@@ -200,12 +296,57 @@ let test_corrupt_zip_block () =
   with_temp_dir @@ fun dir ->
   let f = write_store dir "zip" [ "hello"; "help!" ] in
   let path = Option.get f.f_path in
-  (* the first record's suffix-length varint, inside the block payload
-     (4 frame bytes, block-record count, shared-prefix varint) *)
-  patch_byte path 6 0x7f;
+  (* a byte inside the compressed block payload: the base store's
+     checksum catches it before the block decoder even runs *)
+  patch_byte path 14 0x7f;
   Alcotest.(check bool) "corrupt block: read fails" true
     (fails_to_read f `Forward);
+  f.f_dispose ();
+  (* under the legacy (unchecked) layout the block decoder itself must
+     catch the damage: the first record's suffix-length varint sits after
+     the 4 frame bytes, the record count and the shared-prefix varint *)
+  let f =
+    write_store
+      ~config_of:(fun dir -> { (config_in dir) with legacy_format = true })
+      dir "zip" [ "hello"; "help!" ]
+  in
+  let path = Option.get f.f_path in
+  patch_byte path 6 0x7f;
+  Alcotest.(check bool) "corrupt legacy block: decoder fails" true
+    (fails_to_read f `Forward);
   f.f_dispose ()
+
+(* ----- crash-safe writes: temp file + atomic rename on close ----- *)
+
+let test_atomic_writes () =
+  with_temp_dir @@ fun dir ->
+  List.iter
+    (fun name ->
+      let store = Store_registry.find ~config:(config_in dir) name in
+      let w = store.start None in
+      w.put (String.make 9000 'a');
+      w.put "partial";
+      (* mid-write: some backing file in the directory is still a ".part";
+         no completed store file exists yet *)
+      let entries = Array.to_list (Sys.readdir dir) in
+      Alcotest.(check bool)
+        (name ^ ": stream lives in a .part file")
+        true
+        (List.exists (fun e -> Filename.check_suffix e ".part") entries);
+      let f = w.close () in
+      let path = Option.get f.f_path in
+      Alcotest.(check bool)
+        (name ^ ": committed file exists")
+        true (Sys.file_exists path);
+      Alcotest.(check bool)
+        (name ^ ": no .part left after close")
+        false (Sys.file_exists (path ^ ".part"));
+      Alcotest.(check (list string))
+        (name ^ ": committed records read back")
+        [ String.make 9000 'a'; "partial" ]
+        (drain (f.f_read None `Forward));
+      f.f_dispose ())
+    [ "disk"; "paged" ]
 
 (* ----- stats through the store stack ----- *)
 
@@ -339,15 +480,25 @@ let () =
           QCheck_alcotest.to_alcotest prop_roundtrip_random;
         ] );
       ( "format",
-        [ Alcotest.test_case "legacy layout pinned byte-for-byte" `Quick
-            test_legacy_format_pin ] );
+        [
+          Alcotest.test_case "framed layout pinned byte-for-byte" `Quick
+            test_framed_format_pin;
+          Alcotest.test_case "legacy layout pinned byte-for-byte" `Quick
+            test_legacy_format_pin;
+          Alcotest.test_case "legacy files still read" `Quick
+            test_legacy_files_still_read;
+        ] );
       ( "corruption",
         [
           Alcotest.test_case "corrupt frames" `Quick test_corrupt_frames;
+          Alcotest.test_case "every single-bit flip is detected" `Quick
+            test_bit_flip_matrix;
           Alcotest.test_case "truncated backing file" `Quick test_truncated_file;
           Alcotest.test_case "corrupt compressed block" `Quick
             test_corrupt_zip_block;
         ] );
+      ( "resilience",
+        [ Alcotest.test_case "atomic rename on close" `Quick test_atomic_writes ] );
       ( "stats",
         [
           Alcotest.test_case "paged pool accounting" `Quick test_paged_stats;
