@@ -499,29 +499,38 @@ let store_bench () =
     (bytes "paged+zip" < bytes "disk");
   (* machine-readable trajectory for the perf dashboard across PRs *)
   let json =
-    Printf.sprintf
-      "{\n  \"workload\": \"pascal_subset synthetic (1500 statements)\",\n  \
-       \"apt_nodes\": %d,\n  \"floppy_bytes_per_second\": %.0f,\n  \
-       \"floppy_seek_seconds\": %.3f,\n  \"stores\": [\n%s\n  ]\n}\n"
-      (Lg_apt.Tree.size tree) floppy_bytes_per_second floppy_seek_seconds
-      (String.concat ",\n"
-         (List.map
-            (fun (name, (io : Lg_apt.Io_stats.t), wall) ->
-              Printf.sprintf
-                "    {\"store\": %S, \"wall_ms\": %.3f, \
-                 \"modeled_seconds\": %.3f, \"modeled_seconds_seek\": %.3f, \
-                 \"io\": %s}"
-                name (1000.0 *. wall)
-                (Lg_apt.Io_stats.modeled_seconds io
-                   ~bytes_per_second:floppy_bytes_per_second)
-                (Lg_apt.Io_stats.modeled_seconds_seek io
-                   ~bytes_per_second:floppy_bytes_per_second
-                   ~seek_seconds:floppy_seek_seconds)
-                (Lg_apt.Io_stats.to_json io))
-            rows))
+    let open Lg_support.Json_out in
+    Obj
+      [
+        ("workload", Str "pascal_subset synthetic (1500 statements)");
+        ("apt_nodes", int (Lg_apt.Tree.size tree));
+        ("floppy_bytes_per_second", Num floppy_bytes_per_second);
+        ("floppy_seek_seconds", Num floppy_seek_seconds);
+        ( "stores",
+          Arr
+            (List.map
+               (fun (name, (io : Lg_apt.Io_stats.t), wall) ->
+                 Obj
+                   [
+                     ("store", Str name);
+                     ("wall_ms", Num (1000.0 *. wall));
+                     ( "modeled_seconds",
+                       Num
+                         (Lg_apt.Io_stats.modeled_seconds io
+                            ~bytes_per_second:floppy_bytes_per_second) );
+                     ( "modeled_seconds_seek",
+                       Num
+                         (Lg_apt.Io_stats.modeled_seconds_seek io
+                            ~bytes_per_second:floppy_bytes_per_second
+                            ~seek_seconds:floppy_seek_seconds) );
+                     ("io", Lg_apt.Io_stats.to_json_value io);
+                   ])
+               rows) );
+      ]
   in
   let oc = open_out "BENCH_apt.json" in
-  output_string oc json;
+  output_string oc (Lg_support.Json_out.to_string ~pretty:true json);
+  output_char oc '\n';
   close_out oc;
   rowf "  wrote BENCH_apt.json (%d stores)\n" (List.length rows);
   register_bechamel "stores/paged evaluator run (1500-stmt program)" (fun () ->
@@ -603,26 +612,37 @@ let faults_bench () =
     fault_rows;
   rowf "  shape: every run completed; retries grow with the fault rate\n";
   let json =
-    Printf.sprintf
-      "{\n  \"workload\": \"pascal_subset synthetic (1500 statements)\",\n  \
-       \"formats\": [\n%s\n  ],\n  \"transient\": [\n%s\n  ]\n}\n"
-      (String.concat ",\n"
-         (List.map
-            (fun (label, b, wall) ->
-              Printf.sprintf
-                "    {\"format\": %S, \"bytes_moved\": %d, \"wall_ms\": %.3f}"
-                label b (1000.0 *. wall))
-            format_rows))
-      (String.concat ",\n"
-         (List.map
-            (fun (rate, retries, wall) ->
-              Printf.sprintf
-                "    {\"rate\": %.3f, \"retries\": %d, \"wall_ms\": %.3f}"
-                rate retries (1000.0 *. wall))
-            fault_rows))
+    let open Lg_support.Json_out in
+    Obj
+      [
+        ("workload", Str "pascal_subset synthetic (1500 statements)");
+        ( "formats",
+          Arr
+            (List.map
+               (fun (label, b, wall) ->
+                 Obj
+                   [
+                     ("format", Str label);
+                     ("bytes_moved", int b);
+                     ("wall_ms", Num (1000.0 *. wall));
+                   ])
+               format_rows) );
+        ( "transient",
+          Arr
+            (List.map
+               (fun (rate, retries, wall) ->
+                 Obj
+                   [
+                     ("rate", Num rate);
+                     ("retries", int retries);
+                     ("wall_ms", Num (1000.0 *. wall));
+                   ])
+               fault_rows) );
+      ]
   in
   let oc = open_out "BENCH_faults.json" in
-  output_string oc json;
+  output_string oc (Lg_support.Json_out.to_string ~pretty:true json);
+  output_char oc '\n';
   close_out oc;
   rowf "  wrote BENCH_faults.json\n";
   register_bechamel "faults/framed disk evaluator run" (fun () ->
@@ -709,15 +729,13 @@ let all =
     ("faults", faults_bench);
   ]
 
-let () =
+let run_experiments args =
   let rec split_args names trace_out = function
     | [] -> (List.rev names, trace_out)
     | "--trace-out" :: path :: rest -> split_args names (Some path) rest
     | a :: rest -> split_args (a :: names) trace_out rest
   in
-  let names, trace_out =
-    split_args [] None (List.tl (Array.to_list Sys.argv))
-  in
+  let names, trace_out = split_args [] None args in
   let requested = match names with [] -> List.map fst all | l -> l in
   (* One ambient tracer across every experiment: the driver overlays,
      evaluator passes (with per-pass Io_stats) and table constructions all
@@ -740,3 +758,10 @@ let () =
   write "BENCH_trace.json";
   Option.iter write trace_out;
   run_bechamel ()
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  (* the regression gate rides in the bench binary: it reads the same
+     BENCH_*.json / manifest documents the harness and the CLI write *)
+  | "diff" :: rest -> exit (Diff.main rest)
+  | args -> run_experiments args

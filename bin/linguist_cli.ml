@@ -139,9 +139,21 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:
           "Profile the whole run and write Chrome trace_event JSON to \
-           $(docv) — load it in chrome://tracing or Perfetto. Spans cover \
-           every overlay, evaluator pass (with APT I/O counters), and \
-           table construction; see docs/OBSERVABILITY.md.")
+           $(docv) — load it in chrome://tracing or Perfetto ($(docv) \
+           $(b,-) writes it to stdout). Spans cover every overlay, \
+           evaluator pass (with APT I/O counters), and table \
+           construction; see docs/OBSERVABILITY.md.")
+
+let report_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON run manifest to $(docv) ($(b,-) for stdout): \
+           grammar statistics, pass plan, overlay timings, store \
+           configuration and a metrics-registry snapshot. Render it \
+           with the $(b,report) subcommand; compare two manifests with \
+           the bench harness's $(b,diff) mode.")
 
 let trace_attrs =
   Arg.(
@@ -163,6 +175,14 @@ let with_trace ~trace_out ~trace_attrs ~label f =
     let finish () =
       Lg_support.Trace.install Lg_support.Trace.null;
       match trace_out with
+      | Some "-" ->
+          (* JSON on stdout, the confirmation (like every diagnostic) on
+             stderr, so the output pipes cleanly *)
+          print_string
+            (Lg_support.Trace.to_chrome_json
+               ~process_name:("linguist-cli " ^ label) tr);
+          Printf.eprintf "trace: wrote %d spans to stdout\n%!"
+            (Lg_support.Trace.span_count tr)
       | Some path ->
           Lg_support.Trace.write_chrome
             ~process_name:("linguist-cli " ^ label) tr ~path;
@@ -173,6 +193,31 @@ let with_trace ~trace_out ~trace_attrs ~label f =
     Fun.protect ~finally:finish (fun () ->
         Lg_support.Trace.span tr ~cat:"cli" label f)
   end
+
+(* The full telemetry harness around a command: the ambient tracer (when
+   tracing was asked for) plus an ambient metrics registry (when a run
+   manifest was asked for), so every layer reports without explicit
+   threading. *)
+let with_telemetry ~trace_out ~trace_attrs ~report ~label f =
+  if report = None then with_trace ~trace_out ~trace_attrs ~label f
+  else begin
+    Lg_support.Metrics.install (Lg_support.Metrics.create ());
+    Fun.protect
+      ~finally:(fun () -> Lg_support.Metrics.install Lg_support.Metrics.null)
+      (fun () -> with_trace ~trace_out ~trace_attrs ~label f)
+  end
+
+(* Emit the run manifest a successful command asked for with --report. *)
+let emit_manifest ~report ~command ~options ~path artifact =
+  match report with
+  | None -> ()
+  | Some dest ->
+      let doc =
+        Linguist.Manifest.build ~command
+          ~backend:options.Linguist.Driver.apt_backend ~file:path artifact
+      in
+      Linguist.Manifest.write ~dest doc;
+      if dest <> "-" then Printf.eprintf "manifest: wrote %s\n%!" dest
 
 let with_options f no_sub no_dead max_passes apt_store apt_page_size apt_faults
     apt_durable depth_budget node_budget =
@@ -185,7 +230,7 @@ let with_options f no_sub no_dead max_passes apt_store apt_page_size apt_faults
   | exception Failure msg -> `Error (false, msg)
 
 let check_cmd =
-  let run options path =
+  let run ~report options path =
     match process ~options path with
     | Ok (_, artifact) ->
         Format.printf "%a" Lg_support.Diag.pp_all artifact.Linguist.Driver.diag;
@@ -197,6 +242,7 @@ let check_cmd =
            with
           | Linguist.Pass_assign.L2r -> "left-to-right"
           | Linguist.Pass_assign.R2l -> "right-to-left");
+        emit_manifest ~report ~command:"check" ~options ~path artifact;
         `Ok ()
     | Error () -> `Error (false, "errors in " ^ path)
   in
@@ -204,38 +250,40 @@ let check_cmd =
     Term.(
       ret
         (const (fun no_sub no_dead mp store page faults durable db nb tout
-                    tattrs path ->
+                    tattrs rep path ->
              with_options
                (fun options ->
                  guard (fun () ->
-                     with_trace ~trace_out:tout ~trace_attrs:tattrs
-                       ~label:"check" (fun () -> run options path)))
+                     with_telemetry ~trace_out:tout ~trace_attrs:tattrs
+                       ~report:rep ~label:"check" (fun () ->
+                         run ~report:rep options path)))
                no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
         $ apt_faults $ apt_durable $ depth_budget $ node_budget
-        $ trace_out $ trace_attrs $ file_arg))
+        $ trace_out $ trace_attrs $ report_out $ file_arg))
 
 let stats_cmd =
-  let run options path =
+  let run ~report options path =
     match process ~options path with
     | Ok (_, artifact) ->
         let ir = artifact.Linguist.Driver.ir in
         Format.printf "%a@." Linguist.Ir.pp_stats (Linguist.Ir.stats ir);
         Printf.printf "alternating passes    %6d\n"
           artifact.Linguist.Driver.passes.Linguist.Pass_assign.n_passes;
-        let report =
+        let sub =
           Linguist.Subsume.report ir artifact.Linguist.Driver.alloc
         in
         Printf.printf "static attributes     %6d (of %d candidates)\n"
-          report.Linguist.Subsume.chosen report.Linguist.Subsume.candidates;
+          sub.Linguist.Subsume.chosen sub.Linguist.Subsume.candidates;
         Printf.printf "subsumable copy-rules %6d\n"
-          report.Linguist.Subsume.subsumed_copy_rules;
+          sub.Linguist.Subsume.subsumed_copy_rules;
         (* Saarinen's classification, which the paper's first optimization
            exploits: most attributes never cross a pass boundary. *)
         Printf.printf "temporary attributes  %6d (stack only)\n"
           (Linguist.Dead.temporary_count artifact.Linguist.Driver.dead);
         Printf.printf "significant attributes%6d (travel in the APT files)\n"
           (Linguist.Dead.significant_count artifact.Linguist.Driver.dead);
+        emit_manifest ~report ~command:"stats" ~options ~path artifact;
         `Ok ()
     | Error () -> `Error (false, "errors in " ^ path)
   in
@@ -243,16 +291,17 @@ let stats_cmd =
     Term.(
       ret
         (const (fun no_sub no_dead mp store page faults durable db nb tout
-                    tattrs path ->
+                    tattrs rep path ->
              with_options
                (fun options ->
                  guard (fun () ->
-                     with_trace ~trace_out:tout ~trace_attrs:tattrs
-                       ~label:"stats" (fun () -> run options path)))
+                     with_telemetry ~trace_out:tout ~trace_attrs:tattrs
+                       ~report:rep ~label:"stats" (fun () ->
+                         run ~report:rep options path)))
                no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
         $ apt_faults $ apt_durable $ depth_budget $ node_budget
-        $ trace_out $ trace_attrs $ file_arg))
+        $ trace_out $ trace_attrs $ report_out $ file_arg))
 
 let out_dir =
   Arg.(
@@ -260,7 +309,7 @@ let out_dir =
     & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
 
 let compile_cmd =
-  let run options path dir =
+  let run ~report options path dir =
     match process ~options path with
     | Ok (_, artifact) ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -288,6 +337,7 @@ let compile_cmd =
           (Linguist.Driver.throughput_lines_per_minute artifact);
         Printf.printf "apt store: %s\n"
           (Lg_apt.Aptfile.backend_name options.Linguist.Driver.apt_backend);
+        emit_manifest ~report ~command:"compile" ~options ~path artifact;
         `Ok ()
     | Error () -> `Error (false, "errors in " ^ path)
   in
@@ -297,20 +347,21 @@ let compile_cmd =
     Term.(
       ret
         (const (fun no_sub no_dead mp store page faults durable db nb tout
-                    tattrs path dir ->
+                    tattrs rep path dir ->
              with_options
                (fun options ->
                  guard (fun () ->
-                     with_trace ~trace_out:tout ~trace_attrs:tattrs
-                       ~label:"compile" (fun () -> run options path dir)))
+                     with_telemetry ~trace_out:tout ~trace_attrs:tattrs
+                       ~report:rep ~label:"compile" (fun () ->
+                         run ~report:rep options path dir)))
                no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
         $ apt_faults $ apt_durable $ depth_budget $ node_budget
-        $ trace_out $ trace_attrs $ file_arg $ out_dir))
+        $ trace_out $ trace_attrs $ report_out $ file_arg $ out_dir))
 
 let tables_cmd =
   (* the companion parse-table builder, fed "exactly the same input file" *)
-  let run options path =
+  let run ~report options path =
     match process ~options path with
     | Ok (_, artifact) ->
         let cfg = Linguist.Ir.to_cfg artifact.Linguist.Driver.ir in
@@ -331,6 +382,7 @@ let tables_cmd =
                   (Lg_lalr.Tables.pp_conflict tables)
                   c)
               conflicts);
+        emit_manifest ~report ~command:"tables" ~options ~path artifact;
         `Ok ()
     | Error () -> `Error (false, "errors in " ^ path)
   in
@@ -342,16 +394,17 @@ let tables_cmd =
     Term.(
       ret
         (const (fun no_sub no_dead mp store page faults durable db nb tout
-                    tattrs path ->
+                    tattrs rep path ->
              with_options
                (fun options ->
                  guard (fun () ->
-                     with_trace ~trace_out:tout ~trace_attrs:tattrs
-                       ~label:"tables" (fun () -> run options path)))
+                     with_telemetry ~trace_out:tout ~trace_attrs:tattrs
+                       ~report:rep ~label:"tables" (fun () ->
+                         run ~report:rep options path)))
                no_sub no_dead mp store page faults durable db nb)
         $ no_subsumption $ no_dead_opt $ max_passes $ apt_store $ apt_page_size
         $ apt_faults $ apt_durable $ depth_budget $ node_budget
-        $ trace_out $ trace_attrs $ file_arg))
+        $ trace_out $ trace_attrs $ report_out $ file_arg))
 
 let analyze_cmd =
   (* the self-hosted path: the evaluator GENERATED from linguist.ag does
@@ -394,6 +447,14 @@ let analyze_cmd =
         $ apt_store $ apt_page_size $ apt_faults $ apt_durable $ depth_budget
         $ node_budget $ trace_out $ trace_attrs $ file_arg))
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit machine-readable JSON (with a metrics-registry snapshot) \
+           instead of the human listing.")
+
 let fsck_cmd =
   let apt_file_arg =
     Arg.(required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.apt")
@@ -408,14 +469,60 @@ let fsck_cmd =
              atomically, reframed with fresh checksums. This also migrates \
              legacy (unchecksummed) files to the framed format.")
   in
-  let run path out =
+  let run json path out =
+    (* the registry captures the salvage.* counters the scan publishes *)
+    if json then Lg_support.Metrics.install (Lg_support.Metrics.create ());
     let report = Lg_apt.Salvage.scan path in
-    Format.printf "%a" Lg_apt.Salvage.pp_report report;
-    (match out with
-    | Some out ->
-        let n = Lg_apt.Salvage.recover report ~out in
-        Printf.printf "recovered %d records to %s\n" n out
-    | None -> ());
+    let recovered =
+      Option.map (fun out -> (out, Lg_apt.Salvage.recover report ~out)) out
+    in
+    if json then begin
+      let open Lg_support.Json_out in
+      let doc =
+        Obj
+          [
+            ("path", Str report.Lg_apt.Salvage.sv_path);
+            ("size_bytes", int report.Lg_apt.Salvage.sv_size);
+            ( "format",
+              Str (Lg_apt.Salvage.format_name report.Lg_apt.Salvage.sv_format)
+            );
+            ("clean", Bool (Lg_apt.Salvage.is_clean report));
+            ("valid_bytes", int report.Lg_apt.Salvage.sv_valid_bytes);
+            ( "records",
+              Arr
+                (List.map
+                   (fun (r : Lg_apt.Salvage.record_info) ->
+                     Obj
+                       [
+                         ("offset", int r.Lg_apt.Salvage.r_offset);
+                         ("payload_bytes", int r.Lg_apt.Salvage.r_len);
+                       ])
+                   report.Lg_apt.Salvage.sv_records) );
+            ( "issue",
+              match report.Lg_apt.Salvage.sv_issue with
+              | Some e -> Str (Lg_apt.Apt_error.to_string e)
+              | None -> Null );
+            ( "exit_code",
+              match report.Lg_apt.Salvage.sv_issue with
+              | Some e -> int (Lg_apt.Apt_error.exit_code e)
+              | None -> int 0 );
+            ( "recovered",
+              match recovered with
+              | Some (out, n) -> Obj [ ("out", Str out); ("records", int n) ]
+              | None -> Null );
+            ( "metrics",
+              Lg_support.Metrics.to_json (Lg_support.Metrics.ambient ()) );
+          ]
+      in
+      print_endline (to_string ~pretty:true doc);
+      Lg_support.Metrics.install Lg_support.Metrics.null
+    end
+    else begin
+      Format.printf "%a" Lg_apt.Salvage.pp_report report;
+      match recovered with
+      | Some (out, n) -> Printf.printf "recovered %d records to %s\n" n out
+      | None -> ()
+    end;
     match report.Lg_apt.Salvage.sv_issue with
     | None -> `Ok ()
     | Some e ->
@@ -433,23 +540,71 @@ let fsck_cmd =
           prefix to a fresh file.")
     Term.(
       ret
-        (const (fun path out -> guard (fun () -> run path out))
-        $ apt_file_arg $ recover_out))
+        (const (fun json path out -> guard (fun () -> run json path out))
+        $ json_flag $ apt_file_arg $ recover_out))
 
 let stores_cmd =
-  let run () =
-    Printf.printf "registered APT stores (select with --apt-store):\n";
-    List.iter
-      (fun name ->
-        Printf.printf "  %-10s %s\n" name
-          (Option.value ~default:"" (Lg_apt.Store_registry.description name)))
-      (Lg_apt.Store_registry.names ());
+  let run json =
+    if json then begin
+      let open Lg_support.Json_out in
+      let doc =
+        Obj
+          [
+            ( "stores",
+              Arr
+                (List.map
+                   (fun name ->
+                     Obj
+                       [
+                         ("name", Str name);
+                         ( "description",
+                           Str
+                             (Option.value ~default:""
+                                (Lg_apt.Store_registry.description name)) );
+                       ])
+                   (Lg_apt.Store_registry.names ())) );
+            ( "metrics",
+              Lg_support.Metrics.to_json (Lg_support.Metrics.ambient ()) );
+          ]
+      in
+      print_endline (to_string ~pretty:true doc)
+    end
+    else begin
+      Printf.printf "registered APT stores (select with --apt-store):\n";
+      List.iter
+        (fun name ->
+          Printf.printf "  %-10s %s\n" name
+            (Option.value ~default:"" (Lg_apt.Store_registry.description name)))
+        (Lg_apt.Store_registry.names ())
+    end;
     `Ok ()
   in
   Cmd.v
     (Cmd.info "stores"
        ~doc:"List the registered APT store backends for the intermediate files.")
-    Term.(ret (const run $ const ()))
+    Term.(ret (const run $ json_flag))
+
+let report_cmd =
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"MANIFEST.json")
+  in
+  let run path =
+    match Lg_support.Json_out.parse (read_file path) with
+    | doc ->
+        Format.printf "%a@?" Linguist.Manifest.pp doc;
+        `Ok ()
+    | exception Failure msg ->
+        `Error (false, Printf.sprintf "%s: not a manifest (%s)" path msg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a JSON run manifest (written by $(b,--report)) in \
+          human-readable form.")
+    Term.(ret (const run $ manifest_arg))
 
 let self_cmd =
   let run () =
@@ -485,5 +640,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd;
-            self_cmd; stores_cmd; fsck_cmd;
+            self_cmd; stores_cmd; fsck_cmd; report_cmd;
           ]))

@@ -47,7 +47,14 @@ let writer ?stats backend =
 let write w node =
   Buffer.clear w.buf;
   Node.encode w.buf node;
-  w.inner_w.Apt_store.put (Buffer.contents w.buf);
+  let payload = Buffer.contents w.buf in
+  w.inner_w.Apt_store.put payload;
+  (* record-size distribution for the metrics registry (§IV's "how big
+     are the APT records" accounting); one field check when disabled *)
+  let m = Lg_support.Metrics.ambient () in
+  if Lg_support.Metrics.enabled m then
+    Lg_support.Metrics.observe m "apt.record_bytes"
+      (float_of_int (String.length payload));
   match w.w_stats with
   | Some s -> s.Io_stats.records_written <- s.Io_stats.records_written + 1
   | None -> ()

@@ -121,17 +121,24 @@ let pp ppf t =
   | Some r -> Format.fprintf ppf "; %d raw B (%.2fx compression)" t.raw_bytes_written r
   | None -> ()
 
-let to_json t =
-  let fields =
-    List.map (fun (name, v) -> (name, string_of_int v)) (fields t)
+let to_json_value t =
+  Lg_support.Json_out.Obj
+    (List.map (fun (name, v) -> (name, Lg_support.Json_out.int v)) (fields t)
     @ [
         ( "compression_ratio",
           match compression_ratio t with
-          | Some r -> Printf.sprintf "%.4f" r
-          | None -> "null" );
-      ]
-  in
-  "{"
-  ^ String.concat ", "
-      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
-  ^ "}"
+          | Some r -> Lg_support.Json_out.Num r
+          | None -> Lg_support.Json_out.Null );
+      ])
+
+let to_json t = Lg_support.Json_out.to_string (to_json_value t)
+
+(* Accumulate this tally into a metrics registry, one counter per field
+   of the table — the registry's apt.* rows are a view over the same
+   field table that add/reset/fields/to_json are derived from, so a new
+   counter shows up in manifests without further wiring. *)
+let publish ?(prefix = "apt.") t m =
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then Lg_support.Metrics.incr m ~by:v (prefix ^ name))
+    (fields t)

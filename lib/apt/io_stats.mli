@@ -74,6 +74,16 @@ val modeled_seconds_seek :
 val pp : Format.formatter -> t -> unit
 (** Prints every populated counter group. *)
 
-val to_json : t -> string
+val to_json_value : t -> Lg_support.Json_out.t
 (** One flat JSON object with every counter plus the derived
-    [compression_ratio]; used by the bench harness's [BENCH_apt.json]. *)
+    [compression_ratio]; embedded in the bench harness's
+    [BENCH_apt.json] and in run manifests. *)
+
+val to_json : t -> string
+(** [Json_out.to_string (to_json_value t)]. *)
+
+val publish : ?prefix:string -> t -> Lg_support.Metrics.t -> unit
+(** Accumulate every non-zero counter into a metrics registry as
+    [prefix ^ name] (default prefix ["apt."]) — the registry view of the
+    same internal field table, so new counters reach manifests and the
+    bench regression gate automatically. *)

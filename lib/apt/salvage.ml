@@ -44,6 +44,19 @@ let source_of_string path data =
         else String.sub data pos len);
   }
 
+(* Registry view of a scan: how many files were walked, how much of them
+   was intact, how many needed recovery. *)
+let publish_report r =
+  let m = Lg_support.Metrics.ambient () in
+  if Lg_support.Metrics.enabled m then begin
+    Lg_support.Metrics.incr m "salvage.scans";
+    Lg_support.Metrics.incr m "salvage.records_valid"
+      ~by:(List.length r.sv_records);
+    Lg_support.Metrics.incr m "salvage.bytes_valid" ~by:r.sv_valid_bytes;
+    if not (is_clean r) then Lg_support.Metrics.incr m "salvage.dirty_files"
+  end;
+  r
+
 let scan path =
   let data = read_file path in
   let size = String.length data in
@@ -51,14 +64,15 @@ let scan path =
   match Record_codec.sniff src with
   | exception Apt_error.Error e ->
       (* unreadable signature: nothing before the first record is valid *)
-      {
-        sv_path = path;
-        sv_size = size;
-        sv_format = Framed_v1;
-        sv_records = [];
-        sv_issue = Some e;
-        sv_valid_bytes = 0;
-      }
+      publish_report
+        {
+          sv_path = path;
+          sv_size = size;
+          sv_format = Framed_v1;
+          sv_records = [];
+          sv_issue = Some e;
+          sv_valid_bytes = 0;
+        }
   | fmt ->
       let records = ref [] in
       let pos = ref (Record_codec.data_start fmt) in
@@ -74,14 +88,15 @@ let scan path =
                pos := next
          done
        with Apt_error.Error e -> issue := Some e);
-      {
-        sv_path = path;
-        sv_size = size;
-        sv_format = fmt;
-        sv_records = List.rev !records;
-        sv_issue = !issue;
-        sv_valid_bytes = !pos;
-      }
+      publish_report
+        {
+          sv_path = path;
+          sv_size = size;
+          sv_format = fmt;
+          sv_records = List.rev !records;
+          sv_issue = !issue;
+          sv_valid_bytes = !pos;
+        }
 
 (* Rewrite the longest valid prefix to [out], reframed under [format]
    (fresh checksums — recovery also migrates legacy files). Returns the
@@ -106,6 +121,9 @@ let recover ?(format = Framed_v1) report ~out =
       0 report.sv_records
   in
   Atomic_out.commit och;
+  let m = Lg_support.Metrics.ambient () in
+  if Lg_support.Metrics.enabled m then
+    Lg_support.Metrics.incr m "salvage.records_recovered" ~by:n;
   n
 
 let format_name = function Framed_v1 -> "framed-v1" | Legacy -> "legacy"

@@ -204,7 +204,25 @@ let transfer t ~start ~stop =
         go (n + 1)
       end
   in
-  go 1
+  let m = Lg_support.Metrics.ambient () in
+  if not (Lg_support.Metrics.enabled m) then go 1
+  else begin
+    (* how long a frame read that hit transient faults took to recover —
+       the retry-latency distribution of the resilience layer *)
+    let retries_before =
+      match t.stats with Some s -> s.Io_stats.retries | None -> 0
+    in
+    let t0 = Unix.gettimeofday () in
+    let run = go 1 in
+    (match t.stats with
+    | Some s when s.Io_stats.retries > retries_before ->
+        Lg_support.Metrics.observe m
+          ~buckets:[ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0 ]
+          "apt.retry_recovery_seconds"
+          (Unix.gettimeofday () -. t0)
+    | _ -> ());
+    run
+  end
 
 let pread t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.size then
@@ -314,6 +332,14 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
             prefetched = m <> n;
           }
       done;
+      (* high-water page residency of the buffer pool, for manifests *)
+      let mreg = Lg_support.Metrics.ambient () in
+      if Lg_support.Metrics.enabled mreg then begin
+        let resident = float_of_int (Hashtbl.length t.pages) in
+        match Lg_support.Metrics.find mreg "apt.pool_resident_pages" with
+        | Some (Lg_support.Metrics.Gauge g) when g >= resident -> ()
+        | _ -> Lg_support.Metrics.set mreg "apt.pool_resident_pages" resident
+      end;
       let p = Hashtbl.find t.pages n in
       touch t p;
       p.prefetched <- false;

@@ -75,7 +75,7 @@ let plan_of_ir ?(options = default_options) ir =
   let dead, alloc = analyses ~options ir pr in
   Schedule.build ir pr ~dead ~alloc
 
-let process ?(options = default_options) ~file source =
+let process_run ~options ~file source =
   let diag = Diag.create () in
   let tr =
     let resolved = Trace.resolve options.tracer in
@@ -138,6 +138,21 @@ let process ?(options = default_options) ~file source =
                   overlay_seconds = overlay_spans tr ~from:mark;
                   source_lines;
                 }))
+
+(* [process] proper: the front-end run plus its registry view (run and
+   error tallies, pass count and grammar size of the last translation). *)
+let process ?(options = default_options) ~file source =
+  let result = process_run ~options ~file source in
+  let m = Metrics.ambient () in
+  if Metrics.enabled m then begin
+    Metrics.incr m "driver.runs";
+    match result with
+    | Ok a ->
+        Metrics.set_int m "driver.passes" a.passes.Pass_assign.n_passes;
+        Metrics.set_int m "driver.source_lines" a.source_lines
+    | Error _ -> Metrics.incr m "driver.errors"
+  end;
+  result
 
 let process_exn ?options ~file source =
   match process ?options ~file source with

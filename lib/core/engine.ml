@@ -493,6 +493,22 @@ let run ?(options = default_options) (plan : Plan.t) tree =
   Trace.counter tr "rules_evaluated" acc.rules;
   Trace.counter tr "global_moves" acc.moves;
   Trace.counter tr "apt_bytes_moved" (Io_stats.total_bytes total_io);
+  (* registry view: run totals, the per-pass rule-count distribution, and
+     every apt.* I/O counter from the accumulated tally *)
+  let m = Lg_support.Metrics.ambient () in
+  if Lg_support.Metrics.enabled m then begin
+    Lg_support.Metrics.incr m "engine.runs";
+    Lg_support.Metrics.incr m "engine.rules_evaluated" ~by:acc.rules;
+    Lg_support.Metrics.incr m "engine.global_moves" ~by:acc.moves;
+    Lg_support.Metrics.set_int m "engine.max_open_nodes" acc.max_open;
+    Lg_support.Metrics.set_int m "engine.max_resident_slots" acc.max_resident;
+    List.iter
+      (fun ps ->
+        Lg_support.Metrics.observe m "engine.pass_rules"
+          (float_of_int ps.ps_rules))
+      (List.rev !per_pass);
+    Io_stats.publish total_io m
+  end;
   {
     outputs;
     stats =

@@ -149,6 +149,14 @@ let build ?(trace = Lg_support.Trace.null) ?(precedence = []) g =
       ("states", Lg_support.Trace.Int nstates);
       ("conflicts", Lg_support.Trace.Int (List.length !conflicts));
     ];
+  let m = Lg_support.Metrics.ambient () in
+  if Lg_support.Metrics.enabled m then begin
+    Lg_support.Metrics.incr m "lalr.builds";
+    Lg_support.Metrics.set_int m "lalr.states" nstates;
+    Lg_support.Metrics.set_int m "lalr.conflicts" (List.length !conflicts);
+    Lg_support.Metrics.set_int m "lalr.table_bytes"
+      (2 * (Array.length actions + Array.length gotos))
+  end;
   { grammar = g; lr0; actions; gotos; nterms; nnts; conflicts = List.rev !conflicts }
 
 let grammar t = t.grammar

@@ -27,6 +27,12 @@ let compile ?(trace = Lg_support.Trace.null) (spec : Spec.t) =
   in
   Lg_support.Trace.add_args tr
     [ ("dfa_table_bytes", Lg_support.Trace.Int (Lg_regex.Dfa.table_bytes dfa)) ];
+  let m = Lg_support.Metrics.ambient () in
+  if Lg_support.Metrics.enabled m then begin
+    Lg_support.Metrics.incr m "scanner.compiles";
+    Lg_support.Metrics.set_int m "scanner.dfa_table_bytes"
+      (Lg_regex.Dfa.table_bytes dfa)
+  end;
   let keyword_table = Hashtbl.create 32 in
   List.iter (fun (lexeme, kind) -> Hashtbl.replace keyword_table lexeme kind) spec.keywords;
   let keyword_rule_set = Hashtbl.create 4 in

@@ -1,6 +1,7 @@
-(* A minimal JSON reader for the test suite: enough to validate the Chrome
-   trace_event exporter and round-trip Io_stats.to_json without an external
-   dependency. Numbers are floats; raises Failure on malformed input. *)
+(* One shared JSON tree for everything the system writes or reads as
+   JSON: trace exports, counter dumps, bench tables, metrics snapshots,
+   run manifests, and the test suite's validators. Zero dependencies;
+   numbers are floats, as in JSON itself. *)
 
 type t =
   | Null
@@ -9,6 +10,94 @@ type t =
   | Str of string
   | Arr of t list
   | Obj of (string * t) list
+
+let int n = Num (float_of_int n)
+
+(* ---------- writing ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else if Float.is_nan f || not (Float.is_finite f) then "null"
+  else
+    (* shortest decimal that round-trips *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_buffer ?(pretty = false) b v =
+  let add = Buffer.add_string b in
+  let indent depth = add (String.make (2 * depth) ' ') in
+  let rec go depth v =
+    match v with
+    | Null -> add "null"
+    | Bool true -> add "true"
+    | Bool false -> add "false"
+    | Num f -> add (number f)
+    | Str s ->
+        add "\"";
+        add (escape s);
+        add "\""
+    | Arr [] -> add "[]"
+    | Arr l ->
+        add "[";
+        List.iteri
+          (fun i x ->
+            if i > 0 then add ",";
+            if pretty then begin
+              add "\n";
+              indent (depth + 1)
+            end;
+            go (depth + 1) x)
+          l;
+        if pretty then begin
+          add "\n";
+          indent depth
+        end;
+        add "]"
+    | Obj [] -> add "{}"
+    | Obj fields ->
+        add "{";
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then add ",";
+            if pretty then begin
+              add "\n";
+              indent (depth + 1)
+            end;
+            add "\"";
+            add (escape k);
+            add (if pretty then "\": " else "\":");
+            go (depth + 1) x)
+          fields;
+        if pretty then begin
+          add "\n";
+          indent depth
+        end;
+        add "}"
+  in
+  go 0 v
+
+let to_string ?pretty v =
+  let b = Buffer.create 256 in
+  to_buffer ?pretty b v;
+  Buffer.contents b
+
+(* ---------- reading ---------- *)
 
 let parse (s : string) : t =
   let n = String.length s in
@@ -52,7 +141,7 @@ let parse (s : string) : t =
               if !pos + 4 > n then fail "bad \\u escape";
               let code = int_of_string ("0x" ^ String.sub s !pos 4) in
               pos := !pos + 4;
-              (* tests only need ASCII fidelity *)
+              (* producers only emit \u for ASCII control characters *)
               if code < 128 then Buffer.add_char b (Char.chr code)
               else Buffer.add_char b '?';
               go ()
@@ -137,7 +226,6 @@ let member_exn key j =
   | None -> failwith (Printf.sprintf "json: missing member %S" key)
 
 let to_list = function Arr l -> l | _ -> failwith "json: expected array"
-
 let to_num = function Num f -> f | _ -> failwith "json: expected number"
-
+let to_int j = int_of_float (to_num j)
 let to_str = function Str s -> s | _ -> failwith "json: expected string"

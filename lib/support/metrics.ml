@@ -1,0 +1,175 @@
+(* The pipeline-wide metrics registry: counters, gauges and fixed-bucket
+   histograms behind one name table. See the interface for the design
+   notes; the implementation mirrors Trace — a disabled registry is one
+   field check per operation, and an ambient registry serves call sites
+   that predate explicit threading. *)
+
+type histogram = {
+  h_buckets : float array;
+  h_counts : int array;
+  h_sum : float;
+  h_count : int;
+}
+
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+(* live cells are mutable so the hot paths never reallocate *)
+type hist_cell = {
+  buckets : float array;
+  counts : int array;  (* one per bucket + overflow *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type cell = C of int ref | G of float ref | H of hist_cell
+
+type t = { on : bool; cells : (string, cell) Hashtbl.t }
+
+let null = { on = false; cells = Hashtbl.create 1 }
+let create () = { on = true; cells = Hashtbl.create 32 }
+let enabled t = t.on
+
+let default_buckets =
+  [ 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0; 262144.0; 1048576.0 ]
+
+let kind_error name ~want ~got =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is a %s, used as a %s" name got want)
+
+let kind_name = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+
+let incr t ?(by = 1) name =
+  if t.on then
+    match Hashtbl.find_opt t.cells name with
+    | Some (C r) -> r := !r + by
+    | Some c -> kind_error name ~want:"counter" ~got:(kind_name c)
+    | None -> Hashtbl.replace t.cells name (C (ref by))
+
+let set t name v =
+  if t.on then
+    match Hashtbl.find_opt t.cells name with
+    | Some (G r) -> r := v
+    | Some c -> kind_error name ~want:"gauge" ~got:(kind_name c)
+    | None -> Hashtbl.replace t.cells name (G (ref v))
+
+let set_int t name v = set t name (float_of_int v)
+
+let bucket_index buckets v =
+  (* first bucket whose upper bound admits v; length buckets = overflow *)
+  let n = Array.length buckets in
+  let i = ref 0 in
+  while !i < n && v > buckets.(!i) do
+    i := !i + 1
+  done;
+  !i
+
+let observe t ?(buckets = default_buckets) name v =
+  if t.on then
+    let h =
+      match Hashtbl.find_opt t.cells name with
+      | Some (H h) -> h
+      | Some c -> kind_error name ~want:"histogram" ~got:(kind_name c)
+      | None ->
+          let sorted = List.sort_uniq compare buckets in
+          if sorted = [] then
+            invalid_arg (Printf.sprintf "Metrics: %S: empty bucket list" name);
+          let buckets = Array.of_list sorted in
+          let h =
+            {
+              buckets;
+              counts = Array.make (Array.length buckets + 1) 0;
+              sum = 0.0;
+              count = 0;
+            }
+          in
+          Hashtbl.replace t.cells name (H h);
+          h
+    in
+    let i = bucket_index h.buckets v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.count <- h.count + 1
+
+let freeze = function
+  | C r -> Counter !r
+  | G r -> Gauge !r
+  | H h ->
+      Histogram
+        {
+          h_buckets = Array.copy h.buckets;
+          h_counts = Array.copy h.counts;
+          h_sum = h.sum;
+          h_count = h.count;
+        }
+
+let dump t =
+  Hashtbl.fold (fun name c acc -> (name, freeze c) :: acc) t.cells []
+  |> List.sort compare
+
+let find t name = Option.map freeze (Hashtbl.find_opt t.cells name)
+let reset t = Hashtbl.reset t.cells
+
+(* ---------- ambient registry ---------- *)
+
+let ambient_registry = ref null
+let install t = ambient_registry := t
+let ambient () = !ambient_registry
+let resolve t = if t.on then t else !ambient_registry
+
+(* ---------- exporters ---------- *)
+
+let to_json t =
+  Json_out.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter n -> Json_out.int n
+           | Gauge f -> Json_out.Num f
+           | Histogram h ->
+               Json_out.Obj
+                 [
+                   ( "buckets",
+                     Json_out.Arr
+                       (Array.to_list (Array.map (fun b -> Json_out.Num b) h.h_buckets))
+                   );
+                   ( "counts",
+                     Json_out.Arr
+                       (Array.to_list (Array.map Json_out.int h.h_counts)) );
+                   ("sum", Json_out.Num h.h_sum);
+                   ("count", Json_out.int h.h_count);
+                 ] ))
+       (dump t))
+
+let prom_name name =
+  String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let pp_prometheus ppf t =
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      match v with
+      | Counter c ->
+          Format.fprintf ppf "# TYPE %s counter@.%s %d@." n n c
+      | Gauge g ->
+          Format.fprintf ppf "# TYPE %s gauge@.%s %s@." n n (prom_float g)
+      | Histogram h ->
+          Format.fprintf ppf "# TYPE %s histogram@." n;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i b ->
+              cum := !cum + h.h_counts.(i);
+              Format.fprintf ppf "%s_bucket{le=\"%s\"} %d@." n (prom_float b)
+                !cum)
+            h.h_buckets;
+          Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@." n h.h_count;
+          Format.fprintf ppf "%s_sum %s@." n (prom_float h.h_sum);
+          Format.fprintf ppf "%s_count %d@." n h.h_count)
+    (dump t)

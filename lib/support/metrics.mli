@@ -1,0 +1,92 @@
+(** A zero-dependency metrics registry: named counters, gauges and
+    fixed-bucket histograms for the whole pipeline.
+
+    Where {!Trace} answers "where did the time go", this registry
+    answers "how much work was done": APT bytes and pages moved, record
+    sizes, buffer-pool residency, retry counts, per-pass rule-evaluation
+    totals, table sizes. The CLI snapshots it into every run manifest
+    ([--report]) and the bench regression gate diffs those snapshots
+    across commits — the paper's §IV/§V accounting claims, kept honest
+    by CI.
+
+    Mirrors {!Trace}'s design: registries are single-threaded, a
+    disabled registry ({!null}) reduces every operation to one field
+    check, and one process-wide {e ambient} registry lets deep call
+    sites (the evaluator, the store stack, the table builders) report
+    without explicit threading. Metric names are dotted lower-case paths
+    (["apt.bytes_read"], ["engine.pass_rules"]).
+
+    A metric's kind is fixed by its first use; re-using a name at a
+    different kind raises [Invalid_argument] — that is a programming
+    error, not an operational condition. *)
+
+type t
+
+val null : t
+(** The disabled registry: every operation is a near-no-op. *)
+
+val create : unit -> t
+val enabled : t -> bool
+
+(** {1 Recording} *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter. *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val set_int : t -> string -> int -> unit
+
+val observe : t -> ?buckets:float list -> string -> float -> unit
+(** Record one observation into a histogram. [buckets] (sorted upper
+    bounds; default {!default_buckets}) is fixed by the histogram's
+    first observation and ignored afterwards. Every histogram has an
+    implicit [+Inf] overflow bucket, so bucket counts always sum to the
+    observation count. *)
+
+val default_buckets : float list
+(** Powers of 4 from 1 to 4{^10} — a decade-spanning default for byte
+    and count distributions. *)
+
+(** {1 Reading} *)
+
+type histogram = {
+  h_buckets : float array;  (** upper bounds, ascending; no [+Inf] entry *)
+  h_counts : int array;  (** length [Array.length h_buckets + 1]; last = overflow *)
+  h_sum : float;
+  h_count : int;
+}
+
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+val dump : t -> (string * value) list
+(** Every metric, sorted by name. Histogram arrays are copies. *)
+
+val find : t -> string -> value option
+val reset : t -> unit
+
+(** {1 The ambient registry}
+
+    The CLI and the bench harness install one registry per run; deep
+    call sites fall back to it. Defaults to {!null}: nothing is recorded
+    unless installed. *)
+
+val install : t -> unit
+val ambient : unit -> t
+
+val resolve : t -> t
+(** [resolve t] is [t] when enabled, else the ambient registry. *)
+
+(** {1 Exporters} *)
+
+val to_json : t -> Json_out.t
+(** One object, keyed by metric name. Counters and gauges are numbers;
+    a histogram is [{"buckets": [...], "counts": [...], "sum": _,
+    "count": _}] where [counts] has one entry per bucket plus the
+    overflow, summing to [count]. *)
+
+val pp_prometheus : Format.formatter -> t -> unit
+(** Prometheus text exposition (version 0.0.4): [# TYPE] lines, dots in
+    metric names rewritten to underscores, histograms as cumulative
+    [_bucket{le="..."}] series with [_sum]/[_count]. *)

@@ -249,34 +249,21 @@ let pp_summary ppf t =
 
 (* ---------- Chrome trace_event exporter ---------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let json_of_arg = function
-  | Int n -> string_of_int n
-  | Float f -> Printf.sprintf "%.6f" f
-  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+(* String escaping and value formatting are Json_out's; only the
+   line-per-event layout (friendly to streaming and diffing) is local. *)
+let json_escape = Json_out.escape
 
 let json_of_args args =
-  "{"
-  ^ String.concat ","
-      (List.map
-         (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_arg v))
-         args)
-  ^ "}"
+  Json_out.to_string
+    (Json_out.Obj
+       (List.map
+          (fun (k, v) ->
+            ( k,
+              match v with
+              | Int n -> Json_out.int n
+              | Float f -> Json_out.Num f
+              | Str s -> Json_out.Str s ))
+          args))
 
 let us seconds = seconds *. 1e6
 

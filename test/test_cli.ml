@@ -80,15 +80,15 @@ let test_trace_out () =
   expect_ok "check --trace-out" r;
   if not (contains ~needle:("trace: wrote " ^ path) stderr) then
     Alcotest.failf "--trace-out: no confirmation on stderr:\n%s" stderr;
-  let j = Json_mini.parse (read_file path) in
+  let j = Lg_support.Json_out.parse (read_file path) in
   Sys.remove path;
   Alcotest.(check string)
     "displayTimeUnit" "ms"
-    (Json_mini.to_str (Json_mini.member_exn "displayTimeUnit" j));
-  let events = Json_mini.to_list (Json_mini.member_exn "traceEvents" j) in
-  let phase e = Json_mini.to_str (Json_mini.member_exn "ph" e) in
-  let name e = Json_mini.to_str (Json_mini.member_exn "name" e) in
-  let num k e = Json_mini.to_num (Json_mini.member_exn k e) in
+    (Lg_support.Json_out.to_str (Lg_support.Json_out.member_exn "displayTimeUnit" j));
+  let events = Lg_support.Json_out.to_list (Lg_support.Json_out.member_exn "traceEvents" j) in
+  let phase e = Lg_support.Json_out.to_str (Lg_support.Json_out.member_exn "ph" e) in
+  let name e = Lg_support.Json_out.to_str (Lg_support.Json_out.member_exn "name" e) in
+  let num k e = Lg_support.Json_out.to_num (Lg_support.Json_out.member_exn k e) in
   if not (List.exists (fun e -> phase e = "M") events) then
     Alcotest.fail "no metadata event";
   let xs = List.filter (fun e -> phase e = "X") events in
@@ -104,7 +104,7 @@ let test_trace_out () =
   (* acceptance criterion: the driver overlays account for (nearly) all of
      the pipeline's wall time *)
   let cat e =
-    match Json_mini.member "cat" e with Some (Json_mini.Str s) -> s | _ -> ""
+    match Lg_support.Json_out.member "cat" e with Some (Lg_support.Json_out.Str s) -> s | _ -> ""
   in
   let driver =
     match List.find_opt (fun e -> name e = "driver.process") xs with
@@ -249,6 +249,202 @@ let test_node_budget_exit_44 () =
   expect_typed_error "node budget" 44 "evaluation exceeded the node budget"
     (run [ "analyze"; "--node-budget"; "5"; grammar ])
 
+(* ----- run manifests, the report renderer and the diff gate ----- *)
+
+let bench = Filename.concat build_root (Filename.concat "bench" "main.exe")
+
+(* Run the bench binary with [args]; return (exit code, stdout, stderr). *)
+let run_bench args =
+  let out = Filename.temp_file "bench_out" ".txt" in
+  let err = Filename.temp_file "bench_err" ".txt" in
+  let cmd =
+    Printf.sprintf "%s > %s 2> %s"
+      (Filename.quote_command bench args)
+      (Filename.quote out) (Filename.quote err)
+  in
+  let rc = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (rc, stdout, stderr)
+
+let with_manifest f =
+  let path = Filename.temp_file "cli_manifest" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let ((_, _, stderr) as r) = run [ "check"; "--report"; path; grammar ] in
+  expect_ok "check --report" r;
+  if not (contains ~needle:("manifest: wrote " ^ path) stderr) then
+    Alcotest.failf "--report: no confirmation on stderr:\n%s" stderr;
+  f path (Lg_support.Json_out.parse (read_file path))
+
+(* Acceptance criterion: the manifest's grammar-statistics block
+   reproduces the self-description counts the stats command prints for
+   linguist.ag. *)
+let test_report_manifest () =
+  with_manifest @@ fun _path j ->
+  let num path_keys =
+    Lg_support.Json_out.to_int
+      (List.fold_left
+         (fun acc k -> Lg_support.Json_out.member_exn k acc)
+         j path_keys)
+  in
+  Alcotest.(check int) "schema" 1 (num [ "linguist_manifest" ]);
+  List.iter
+    (fun (key, expected) ->
+      Alcotest.(check int) ("grammar." ^ key) expected (num [ "grammar"; key ]))
+    [
+      ("lines", 539); ("symbols", 140); ("attributes", 183);
+      ("productions", 70); ("attribute_occurrences", 936);
+      ("semantic_functions", 468); ("copy_rules", 225);
+      ("implicit_copy_rules", 199);
+    ];
+  Alcotest.(check int) "plan.passes" 4 (num [ "plan"; "passes" ]);
+  Alcotest.(check int) "subsumption.chosen" 37 (num [ "subsumption"; "chosen" ]);
+  Alcotest.(check int) "metrics driver.runs" 1 (num [ "metrics"; "driver.runs" ]);
+  Alcotest.(check string)
+    "store is recorded" "mem"
+    (Lg_support.Json_out.to_str
+       (Lg_support.Json_out.member_exn "name"
+          (Lg_support.Json_out.member_exn "store" j)))
+
+(* --report - and --trace-out - write their JSON to stdout; trace
+   summaries and confirmations stay on stderr so the output pipes
+   cleanly. *)
+let test_report_stdout_diagnostics_stderr () =
+  let rc, stdout, stderr =
+    run [ "check"; "--report"; "-"; "--trace-attrs"; grammar ]
+  in
+  Alcotest.(check int) "exit code" 0 rc;
+  if not (contains ~needle:"trace summary" stderr) then
+    Alcotest.failf "trace summary not on stderr:\n%s" stderr;
+  if contains ~needle:"trace summary" stdout then
+    Alcotest.fail "trace summary leaked to stdout";
+  (* stdout = the normal command output followed by the manifest JSON *)
+  if not (contains ~needle:"ok — evaluable in 4 alternating passes" stdout)
+  then Alcotest.failf "normal output missing from stdout:\n%s" stdout;
+  let json_start =
+    match String.index_opt stdout '{' with
+    | Some i -> i
+    | None -> Alcotest.fail "no JSON on stdout"
+  in
+  let j =
+    Lg_support.Json_out.parse
+      (String.sub stdout json_start (String.length stdout - json_start))
+  in
+  Alcotest.(check string)
+    "the stdout document is the manifest" "check"
+    (Lg_support.Json_out.to_str (Lg_support.Json_out.member_exn "command" j))
+
+let test_trace_out_stdout () =
+  let rc, stdout, stderr = run [ "check"; "--trace-out"; "-"; grammar ] in
+  Alcotest.(check int) "exit code" 0 rc;
+  if not (contains ~needle:"trace: wrote" stderr) then
+    Alcotest.failf "confirmation not on stderr:\n%s" stderr;
+  let json_start =
+    match String.index_opt stdout '{' with
+    | Some i -> i
+    | None -> Alcotest.fail "no JSON on stdout"
+  in
+  let j =
+    Lg_support.Json_out.parse
+      (String.sub stdout json_start (String.length stdout - json_start))
+  in
+  if Lg_support.Json_out.to_list (Lg_support.Json_out.member_exn "traceEvents" j) = []
+  then Alcotest.fail "trace on stdout has no events"
+
+let test_report_subcommand () =
+  with_manifest @@ fun path _ ->
+  let ((_, stdout, _) as r) = run [ "report"; path ] in
+  expect_ok "report" r;
+  List.iter
+    (fun fragment ->
+      if not (contains ~needle:fragment stdout) then
+        Alcotest.failf "report: missing %S:\n%s" fragment stdout)
+    [ "grammar"; "symbols"; "plan"; "metrics"; "driver.runs" ]
+
+(* Acceptance criterion: the diff gate exits non-zero on a degraded
+   metric. *)
+let test_diff_gate () =
+  with_manifest @@ fun path j ->
+  (* identical manifests pass *)
+  let rc, stdout, _ = run_bench [ "diff"; path; path ] in
+  Alcotest.(check int) "identical manifests: exit 0" 0 rc;
+  if not (contains ~needle:"0 regressions" stdout) then
+    Alcotest.failf "diff: unexpected stdout:\n%s" stdout;
+  (* degrade one metric by 10x and diff again *)
+  let degraded =
+    let open Lg_support.Json_out in
+    match j with
+    | Obj members ->
+        Obj
+          (List.map
+             (function
+               | "metrics", Obj metrics ->
+                   ( "metrics",
+                     Obj
+                       (List.map
+                          (function
+                            | "driver.runs", Num n -> ("driver.runs", Num (10.0 *. n))
+                            | kv -> kv)
+                          metrics) )
+               | kv -> kv)
+             members)
+    | _ -> Alcotest.fail "manifest is not an object"
+  in
+  let bad = Filename.temp_file "cli_manifest" ".bad.json" in
+  Fun.protect ~finally:(fun () -> Sys.remove bad) @@ fun () ->
+  let oc = open_out bad in
+  output_string oc (Lg_support.Json_out.to_string ~pretty:true degraded);
+  close_out oc;
+  let rc, stdout, _ = run_bench [ "diff"; path; bad ] in
+  Alcotest.(check int) "degraded metric: exit 1" 1 rc;
+  if not (contains ~needle:"REGRESSION" stdout)
+     || not (contains ~needle:"metrics.driver.runs" stdout)
+  then Alcotest.failf "diff: regression not reported:\n%s" stdout;
+  (* a per-metric tolerance waives exactly that regression *)
+  let rc, _, _ =
+    run_bench
+      [ "diff"; path; bad; "--tolerance"; "metrics.driver.runs=1000" ]
+  in
+  Alcotest.(check int) "tolerance override: exit 0" 0 rc
+
+let test_stores_json () =
+  let ((_, stdout, _) as r) = run [ "stores"; "--json" ] in
+  expect_ok "stores --json" r;
+  let j = Lg_support.Json_out.parse stdout in
+  let names =
+    List.map
+      (fun s ->
+        Lg_support.Json_out.to_str (Lg_support.Json_out.member_exn "name" s))
+      (Lg_support.Json_out.to_list (Lg_support.Json_out.member_exn "stores" j))
+  in
+  Alcotest.(check (list string))
+    "every registered store appears"
+    (Lg_apt.Store_registry.names ())
+    names;
+  match Lg_support.Json_out.member_exn "metrics" j with
+  | Lg_support.Json_out.Obj _ -> ()
+  | _ -> Alcotest.fail "stores --json: no metrics snapshot"
+
+let test_fsck_json () =
+  with_apt (fun d -> String.sub d 0 (String.length d - 3)) @@ fun path ->
+  let rc, stdout, _ = run [ "apt-fsck"; "--json"; path ] in
+  Alcotest.(check int) "still the stable exit code" 41 rc;
+  let j = Lg_support.Json_out.parse stdout in
+  let num k = Lg_support.Json_out.to_int (Lg_support.Json_out.member_exn k j) in
+  Alcotest.(check int) "exit_code field" 41 (num "exit_code");
+  Alcotest.(check int) "two records survive" 2
+    (List.length
+       (Lg_support.Json_out.to_list (Lg_support.Json_out.member_exn "records" j)));
+  (match Lg_support.Json_out.member_exn "clean" j with
+  | Lg_support.Json_out.Bool false -> ()
+  | _ -> Alcotest.fail "clean should be false");
+  let metrics = Lg_support.Json_out.member_exn "metrics" j in
+  Alcotest.(check int)
+    "salvage.scans metric" 1
+    (Lg_support.Json_out.to_int
+       (Lg_support.Json_out.member_exn "salvage.scans" metrics))
+
 let test_transient_faults_absorbed () =
   (* acceptance criterion: transient EIO at a low rate never fails an
      evaluation — the retry policy absorbs it *)
@@ -276,6 +472,21 @@ let () =
             test_trace_out;
           Alcotest.test_case "--trace-attrs prints a summary" `Quick
             test_trace_attrs_summary;
+          Alcotest.test_case "--trace-out - streams to stdout" `Quick
+            test_trace_out_stdout;
+        ] );
+      ( "manifests",
+        [
+          Alcotest.test_case "--report reproduces the self-description"
+            `Quick test_report_manifest;
+          Alcotest.test_case "--report -: JSON on stdout, diagnostics on stderr"
+            `Quick test_report_stdout_diagnostics_stderr;
+          Alcotest.test_case "report renders a manifest" `Quick
+            test_report_subcommand;
+          Alcotest.test_case "diff gate fails on a degraded metric" `Quick
+            test_diff_gate;
+          Alcotest.test_case "stores --json" `Quick test_stores_json;
+          Alcotest.test_case "apt-fsck --json" `Quick test_fsck_json;
         ] );
       ( "diagnostics",
         [

@@ -1,0 +1,232 @@
+(* Tests for the metrics registry (Lg_support.Metrics): kinds and their
+   invariants, the ambient install/resolve protocol, and both exporters —
+   to_json (round-tripped through the shared JSON parser) and the
+   Prometheus text exposition. *)
+open Lg_support
+
+let dump_names t = List.map fst (Metrics.dump t)
+
+(* ----- recording ----- *)
+
+let test_counters () =
+  let t = Metrics.create () in
+  Metrics.incr t "a.hits";
+  Metrics.incr t ~by:41 "a.hits";
+  Metrics.incr t "b.misses";
+  (match Metrics.find t "a.hits" with
+  | Some (Metrics.Counter 42) -> ()
+  | _ -> Alcotest.fail "a.hits should be Counter 42");
+  Alcotest.(check (list string))
+    "dump sorted by name" [ "a.hits"; "b.misses" ] (dump_names t)
+
+let test_gauges () =
+  let t = Metrics.create () in
+  Metrics.set t "pool.pages" 3.0;
+  Metrics.set_int t "pool.pages" 7;
+  match Metrics.find t "pool.pages" with
+  | Some (Metrics.Gauge 7.0) -> ()
+  | _ -> Alcotest.fail "gauge should hold its latest value"
+
+let test_histogram_counts_sum_to_total () =
+  let t = Metrics.create () in
+  let values = [ 0.5; 1.0; 3.0; 17.0; 1e9 ] in
+  List.iter (Metrics.observe t "bytes") values;
+  match Metrics.find t "bytes" with
+  | Some (Metrics.Histogram h) ->
+      Alcotest.(check int)
+        "one count cell per bucket plus overflow"
+        (Array.length h.Metrics.h_buckets + 1)
+        (Array.length h.Metrics.h_counts);
+      Alcotest.(check int)
+        "bucket counts sum to the observation count" h.Metrics.h_count
+        (Array.fold_left ( + ) 0 h.Metrics.h_counts);
+      Alcotest.(check int) "count" (List.length values) h.Metrics.h_count;
+      Alcotest.(check (float 1e-6))
+        "sum"
+        (List.fold_left ( +. ) 0.0 values)
+        h.Metrics.h_sum
+  | _ -> Alcotest.fail "bytes should be a histogram"
+
+let test_histogram_buckets_fixed_at_first_use () =
+  let t = Metrics.create () in
+  Metrics.observe t ~buckets:[ 1.0; 10.0 ] "lat" 5.0;
+  Metrics.observe t ~buckets:[ 99.0 ] "lat" 5.0;
+  match Metrics.find t "lat" with
+  | Some (Metrics.Histogram h) ->
+      Alcotest.(check int) "buckets from first observation" 2
+        (Array.length h.Metrics.h_buckets)
+  | _ -> Alcotest.fail "lat should be a histogram"
+
+let test_kind_mismatch_raises () =
+  let t = Metrics.create () in
+  Metrics.incr t "x";
+  Alcotest.(check bool)
+    "gauge write to a counter raises" true
+    (match Metrics.set t "x" 1.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "histogram write to a counter raises" true
+    (match Metrics.observe t "x" 1.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_null_registry_is_inert () =
+  Alcotest.(check bool) "disabled" false (Metrics.enabled Metrics.null);
+  Metrics.incr Metrics.null "x";
+  Metrics.set Metrics.null "y" 1.0;
+  Metrics.observe Metrics.null "z" 1.0;
+  Alcotest.(check int) "records nothing" 0
+    (List.length (Metrics.dump Metrics.null))
+
+let test_reset () =
+  let t = Metrics.create () in
+  Metrics.incr t "a";
+  Metrics.observe t "h" 2.0;
+  Metrics.reset t;
+  Alcotest.(check int) "empty after reset" 0 (List.length (Metrics.dump t))
+
+(* ----- ambient protocol ----- *)
+
+let test_ambient () =
+  Alcotest.(check bool)
+    "defaults to null" false
+    (Metrics.enabled (Metrics.ambient ()));
+  let t = Metrics.create () in
+  Metrics.install t;
+  Fun.protect
+    ~finally:(fun () -> Metrics.install Metrics.null)
+    (fun () ->
+      Metrics.incr (Metrics.ambient ()) "deep.site";
+      Alcotest.(check bool)
+        "resolve prefers an enabled argument" true
+        (Metrics.resolve t == t);
+      Alcotest.(check bool)
+        "resolve falls back to ambient" true
+        (Metrics.resolve Metrics.null == t));
+  match Metrics.find t "deep.site" with
+  | Some (Metrics.Counter 1) -> ()
+  | _ -> Alcotest.fail "ambient write should land in the installed registry"
+
+(* ----- exporters ----- *)
+
+let value_of_json name j =
+  match Json_out.member_exn name j with
+  | Json_out.Num f -> f
+  | _ -> Alcotest.fail (name ^ " should be a number")
+
+let test_to_json_round_trip () =
+  let t = Metrics.create () in
+  Metrics.incr t ~by:7 "c";
+  Metrics.set t "g" 2.5;
+  Metrics.observe t ~buckets:[ 1.0; 4.0 ] "h" 3.0;
+  Metrics.observe t ~buckets:[ 1.0; 4.0 ] "h" 9.0;
+  let j = Json_out.parse (Json_out.to_string (Metrics.to_json t)) in
+  Alcotest.(check (float 0.0)) "counter" 7.0 (value_of_json "c" j);
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (value_of_json "g" j);
+  let h = Json_out.member_exn "h" j in
+  Alcotest.(check (float 0.0)) "hist count" 2.0 (value_of_json "count" h);
+  Alcotest.(check (float 0.0)) "hist sum" 12.0 (value_of_json "sum" h);
+  Alcotest.(check (list (float 0.0)))
+    "hist counts: one per bucket plus overflow" [ 0.0; 1.0; 1.0 ]
+    (List.map Json_out.to_num (Json_out.to_list (Json_out.member_exn "counts" h)))
+
+(* Any registry's JSON export re-parses to an equal tree — numbers in
+   the exporter round-trip exactly. *)
+let registry_gen =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b.c"; "d.e_f"; "apt.bytes"; "x-y" ] in
+  let op =
+    oneof
+      [
+        map2 (fun n v -> `Incr (n, v)) name (int_range 0 1000);
+        map2 (fun n v -> `Set (n, v)) name (float_bound_inclusive 1e6);
+        map2 (fun n v -> `Observe (n, v)) name (float_bound_inclusive 1e7);
+      ]
+  in
+  list_size (int_range 0 40) op
+
+let apply_ops ops =
+  let t = Metrics.create () in
+  List.iter
+    (fun op ->
+      (* kind collisions are a programming error; the generator can
+         produce them, so just skip those writes *)
+      try
+        match op with
+        | `Incr (n, v) -> Metrics.incr t ~by:v ("c." ^ n)
+        | `Set (n, v) -> Metrics.set t ("g." ^ n) v
+        | `Observe (n, v) -> Metrics.observe t ("h." ^ n) v
+      with Invalid_argument _ -> ())
+    ops;
+  t
+
+let prop_to_json_reparses =
+  QCheck.Test.make ~count:200 ~name:"Metrics.to_json round-trips through parse"
+    (QCheck.make registry_gen) (fun ops ->
+      let t = apply_ops ops in
+      let j = Metrics.to_json t in
+      Json_out.parse (Json_out.to_string j) = j
+      && Json_out.parse (Json_out.to_string ~pretty:true j) = j)
+
+let prop_histogram_counts_sum =
+  QCheck.Test.make ~count:200
+    ~name:"histogram bucket counts always sum to the observation count"
+    (QCheck.make registry_gen) (fun ops ->
+      let t = apply_ops ops in
+      List.for_all
+        (fun (_, v) ->
+          match v with
+          | Metrics.Histogram h ->
+              Array.fold_left ( + ) 0 h.Metrics.h_counts = h.Metrics.h_count
+          | Metrics.Counter _ | Metrics.Gauge _ -> true)
+        (Metrics.dump t))
+
+let test_prometheus_exposition () =
+  let t = Metrics.create () in
+  Metrics.incr t ~by:3 "apt.bytes_read";
+  Metrics.set t "pool-size" 8.0;
+  Metrics.observe t ~buckets:[ 1.0; 4.0 ] "engine.pass_rules" 2.0;
+  let text = Format.asprintf "%a" Metrics.pp_prometheus t in
+  let has sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "counter with dots mapped to underscores" true
+    (has "apt_bytes_read 3");
+  Alcotest.(check bool) "counter TYPE line" true (has "# TYPE apt_bytes_read counter");
+  Alcotest.(check bool) "gauge with dash mapped" true (has "pool_size 8");
+  Alcotest.(check bool)
+    "cumulative +Inf bucket" true
+    (has "engine_pass_rules_bucket{le=\"+Inf\"} 1");
+  Alcotest.(check bool) "histogram count series" true (has "engine_pass_rules_count 1")
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "recording",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histogram counts sum to total" `Quick
+            test_histogram_counts_sum_to_total;
+          Alcotest.test_case "histogram buckets fixed at first use" `Quick
+            test_histogram_buckets_fixed_at_first_use;
+          Alcotest.test_case "kind mismatch raises" `Quick
+            test_kind_mismatch_raises;
+          Alcotest.test_case "null registry is inert" `Quick
+            test_null_registry_is_inert;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+      ("ambient", [ Alcotest.test_case "install/resolve" `Quick test_ambient ]);
+      ( "exporters",
+        [
+          Alcotest.test_case "to_json round trip" `Quick test_to_json_round_trip;
+          QCheck_alcotest.to_alcotest prop_to_json_reparses;
+          QCheck_alcotest.to_alcotest prop_histogram_counts_sum;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+        ] );
+    ]

@@ -124,11 +124,11 @@ let test_counters_accumulate () =
 (* Chrome trace_event export.                                       *)
 
 let chrome_events tr =
-  let j = Json_mini.parse (Trace.to_chrome_json ~process_name:"test" tr) in
+  let j = Json_out.parse (Trace.to_chrome_json ~process_name:"test" tr) in
   Alcotest.(check string)
     "displayTimeUnit" "ms"
-    (Json_mini.to_str (Json_mini.member_exn "displayTimeUnit" j));
-  Json_mini.to_list (Json_mini.member_exn "traceEvents" j)
+    (Json_out.to_str (Json_out.member_exn "displayTimeUnit" j));
+  Json_out.to_list (Json_out.member_exn "traceEvents" j)
 
 let test_chrome_json_valid () =
   let tr = fresh () in
@@ -139,26 +139,26 @@ let test_chrome_json_valid () =
   let events = chrome_events tr in
   (* one metadata + two spans + one counter *)
   Alcotest.(check int) "event count" 4 (List.length events);
-  let phase e = Json_mini.to_str (Json_mini.member_exn "ph" e) in
+  let phase e = Json_out.to_str (Json_out.member_exn "ph" e) in
   (match events with
   | meta :: _ ->
       Alcotest.(check string) "metadata first" "M" (phase meta);
       Alcotest.(check string)
         "process_name" "process_name"
-        (Json_mini.to_str (Json_mini.member_exn "name" meta))
+        (Json_out.to_str (Json_out.member_exn "name" meta))
   | [] -> Alcotest.fail "no events");
   List.iter
     (fun e ->
       Alcotest.(check (float 0.0))
         "pid" 1.0
-        (Json_mini.to_num (Json_mini.member_exn "pid" e));
+        (Json_out.to_num (Json_out.member_exn "pid" e));
       Alcotest.(check (float 0.0))
         "tid" 1.0
-        (Json_mini.to_num (Json_mini.member_exn "tid" e));
+        (Json_out.to_num (Json_out.member_exn "tid" e));
       match phase e with
       | "X" ->
-          let ts = Json_mini.to_num (Json_mini.member_exn "ts" e) in
-          let dur = Json_mini.to_num (Json_mini.member_exn "dur" e) in
+          let ts = Json_out.to_num (Json_out.member_exn "ts" e) in
+          let dur = Json_out.to_num (Json_out.member_exn "dur" e) in
           if ts < 0.0 || dur < 0.0 then Alcotest.fail "negative ts/dur"
       | "C" | "M" -> ()
       | ph -> Alcotest.failf "unexpected phase %s" ph)
@@ -168,16 +168,16 @@ let test_chrome_json_valid () =
     List.find
       (fun e ->
         phase e = "X"
-        && Json_mini.to_str (Json_mini.member_exn "name" e) = "a")
+        && Json_out.to_str (Json_out.member_exn "name" e) = "a")
       events
   in
-  let args = Json_mini.member_exn "args" a in
+  let args = Json_out.member_exn "args" a in
   Alcotest.(check (float 0.0))
     "int arg" 3.0
-    (Json_mini.to_num (Json_mini.member_exn "n" args));
+    (Json_out.to_num (Json_out.member_exn "n" args));
   Alcotest.(check (float 0.0))
     "float arg" 0.5
-    (Json_mini.to_num (Json_mini.member_exn "r" args))
+    (Json_out.to_num (Json_out.member_exn "r" args))
 
 let prop_chrome_parses =
   QCheck.Test.make ~name:"chrome export of random span trees parses" ~count:100
@@ -193,7 +193,7 @@ let test_json_escaping () =
   let tr = fresh () in
   Trace.span tr "quote\"back\\slash\nnewline" (fun () -> ());
   let events = chrome_events tr in
-  let name_of e = Json_mini.to_str (Json_mini.member_exn "name" e) in
+  let name_of e = Json_out.to_str (Json_out.member_exn "name" e) in
   match
     List.find_opt (fun e -> name_of e <> "process_name") events
   with
@@ -318,21 +318,21 @@ let prop_json_roundtrip =
   QCheck.Test.make ~name:"Io_stats.to_json round-trips every field" ~count:200
     stats_arb (fun a ->
       let s = stats_of_assoc a in
-      let j = Json_mini.parse (Lg_apt.Io_stats.to_json s) in
+      let j = Json_out.parse (Lg_apt.Io_stats.to_json s) in
       List.for_all
         (fun (name, v) ->
-          match Json_mini.member name j with
-          | Some (Json_mini.Num f) -> int_of_float f = v
+          match Json_out.member name j with
+          | Some (Json_out.Num f) -> int_of_float f = v
           | _ -> false)
         (Lg_apt.Io_stats.fields s)
       &&
       (* derived ratio present: null without compression, a number with *)
       match
-        (Json_mini.member_exn "compression_ratio" j,
+        (Json_out.member_exn "compression_ratio" j,
          Lg_apt.Io_stats.compression_ratio s)
       with
-      | Json_mini.Null, None -> true
-      | Json_mini.Num _, Some _ -> true
+      | Json_out.Null, None -> true
+      | Json_out.Num _, Some _ -> true
       | _ -> false)
 
 let test_set_field_unknown () =
