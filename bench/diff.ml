@@ -17,9 +17,10 @@
    - every other numeric leaf is a work counter, where more is worse:
      HEAD regresses when it exceeds BASE by more than the tolerance
      (default 10%, overridable per key with --tolerance NAME=PCT);
-   - a numeric leaf present in BASE but missing from HEAD is a
-     regression (the metric silently disappeared); new-in-HEAD leaves
-     are informational.
+   - a numeric leaf present in BASE but missing from HEAD, or whose
+     HEAD value is no longer a number, is a regression (the metric
+     silently disappeared or changed kind); new-in-HEAD leaves are
+     informational.
 
    Exit status: 0 when nothing regressed, 1 otherwise. *)
 
@@ -158,11 +159,18 @@ let compare_docs ~tolerances base head =
             | _ ->
                 regress "%-44s changed kind: %s -> %s" key (leaf_string b)
                   (Json_out.number hf))
-        | Some h ->
-            (* non-numeric outside the exact sections: informational *)
-            if b <> h then
-              Printf.printf "changed     %-44s %s -> %s\n" key (leaf_string b)
-                (leaf_string h)
+        | Some h -> (
+            match b with
+            | Json_out.Num _ ->
+                (* a gated counter must not silently become null/str/bool:
+                   losing its kind is as bad as losing the leaf *)
+                regress "%-44s changed kind: %s -> %s" key (leaf_string b)
+                  (leaf_string h)
+            | _ ->
+                (* non-numeric outside the exact sections: informational *)
+                if b <> h then
+                  Printf.printf "changed     %-44s %s -> %s\n" key
+                    (leaf_string b) (leaf_string h))
       end)
     base_leaves;
   List.iter

@@ -470,8 +470,13 @@ let fsck_cmd =
              legacy (unchecksummed) files to the framed format.")
   in
   let run json path out =
-    (* the registry captures the salvage.* counters the scan publishes *)
+    (* the registry captures the salvage.* counters the scan publishes;
+       restore the null registry even when the scan raises *)
     if json then Lg_support.Metrics.install (Lg_support.Metrics.create ());
+    Fun.protect
+      ~finally:(fun () ->
+        if json then Lg_support.Metrics.install Lg_support.Metrics.null)
+    @@ fun () ->
     let report = Lg_apt.Salvage.scan path in
     let recovered =
       Option.map (fun out -> (out, Lg_apt.Salvage.recover report ~out)) out
@@ -514,8 +519,7 @@ let fsck_cmd =
               Lg_support.Metrics.to_json (Lg_support.Metrics.ambient ()) );
           ]
       in
-      print_endline (to_string ~pretty:true doc);
-      Lg_support.Metrics.install Lg_support.Metrics.null
+      print_endline (to_string ~pretty:true doc)
     end
     else begin
       Format.printf "%a" Lg_apt.Salvage.pp_report report;

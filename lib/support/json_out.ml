@@ -32,8 +32,15 @@ let escape s =
   Buffer.contents b
 
 let number f =
+  (* JSON has no non-finite numbers; clamp so a Num leaf re-parses as a
+     number (NaN -> 0, +/-inf -> +/-max_float) instead of becoming null *)
+  let f =
+    if Float.is_nan f then 0.0
+    else if f = Float.infinity then Float.max_float
+    else if f = Float.neg_infinity then -.Float.max_float
+    else f
+  in
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else if Float.is_nan f || not (Float.is_finite f) then "null"
   else
     (* shortest decimal that round-trips *)
     let s = Printf.sprintf "%.12g" f in

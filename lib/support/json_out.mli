@@ -33,13 +33,17 @@ val escape : string -> string
 
 val number : float -> string
 (** Shortest rendering that re-parses to the same float; integral values
-    print without a fractional part, non-finite values as [null] (JSON
-    has no representation for them). *)
+    print without a fractional part. JSON has no representation for
+    non-finite floats, so they are clamped to the nearest representable
+    value — NaN to [0], positive/negative infinity to
+    [+/-Float.max_float] — keeping a {!Num} leaf numeric after a
+    round-trip. *)
 
 val to_string : ?pretty:bool -> t -> string
 (** Compact by default; [~pretty:true] indents by two spaces with one
     object member / array element per line. Either form re-parses with
-    {!parse} to an equal tree. *)
+    {!parse} to an equal tree, up to the non-finite clamping documented
+    at {!number}. *)
 
 val to_buffer : ?pretty:bool -> Buffer.t -> t -> unit
 
