@@ -478,8 +478,10 @@ let store_bench () =
       rowf "  %-10s %12d %8d %8d %5d/%-5d %9d %6s %9.2f %10.2f %11.2f\n" name
         (Lg_apt.Io_stats.total_bytes io)
         (Lg_apt.Io_stats.total_pages io)
-        io.Lg_apt.Io_stats.seeks io.Lg_apt.Io_stats.pool_hits
-        io.Lg_apt.Io_stats.pool_misses io.Lg_apt.Io_stats.prefetch_hits
+        (Lg_apt.Io_stats.get io.Lg_apt.Io_stats.seeks)
+        (Lg_apt.Io_stats.get io.Lg_apt.Io_stats.pool_hits)
+        (Lg_apt.Io_stats.get io.Lg_apt.Io_stats.pool_misses)
+        (Lg_apt.Io_stats.get io.Lg_apt.Io_stats.prefetch_hits)
         (match Lg_apt.Io_stats.compression_ratio io with
         | Some r -> Printf.sprintf "%.2f" r
         | None -> "-")
@@ -602,7 +604,9 @@ let faults_bench () =
             }
         in
         let r, wall = run_with config "faulty" in
-        (rate, r.Engine.stats.Engine.total_io.Lg_apt.Io_stats.retries, wall))
+        ( rate,
+          Lg_apt.Io_stats.get r.Engine.stats.Engine.total_io.Lg_apt.Io_stats.retries,
+          wall ))
       [ 0.0; 0.02; 0.05 ]
   in
   rowf "  %-12s %10s %10s\n" "fault rate" "retries" "wall ms";
@@ -719,6 +723,126 @@ let policy_ablation () =
     "  (the paper: hand simulations 'made use of global information' and beat\n\
     \   the automatic results — the per-group column is that analysis.)\n"
 
+(* ============ batch service: sequential vs pooled throughput ============ *)
+
+let batch_bench () =
+  section "Batch service: sequential vs pooled evaluation over the grammar corpus";
+  (* the corpus: every embedded grammar, written out and analyzed by the
+     self-hosted evaluator several times over — the service's workload of
+     many evaluator runs against one compiled grammar *)
+  let corpus =
+    [
+      ("desk_calc.ag", Desk_calc.ag_source);
+      ("assembler.ag", Assembler.ag_source);
+      ("knuth_binary.ag", Knuth_binary.ag_source);
+      ("pascal_subset.ag", Pascal_ag.ag_source);
+      ("linguist.ag", Linguist_ag.ag_source);
+    ]
+  in
+  let dir = Filename.temp_file "linguist-bench-batch" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let files =
+    List.map
+      (fun (name, source) ->
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        output_string oc source;
+        close_out oc;
+        path)
+      corpus
+  in
+  let repeats = 4 in
+  let jobs =
+    List.concat_map
+      (fun path ->
+        List.init repeats (fun i ->
+            Lg_server.Jobfile.make
+              ~id:(Printf.sprintf "%s#%d" (Filename.basename path) i)
+              ~store:"paged"
+              ~op:Lg_server.Jobfile.Analyze ~file:path ()))
+      files
+  in
+  let n_jobs = List.length jobs in
+  (* one session cache across every run: the linguist.ag translator
+     compiles once, exactly as a long-running server would hold it *)
+  let sessions = Lg_server.Session.create_cache () in
+  ignore (Lg_server.Session.language_session sessions "linguist");
+  let payloads (s : Lg_server.Batch.summary) =
+    Lg_support.Json_out.to_string
+      (Lg_server.Batch.to_json ~timings:false s)
+  in
+  let seq = Lg_server.Batch.run_sequential ~sessions jobs in
+  let seq_rate = float_of_int n_jobs /. Float.max 1e-9 seq.Lg_server.Batch.wall_seconds in
+  rowf "  %-14s %8s %10s %10s %10s\n" "configuration" "jobs" "ok" "jobs/s"
+    "speedup";
+  rowf "  %-14s %8d %10d %10.1f %10s\n" "sequential" n_jobs
+    seq.Lg_server.Batch.n_ok seq_rate "1.00x";
+  let pooled =
+    List.map
+      (fun workers ->
+        let s = Lg_server.Batch.run ~workers ~sessions jobs in
+        let rate =
+          float_of_int n_jobs /. Float.max 1e-9 s.Lg_server.Batch.wall_seconds
+        in
+        rowf "  %-14s %8d %10d %10.1f %9.2fx\n"
+          (Printf.sprintf "pool (%d)" workers)
+          n_jobs s.Lg_server.Batch.n_ok rate (rate /. seq_rate);
+        (workers, s, rate))
+      [ 1; 2; 4 ]
+  in
+  let identical =
+    List.for_all (fun (_, s, _) -> payloads s = payloads seq) pooled
+  in
+  rowf "  pooled results byte-identical to sequential: %b\n" identical;
+  let cores = Domain.recommended_domain_count () in
+  rowf "  host parallelism: %d domain%s recommended%s\n" cores
+    (if cores = 1 then "" else "s")
+    (if cores <= 1 then
+       " — a single-core host; the pool pays stop-the-world GC \
+        coordination with no CPUs to win back, so speedup < 1x here is \
+        expected (see docs/SERVER.md)"
+     else "");
+  let json =
+    let open Lg_support.Json_out in
+    let row label workers (s : Lg_server.Batch.summary) rate =
+      Obj
+        [
+          ("configuration", Str label);
+          ("workers", int workers);
+          ("jobs", int n_jobs);
+          ("ok", int s.Lg_server.Batch.n_ok);
+          ("failed", int s.Lg_server.Batch.n_failed);
+          ("wall_seconds", Num s.Lg_server.Batch.wall_seconds);
+          ("jobs_per_second", Num rate);
+          ("speedup", Num (rate /. seq_rate));
+        ]
+    in
+    Obj
+      [
+        ( "workload",
+          Str
+            (Printf.sprintf "analyze x%d over %d embedded grammars (paged store)"
+               repeats (List.length corpus)) );
+        ("host_cores", int (Domain.recommended_domain_count ()));
+        ( "rows",
+          Arr
+            (row "sequential" 0 seq seq_rate
+            :: List.map
+                 (fun (w, s, rate) ->
+                   row (Printf.sprintf "pool-%d" w) w s rate)
+                 pooled) );
+        ("byte_identical", Bool identical);
+      ]
+  in
+  let oc = open_out "BENCH_batch.json" in
+  output_string oc (Lg_support.Json_out.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  rowf "  wrote BENCH_batch.json\n";
+  List.iter Sys.remove files;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
 (* ---------- driver ---------- *)
 
 let all =
@@ -726,7 +850,7 @@ let all =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("f1", f1); ("f2", f2); ("abl", ablations); ("policy", policy_ablation);
     ("schulz", schulz_ablation); ("stores", store_bench);
-    ("faults", faults_bench);
+    ("faults", faults_bench); ("batch", batch_bench);
   ]
 
 let run_experiments args =

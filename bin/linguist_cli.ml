@@ -610,6 +610,160 @@ let report_cmd =
           human-readable form.")
     Term.(ret (const run $ manifest_arg))
 
+(* ------------------------------------------------------------------ *)
+(* The batch-evaluation service: batch / serve / request               *)
+
+let jobs_flag =
+  Arg.(
+    value
+    & opt int (Lg_server.Batch.default_workers ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains evaluating jobs in parallel; $(b,0) runs \
+           sequentially in the calling domain.")
+
+let batch_cmd =
+  let jobfile_arg =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"JOBS.json"
+          ~doc:"A $(b,linguist_jobs:1) job list (see docs/SERVER.md).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the results JSON to $(docv) ($(b,-) for stdout).")
+  in
+  let timings_flag =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:
+            "Include wall/per-job seconds, throughput and a metrics \
+             snapshot in the results JSON. Off by default so results \
+             are byte-identical across worker counts.")
+  in
+  let run ~jobs_path ~workers ~out ~timings ~trace_out ~trace_attrs =
+    match Lg_server.Jobfile.parse_file jobs_path with
+    | Error msg -> `Error (false, msg)
+    | Ok jobs ->
+        let metrics = Lg_support.Metrics.create () in
+        let summary =
+          with_trace ~trace_out ~trace_attrs ~label:"batch" (fun () ->
+              Lg_server.Batch.run ~workers ~metrics jobs)
+        in
+        let doc =
+          match Lg_server.Batch.to_json ~timings summary with
+          | Lg_support.Json_out.Obj members when timings ->
+              Lg_support.Json_out.Obj
+                (members
+                @ [ ("metrics", Lg_support.Metrics.to_json metrics) ])
+          | doc -> doc
+        in
+        let text = Lg_support.Json_out.to_string ~pretty:true doc ^ "\n" in
+        (if out = "-" then print_string text
+         else begin
+           let oc = open_out out in
+           output_string oc text;
+           close_out oc
+         end);
+        Printf.eprintf "batch: %d jobs, %d ok, %d failed (%d workers, %.3f s)\n%!"
+          (List.length summary.Lg_server.Batch.outcomes)
+          summary.Lg_server.Batch.n_ok summary.Lg_server.Batch.n_failed
+          summary.Lg_server.Batch.workers
+          summary.Lg_server.Batch.wall_seconds;
+        if summary.Lg_server.Batch.n_failed = 0 then `Ok ()
+        else `Error (false, "some jobs failed (see the results JSON)")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Evaluate a job list on a pool of worker domains, one grammar \
+          compilation shared by every job that needs it (see \
+          docs/SERVER.md).")
+    Term.(
+      ret
+        (const (fun workers out timings tout tattrs jobs_path ->
+             guard (fun () ->
+                 run ~jobs_path ~workers ~out ~timings ~trace_out:tout
+                   ~trace_attrs:tattrs))
+        $ jobs_flag $ out_arg $ timings_flag $ trace_out $ trace_attrs
+        $ jobfile_arg))
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bound on queued (not yet started) jobs; further requests \
+             are rejected with $(b,saturated) until the backlog drains. \
+             Default: 4 per worker.")
+  in
+  let run ~workers ~queue ~socket =
+    let workers = max 1 workers in
+    Printf.eprintf "serve: listening on %s (%d workers)\n%!" socket workers;
+    Lg_server.Server.serve ?queue_capacity:queue ~workers ~socket ();
+    Printf.eprintf "serve: drained, socket closed\n%!";
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve length-prefixed JSON evaluation requests over a \
+          Unix-domain socket, backed by the same worker pool as \
+          $(b,batch) (see docs/SERVER.md).")
+    Term.(
+      ret
+        (const (fun workers queue socket ->
+             guard (fun () -> run ~workers ~queue ~socket))
+        $ jobs_flag $ queue_arg $ socket_arg))
+
+let request_cmd =
+  let request_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "The request JSON, e.g. $(b,'{\"op\":\"ping\"}') — or \
+             $(b,@FILE) to read it from a file.")
+  in
+  let run ~socket ~request =
+    let text =
+      if String.length request > 0 && request.[0] = '@' then
+        read_file (String.sub request 1 (String.length request - 1))
+      else request
+    in
+    match Lg_support.Json_out.parse text with
+    | exception Failure msg -> `Error (false, "request is not JSON: " ^ msg)
+    | doc ->
+        let response = Lg_server.Server.request ~socket doc in
+        print_endline (Lg_support.Json_out.to_string ~pretty:true response);
+        let ok =
+          match Lg_support.Json_out.member "ok" response with
+          | Some (Lg_support.Json_out.Bool b) -> b
+          | _ -> false
+        in
+        if ok then `Ok () else `Error (false, "request failed")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one framed JSON request to a running $(b,serve) socket \
+          and print the response (the smoke-test client).")
+    Term.(
+      ret
+        (const (fun socket request -> guard (fun () -> run ~socket ~request))
+        $ socket_arg $ request_arg))
+
 let self_cmd =
   let run () =
     let t = Lg_languages.Linguist_ag.translator () in
@@ -644,5 +798,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd;
-            self_cmd; stores_cmd; fsck_cmd; report_cmd;
+            self_cmd; stores_cmd; fsck_cmd; report_cmd; batch_cmd;
+            serve_cmd; request_cmd;
           ]))

@@ -39,7 +39,7 @@ let backend_name = function
 
 let writer ?stats backend =
   (match stats with
-  | Some s -> s.Io_stats.files_created <- s.Io_stats.files_created + 1
+  | Some s -> Io_stats.bump s.Io_stats.files_created 1
   | None -> ());
   let store = store_of_backend backend in
   { w_stats = stats; buf = Buffer.create 256; inner_w = store.Apt_store.start stats }
@@ -56,7 +56,7 @@ let write w node =
     Lg_support.Metrics.observe m "apt.record_bytes"
       (float_of_int (String.length payload));
   match w.w_stats with
-  | Some s -> s.Io_stats.records_written <- s.Io_stats.records_written + 1
+  | Some s -> Io_stats.bump s.Io_stats.records_written 1
   | None -> ()
 
 let close_writer w = w.inner_w.Apt_store.close ()
@@ -77,7 +77,7 @@ let read_next r =
   | None -> None
   | Some payload ->
       (match r.r_stats with
-      | Some s -> s.Io_stats.records_read <- s.Io_stats.records_read + 1
+      | Some s -> Io_stats.bump s.Io_stats.records_read 1
       | None -> ());
       Some (Node.decode payload)
 

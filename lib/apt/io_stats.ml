@@ -1,23 +1,33 @@
+(* Counters are atomics: a tally may be shared by store layers running
+   on several domains at once (the batch-evaluation pool), and a plain
+   mutable-int increment would silently lose counts under that race. An
+   uncontended atomic fetch-and-add costs a few nanoseconds — below the
+   noise of the record encoding around every tally — so the
+   single-threaded path is not measurably slower. *)
+
 type t = {
-  mutable bytes_read : int;
-  mutable bytes_written : int;
-  mutable records_read : int;
-  mutable records_written : int;
-  mutable files_created : int;
+  bytes_read : int Atomic.t;
+  bytes_written : int Atomic.t;
+  records_read : int Atomic.t;
+  records_written : int Atomic.t;
+  files_created : int Atomic.t;
   (* page-level counters (paged/prefetching stores) *)
-  mutable pages_read : int;
-  mutable pages_written : int;
-  mutable pool_hits : int;
-  mutable pool_misses : int;
-  mutable prefetch_hits : int;
-  mutable seeks : int;
+  pages_read : int Atomic.t;
+  pages_written : int Atomic.t;
+  pool_hits : int Atomic.t;
+  pool_misses : int Atomic.t;
+  prefetch_hits : int Atomic.t;
+  seeks : int Atomic.t;
   (* resilience counters (retry/quarantine policy in Store_pager) *)
-  mutable retries : int;
-  mutable pages_quarantined : int;
+  retries : int Atomic.t;
+  pages_quarantined : int Atomic.t;
   (* compression accounting (zip store layers) *)
-  mutable raw_bytes_read : int;
-  mutable raw_bytes_written : int;
+  raw_bytes_read : int Atomic.t;
+  raw_bytes_written : int Atomic.t;
 }
+
+let bump c n = ignore (Atomic.fetch_and_add c n : int)
+let get = Atomic.get
 
 (* The single field table: every counter appears here exactly once, and
    [fields]/[set_field]/[add]/[reset]/[to_json] are all derived from it,
@@ -26,56 +36,60 @@ type t = {
    record's runtime size.) *)
 let field_specs : (string * (t -> int) * (t -> int -> unit)) list =
   [
-    ("bytes_read", (fun t -> t.bytes_read), fun t v -> t.bytes_read <- v);
+    ("bytes_read", (fun t -> get t.bytes_read), fun t v -> Atomic.set t.bytes_read v);
     ( "bytes_written",
-      (fun t -> t.bytes_written),
-      fun t v -> t.bytes_written <- v );
-    ("records_read", (fun t -> t.records_read), fun t v -> t.records_read <- v);
+      (fun t -> get t.bytes_written),
+      fun t v -> Atomic.set t.bytes_written v );
+    ( "records_read",
+      (fun t -> get t.records_read),
+      fun t v -> Atomic.set t.records_read v );
     ( "records_written",
-      (fun t -> t.records_written),
-      fun t v -> t.records_written <- v );
+      (fun t -> get t.records_written),
+      fun t v -> Atomic.set t.records_written v );
     ( "files_created",
-      (fun t -> t.files_created),
-      fun t v -> t.files_created <- v );
-    ("pages_read", (fun t -> t.pages_read), fun t v -> t.pages_read <- v);
+      (fun t -> get t.files_created),
+      fun t v -> Atomic.set t.files_created v );
+    ("pages_read", (fun t -> get t.pages_read), fun t v -> Atomic.set t.pages_read v);
     ( "pages_written",
-      (fun t -> t.pages_written),
-      fun t v -> t.pages_written <- v );
-    ("pool_hits", (fun t -> t.pool_hits), fun t v -> t.pool_hits <- v);
-    ("pool_misses", (fun t -> t.pool_misses), fun t v -> t.pool_misses <- v);
+      (fun t -> get t.pages_written),
+      fun t v -> Atomic.set t.pages_written v );
+    ("pool_hits", (fun t -> get t.pool_hits), fun t v -> Atomic.set t.pool_hits v);
+    ( "pool_misses",
+      (fun t -> get t.pool_misses),
+      fun t v -> Atomic.set t.pool_misses v );
     ( "prefetch_hits",
-      (fun t -> t.prefetch_hits),
-      fun t v -> t.prefetch_hits <- v );
-    ("seeks", (fun t -> t.seeks), fun t v -> t.seeks <- v);
-    ("retries", (fun t -> t.retries), fun t v -> t.retries <- v);
+      (fun t -> get t.prefetch_hits),
+      fun t v -> Atomic.set t.prefetch_hits v );
+    ("seeks", (fun t -> get t.seeks), fun t v -> Atomic.set t.seeks v);
+    ("retries", (fun t -> get t.retries), fun t v -> Atomic.set t.retries v);
     ( "pages_quarantined",
-      (fun t -> t.pages_quarantined),
-      fun t v -> t.pages_quarantined <- v );
+      (fun t -> get t.pages_quarantined),
+      fun t v -> Atomic.set t.pages_quarantined v );
     ( "raw_bytes_read",
-      (fun t -> t.raw_bytes_read),
-      fun t v -> t.raw_bytes_read <- v );
+      (fun t -> get t.raw_bytes_read),
+      fun t v -> Atomic.set t.raw_bytes_read v );
     ( "raw_bytes_written",
-      (fun t -> t.raw_bytes_written),
-      fun t v -> t.raw_bytes_written <- v );
+      (fun t -> get t.raw_bytes_written),
+      fun t v -> Atomic.set t.raw_bytes_written v );
   ]
 
 let create () =
   {
-    bytes_read = 0;
-    bytes_written = 0;
-    records_read = 0;
-    records_written = 0;
-    files_created = 0;
-    pages_read = 0;
-    pages_written = 0;
-    pool_hits = 0;
-    pool_misses = 0;
-    prefetch_hits = 0;
-    seeks = 0;
-    retries = 0;
-    pages_quarantined = 0;
-    raw_bytes_read = 0;
-    raw_bytes_written = 0;
+    bytes_read = Atomic.make 0;
+    bytes_written = Atomic.make 0;
+    records_read = Atomic.make 0;
+    records_written = Atomic.make 0;
+    files_created = Atomic.make 0;
+    pages_read = Atomic.make 0;
+    pages_written = Atomic.make 0;
+    pool_hits = Atomic.make 0;
+    pool_misses = Atomic.make 0;
+    prefetch_hits = Atomic.make 0;
+    seeks = Atomic.make 0;
+    retries = Atomic.make 0;
+    pages_quarantined = Atomic.make 0;
+    raw_bytes_read = Atomic.make 0;
+    raw_bytes_written = Atomic.make 0;
   }
 
 let fields t = List.map (fun (name, get, _) -> (name, get t)) field_specs
@@ -92,33 +106,38 @@ let reset t = List.iter (fun (_, _, set) -> set t 0) field_specs
 let add ~into t =
   List.iter (fun (_, get, set) -> set into (get into + get t)) field_specs
 
-let total_bytes t = t.bytes_read + t.bytes_written
-let total_pages t = t.pages_read + t.pages_written
+let total_bytes t = get t.bytes_read + get t.bytes_written
+let total_pages t = get t.pages_read + get t.pages_written
 
 let compression_ratio t =
-  if t.raw_bytes_written > 0 && t.bytes_written > 0 then
-    Some (float_of_int t.raw_bytes_written /. float_of_int t.bytes_written)
+  let raw_w = get t.raw_bytes_written and w = get t.bytes_written in
+  if raw_w > 0 && w > 0 then Some (float_of_int raw_w /. float_of_int w)
   else None
 
 let modeled_seconds t ~bytes_per_second =
   float_of_int (total_bytes t) /. bytes_per_second
 
 let modeled_seconds_seek t ~bytes_per_second ~seek_seconds =
-  modeled_seconds t ~bytes_per_second +. (float_of_int t.seeks *. seek_seconds)
+  modeled_seconds t ~bytes_per_second
+  +. (float_of_int (get t.seeks) *. seek_seconds)
 
 let pp ppf t =
   Format.fprintf ppf
-    "read %d B / %d rec; wrote %d B / %d rec; %d files" t.bytes_read
-    t.records_read t.bytes_written t.records_written t.files_created;
+    "read %d B / %d rec; wrote %d B / %d rec; %d files" (get t.bytes_read)
+    (get t.records_read) (get t.bytes_written) (get t.records_written)
+    (get t.files_created);
   if total_pages t > 0 then
     Format.fprintf ppf "; pages %dr/%dw; pool %d hit/%d miss; %d prefetched"
-      t.pages_read t.pages_written t.pool_hits t.pool_misses t.prefetch_hits;
-  if t.seeks > 0 then Format.fprintf ppf "; %d seeks" t.seeks;
-  if t.retries > 0 || t.pages_quarantined > 0 then
-    Format.fprintf ppf "; %d retries/%d quarantined" t.retries
-      t.pages_quarantined;
+      (get t.pages_read) (get t.pages_written) (get t.pool_hits)
+      (get t.pool_misses) (get t.prefetch_hits);
+  if get t.seeks > 0 then Format.fprintf ppf "; %d seeks" (get t.seeks);
+  if get t.retries > 0 || get t.pages_quarantined > 0 then
+    Format.fprintf ppf "; %d retries/%d quarantined" (get t.retries)
+      (get t.pages_quarantined);
   match compression_ratio t with
-  | Some r -> Format.fprintf ppf "; %d raw B (%.2fx compression)" t.raw_bytes_written r
+  | Some r ->
+      Format.fprintf ppf "; %d raw B (%.2fx compression)"
+        (get t.raw_bytes_written) r
   | None -> ()
 
 let to_json_value t =

@@ -9,36 +9,53 @@
     maintained by the store implementations ({!Apt_store}); record
     counters are maintained by the {!Aptfile} façade. Page-level counters
     are populated only by the paged/prefetching stores; raw-byte counters
-    only by compressing store layers. *)
+    only by compressing store layers.
+
+    Every counter is an [Atomic.t]: one tally may be fed by store layers
+    running on several domains at once (the batch-evaluation pool), and
+    increments must not be lost under that race. Producers bump fields
+    with {!bump}; consumers read them with [Atomic.get] (or take the
+    whole row via {!fields}). Aggregate readers ({!fields}, {!add},
+    {!to_json_value}) are {e per-field} atomic — a snapshot taken while
+    another domain is mid-update can mix old and new counters, which is
+    fine for telemetry and exact once the producers have quiesced. *)
 
 type t = {
-  mutable bytes_read : int;
-  mutable bytes_written : int;
-  mutable records_read : int;
-  mutable records_written : int;
-  mutable files_created : int;
-  mutable pages_read : int;  (** pages fetched from the medium *)
-  mutable pages_written : int;  (** pages flushed to the medium *)
-  mutable pool_hits : int;  (** page requests served from the buffer pool *)
-  mutable pool_misses : int;  (** page requests that went to the medium *)
-  mutable prefetch_hits : int;  (** pool hits on pages loaded by read-ahead *)
-  mutable seeks : int;  (** non-contiguous repositionings of the medium *)
-  mutable retries : int;
+  bytes_read : int Atomic.t;
+  bytes_written : int Atomic.t;
+  records_read : int Atomic.t;
+  records_written : int Atomic.t;
+  files_created : int Atomic.t;
+  pages_read : int Atomic.t;  (** pages fetched from the medium *)
+  pages_written : int Atomic.t;  (** pages flushed to the medium *)
+  pool_hits : int Atomic.t;  (** page requests served from the buffer pool *)
+  pool_misses : int Atomic.t;  (** page requests that went to the medium *)
+  prefetch_hits : int Atomic.t;
+      (** pool hits on pages loaded by read-ahead *)
+  seeks : int Atomic.t;  (** non-contiguous repositionings of the medium *)
+  retries : int Atomic.t;
       (** physical reads repeated after a transient I/O fault
           ({!Store_pager}'s bounded retry-with-backoff policy) *)
-  mutable pages_quarantined : int;
+  pages_quarantined : int Atomic.t;
       (** pages given up on after the retry budget was exhausted;
           further reads of a quarantined page fail immediately *)
-  mutable raw_bytes_read : int;
+  raw_bytes_read : int Atomic.t;
       (** bytes the base store would have moved uncompressed (payload +
           framing) for the records delivered *)
-  mutable raw_bytes_written : int;
+  raw_bytes_written : int Atomic.t;
       (** bytes the base store would have moved uncompressed (payload +
           framing) for the records accepted *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+
+val bump : int Atomic.t -> int -> unit
+(** [bump field n] atomically adds [n] — the producers' increment,
+    e.g. [Io_stats.bump s.bytes_read len]. *)
+
+val get : int Atomic.t -> int
+(** [Atomic.get]; reads one counter, e.g. [Io_stats.get s.retries]. *)
 
 val add : into:t -> t -> unit
 (** Field-wise accumulation; covers every counter. *)

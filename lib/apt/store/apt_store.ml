@@ -113,16 +113,16 @@ let pack (module M : APT_STORE) : t =
 
 module Crc32 = struct
   let table =
-    lazy
-      (Array.init 256 (fun n ->
-           let c = ref n in
-           for _ = 0 to 7 do
-             c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
-           done;
-           !c))
+    Lg_support.Once.make (fun () ->
+        Array.init 256 (fun n ->
+            let c = ref n in
+            for _ = 0 to 7 do
+              c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+            done;
+            !c))
 
   let digest s =
-    let table = Lazy.force table in
+    let table = Lg_support.Once.force table in
     let c = ref 0xffffffff in
     String.iter
       (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))

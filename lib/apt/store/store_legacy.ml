@@ -15,17 +15,17 @@ open Apt_store
 
 let tally_write stats bytes =
   match stats with
-  | Some s -> s.Io_stats.bytes_written <- s.Io_stats.bytes_written + bytes
+  | Some s -> Io_stats.bump s.Io_stats.bytes_written bytes
   | None -> ()
 
 let tally_read stats bytes =
   match stats with
-  | Some s -> s.Io_stats.bytes_read <- s.Io_stats.bytes_read + bytes
+  | Some s -> Io_stats.bump s.Io_stats.bytes_read bytes
   | None -> ()
 
 let tally_seek stats =
   match stats with
-  | Some s -> s.Io_stats.seeks <- s.Io_stats.seeks + 1
+  | Some s -> Io_stats.bump s.Io_stats.seeks 1
   | None -> ()
 
 module Mem (F : sig

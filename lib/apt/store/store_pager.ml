@@ -136,7 +136,7 @@ let quarantine_range t ~start ~stop =
       Hashtbl.replace t.quarantined n ();
       tally
         (fun s ->
-          s.Io_stats.pages_quarantined <- s.Io_stats.pages_quarantined + 1)
+          Io_stats.bump s.Io_stats.pages_quarantined (1))
         t
     end
   done
@@ -163,7 +163,7 @@ let transfer t ~start ~stop =
   let attempt () =
     maybe_inject t ~len;
     if start <> t.phys then begin
-      tally (fun s -> s.Io_stats.seeks <- s.Io_stats.seeks + 1) t;
+      tally (fun s -> Io_stats.bump s.Io_stats.seeks 1) t;
       seek_in t.ic start
     end;
     let run =
@@ -178,7 +178,7 @@ let transfer t ~start ~stop =
              })
     in
     t.phys <- stop;
-    tally (fun s -> s.Io_stats.bytes_read <- s.Io_stats.bytes_read + len) t;
+    tally (fun s -> Io_stats.bump s.Io_stats.bytes_read len) t;
     run
   in
   let backoff n =
@@ -199,7 +199,7 @@ let transfer t ~start ~stop =
              { path = Some t.path; attempts = n; detail = msg })
       end
       else begin
-        tally (fun s -> s.Io_stats.retries <- s.Io_stats.retries + 1) t;
+        tally (fun s -> Io_stats.bump s.Io_stats.retries 1) t;
         backoff n;
         go (n + 1)
       end
@@ -210,12 +210,12 @@ let transfer t ~start ~stop =
     (* how long a frame read that hit transient faults took to recover —
        the retry-latency distribution of the resilience layer *)
     let retries_before =
-      match t.stats with Some s -> s.Io_stats.retries | None -> 0
+      match t.stats with Some s -> Io_stats.get s.Io_stats.retries | None -> 0
     in
     let t0 = Unix.gettimeofday () in
     let run = go 1 in
     (match t.stats with
-    | Some s when s.Io_stats.retries > retries_before ->
+    | Some s when Io_stats.get s.Io_stats.retries > retries_before ->
         Lg_support.Metrics.observe m
           ~buckets:[ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0 ]
           "apt.retry_recovery_seconds"
@@ -236,7 +236,7 @@ let touch t p =
   p.tick <- t.clock;
   if p.prefetched then begin
     p.prefetched <- false;
-    tally (fun s -> s.Io_stats.prefetch_hits <- s.Io_stats.prefetch_hits + 1) t
+    tally (fun s -> Io_stats.bump s.Io_stats.prefetch_hits 1) t
   end
 
 (* The low edge a [`Low]-widened fetch of page [n] may reach: the file
@@ -263,11 +263,11 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
   match Hashtbl.find_opt t.pages n with
   | Some p when p.base <= lo && hi <= p.base + String.length p.data ->
       touch t p;
-      tally (fun s -> s.Io_stats.pool_hits <- s.Io_stats.pool_hits + 1) t;
+      tally (fun s -> Io_stats.bump s.Io_stats.pool_hits 1) t;
       serve p
   | Some p ->
       (* held segment doesn't cover the request: extend it *)
-      tally (fun s -> s.Io_stats.pool_misses <- s.Io_stats.pool_misses + 1) t;
+      tally (fun s -> Io_stats.bump s.Io_stats.pool_misses 1) t;
       let dlo, dhi =
         match want with `Low -> (low_edge t n, hi) | `High -> (lo, plen)
       in
@@ -283,7 +283,7 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
       touch t p;
       serve p
   | None ->
-      tally (fun s -> s.Io_stats.pool_misses <- s.Io_stats.pool_misses + 1) t;
+      tally (fun s -> Io_stats.bump s.Io_stats.pool_misses 1) t;
       let dlo, dhi =
         match want with `Low -> (low_edge t n, hi) | `High -> (lo, plen)
       in
@@ -318,7 +318,7 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
       let stop = if hi_page > n then start_of hi_page + page_len t hi_page else start_of n + dhi in
       let run = transfer t ~start ~stop in
       tally
-        (fun s -> s.Io_stats.pages_read <- s.Io_stats.pages_read + (hi_page - lo_page + 1))
+        (fun s -> Io_stats.bump s.Io_stats.pages_read (hi_page - lo_page + 1))
         t;
       for m = lo_page to hi_page do
         evict_to_capacity t;
@@ -334,12 +334,9 @@ let page_slice t n ~lo ~hi ~(want : [ `Low | `High ]) =
       done;
       (* high-water page residency of the buffer pool, for manifests *)
       let mreg = Lg_support.Metrics.ambient () in
-      if Lg_support.Metrics.enabled mreg then begin
-        let resident = float_of_int (Hashtbl.length t.pages) in
-        match Lg_support.Metrics.find mreg "apt.pool_resident_pages" with
-        | Some (Lg_support.Metrics.Gauge g) when g >= resident -> ()
-        | _ -> Lg_support.Metrics.set mreg "apt.pool_resident_pages" resident
-      end;
+      if Lg_support.Metrics.enabled mreg then
+        Lg_support.Metrics.set_max mreg "apt.pool_resident_pages"
+          (float_of_int (Hashtbl.length t.pages));
       let p = Hashtbl.find t.pages n in
       touch t p;
       p.prefetched <- false;
@@ -379,8 +376,8 @@ let read t ~pos ~len ~want =
             done;
             tally
               (fun s ->
-                s.Io_stats.pool_misses <- s.Io_stats.pool_misses + (!hi - !n + 1);
-                s.Io_stats.pages_read <- s.Io_stats.pages_read + (!hi - !n + 1))
+                Io_stats.bump s.Io_stats.pool_misses ((!hi - !n + 1));
+                Io_stats.bump s.Io_stats.pages_read ((!hi - !n + 1)))
               t;
             Buffer.add_string buf
               (transfer t ~start:(!n * t.page_size)
@@ -439,9 +436,9 @@ let flush_pages w ~all =
     w.written <- w.written + flushed;
     tally_w
       (fun st ->
-        st.Io_stats.bytes_written <- st.Io_stats.bytes_written + flushed;
-        st.Io_stats.pages_written <-
-          st.Io_stats.pages_written + ((flushed + w.w_page_size - 1) / w.w_page_size))
+        Io_stats.bump st.Io_stats.bytes_written flushed;
+        Io_stats.bump st.Io_stats.pages_written
+          ((flushed + w.w_page_size - 1) / w.w_page_size))
       w
   end
 

@@ -61,12 +61,12 @@ let decode_block s =
 
 let tally_raw_write stats bytes =
   match stats with
-  | Some s -> s.Io_stats.raw_bytes_written <- s.Io_stats.raw_bytes_written + bytes
+  | Some s -> Io_stats.bump s.Io_stats.raw_bytes_written bytes
   | None -> ()
 
 let tally_raw_read stats bytes =
   match stats with
-  | Some s -> s.Io_stats.raw_bytes_read <- s.Io_stats.raw_bytes_read + bytes
+  | Some s -> Io_stats.bump s.Io_stats.raw_bytes_read bytes
   | None -> ()
 
 let layer ~name (config : config) (base : t) : t =

@@ -109,13 +109,13 @@ let productions =
   ]
 
 let cfg =
-  lazy
-    (Lg_grammar.Cfg.make ~terminals:Ag_lexer.token_kinds ~nonterminals
-       ~start:"spec" productions)
+  Lg_support.Once.make (fun () ->
+      Lg_grammar.Cfg.make ~terminals:Ag_lexer.token_kinds ~nonterminals
+        ~start:"spec" productions)
 
 let tables =
-  lazy
-    (let t = Lg_lalr.Tables.build (Lazy.force cfg) in
+  Lg_support.Once.make (fun () ->
+      let t = Lg_lalr.Tables.build (Lg_support.Once.force cfg) in
      (match Lg_lalr.Tables.unresolved_conflicts t with
      | [] -> ()
      | c :: _ ->
@@ -125,5 +125,5 @@ let tables =
      t)
 
 let production_tag i =
-  let g = Lazy.force cfg in
+  let g = Lg_support.Once.force cfg in
   g.Lg_grammar.Cfg.productions.(i).Lg_grammar.Cfg.tag

@@ -6,8 +6,8 @@
     substrate S6 (our own LALR builder) and interpreted by S7 (our own LR
     driver). The grammar is conflict-free LALR(1); {!tables} asserts so. *)
 
-val cfg : Lg_grammar.Cfg.t Lazy.t
-val tables : Lg_lalr.Tables.t Lazy.t
+val cfg : Lg_grammar.Cfg.t Lg_support.Once.t
+val tables : Lg_lalr.Tables.t Lg_support.Once.t
 
 val production_tag : int -> string
 (** Tag of a production index — the key {!Ag_parse} dispatches on. *)

@@ -52,10 +52,10 @@ let spec =
       ("RPAREN", "\\)", Lg_scanner.Spec.Token);
     ]
 
-let tables = lazy (Lg_scanner.Tables.compile spec)
+let tables = Lg_support.Once.make (fun () -> Lg_scanner.Tables.compile spec)
 
 let scan ~file ~diag input =
-  Lg_scanner.Engine.scan (Lazy.force tables) ~file ~diag input
+  Lg_scanner.Engine.scan (Lg_support.Once.force tables) ~file ~diag input
 
 let token_kinds =
   [

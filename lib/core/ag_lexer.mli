@@ -12,7 +12,7 @@ val spec : Lg_scanner.Spec.t
     comments and whitespace skipped. Identifiers may contain ['$'] and
     ['_'], following the paper's [function$list0] style. *)
 
-val tables : Lg_scanner.Tables.t Lazy.t
+val tables : Lg_scanner.Tables.t Lg_support.Once.t
 (** Compiled scanner tables (compiled once per process). *)
 
 val keywords : (string * string) list

@@ -180,7 +180,7 @@ let reduce_action tag children =
            (List.length children))
 
 let parse ~file ~diag input =
-  let tables = Lazy.force Ag_grammar.tables in
+  let tables = Lg_support.Once.force Ag_grammar.tables in
   let g = Lg_lalr.Tables.grammar tables in
   let tokens = Ag_lexer.scan ~file ~diag input in
   let term_of kind =

@@ -1,0 +1,350 @@
+(* Per-job isolation is directory-deep: every job gets a fresh private
+   temp directory as its APT store root, so two jobs evaluating the same
+   grammar at once can never collide on an intermediate file, and a
+   faulted job's damaged files vanish with its directory. *)
+
+let tmp_counter = Atomic.make 0
+
+let make_temp_dir () =
+  let rec go attempts =
+    let name =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "linguist-job-%d-%d" (Unix.getpid ())
+           (Atomic.fetch_and_add tmp_counter 1))
+    in
+    match Unix.mkdir name 0o700 with
+    | () -> name
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when attempts < 1000 ->
+        go (attempts + 1)
+  in
+  go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun entry -> rm_rf (Filename.concat path entry))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type outcome = {
+  o_id : string;
+  o_op : string;
+  o_file : string;
+  o_ok : bool;
+  o_exit : int;
+  o_error : string option;
+  o_payload : Lg_support.Json_out.t;
+  o_seconds : float;
+}
+
+type summary = {
+  outcomes : outcome list;
+  n_ok : int;
+  n_failed : int;
+  workers : int;
+  wall_seconds : float;
+}
+
+open Lg_support.Json_out
+
+let engine_options_of (j : Jobfile.job) ~dir =
+  let config =
+    {
+      Lg_apt.Apt_store.default_config with
+      dir = Some dir;
+      page_size =
+        Option.value j.Jobfile.j_page_size
+          ~default:Lg_apt.Apt_store.default_config.Lg_apt.Apt_store.page_size;
+      faults = j.Jobfile.j_faults;
+    }
+  in
+  {
+    Linguist.Engine.default_options with
+    backend = Lg_apt.Aptfile.backend_of_store_name ~config j.Jobfile.j_store;
+    depth_budget =
+      Option.value j.Jobfile.j_depth_budget
+        ~default:Linguist.Engine.default_depth_budget;
+    node_budget = Option.value j.Jobfile.j_node_budget ~default:0;
+  }
+
+let check_payload (a : Linguist.Driver.artifact) =
+  Obj
+    [
+      ("passes", int a.Linguist.Driver.passes.Linguist.Pass_assign.n_passes);
+      ( "first_direction",
+        Str
+          (match
+             Linguist.Pass_assign.direction a.Linguist.Driver.passes 1
+           with
+          | Linguist.Pass_assign.L2r -> "left-to-right"
+          | Linguist.Pass_assign.R2l -> "right-to-left") );
+      ("diagnostics", int (Lg_support.Diag.count a.Linguist.Driver.diag));
+      ("source_lines", int a.Linguist.Driver.source_lines);
+    ]
+
+let analyze_payload (a : Lg_languages.Linguist_ag.analysis) =
+  Obj
+    [
+      ("symbols", int a.Lg_languages.Linguist_ag.n_symbols);
+      ("attr_decls", int a.Lg_languages.Linguist_ag.n_attr_decls);
+      ("productions", int a.Lg_languages.Linguist_ag.n_productions);
+      ("semantic_functions", int a.Lg_languages.Linguist_ag.n_semantic_functions);
+      ("copy_estimate", int a.Lg_languages.Linguist_ag.n_copy_estimate);
+      ("terminals", int a.Lg_languages.Linguist_ag.n_terminals);
+      ("nonterminals", int a.Lg_languages.Linguist_ag.n_nonterminals);
+      ("limbs", int a.Lg_languages.Linguist_ag.n_limbs);
+      ( "messages",
+        Arr
+          (List.map
+             (fun (line, tag, name) ->
+               Obj [ ("line", int line); ("tag", Str tag); ("name", Str name) ])
+             a.Lg_languages.Linguist_ag.messages) );
+      ("report_entries", int (List.length a.Lg_languages.Linguist_ag.report));
+    ]
+
+let translate_payload (tr : Linguist.Translator.translation) =
+  Obj
+    [
+      ( "outputs",
+        Obj
+          (List.map
+             (fun (name, v) -> (name, Str (Lg_support.Value.to_string v)))
+             tr.Linguist.Translator.outputs) );
+      ("tree_size", int tr.Linguist.Translator.tree_size);
+      ("input_lines", int tr.Linguist.Translator.input_lines);
+      ( "rules_evaluated",
+        int
+          tr.Linguist.Translator.eval_stats.Linguist.Engine.rules_evaluated );
+    ]
+
+let run_job ~sessions (j : Jobfile.job) =
+  let t0 = Unix.gettimeofday () in
+  let finish ~ok ~code ~error payload =
+    {
+      o_id = j.Jobfile.j_id;
+      o_op = Jobfile.op_name j.Jobfile.j_op;
+      o_file = j.Jobfile.j_file;
+      o_ok = ok;
+      o_exit = code;
+      o_error = error;
+      o_payload = payload;
+      o_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  (* A typed store error names the APT file it caught — a path inside
+     this job's private temp dir, random per run. Leaving it in the
+     outcome would break the byte-identical guarantee of
+     [to_json ~timings:false], so every token rooted in the job dir is
+     scrubbed down to a stable placeholder. *)
+  let scrub_dir ~dir msg =
+    let dlen = String.length dir and n = String.length msg in
+    let buf = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      if !i + dlen <= n && String.sub msg !i dlen = dir then begin
+        Buffer.add_string buf "<job-tmp>";
+        i := !i + dlen;
+        while !i < n && msg.[!i] <> ' ' && msg.[!i] <> ':' do
+          incr i
+        done
+      end
+      else begin
+        Buffer.add_char buf msg.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  match make_temp_dir () with
+  | exception e ->
+      finish ~ok:false ~code:1 ~error:(Some (Printexc.to_string e)) Null
+  | dir -> (
+  let failed ~code msg =
+    finish ~ok:false ~code ~error:(Some (scrub_dir ~dir msg)) Null
+  in
+  match
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let source = read_file j.Jobfile.j_file in
+    let engine_options = engine_options_of j ~dir in
+    match j.Jobfile.j_op with
+    | Jobfile.Check -> (
+        let options =
+          {
+            Linguist.Driver.default_options with
+            apt_backend = engine_options.Linguist.Engine.backend;
+            depth_budget = engine_options.Linguist.Engine.depth_budget;
+            node_budget = engine_options.Linguist.Engine.node_budget;
+          }
+        in
+        match
+          Linguist.Driver.process ~options ~file:j.Jobfile.j_file source
+        with
+        | Ok artifact -> finish ~ok:true ~code:0 ~error:None (check_payload artifact)
+        | Error diag ->
+            failed ~code:1
+              (Linguist.Listing.errors_only ~source ~file:j.Jobfile.j_file diag))
+    | Jobfile.Analyze ->
+        let session = Session.language_session sessions "linguist" in
+        let translator =
+          match session.Session.s_payload with
+          | Session.Translator t -> t
+          | Session.Artifact _ -> assert false
+        in
+        let a =
+          Lg_languages.Linguist_ag.analyze ~engine_options ~translator source
+        in
+        finish ~ok:true ~code:0 ~error:None (analyze_payload a)
+    | Jobfile.Translate lang -> (
+        let session = Session.language_session sessions lang in
+        let translator =
+          match session.Session.s_payload with
+          | Session.Translator t -> t
+          | Session.Artifact _ -> assert false
+        in
+        match
+          Linguist.Translator.translate ~engine_options translator
+            ~file:j.Jobfile.j_file source
+        with
+        | Ok tr -> finish ~ok:true ~code:0 ~error:None (translate_payload tr)
+        | Error diag ->
+            failed ~code:1
+              (Linguist.Listing.errors_only ~source ~file:j.Jobfile.j_file diag))
+  with
+  | outcome -> outcome
+  | exception Lg_apt.Apt_error.Error e ->
+      failed ~code:(Lg_apt.Apt_error.exit_code e) (Lg_apt.Apt_error.to_string e)
+  | exception Failure msg -> failed ~code:1 msg
+  | exception Sys_error msg -> failed ~code:1 msg
+  | exception e -> failed ~code:1 (Printexc.to_string e))
+
+let default_workers () =
+  max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+(* run one job inside its own trace story, then splice that story into
+   the run-wide trace; [absorb] is a no-op when the parent is disabled *)
+let traced_job ~parent ~sessions j =
+  let jt =
+    if Lg_support.Trace.enabled parent then Lg_support.Trace.create ()
+    else Lg_support.Trace.null
+  in
+  let installed = Lg_support.Trace.ambient () in
+  Lg_support.Trace.install jt;
+  Fun.protect
+    ~finally:(fun () ->
+      Lg_support.Trace.install installed;
+      Lg_support.Trace.absorb parent jt)
+    (fun () ->
+      Lg_support.Trace.span jt ~cat:"job" j.Jobfile.j_id (fun () ->
+          run_job ~sessions j))
+
+let summarize ~workers ~wall outcomes =
+  let n_ok = List.length (List.filter (fun o -> o.o_ok) outcomes) in
+  {
+    outcomes;
+    n_ok;
+    n_failed = List.length outcomes - n_ok;
+    workers;
+    wall_seconds = wall;
+  }
+
+let run ?workers ?sessions ?metrics ?tracer jobs =
+  let workers = match workers with Some w -> w | None -> default_workers () in
+  let sessions =
+    match sessions with Some c -> c | None -> Session.create_cache ()
+  in
+  let metrics =
+    match metrics with Some m -> m | None -> Lg_support.Metrics.ambient ()
+  in
+  let parent =
+    match tracer with Some t -> t | None -> Lg_support.Trace.ambient ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    if workers <= 0 then
+      List.map (fun j -> traced_job ~parent ~sessions j) jobs
+    else begin
+      let pool =
+        Pool.create ~metrics ~workers
+          ~queue_capacity:(max 1 (List.length jobs))
+          ()
+      in
+      Fun.protect ~finally:(fun () -> Pool.drain pool) @@ fun () ->
+      let handles =
+        List.map
+          (fun j ->
+            match Pool.submit pool (fun () -> traced_job ~parent ~sessions j)
+            with
+            | Ok h -> h
+            | Error _ ->
+                (* capacity = job count: unreachable, but keep it total *)
+                assert false)
+          jobs
+      in
+      List.map2
+        (fun j h ->
+          match Pool.await h with
+          | Ok outcome -> outcome
+          | Error e ->
+              {
+                o_id = j.Jobfile.j_id;
+                o_op = Jobfile.op_name j.Jobfile.j_op;
+                o_file = j.Jobfile.j_file;
+                o_ok = false;
+                o_exit = 1;
+                o_error = Some (Printexc.to_string e);
+                o_payload = Null;
+                o_seconds = 0.;
+              })
+        jobs handles
+    end
+  in
+  summarize ~workers:(max workers 0) ~wall:(Unix.gettimeofday () -. t0) outcomes
+
+let run_sequential ?sessions ?tracer jobs =
+  run ~workers:0 ?sessions ?metrics:None ?tracer jobs
+
+let outcome_to_json ~timings o =
+  Obj
+    ([
+       ("id", Str o.o_id);
+       ("op", Str o.o_op);
+       ("file", Str o.o_file);
+       ("ok", Bool o.o_ok);
+       ("exit", int o.o_exit);
+       ( "error",
+         match o.o_error with Some msg -> Str msg | None -> Null );
+       ("payload", o.o_payload);
+     ]
+    @ if timings then [ ("seconds", Num o.o_seconds) ] else [])
+
+let to_json ?(timings = false) s =
+  Obj
+    ([
+       ("linguist_batch", int 1);
+       ("jobs", Arr (List.map (outcome_to_json ~timings) s.outcomes));
+       ("n_ok", int s.n_ok);
+       ("n_failed", int s.n_failed);
+     ]
+    @
+    if timings then
+      [
+        ("workers", int s.workers);
+        ("wall_seconds", Num s.wall_seconds);
+        ( "jobs_per_second",
+          Num
+            (if s.wall_seconds > 0. then
+               float_of_int (List.length s.outcomes) /. s.wall_seconds
+             else 0.) );
+      ]
+    else [])

@@ -1,0 +1,71 @@
+(** Batch execution: a {!Jobfile} job list through the worker {!Pool}.
+
+    Each job runs in complete isolation: its intermediate APT files live
+    in a private temporary directory (removed afterwards even on
+    failure), its store configuration, fault injection and evaluator
+    budgets come from its own jobfile entry, and any failure — grammar
+    diagnostics, a typed {!Lg_apt.Apt_error} from a faulted store, a
+    blown depth/node budget — is captured in that job's result record
+    with the same stable exit code the CLI would have used (40–44 for
+    the typed classes), leaving every sibling untouched.
+
+    Telemetry composes with the single-run story: each job records into
+    a private tracer that the parent tracer absorbs on completion
+    ({!Lg_support.Trace.absorb}), and the pool publishes [server.*]
+    metrics into the shared registry. The {e payload} of a result is
+    deterministic — timings are kept apart so a pooled run is
+    byte-identical to a sequential run over the same jobs
+    ({!to_json} with [~timings:false], the default). *)
+
+type outcome = {
+  o_id : string;
+  o_op : string;
+  o_file : string;
+  o_ok : bool;
+  o_exit : int;
+      (** 0 success; 1 diagnostics/logic failure; 40–44 the typed APT
+          integrity / resource classes ({!Lg_apt.Apt_error.exit_code}) *)
+  o_error : string option;
+  o_payload : Lg_support.Json_out.t;  (** deterministic result document *)
+  o_seconds : float;  (** job wall time (not part of the payload) *)
+}
+
+type summary = {
+  outcomes : outcome list;  (** in jobfile order *)
+  n_ok : int;
+  n_failed : int;
+  workers : int;  (** 0 = sequential in the calling domain *)
+  wall_seconds : float;
+}
+
+val run_job : sessions:Session.cache -> Jobfile.job -> outcome
+(** One job, synchronously, in the calling domain — the unit of work the
+    pool executes. Never raises: every failure lands in the outcome. *)
+
+val default_workers : unit -> int
+(** [min 4 (recommended_domain_count - 1)], at least 1. *)
+
+val run :
+  ?workers:int ->
+  ?sessions:Session.cache ->
+  ?metrics:Lg_support.Metrics.t ->
+  ?tracer:Lg_support.Trace.t ->
+  Jobfile.job list ->
+  summary
+(** Run the list on a fresh pool of [workers] domains (default
+    {!default_workers}; [0] runs sequentially with no pool). [metrics]
+    and [tracer] default to the calling domain's ambient registry and
+    tracer. The pool is drained before returning; outcomes keep jobfile
+    order. *)
+
+val run_sequential :
+  ?sessions:Session.cache -> ?tracer:Lg_support.Trace.t ->
+  Jobfile.job list -> summary
+(** [run ~workers:0] — the baseline the benchmark harness compares pooled
+    throughput against. *)
+
+val to_json : ?timings:bool -> summary -> Lg_support.Json_out.t
+(** The results document. With [timings:false] (the default) the
+    document depends only on the jobs and their outcomes — byte-identical
+    across worker counts; [timings:true] adds wall/per-job seconds and
+    throughput. *)

@@ -1,0 +1,78 @@
+(** The [linguist_jobs:1] job-list format.
+
+    A jobfile is what [linguist batch] consumes and what a [serve]
+    client embeds one entry of in a ["job"] request: a JSON document
+
+    {v
+    { "linguist_jobs": 1,
+      "jobs": [
+        { "id": "calc-1", "op": "analyze", "file": "grammars/desk_calc.ag",
+          "store": "paged", "page_size": 4096,
+          "faults": "7:0.01:transient",
+          "depth_budget": 100000, "node_budget": 0 },
+        { "id": "sum", "op": "translate", "language": "desk_calc",
+          "file": "inputs/sum.calc" } ] }
+    v}
+
+    Operations: ["check"] (native driver diagnostics), ["analyze"] (the
+    self-hosted evaluator generated from [linguist.ag] over an [.ag]
+    source — a full parallel evaluator run), ["translate"] (a built-in
+    language translator over an input text; see
+    {!Session.language_names}). Every field but [op] and [file] is
+    optional: [id] defaults to ["job-N"] (1-based position), [store] to
+    ["mem"], budgets to the engine defaults, [faults] (a
+    [SEED:RATE:KINDS] spec as in [--apt-faults]) to none.
+
+    Reading is strict — an unknown [op], a malformed [faults] spec or a
+    wrong [linguist_jobs] version is an [Error], not a guess — and
+    {!to_string} emits a document that re-reads to the same list, which
+    the golden round-trip in [test_cli.ml] pins. *)
+
+type op = Check | Analyze | Translate of string  (** language name *)
+
+type job = {
+  j_id : string;
+  j_op : op;
+  j_file : string;  (** input path, resolved against the process cwd *)
+  j_store : string;  (** APT store name (registry of {!Lg_apt.Store_registry}) *)
+  j_page_size : int option;
+  j_faults : Lg_apt.Apt_store.fault_spec option;
+  j_depth_budget : int option;
+  j_node_budget : int option;
+}
+
+val version : int
+(** 1 — bumped only on incompatible change. *)
+
+val make :
+  ?id:string ->
+  ?store:string ->
+  ?page_size:int ->
+  ?faults:Lg_apt.Apt_store.fault_spec ->
+  ?depth_budget:int ->
+  ?node_budget:int ->
+  op:op ->
+  file:string ->
+  unit ->
+  job
+(** A job with the documented defaults ([id] defaults to [""] and is
+    assigned positionally by {!parse}/{!to_json} consumers that need
+    one). *)
+
+val op_name : op -> string
+
+val render_faults : Lg_apt.Apt_store.fault_spec -> string
+(** The [SEED:RATE:KINDS] spec string; inverse of
+    {!Lg_apt.Store_faulty.parse_spec}. *)
+
+val job_of_json : index:int -> Lg_support.Json_out.t -> (job, string) result
+(** One job object ([index] names an id-less job); the element codec of
+    {!parse}, exposed for the socket protocol's ["job"] requests. *)
+
+val parse : string -> (job list, string) result
+(** Parse a jobfile document. *)
+
+val parse_file : string -> (job list, string) result
+
+val to_json : job list -> Lg_support.Json_out.t
+val to_string : ?pretty:bool -> job list -> string

@@ -1,0 +1,131 @@
+(* One lock/condition pair guards the queue; workers sleep on [nonempty]
+   and are woken by submits and by drain. Results travel through per-job
+   cells with their own lock/condition, so awaiting one job never
+   contends with the queue. *)
+
+type reject = { rj_depth : int; rj_capacity : int }
+
+type 'a handle = {
+  h_lock : Mutex.t;
+  h_done : Condition.t;
+  mutable h_result : ('a, exn) result option;
+}
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  n_workers : int;
+  mutable closing : bool;
+  mutable domains : unit Domain.t list;  (* emptied by drain *)
+  metrics : Lg_support.Metrics.t;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let publish_depth t depth =
+  Lg_support.Metrics.set_int t.metrics "server.queue_depth" depth;
+  Lg_support.Metrics.set_max t.metrics "server.queue_peak" (float_of_int depth)
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.nonempty t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock (* draining, queue dry *)
+  else begin
+    let job = Queue.pop t.queue in
+    publish_depth t (Queue.length t.queue);
+    Mutex.unlock t.lock;
+    job ();
+    worker_loop t
+  end
+
+let worker t () =
+  (* the pool's registry becomes this domain's ambient, so store layers
+     and the evaluator publish into it exactly as they do single-threaded *)
+  Lg_support.Metrics.install t.metrics;
+  (* minor collections are stop-the-world across every domain in OCaml 5:
+     with the 256k-word default, allocation-heavy evaluation makes the
+     domains spend their time synchronizing instead of evaluating. A
+     larger per-domain minor heap restores throughput; an explicit
+     OCAMLRUNPARAM s=... above this floor is respected. *)
+  let g = Gc.get () in
+  let floor_words = 4 * 1024 * 1024 in
+  if g.Gc.minor_heap_size < floor_words then
+    Gc.set { g with Gc.minor_heap_size = floor_words };
+  worker_loop t
+
+let create ?(metrics = Lg_support.Metrics.null) ~workers ~queue_capacity () =
+  let workers = max 1 workers and capacity = max 1 queue_capacity in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      capacity;
+      n_workers = workers;
+      closing = false;
+      domains = [];
+      metrics;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let workers t = t.n_workers
+
+let submit t f =
+  let cell =
+    { h_lock = Mutex.create (); h_done = Condition.create (); h_result = None }
+  in
+  let submitted_at = Unix.gettimeofday () in
+  let job () =
+    let result = try Ok (f ()) with e -> Error e in
+    Lg_support.Metrics.observe t.metrics "server.job_seconds"
+      (Unix.gettimeofday () -. submitted_at);
+    Mutex.lock cell.h_lock;
+    cell.h_result <- Some result;
+    Condition.broadcast cell.h_done;
+    Mutex.unlock cell.h_lock
+  in
+  locked t @@ fun () ->
+  if t.closing then invalid_arg "Pool.submit: pool is draining";
+  let depth = Queue.length t.queue in
+  if depth >= t.capacity then begin
+    Lg_support.Metrics.incr t.metrics "server.rejections";
+    Error { rj_depth = depth; rj_capacity = t.capacity }
+  end
+  else begin
+    Queue.push job t.queue;
+    Lg_support.Metrics.incr t.metrics "server.jobs";
+    publish_depth t (depth + 1);
+    Condition.signal t.nonempty;
+    Ok cell
+  end
+
+let await cell =
+  Mutex.lock cell.h_lock;
+  while cell.h_result = None do
+    Condition.wait cell.h_done cell.h_lock
+  done;
+  let r = Option.get cell.h_result in
+  Mutex.unlock cell.h_lock;
+  r
+
+let queue_depth t = locked t (fun () -> Queue.length t.queue)
+
+let drain t =
+  let domains =
+    locked t (fun () ->
+        t.closing <- true;
+        Condition.broadcast t.nonempty;
+        let d = t.domains in
+        t.domains <- [];
+        d)
+  in
+  List.iter Domain.join domains;
+  publish_depth t 0

@@ -1,0 +1,61 @@
+(** A fixed-size domain worker pool with a bounded job queue.
+
+    The batch-evaluation service's execution substrate: [workers] domains
+    pull thunks off one queue and run them to completion. The queue is
+    {e bounded} — a {!submit} against a full queue is refused immediately
+    with the queue's state ({!reject}) instead of blocking, which is the
+    backpressure contract the socket front-end ({!Server}) exposes to
+    clients — and {!drain} stops intake, runs the backlog dry and joins
+    every worker, so shutdown never abandons accepted work.
+
+    Each worker domain installs the pool's metrics registry as its
+    domain-local ambient ({!Lg_support.Metrics.install}), so code deep
+    under a job (the APT store stack, the evaluator) publishes into the
+    shared registry exactly as it would single-threaded. The pool itself
+    publishes under [server.*]: [server.queue_depth] (gauge, current
+    backlog), [server.queue_peak] (gauge, high-water mark),
+    [server.jobs] / [server.rejections] (counters) and
+    [server.job_seconds] (histogram of submit-to-completion latency).
+
+    Ambient {e tracers} are deliberately not installed here: a trace is
+    one well-nested story, so per-job tracers are the callers' business
+    ({!Batch} creates one per job and lets the parent
+    {!Lg_support.Trace.absorb} it). *)
+
+type t
+
+type 'a handle
+(** A pending result. *)
+
+type reject = {
+  rj_depth : int;  (** jobs queued when the submit was refused *)
+  rj_capacity : int;
+}
+
+val create :
+  ?metrics:Lg_support.Metrics.t ->
+  workers:int ->
+  queue_capacity:int ->
+  unit ->
+  t
+(** Spawn [workers] domains (at least 1). [queue_capacity] bounds the
+    number of {e not yet started} jobs (at least 1); [metrics] (default
+    {!Lg_support.Metrics.null}) receives the [server.*] series and
+    becomes each worker's ambient registry. *)
+
+val workers : t -> int
+
+val submit : t -> (unit -> 'a) -> ('a handle, reject) result
+(** Enqueue a job, or refuse it when the queue is at capacity.
+    @raise Invalid_argument on a pool that {!drain} has shut down. *)
+
+val await : 'a handle -> ('a, exn) result
+(** Block until the job has run. [Error e] carries the exception the job
+    raised — a faulted job poisons only its own handle, never the pool. *)
+
+val queue_depth : t -> int
+(** Jobs accepted but not yet started. *)
+
+val drain : t -> unit
+(** Stop accepting work, run every queued job, join all workers.
+    Idempotent. *)

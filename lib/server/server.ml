@@ -1,0 +1,176 @@
+(* Concurrency shape: the accept loop and one OS thread per connection
+   do only I/O and pool bookkeeping; actual evaluation runs on the
+   pool's domains. Threads (not domains) are the right tool on the
+   connection side — they're cheap, they block on reads, and they share
+   the process's one listening socket and stop flag. *)
+
+let max_frame = 16 * 1024 * 1024
+let protocol_version = 1
+
+(* framed I/O: 4-byte big-endian length, then the JSON payload *)
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then failwith "connection closed mid-frame";
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match Unix.read fd hdr 0 4 with
+  | 0 -> None (* clean EOF between frames *)
+  | n ->
+      if n < 4 then really_read fd hdr n (4 - n);
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        failwith (Printf.sprintf "frame length %d out of range" len);
+      let payload = Bytes.create len in
+      really_read fd payload 0 len;
+      Some (Bytes.unsafe_to_string payload)
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then failwith "response exceeds max_frame";
+  let msg = Bytes.create (4 + len) in
+  Bytes.set_int32_be msg 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 msg 4 len;
+  let rec go off remaining =
+    if remaining > 0 then begin
+      let n = Unix.write fd msg off remaining in
+      go (off + n) (remaining - n)
+    end
+  in
+  go 0 (4 + len)
+
+open Lg_support.Json_out
+
+let error_response msg extra = Obj ([ ("ok", Bool false); ("error", Str msg) ] @ extra)
+
+let outcome_response (o : Batch.outcome) =
+  Obj
+    [
+      ("ok", Bool o.Batch.o_ok);
+      ("id", Str o.Batch.o_id);
+      ("op", Str o.Batch.o_op);
+      ("file", Str o.Batch.o_file);
+      ("exit", int o.Batch.o_exit);
+      ( "error",
+        match o.Batch.o_error with Some m -> Str m | None -> Null );
+      ("payload", o.Batch.o_payload);
+    ]
+
+type state = {
+  pool : Pool.t;
+  sessions : Session.cache;
+  metrics : Lg_support.Metrics.t;
+  stop : bool Atomic.t;
+}
+
+let handle_request st doc =
+  match member "op" doc with
+  | Some (Str "ping") ->
+      Obj
+        [
+          ("ok", Bool true);
+          ("server", Str "linguist");
+          ("protocol", int protocol_version);
+          ("workers", int (Pool.workers st.pool));
+        ]
+  | Some (Str "metrics") ->
+      Obj [ ("ok", Bool true); ("metrics", Lg_support.Metrics.to_json st.metrics) ]
+  | Some (Str "shutdown") ->
+      Atomic.set st.stop true;
+      Obj [ ("ok", Bool true); ("stopping", Bool true) ]
+  | Some (Str "job") -> (
+      match member "job" doc with
+      | None -> error_response "missing \"job\" member" []
+      | Some jdoc -> (
+          match Jobfile.job_of_json ~index:0 jdoc with
+          | Error msg -> error_response msg []
+          | Ok job -> (
+              match
+                Pool.submit st.pool (fun () ->
+                    Batch.run_job ~sessions:st.sessions job)
+              with
+              | Error { Pool.rj_depth; rj_capacity } ->
+                  error_response "saturated"
+                    [
+                      ("queue_depth", int rj_depth);
+                      ("capacity", int rj_capacity);
+                    ]
+              | Ok handle -> (
+                  match Pool.await handle with
+                  | Ok outcome -> outcome_response outcome
+                  | Error e -> error_response (Printexc.to_string e) []))))
+  | Some (Str other) -> error_response (Printf.sprintf "unknown op %S" other) []
+  | _ -> error_response "missing \"op\" member" []
+
+let connection_loop st fd =
+  let rec go () =
+    match read_frame fd with
+    | None -> ()
+    | Some payload ->
+        let response =
+          match parse payload with
+          | doc -> handle_request st doc
+          | exception Failure msg -> error_response ("bad request: " ^ msg) []
+        in
+        write_frame fd (to_string response);
+        if not (Atomic.get st.stop) then go ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try go () with Failure _ | Unix.Unix_error _ -> ())
+
+let serve ?queue_capacity ?session_capacity ?metrics ~workers ~socket () =
+  let metrics =
+    match metrics with Some m -> m | None -> Lg_support.Metrics.create ()
+  in
+  let queue_capacity =
+    match queue_capacity with Some c -> c | None -> 4 * max 1 workers
+  in
+  let st =
+    {
+      pool = Pool.create ~metrics ~workers ~queue_capacity ();
+      sessions = Session.create_cache ?capacity:session_capacity ();
+      metrics;
+      stop = Atomic.make false;
+    }
+  in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  Unix.bind listener (Unix.ADDR_UNIX socket);
+  Unix.listen listener 16;
+  let threads = ref [] in
+  let finish () =
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    List.iter Thread.join !threads;
+    Pool.drain st.pool;
+    try Unix.unlink socket with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:finish @@ fun () ->
+  while not (Atomic.get st.stop) do
+    (* wake up periodically so a shutdown requested on some connection
+       thread stops the accept loop too *)
+    match Unix.select [ listener ] [] [] 0.2 with
+    | [ _ ], _, _ ->
+        let fd, _ = Unix.accept listener in
+        threads := Thread.create (connection_loop st) fd :: !threads
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let request ~socket doc =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      write_frame fd (to_string doc);
+      match read_frame fd with
+      | Some payload -> parse payload
+      | None -> failwith "server closed the connection without a response")

@@ -1,0 +1,54 @@
+(** The evaluation service's socket front-end: [linguist serve].
+
+    Listens on a Unix-domain socket and serves length-prefixed JSON
+    requests against one shared {!Pool} and {!Session} cache — the
+    long-running form of [linguist batch] for callers that want to pay
+    grammar compilation once and stream evaluation requests at it.
+
+    {b Framing}: every message (both directions) is a 4-byte big-endian
+    payload length followed by that many bytes of JSON. Payloads above
+    {!max_frame} are refused.
+
+    {b Requests} (the ["op"] member selects):
+    - [{"op":"ping"}] → [{"ok":true,"server":"linguist","protocol":1}]
+    - [{"op":"metrics"}] → [{"ok":true,"metrics":{...}}] — a snapshot of
+      the shared registry (the [server.*] series and whatever the jobs
+      published).
+    - [{"op":"job","job":{...}}] — one {!Jobfile} entry (same fields as
+      a jobfile's [jobs] element); the response is the job's result
+      record ({!Batch.outcome}) with [{"ok":true/false,...}]. When the
+      queue is at capacity the request is {e rejected immediately}:
+      [{"ok":false,"error":"saturated","queue_depth":N,"capacity":M}] —
+      backpressure is the client's signal to retry later.
+    - [{"op":"shutdown"}] → [{"ok":true,"stopping":true}]; the server
+      stops accepting connections, drains the pool and returns.
+
+    A connection handles any number of requests in sequence; each
+    connection gets an OS thread, while evaluation itself happens on the
+    pool's domains. *)
+
+val max_frame : int
+(** 16 MiB — the largest accepted request/response payload. *)
+
+val protocol_version : int
+
+val serve :
+  ?queue_capacity:int ->
+  ?session_capacity:int ->
+  ?metrics:Lg_support.Metrics.t ->
+  workers:int ->
+  socket:string ->
+  unit ->
+  unit
+(** Bind [socket] (an existing stale socket file is replaced), serve
+    until a [shutdown] request, then drain and clean up the socket file.
+    [queue_capacity] (default [4 * workers]) bounds queued jobs;
+    [metrics] defaults to a fresh registry. Raises [Unix.Unix_error] if
+    the socket cannot be bound. *)
+
+(** {1 Client side} *)
+
+val request : socket:string -> Lg_support.Json_out.t -> Lg_support.Json_out.t
+(** One-shot client: connect, send one framed request, read the framed
+    response. Raises [Unix.Unix_error] / [Failure] on connection or
+    protocol errors. *)

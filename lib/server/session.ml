@@ -1,0 +1,137 @@
+(* Building/Ready entries under one mutex: the first requester of a key
+   inserts [Building] and compiles outside the lock; latecomers wait on
+   the condition until the slot turns [Ready] (or vanishes, when the
+   build raised — then one of them becomes the next builder). Recency is
+   a monotonic tick per hit; eviction drops the stalest Ready entry. *)
+
+type payload =
+  | Artifact of Linguist.Driver.artifact
+  | Translator of Linguist.Translator.t
+
+type t = { s_digest : string; s_label : string; s_payload : payload }
+
+let digest ~kind ~source = Digest.to_hex (Digest.string (kind ^ "\x00" ^ source))
+
+type entry = Building | Ready of { session : t; mutable last_use : int }
+
+type cache = {
+  lock : Mutex.t;
+  turned : Condition.t;  (* signalled whenever an entry changes state *)
+  entries : (string, entry) Hashtbl.t;
+  cap : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache ?(capacity = 8) () =
+  {
+    lock = Mutex.create ();
+    turned = Condition.create ();
+    entries = Hashtbl.create 16;
+    cap = max 1 capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let length c = locked c (fun () -> Hashtbl.length c.entries)
+let capacity c = c.cap
+let stats c = locked c (fun () -> (c.hits, c.misses))
+
+(* under the lock *)
+let evict_if_full c =
+  let ready = ref 0 in
+  Hashtbl.iter
+    (fun _ -> function Ready _ -> incr ready | Building -> ())
+    c.entries;
+  if !ready >= c.cap then begin
+    let stalest = ref None in
+    Hashtbl.iter
+      (fun key -> function
+        | Building -> ()
+        | Ready r -> (
+            match !stalest with
+            | Some (_, age) when age <= r.last_use -> ()
+            | _ -> stalest := Some (key, r.last_use)))
+      c.entries;
+    match !stalest with
+    | Some (key, _) -> Hashtbl.remove c.entries key
+    | None -> ()
+  end
+
+let find_or_build c ~digest ~label ~build =
+  let role =
+    locked c @@ fun () ->
+    let rec decide () =
+      match Hashtbl.find_opt c.entries digest with
+      | Some (Ready r) ->
+          c.tick <- c.tick + 1;
+          r.last_use <- c.tick;
+          c.hits <- c.hits + 1;
+          `Hit r.session
+      | Some Building ->
+          Condition.wait c.turned c.lock;
+          decide ()
+      | None ->
+          c.misses <- c.misses + 1;
+          Hashtbl.replace c.entries digest Building;
+          `Build
+    in
+    decide ()
+  in
+  match role with
+  | `Hit session -> session
+  | `Build -> (
+      match build () with
+      | payload ->
+          let session = { s_digest = digest; s_label = label; s_payload = payload } in
+          locked c (fun () ->
+              Hashtbl.remove c.entries digest;
+              evict_if_full c;
+              c.tick <- c.tick + 1;
+              Hashtbl.replace c.entries digest (Ready { session; last_use = c.tick });
+              Condition.broadcast c.turned);
+          session
+      | exception e ->
+          locked c (fun () ->
+              Hashtbl.remove c.entries digest;
+              Condition.broadcast c.turned);
+          raise e)
+
+let grammar_session c ?(options = Linguist.Driver.default_options) ~file ~source
+    () =
+  let key = digest ~kind:"grammar" ~source in
+  find_or_build c ~digest:key ~label:("grammar:" ^ Filename.basename file)
+    ~build:(fun () ->
+      match Linguist.Driver.process ~options ~file source with
+      | Ok artifact -> Artifact artifact
+      | Error diag ->
+          failwith (Linguist.Listing.errors_only ~source ~file diag))
+
+let languages :
+    (string * (unit -> Linguist.Translator.t)) list =
+  [
+    ("desk_calc", Lg_languages.Desk_calc.translator);
+    ("assembler", Lg_languages.Assembler.translator);
+    ("knuth_binary", Lg_languages.Knuth_binary.translator);
+    ("pascal", Lg_languages.Pascal_ag.translator);
+    ("linguist", Lg_languages.Linguist_ag.translator);
+  ]
+
+let language_names () = List.map fst languages
+
+let language_session c name =
+  match List.assoc_opt name languages with
+  | None ->
+      failwith
+        (Printf.sprintf "unknown language %S (expected one of %s)" name
+           (String.concat ", " (language_names ())))
+  | Some make ->
+      let key = digest ~kind:"language" ~source:name in
+      find_or_build c ~digest:key ~label:("language:" ^ name)
+        ~build:(fun () -> Translator (make ()))

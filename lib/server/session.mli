@@ -1,0 +1,78 @@
+(** Compiled-grammar sessions and their LRU cache.
+
+    A session is the expensive, immutable part of serving a job: a
+    grammar pushed through the whole {!Linguist.Driver} pipeline — parse
+    tables, evaluation plan, generated code — or a ready-made language
+    translator from {!Lg_languages}. Building one costs seconds; every
+    job that evaluates against the same grammar shares the same session,
+    so a batch of N inputs compiles once and evaluates N times (the
+    paper's one-grammar/many-translations economics).
+
+    Sessions are keyed by a {!digest} of what they were built from and
+    held in a bounded LRU {!cache}. The cache is concurrency-aware: when
+    several pool workers request the same absent key at once, exactly one
+    builds while the rest block until the session is ready
+    ([Building]/[Ready] states under one mutex+condition). A build that
+    raises releases its key — waiters retry, and a deterministic grammar
+    error simply fails each requester. Entries under construction are
+    never evicted. *)
+
+type payload =
+  | Artifact of Linguist.Driver.artifact
+      (** a grammar compiled by the native driver (check/stats jobs) *)
+  | Translator of Linguist.Translator.t
+      (** a complete translator: tables + plan + scanner + name table
+          (analyze/translate jobs) — safe to share across domains *)
+
+type t = {
+  s_digest : string;
+  s_label : string;  (** human-readable: ["grammar:desk_calc.ag"], … *)
+  s_payload : payload;
+}
+
+val digest : kind:string -> source:string -> string
+(** Stable key: an MD5 over the session kind and the full source text it
+    compiles (two grammars differing in one byte get distinct
+    sessions). *)
+
+(** {1 The cache} *)
+
+type cache
+
+val create_cache : ?capacity:int -> unit -> cache
+(** LRU over ready sessions; [capacity] (default 8, at least 1) bounds
+    resident sessions. *)
+
+val length : cache -> int
+val capacity : cache -> int
+
+val stats : cache -> int * int
+(** [(hits, misses)] so far — misses count builds started. *)
+
+val find_or_build :
+  cache -> digest:string -> label:string -> build:(unit -> payload) -> t
+(** The session for [digest], building it with [build] on a miss. Blocks
+    while another worker is building the same digest. Re-raises whatever
+    [build] raises. *)
+
+(** {1 Standard sessions} *)
+
+val grammar_session :
+  cache ->
+  ?options:Linguist.Driver.options ->
+  file:string ->
+  source:string ->
+  unit ->
+  t
+(** An {!Artifact} session: [source] through every driver overlay.
+    @raise Failure with the rendered diagnostics when the grammar has
+    errors. *)
+
+val language_session : cache -> string -> t
+(** A {!Translator} session for a built-in language — one of
+    {!language_names}: ["desk_calc"], ["assembler"], ["knuth_binary"],
+    ["pascal"], or ["linguist"] (the self-hosted analyzer of [.ag]
+    sources, experiment E1's workload).
+    @raise Failure on an unknown name. *)
+
+val language_names : unit -> string list

@@ -1,6 +1,13 @@
 type name = int
 
+(* A translator's name table is shared by every evaluation run against
+   that translator; under the batch-evaluation pool those runs happen on
+   several domains at once, so the table guards its state with a mutex.
+   Operations are short (one hashtable probe, occasionally an array
+   grow), so the uncontended cost is a few nanoseconds per intern —
+   invisible next to the scanning that produces the lexemes. *)
 type t = {
+  lock : Mutex.t;
   by_text : (string, name) Hashtbl.t;
   mutable texts : string array;
   mutable next : int;
@@ -9,11 +16,16 @@ type t = {
 
 let create ?(initial_size = 64) () =
   {
+    lock = Mutex.create ();
     by_text = Hashtbl.create initial_size;
     texts = Array.make (max 1 initial_size) "";
     next = 0;
     bytes = 0;
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let grow t =
   let cap = Array.length t.texts in
@@ -24,6 +36,7 @@ let grow t =
   end
 
 let intern t s =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.by_text s with
   | Some n -> n
   | None ->
@@ -35,18 +48,22 @@ let intern t s =
       Hashtbl.add t.by_text s n;
       n
 
-let find_opt t s = Hashtbl.find_opt t.by_text s
-let mem t s = Hashtbl.mem t.by_text s
+let find_opt t s = locked t @@ fun () -> Hashtbl.find_opt t.by_text s
+let mem t s = locked t @@ fun () -> Hashtbl.mem t.by_text s
 
 let text t n =
+  locked t @@ fun () ->
   if n < 0 || n >= t.next then invalid_arg "Interner.text: foreign name";
   t.texts.(n)
 
-let count t = t.next
+let count t = locked t @@ fun () -> t.next
 
 let iter t f =
-  for n = 0 to t.next - 1 do
-    f n t.texts.(n)
+  (* snapshot under the lock, call back outside it, so [f] may intern *)
+  let n, texts = locked t (fun () -> (t.next, t.texts)) in
+  for i = 0 to n - 1 do
+    f i texts.(i)
   done
 
-let footprint_bytes t = t.bytes + (t.next * (Sys.word_size / 8))
+let footprint_bytes t =
+  locked t @@ fun () -> t.bytes + (t.next * (Sys.word_size / 8))

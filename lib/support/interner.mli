@@ -4,7 +4,14 @@
     identifiers" in its 48K dynamic area; intrinsic attributes of terminals
     denote name-table indices. This module provides the same service:
     strings are mapped to dense integer names, and names back to strings,
-    in amortized O(1). *)
+    in amortized O(1).
+
+    Tables are safe to share across domains: a translator's name table
+    is interned into by every concurrent evaluation run against that
+    translator (the batch-evaluation pool), so each operation runs under
+    an internal mutex. Names remain dense and stable; which string gets
+    which index depends on interning order and is therefore only
+    deterministic single-threaded. *)
 
 type t
 (** A mutable name table. *)

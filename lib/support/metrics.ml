@@ -2,7 +2,14 @@
    histograms behind one name table. See the interface for the design
    notes; the implementation mirrors Trace — a disabled registry is one
    field check per operation, and an ambient registry serves call sites
-   that predate explicit threading. *)
+   that predate explicit threading.
+
+   A registry may be shared across domains (the batch-evaluation worker
+   pool publishes server.* metrics from every worker into one registry),
+   so every mutation and every snapshot runs under the registry's mutex.
+   The disabled path takes no lock — [null] stays one field check — and
+   the ambient registry is domain-local state, so a worker installing its
+   own registry never clobbers another domain's. *)
 
 type histogram = {
   h_buckets : float array;
@@ -23,11 +30,17 @@ type hist_cell = {
 
 type cell = C of int ref | G of float ref | H of hist_cell
 
-type t = { on : bool; cells : (string, cell) Hashtbl.t }
+type t = { on : bool; lock : Mutex.t; cells : (string, cell) Hashtbl.t }
 
-let null = { on = false; cells = Hashtbl.create 1 }
-let create () = { on = true; cells = Hashtbl.create 32 }
+let null = { on = false; lock = Mutex.create (); cells = Hashtbl.create 1 }
+let create () = { on = true; lock = Mutex.create (); cells = Hashtbl.create 32 }
 let enabled t = t.on
+
+(* Every enabled-path operation runs under the lock; [kind_error] raises
+   from inside [locked], so the mutex is released on that path too. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let default_buckets =
   [ 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0; 262144.0; 1048576.0 ]
@@ -43,6 +56,7 @@ let kind_name = function
 
 let incr t ?(by = 1) name =
   if t.on then
+    locked t @@ fun () ->
     match Hashtbl.find_opt t.cells name with
     | Some (C r) -> r := !r + by
     | Some c -> kind_error name ~want:"counter" ~got:(kind_name c)
@@ -50,12 +64,21 @@ let incr t ?(by = 1) name =
 
 let set t name v =
   if t.on then
+    locked t @@ fun () ->
     match Hashtbl.find_opt t.cells name with
     | Some (G r) -> r := v
     | Some c -> kind_error name ~want:"gauge" ~got:(kind_name c)
     | None -> Hashtbl.replace t.cells name (G (ref v))
 
 let set_int t name v = set t name (float_of_int v)
+
+let set_max t name v =
+  if t.on then
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.cells name with
+    | Some (G r) -> if v > !r then r := v
+    | Some c -> kind_error name ~want:"gauge" ~got:(kind_name c)
+    | None -> Hashtbl.replace t.cells name (G (ref v))
 
 let bucket_index buckets v =
   (* first bucket whose upper bound admits v; length buckets = overflow *)
@@ -68,6 +91,7 @@ let bucket_index buckets v =
 
 let observe t ?(buckets = default_buckets) name v =
   if t.on then
+    locked t @@ fun () ->
     let h =
       match Hashtbl.find_opt t.cells name with
       | Some (H h) -> h
@@ -106,18 +130,24 @@ let freeze = function
         }
 
 let dump t =
+  locked t @@ fun () ->
   Hashtbl.fold (fun name c acc -> (name, freeze c) :: acc) t.cells []
   |> List.sort compare
 
-let find t name = Option.map freeze (Hashtbl.find_opt t.cells name)
-let reset t = Hashtbl.reset t.cells
+let find t name =
+  locked t @@ fun () -> Option.map freeze (Hashtbl.find_opt t.cells name)
+
+let reset t = locked t @@ fun () -> Hashtbl.reset t.cells
 
 (* ---------- ambient registry ---------- *)
 
-let ambient_registry = ref null
-let install t = ambient_registry := t
-let ambient () = !ambient_registry
-let resolve t = if t.on then t else !ambient_registry
+(* Domain-local: each domain gets the null registry until it installs one.
+   Worker domains of the batch pool install the shared (locked) registry
+   explicitly; a single-threaded CLI run behaves exactly as before. *)
+let ambient_registry = Domain.DLS.new_key (fun () -> null)
+let install t = Domain.DLS.set ambient_registry t
+let ambient () = Domain.DLS.get ambient_registry
+let resolve t = if t.on then t else ambient ()
 
 (* ---------- exporters ---------- *)
 

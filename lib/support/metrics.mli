@@ -9,12 +9,18 @@
     across commits — the paper's §IV/§V accounting claims, kept honest
     by CI.
 
-    Mirrors {!Trace}'s design: registries are single-threaded, a
-    disabled registry ({!null}) reduces every operation to one field
-    check, and one process-wide {e ambient} registry lets deep call
-    sites (the evaluator, the store stack, the table builders) report
-    without explicit threading. Metric names are dotted lower-case paths
-    (["apt.bytes_read"], ["engine.pass_rules"]).
+    Mirrors {!Trace}'s design: a disabled registry ({!null}) reduces
+    every operation to one field check, and an {e ambient} registry lets
+    deep call sites (the evaluator, the store stack, the table builders)
+    report without explicit threading. Metric names are dotted
+    lower-case paths (["apt.bytes_read"], ["engine.pass_rules"]).
+
+    Registries are safe to share across domains: every mutation and
+    snapshot of an enabled registry runs under an internal mutex (the
+    batch-evaluation worker pool publishes [server.*] metrics from every
+    worker into one registry). The ambient registry is {e domain-local}
+    — {!install} affects only the calling domain, so each pool worker
+    can adopt the shared registry without clobbering its siblings.
 
     A metric's kind is fixed by its first use; re-using a name at a
     different kind raises [Invalid_argument] — that is a programming
@@ -37,6 +43,12 @@ val set : t -> string -> float -> unit
 (** Set a gauge to its latest value. *)
 
 val set_int : t -> string -> int -> unit
+
+val set_max : t -> string -> float -> unit
+(** Raise a gauge to [v] if [v] exceeds its current value (create it at
+    [v] otherwise) — a high-water mark that is race-free under
+    concurrent publication, unlike a read-modify-[set] at the call
+    site. *)
 
 val observe : t -> ?buckets:float list -> string -> float -> unit
 (** Record one observation into a histogram. [buckets] (sorted upper
@@ -70,7 +82,9 @@ val reset : t -> unit
 
     The CLI and the bench harness install one registry per run; deep
     call sites fall back to it. Defaults to {!null}: nothing is recorded
-    unless installed. *)
+    unless installed. The binding is per-domain: a freshly spawned
+    domain starts at {!null} and must {!install} its own (possibly
+    shared) registry. *)
 
 val install : t -> unit
 val ambient : unit -> t

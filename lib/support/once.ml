@@ -1,0 +1,25 @@
+(* Double-checked: the fast path is one atomic load; only initialization
+   takes the mutex. The value is published by [Atomic.set] after the
+   thunk completes, so a reader that sees [Some v] sees a fully built
+   [v]. *)
+
+type 'a t = {
+  cell : 'a option Atomic.t;
+  lock : Mutex.t;
+  thunk : unit -> 'a;
+}
+
+let make thunk = { cell = Atomic.make None; lock = Mutex.create (); thunk }
+
+let force t =
+  match Atomic.get t.cell with
+  | Some v -> v
+  | None ->
+      Mutex.lock t.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () -> (
+      match Atomic.get t.cell with
+      | Some v -> v
+      | None ->
+          let v = t.thunk () in
+          Atomic.set t.cell (Some v);
+          v)

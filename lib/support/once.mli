@@ -1,0 +1,18 @@
+(** Domain-safe one-shot initialization: [lazy] for shared globals.
+
+    OCaml's [Lazy.t] is not safe to force from several domains at once —
+    the loser of the race gets [CamlinternalLazy.Undefined]. The
+    module-level memoized tables this system keeps (the CRC32 table, the
+    AG language's scanner and LALR tables) are exactly the values every
+    batch-pool worker touches on its first job, so they go through this
+    cell instead: the first forcer runs the thunk under a mutex, everyone
+    else blocks until the value is ready, and afterwards reads are a
+    single atomic load.
+
+    A thunk that raises leaves the cell unset — the next {!force} retries
+    (matching [Lazy] on reraise, minus the poisoning). *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+val force : 'a t -> 'a

@@ -21,6 +21,7 @@ type t = {
   on : bool;
   clock : unit -> float;
   epoch : float;
+  lock : Mutex.t;
   mutable stack : open_span list;  (* innermost first *)
   mutable closed : span list;  (* completion order, reversed *)
   mutable n_closed : int;
@@ -32,6 +33,7 @@ let null =
     on = false;
     clock = (fun () -> 0.0);
     epoch = 0.0;
+    lock = Mutex.create ();
     stack = [];
     closed = [];
     n_closed = 0;
@@ -43,6 +45,7 @@ let create ?(clock = Unix.gettimeofday) () =
     on = true;
     clock;
     epoch = clock ();
+    lock = Mutex.create ();
     stack = [];
     closed = [];
     n_closed = 0;
@@ -52,8 +55,18 @@ let create ?(clock = Unix.gettimeofday) () =
 let enabled t = t.on
 let now t = t.clock () -. t.epoch
 
+(* Every enabled-path mutation and snapshot runs under the tracer's
+   mutex; the disabled path ([null]) stays one field check. The span
+   stack remains a single well-nested story — concurrent writers should
+   record into private tracers and {!absorb} them — but counters and
+   absorption are meaningful (and safe) from any number of domains. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let begin_span t ?(cat = "") name =
   if t.on then
+    locked t @@ fun () ->
     t.stack <-
       {
         o_name = name;
@@ -66,6 +79,7 @@ let begin_span t ?(cat = "") name =
 
 let end_span t ?(args = []) () =
   if t.on then
+    locked t @@ fun () ->
     match t.stack with
     | [] -> ()
     | o :: rest ->
@@ -91,38 +105,64 @@ let span t ?cat ?(args = []) name f =
 
 let add_args t args =
   if t.on then
+    locked t @@ fun () ->
     match t.stack with
     | [] -> ()
     | o :: _ -> o.o_args <- List.rev_append args o.o_args
 
-let open_depth t = List.length t.stack
+let open_depth t = locked t @@ fun () -> List.length t.stack
 
 let counter t name n =
   if t.on then
+    locked t @@ fun () ->
     match Hashtbl.find_opt t.tallies name with
     | Some r -> r := !r + n
     | None -> Hashtbl.replace t.tallies name (ref n)
 
 let counters t =
+  locked t @@ fun () ->
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.tallies []
   |> List.sort compare
 
-let spans t = List.rev t.closed
-let span_count t = t.n_closed
+let spans t = locked t @@ fun () -> List.rev t.closed
+let span_count t = locked t @@ fun () -> t.n_closed
 let elapsed t = now t
+
+(* Splice a finished private tracer into [t]: its closed spans reappear
+   shifted to [t]'s epoch and nested under [t]'s currently open spans
+   (completion order is preserved, so the forest reconstruction in the
+   summary exporter adopts them as children of whichever span of [t]
+   closes next). Counters accumulate by name. *)
+let absorb t child =
+  if t.on && child.on then begin
+    let child_spans = spans child in
+    let child_counters = counters child in
+    let shift = child.epoch -. t.epoch in
+    (locked t @@ fun () ->
+     let base = List.length t.stack in
+     List.iter
+       (fun sp ->
+         t.closed <-
+           { sp with sp_depth = sp.sp_depth + base; sp_start = sp.sp_start +. shift }
+           :: t.closed;
+         t.n_closed <- t.n_closed + 1)
+       child_spans);
+    List.iter (fun (name, n) -> counter t name n) child_counters
+  end
 
 (* ---------- ambient tracer ---------- *)
 
-let ambient_tracer = ref null
-let ambient_attrs = ref false
+(* Domain-local: each domain starts with the null tracer and installs
+   its own. Pool workers install a private per-job tracer and the parent
+   absorbs it, so one domain's install never clobbers another's. *)
+let ambient_state = Domain.DLS.new_key (fun () -> (null, false))
 
 let install ?(attr_counts = false) t =
-  ambient_tracer := t;
-  ambient_attrs := attr_counts
+  Domain.DLS.set ambient_state (t, attr_counts)
 
-let ambient () = !ambient_tracer
-let ambient_attr_counts () = !ambient_attrs
-let resolve t = if t.on then t else !ambient_tracer
+let ambient () = fst (Domain.DLS.get ambient_state)
+let ambient_attr_counts () = snd (Domain.DLS.get ambient_state)
+let resolve t = if t.on then t else ambient ()
 
 (* ---------- summary exporter ---------- *)
 

@@ -14,7 +14,13 @@
     A disabled tracer ({!null}) reduces every operation to a single field
     check, so instrumented code paths cost nothing when tracing is off.
 
-    Tracers are single-threaded, like the system they instrument. *)
+    Enabled tracers guard their state with an internal mutex, so
+    counters and {!absorb} are safe from any number of domains. The span
+    {e stack}, though, tells one well-nested story: concurrent workers
+    should record spans into private per-job tracers and let the parent
+    {!absorb} them when the job completes (the batch-evaluation pool
+    does exactly this). The ambient tracer is domain-local — {!install}
+    affects only the calling domain. *)
 
 type arg = Int of int | Float of float | Str of string
 (** A typed span argument / counter value. *)
@@ -80,12 +86,22 @@ val span_count : t -> int
 val elapsed : t -> float
 (** Seconds since the tracer's epoch. *)
 
+val absorb : t -> t -> unit
+(** [absorb t child] splices a finished private tracer into [t]: the
+    child's closed spans reappear in [t] shifted to [t]'s epoch (the two
+    tracers should share a clock) and nested under [t]'s currently open
+    spans; counters accumulate by name. No-op unless both tracers are
+    enabled. This is how per-job traces from pool workers land in the
+    run-wide trace a CLI [--trace-out] exports. *)
+
 (** {1 The ambient tracer}
 
     The CLI and benchmark harness install one tracer for a whole run;
     deep call sites (the evaluator reached through {!Translator}, table
     construction) fall back to it when no explicit tracer was threaded
-    to them. Defaults to {!null}: nothing is traced unless installed. *)
+    to them. Defaults to {!null}: nothing is traced unless installed.
+    The binding is per-domain: a freshly spawned domain starts at
+    {!null} and installs its own (typically per-job) tracer. *)
 
 val install : ?attr_counts:bool -> t -> unit
 (** Make [t] the ambient tracer. [attr_counts] (default [false]) turns on

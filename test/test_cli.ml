@@ -457,6 +457,101 @@ let test_transient_faults_absorbed () =
   in
   expect_ok "analyze with 1% transient faults" r
 
+(* Golden pin of the linguist_jobs:1 document shape: a handwritten
+   jobfile of every op, straight through `linguist batch`, and the
+   results parsed back field by field. Runs the batch at two worker
+   counts and demands byte-identical documents — the determinism
+   guarantee the batch service documents. *)
+let test_batch_jobfile_roundtrip () =
+  let jobfile = Filename.temp_file "cli_jobs" ".json" in
+  let oc = open_out_bin jobfile in
+  Printf.fprintf oc
+    {|{ "linguist_jobs": 1,
+  "jobs": [
+    { "id": "check-self", "op": "check", "file": %S },
+    { "op": "analyze", "file": %S, "store": "paged", "page_size": 4096 }
+  ] }
+|}
+    grammar grammar;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove jobfile) @@ fun () ->
+  let run_batch jobs =
+    let ((rc, stdout, stderr) as r) =
+      run [ "batch"; jobfile; "--jobs"; string_of_int jobs ]
+    in
+    ignore rc;
+    expect_ok (Printf.sprintf "batch --jobs %d" jobs) r;
+    if not (contains ~needle:"2 jobs, 2 ok, 0 failed" stderr) then
+      Alcotest.failf "batch summary missing from stderr:\n%s" stderr;
+    stdout
+  in
+  let sequential = run_batch 0 and pooled = run_batch 2 in
+  Alcotest.(check string)
+    "pooled output is byte-identical to sequential" sequential pooled;
+  let j = Lg_support.Json_out.parse sequential in
+  Alcotest.(check int) "document version" 1
+    (Lg_support.Json_out.to_int
+       (Lg_support.Json_out.member_exn "linguist_batch" j));
+  let jobs =
+    Lg_support.Json_out.to_list (Lg_support.Json_out.member_exn "jobs" j)
+  in
+  Alcotest.(check (list string))
+    "ids: explicit then positional" [ "check-self"; "job-2" ]
+    (List.map
+       (fun o ->
+         Lg_support.Json_out.to_str (Lg_support.Json_out.member_exn "id" o))
+       jobs);
+  List.iter
+    (fun o ->
+      (match Lg_support.Json_out.member_exn "ok" o with
+      | Lg_support.Json_out.Bool true -> ()
+      | _ -> Alcotest.fail "every job should succeed");
+      Alcotest.(check int) "exit 0" 0
+        (Lg_support.Json_out.to_int (Lg_support.Json_out.member_exn "exit" o)))
+    jobs;
+  (* the analyze payload carries the self-description the report pins *)
+  let analyze = List.nth jobs 1 in
+  let payload = Lg_support.Json_out.member_exn "payload" analyze in
+  if
+    Lg_support.Json_out.to_int
+      (Lg_support.Json_out.member_exn "productions" payload)
+    <= 0
+  then Alcotest.fail "analyze payload lost its production count"
+
+let test_batch_failure_exit () =
+  let jobfile = Filename.temp_file "cli_jobs" ".json" in
+  let oc = open_out_bin jobfile in
+  output_string oc
+    {|{ "linguist_jobs": 1,
+        "jobs": [ { "op": "check", "file": "/nonexistent.ag" } ] }|};
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove jobfile) @@ fun () ->
+  let rc, stdout, stderr = run [ "batch"; jobfile ] in
+  if rc = 0 then Alcotest.fail "a failed job must fail the batch exit";
+  if not (contains ~needle:"1 failed" stderr) then
+    Alcotest.failf "failure count missing from summary:\n%s" stderr;
+  (* the document still reports the job, with its error *)
+  let j = Lg_support.Json_out.parse stdout in
+  match
+    Lg_support.Json_out.to_list (Lg_support.Json_out.member_exn "jobs" j)
+  with
+  | [ o ] -> (
+      match Lg_support.Json_out.member_exn "ok" o with
+      | Lg_support.Json_out.Bool false -> ()
+      | _ -> Alcotest.fail "job must be recorded as failed")
+  | _ -> Alcotest.fail "one job in, one outcome out"
+
+let test_batch_malformed_jobfile () =
+  let jobfile = Filename.temp_file "cli_jobs" ".json" in
+  let oc = open_out_bin jobfile in
+  output_string oc {|{ "linguist_jobs": 99, "jobs": [] }|};
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove jobfile) @@ fun () ->
+  let rc, _, stderr = run [ "batch"; jobfile ] in
+  if rc = 0 then Alcotest.fail "malformed jobfile must be rejected";
+  if not (contains ~needle:"version" stderr) then
+    Alcotest.failf "rejection should name the version:\n%s" stderr
+
 let () =
   Alcotest.run "cli"
     [
@@ -518,5 +613,14 @@ let () =
             test_node_budget_exit_44;
           Alcotest.test_case "low-rate transient faults absorbed" `Quick
             test_transient_faults_absorbed;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "jobfile golden round-trip, deterministic" `Quick
+            test_batch_jobfile_roundtrip;
+          Alcotest.test_case "failed job fails the batch exit" `Quick
+            test_batch_failure_exit;
+          Alcotest.test_case "malformed jobfile rejected" `Quick
+            test_batch_malformed_jobfile;
         ] );
     ]

@@ -250,8 +250,10 @@ let test_disk_and_mem_backends_agree () =
         (fun (n, v1) (_, v2) -> Alcotest.check check_value n v1 v2)
         mem.Engine.outputs disk.Engine.outputs;
       Alcotest.(check int) "same bytes written"
-        mem.Engine.stats.Engine.total_io.Lg_apt.Io_stats.bytes_written
-        disk.Engine.stats.Engine.total_io.Lg_apt.Io_stats.bytes_written)
+        (Lg_apt.Io_stats.get
+           mem.Engine.stats.Engine.total_io.Lg_apt.Io_stats.bytes_written)
+        (Lg_apt.Io_stats.get
+           disk.Engine.stats.Engine.total_io.Lg_apt.Io_stats.bytes_written))
 
 let test_engine_rejects_foreign_tree () =
   let ir = Fixtures.ir_of_source Fixtures.env_grammar in

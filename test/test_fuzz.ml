@@ -224,52 +224,54 @@ let outputs_match (engine : Engine.result) (oracle : Demand.result) =
     (fun (_, v1) (_, v2) -> Lg_support.Value.equal v1 v2)
     engine.Engine.outputs oracle.Demand.outputs
 
-let test_fuzz_faulty_campaign () =
-  let evaluated = ref 0 and degraded = ref 0 and retries = ref 0 in
-  for seed = 1 to n_seeds do
-    let st = Random.State.make [| seed |] in
-    let rng bound = Random.State.int st bound in
-    let source = Ag_gen.generate rng in
-    let diag = Lg_support.Diag.create () in
-    match Ag_parse.parse ~file:"<fuzz>" ~diag source with
-    | None -> ()
-    | Some ast -> (
-        match Check.check ~diag ast with
-        | None -> ()
-        | Some ir -> (
-            let pdiag = Lg_support.Diag.create () in
-            match Pass_assign.compute ~max_passes:8 ~diag:pdiag ir with
-            | None -> ()
-            | Some _ -> (
-                match Driver.plan_of_ir ir with
-                | exception _ -> ()
-                | plan -> (
-                    let tree =
-                      Fixtures.random_tree ir ~rng ~size:(10 + rng 40)
-                    in
-                    match Demand.evaluate plan.Plan.ir tree with
-                    | exception Demand.Circular _ -> ()
-                    | oracle ->
-                        incr evaluated;
-                        (* 1%% transient EIO: retries absorb every fault *)
-                        let r =
-                          run_faulty
-                            ~spec:
-                              {
-                                Lg_apt.Apt_store.f_seed = seed;
-                                f_rate = 0.01;
-                                f_kinds = [ Lg_apt.Apt_store.Transient_io ];
-                              }
-                            plan tree
+(* One seed of the campaign, as a pure function so the seeds can run on
+   pool workers: Ok (evaluated, retries, degraded) tallies, or Error with
+   the failure report. Nothing here raises an Alcotest failure — the
+   aggregator does, on the first Error, from the main domain. *)
+let faulty_seed_result seed =
+  let st = Random.State.make [| seed |] in
+  let rng bound = Random.State.int st bound in
+  let source = Ag_gen.generate rng in
+  let diag = Lg_support.Diag.create () in
+  match Ag_parse.parse ~file:"<fuzz>" ~diag source with
+  | None -> Ok (0, 0, 0)
+  | Some ast -> (
+      match Check.check ~diag ast with
+      | None -> Ok (0, 0, 0)
+      | Some ir -> (
+          let pdiag = Lg_support.Diag.create () in
+          match Pass_assign.compute ~max_passes:8 ~diag:pdiag ir with
+          | None -> Ok (0, 0, 0)
+          | Some _ -> (
+              match Driver.plan_of_ir ir with
+              | exception _ -> Ok (0, 0, 0)
+              | plan -> (
+                  let tree = Fixtures.random_tree ir ~rng ~size:(10 + rng 40) in
+                  match Demand.evaluate plan.Plan.ir tree with
+                  | exception Demand.Circular _ -> Ok (0, 0, 0)
+                  | oracle -> (
+                      (* 1%% transient EIO: retries absorb every fault *)
+                      let r =
+                        run_faulty
+                          ~spec:
+                            {
+                              Lg_apt.Apt_store.f_seed = seed;
+                              f_rate = 0.01;
+                              f_kinds = [ Lg_apt.Apt_store.Transient_io ];
+                            }
+                          plan tree
+                      in
+                      if not (outputs_match r oracle) then
+                        Error
+                          (Printf.sprintf
+                             "seed %d: transient faults changed the result:\n%s"
+                             seed source)
+                      else
+                        let retries =
+                          Lg_apt.Io_stats.get
+                            r.Engine.stats.Engine.total_io
+                              .Lg_apt.Io_stats.retries
                         in
-                        if not (outputs_match r oracle) then
-                          Alcotest.failf
-                            "seed %d: transient faults changed the result:\n%s"
-                            seed source;
-                        retries :=
-                          !retries
-                          + r.Engine.stats.Engine.total_io
-                              .Lg_apt.Io_stats.retries;
                         (* destructive damage: identical success or a
                            typed failure, nothing else *)
                         let spec =
@@ -283,25 +285,66 @@ let test_fuzz_faulty_campaign () =
                               ];
                           }
                         in
-                        (match run_faulty ~spec plan tree with
+                        match run_faulty ~spec plan tree with
                         | r2 ->
                             if not (outputs_match r2 oracle) then
-                              Alcotest.failf
-                                "seed %d: medium damage went undetected \
-                                 (silent mismatch):\n%s"
-                                seed source
-                        | exception Lg_apt.Apt_error.Error _ -> incr degraded
+                              Error
+                                (Printf.sprintf
+                                   "seed %d: medium damage went undetected \
+                                    (silent mismatch):\n%s"
+                                   seed source)
+                            else Ok (1, retries, 0)
+                        | exception Lg_apt.Apt_error.Error _ ->
+                            Ok (1, retries, 1)
                         | exception e ->
-                            Alcotest.failf
-                              "seed %d: damage escaped the typed error \
-                               channel (%s):\n%s"
-                              seed (Printexc.to_string e) source)))))
-  done;
+                            Error
+                              (Printf.sprintf
+                                 "seed %d: damage escaped the typed error \
+                                  channel (%s):\n%s"
+                                 seed (Printexc.to_string e) source))))))
+
+(* Worker domains for the campaign: [--jobs N] on the test binary's
+   command line (stripped before Alcotest sees it); defaults to the
+   host's parallelism, capped — so a plain [dune runtest] on a multicore
+   machine gets the speedup without asking. *)
+let fuzz_jobs = ref (max 1 (min 4 (Domain.recommended_domain_count ())))
+
+let test_fuzz_faulty_campaign () =
+  let seeds = List.init n_seeds (fun i -> i + 1) in
+  let results =
+    if !fuzz_jobs <= 1 then List.map faulty_seed_result seeds
+    else begin
+      let pool =
+        Lg_server.Pool.create ~workers:!fuzz_jobs ~queue_capacity:n_seeds ()
+      in
+      Fun.protect ~finally:(fun () -> Lg_server.Pool.drain pool) @@ fun () ->
+      seeds
+      |> List.map (fun seed ->
+             match
+               Lg_server.Pool.submit pool (fun () -> faulty_seed_result seed)
+             with
+             | Ok h -> h
+             | Error _ -> Alcotest.fail "campaign pool saturated")
+      |> List.map (fun h ->
+             match Lg_server.Pool.await h with
+             | Ok r -> r
+             | Error e -> Error (Printexc.to_string e))
+    end
+  in
+  let evaluated = ref 0 and degraded = ref 0 and retries = ref 0 in
+  List.iter
+    (function
+      | Ok (e, r, d) ->
+          evaluated := !evaluated + e;
+          retries := !retries + r;
+          degraded := !degraded + d
+      | Error msg -> Alcotest.failf "%s" msg)
+    results;
   (* the campaign must not be vacuous: grammars were evaluated, transient
      faults really fired (and were retried), and some damage was caught *)
   Alcotest.(check bool)
-    (Printf.sprintf "evaluated %d, retried %d, degraded %d" !evaluated
-       !retries !degraded)
+    (Printf.sprintf "evaluated %d, retried %d, degraded %d (%d jobs)"
+       !evaluated !retries !degraded !fuzz_jobs)
     true
     (!evaluated >= n_seeds / 4 && !retries > 0 && !degraded > 0)
 
@@ -370,8 +413,26 @@ let test_backends_registered () =
   if List.length store_backends < 3 then
     Alcotest.failf "only %d registered stores" (List.length store_backends)
 
+(* Strip [--jobs N] (or [--jobs=N]) before Alcotest parses the command
+   line; everything else passes through untouched. *)
+let argv_without_jobs () =
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest when int_of_string_opt n <> None ->
+        fuzz_jobs := max 1 (int_of_string n);
+        strip acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        (match int_of_string_opt (String.sub arg 7 (String.length arg - 7)) with
+        | Some n -> fuzz_jobs := max 1 n
+        | None -> ());
+        strip acc rest
+    | arg :: rest -> strip (arg :: acc) rest
+  in
+  Array.of_list (strip [] (Array.to_list Sys.argv))
+
 let () =
-  Alcotest.run "fuzz"
+  let argv = argv_without_jobs () in
+  Alcotest.run ~argv "fuzz"
     [
       ( "pipeline",
         [

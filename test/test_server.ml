@@ -1,0 +1,474 @@
+(* The batch-evaluation service: pool scheduling and backpressure, the
+   multi-domain safety of the shared support structures it leans on
+   (Metrics, Trace, Interner, Io_stats, Once), the session cache's
+   build-once/LRU contract, the jobfile codec, and — the core batch
+   guarantee — that a fault-injected job fails alone with a typed exit
+   code while its siblings produce byte-identical results to a
+   sequential run. *)
+
+open Lg_server
+
+let n_domains = 4
+let per_domain = 10_000
+
+(* Spawn [n] domains running [f], join them all, propagating the first
+   exception. *)
+let in_domains n f =
+  let ds = List.init n (fun i -> Domain.spawn (fun () -> f i)) in
+  List.iter Domain.join ds
+
+(* ---------------- pool ---------------- *)
+
+let test_pool_order () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:64 () in
+  Fun.protect ~finally:(fun () -> Pool.drain pool) @@ fun () ->
+  let handles =
+    List.init 50 (fun i ->
+        match Pool.submit pool (fun () -> i * i) with
+        | Ok h -> h
+        | Error _ -> Alcotest.fail "unexpected rejection")
+  in
+  List.iteri
+    (fun i h ->
+      match Pool.await h with
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "job %d" i) (i * i) v
+      | Error e -> Alcotest.failf "job %d raised %s" i (Printexc.to_string e))
+    handles
+
+let test_pool_backpressure () =
+  let metrics = Lg_support.Metrics.create () in
+  let pool = Pool.create ~metrics ~workers:1 ~queue_capacity:1 () in
+  let gate = Atomic.make false in
+  let blocker =
+    match
+      Pool.submit pool (fun () ->
+          while not (Atomic.get gate) do
+            Domain.cpu_relax ()
+          done)
+    with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "blocker rejected"
+  in
+  (* wait until the worker has dequeued the blocker so the queue is
+     empty and its one slot is really free *)
+  while Pool.queue_depth pool > 0 do
+    Domain.cpu_relax ()
+  done;
+  let filler =
+    match Pool.submit pool (fun () -> 42) with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "filler rejected"
+  in
+  (match Pool.submit pool (fun () -> 0) with
+  | Ok _ -> Alcotest.fail "expected saturation"
+  | Error r ->
+      Alcotest.(check int) "rejection reports depth" 1 r.Pool.rj_depth;
+      Alcotest.(check int) "rejection reports capacity" 1 r.Pool.rj_capacity);
+  Atomic.set gate true;
+  (match Pool.await blocker with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "blocker raised %s" (Printexc.to_string e));
+  (match Pool.await filler with
+  | Ok v -> Alcotest.(check int) "filler ran after release" 42 v
+  | Error e -> Alcotest.failf "filler raised %s" (Printexc.to_string e));
+  Pool.drain pool;
+  match Lg_support.Metrics.find metrics "server.rejections" with
+  | Some (Lg_support.Metrics.Counter 1) -> ()
+  | v ->
+      Alcotest.failf "server.rejections: %s"
+        (match v with None -> "absent" | Some _ -> "wrong kind or count")
+
+let test_pool_exception_isolation () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:8 () in
+  Fun.protect ~finally:(fun () -> Pool.drain pool) @@ fun () ->
+  let bad =
+    match Pool.submit pool (fun () -> failwith "boom") with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "rejected"
+  and good =
+    match Pool.submit pool (fun () -> "fine") with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "rejected"
+  in
+  (match Pool.await bad with
+  | Error (Failure msg) -> Alcotest.(check string) "exception carried" "boom" msg
+  | Error e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | Ok () -> Alcotest.fail "failing job reported success");
+  match Pool.await good with
+  | Ok s -> Alcotest.(check string) "sibling unaffected" "fine" s
+  | Error e -> Alcotest.failf "sibling raised %s" (Printexc.to_string e)
+
+let test_pool_drain () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:16 () in
+  let handles =
+    List.init 10 (fun i ->
+        match Pool.submit pool (fun () -> i) with
+        | Ok h -> h
+        | Error _ -> Alcotest.fail "rejected")
+  in
+  Pool.drain pool;
+  (* drain runs the backlog dry before joining *)
+  List.iteri
+    (fun i h ->
+      match Pool.await h with
+      | Ok v -> Alcotest.(check int) "backlog ran" i v
+      | Error e -> Alcotest.failf "job raised %s" (Printexc.to_string e))
+    handles;
+  Pool.drain pool (* idempotent *);
+  match Pool.submit pool (fun () -> 0) with
+  | exception Invalid_argument _ -> ()
+  | Ok _ | Error _ -> Alcotest.fail "submit after drain must raise"
+
+(* ---------------- multi-domain hammers ---------------- *)
+
+let test_metrics_hammer () =
+  let m = Lg_support.Metrics.create () in
+  in_domains n_domains (fun d ->
+      for i = 1 to per_domain do
+        Lg_support.Metrics.incr m "hammer.count";
+        Lg_support.Metrics.observe m "hammer.sizes" (float_of_int i);
+        Lg_support.Metrics.set_max m "hammer.peak"
+          (float_of_int ((d * per_domain) + i))
+      done);
+  let expect_total = n_domains * per_domain in
+  (match Lg_support.Metrics.find m "hammer.count" with
+  | Some (Lg_support.Metrics.Counter n) ->
+      Alcotest.(check int) "no lost increments" expect_total n
+  | _ -> Alcotest.fail "hammer.count missing");
+  (match Lg_support.Metrics.find m "hammer.sizes" with
+  | Some (Lg_support.Metrics.Histogram h) ->
+      Alcotest.(check int) "no lost observations" expect_total
+        h.Lg_support.Metrics.h_count
+  | _ -> Alcotest.fail "hammer.sizes missing");
+  match Lg_support.Metrics.find m "hammer.peak" with
+  | Some (Lg_support.Metrics.Gauge g) ->
+      Alcotest.(check (float 0.0)) "high-water mark survives races"
+        (float_of_int expect_total) g
+  | _ -> Alcotest.fail "hammer.peak missing"
+
+let test_trace_absorb_hammer () =
+  let parent = Lg_support.Trace.create () in
+  let spans_per_domain = 100 in
+  let lock = Mutex.create () in
+  in_domains n_domains (fun _ ->
+      (* each worker traces into a private tracer — the pool's model —
+         and only the splice into the parent is serialized *)
+      let child = Lg_support.Trace.create () in
+      for i = 1 to spans_per_domain do
+        Lg_support.Trace.span child ~cat:"hammer"
+          (Printf.sprintf "s%d" i)
+          (fun () -> Lg_support.Trace.counter child "hammer.events" 1)
+      done;
+      Mutex.lock lock;
+      Lg_support.Trace.absorb parent child;
+      Mutex.unlock lock);
+  Alcotest.(check int) "every span landed"
+    (n_domains * spans_per_domain)
+    (Lg_support.Trace.span_count parent);
+  Alcotest.(check int) "counters accumulated"
+    (n_domains * spans_per_domain)
+    (List.assoc "hammer.events" (Lg_support.Trace.counters parent))
+
+let test_interner_hammer () =
+  let it = Lg_support.Interner.create () in
+  let n_names = 200 in
+  (* all domains intern the same overlapping name set concurrently *)
+  in_domains n_domains (fun _ ->
+      for round = 1 to 50 do
+        ignore round;
+        for i = 0 to n_names - 1 do
+          let s = Printf.sprintf "sym-%d" i in
+          let n = Lg_support.Interner.intern it s in
+          if Lg_support.Interner.text it n <> s then
+            failwith ("interner corrupted " ^ s)
+        done
+      done);
+  Alcotest.(check int) "no duplicate or lost symbols" n_names
+    (Lg_support.Interner.count it);
+  for i = 0 to n_names - 1 do
+    let s = Printf.sprintf "sym-%d" i in
+    match Lg_support.Interner.find_opt it s with
+    | Some n -> Alcotest.(check string) "round-trip" s (Lg_support.Interner.text it n)
+    | None -> Alcotest.failf "symbol %s vanished" s
+  done
+
+let test_io_stats_hammer () =
+  let s = Lg_apt.Io_stats.create () in
+  in_domains n_domains (fun _ ->
+      for _ = 1 to per_domain do
+        Lg_apt.Io_stats.bump s.Lg_apt.Io_stats.bytes_read 3;
+        Lg_apt.Io_stats.bump s.Lg_apt.Io_stats.retries 1
+      done);
+  Alcotest.(check int) "bytes_read exact"
+    (3 * n_domains * per_domain)
+    (Lg_apt.Io_stats.get s.Lg_apt.Io_stats.bytes_read);
+  Alcotest.(check int) "retries exact" (n_domains * per_domain)
+    (Lg_apt.Io_stats.get s.Lg_apt.Io_stats.retries)
+
+let test_once_hammer () =
+  let built = Atomic.make 0 in
+  let cell =
+    Lg_support.Once.make (fun () ->
+        Atomic.incr built;
+        (* widen the race window: every concurrent forcer should be
+           waiting on the lock while the first builds *)
+        Unix.sleepf 0.02;
+        Atomic.get built * 1000)
+  in
+  let seen = Array.make (2 * n_domains) 0 in
+  in_domains (2 * n_domains) (fun i -> seen.(i) <- Lg_support.Once.force cell);
+  Alcotest.(check int) "thunk ran exactly once" 1 (Atomic.get built);
+  Array.iter (fun v -> Alcotest.(check int) "all forcers agree" 1000 v) seen
+
+(* ---------------- session cache ---------------- *)
+
+let shared_payload =
+  lazy (Session.Translator (Lg_languages.Desk_calc.translator ()))
+
+let test_session_builds_once () =
+  let cache = Session.create_cache ~capacity:4 () in
+  let builds = Atomic.make 0 in
+  let payload = Lazy.force shared_payload in
+  let build () =
+    Atomic.incr builds;
+    Unix.sleepf 0.02;
+    payload
+  in
+  in_domains n_domains (fun _ ->
+      let s =
+        Session.find_or_build cache ~digest:"d-shared" ~label:"shared" ~build
+      in
+      if s.Session.s_digest <> "d-shared" then failwith "wrong session");
+  Alcotest.(check int) "concurrent requests share one build" 1
+    (Atomic.get builds);
+  let hits, misses = Session.stats cache in
+  Alcotest.(check int) "one miss" 1 misses;
+  Alcotest.(check int) "the rest were hits" (n_domains - 1) hits
+
+let test_session_lru_eviction () =
+  let cache = Session.create_cache ~capacity:2 () in
+  let builds = Atomic.make 0 in
+  let payload = Lazy.force shared_payload in
+  let get d =
+    ignore
+      (Session.find_or_build cache ~digest:d ~label:d ~build:(fun () ->
+           Atomic.incr builds;
+           payload))
+  in
+  get "a";
+  get "b";
+  Alcotest.(check int) "cache is full" 2 (Session.length cache);
+  get "a" (* refresh a: b becomes the LRU victim *);
+  get "c" (* evicts b *);
+  Alcotest.(check int) "capacity bound holds" 2 (Session.length cache);
+  Alcotest.(check int) "three builds so far" 3 (Atomic.get builds);
+  get "a" (* still resident: no rebuild *);
+  Alcotest.(check int) "a survived" 3 (Atomic.get builds);
+  get "b" (* evicted: rebuilds *);
+  Alcotest.(check int) "b was evicted and rebuilt" 4 (Atomic.get builds)
+
+let test_session_failed_build_releases_key () =
+  let cache = Session.create_cache ~capacity:2 () in
+  (match
+     Session.find_or_build cache ~digest:"d-fail" ~label:"f" ~build:(fun () ->
+         failwith "bad grammar")
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "build error propagates" "bad grammar" msg
+  | _ -> Alcotest.fail "expected the build failure");
+  Alcotest.(check int) "failed entry not retained" 0 (Session.length cache);
+  let s =
+    Session.find_or_build cache ~digest:"d-fail" ~label:"f" ~build:(fun () ->
+        Lazy.force shared_payload)
+  in
+  Alcotest.(check string) "key reusable after failure" "d-fail"
+    s.Session.s_digest
+
+let test_session_digest () =
+  let d1 = Session.digest ~kind:"grammar" ~source:"S: 'a';" in
+  let d2 = Session.digest ~kind:"grammar" ~source:"S: 'b';" in
+  let d3 = Session.digest ~kind:"language" ~source:"S: 'a';" in
+  if d1 = d2 then Alcotest.fail "distinct sources must get distinct digests";
+  if d1 = d3 then Alcotest.fail "kind participates in the digest";
+  Alcotest.(check string) "digest is stable" d1
+    (Session.digest ~kind:"grammar" ~source:"S: 'a';")
+
+(* ---------------- jobfile codec ---------------- *)
+
+let test_jobfile_roundtrip () =
+  let faults =
+    {
+      Lg_apt.Apt_store.f_seed = 7;
+      f_rate = 0.25;
+      f_kinds = [ Lg_apt.Apt_store.Transient_io; Lg_apt.Apt_store.Torn_write ];
+    }
+  in
+  let jobs =
+    [
+      Jobfile.make ~id:"calc" ~op:Jobfile.Check ~file:"a.ag" ();
+      Jobfile.make ~id:"full" ~store:"paged" ~page_size:512 ~faults
+        ~depth_budget:1000 ~node_budget:50 ~op:Jobfile.Analyze ~file:"b.ag" ();
+      Jobfile.make ~id:"tr" ~op:(Jobfile.Translate "desk_calc") ~file:"in.calc"
+        ();
+    ]
+  in
+  let doc = Jobfile.to_string ~pretty:true jobs in
+  match Jobfile.parse doc with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok jobs' ->
+      Alcotest.(check int) "same count" (List.length jobs) (List.length jobs');
+      List.iter2
+        (fun a b ->
+          if a <> b then
+            Alcotest.failf "job %s did not round-trip:\n%s" a.Jobfile.j_id doc)
+        jobs jobs'
+
+let expect_jobfile_error name fragment doc =
+  match Jobfile.parse doc with
+  | Ok _ -> Alcotest.failf "%s: accepted a malformed document" name
+  | Error e ->
+      if not (Fixtures.contains_substring ~needle:fragment e) then
+        Alcotest.failf "%s: error %S missing %S" name e fragment
+
+let test_jobfile_rejects () =
+  expect_jobfile_error "bad version" "version"
+    {|{ "linguist_jobs": 99, "jobs": [] }|};
+  expect_jobfile_error "missing magic" "linguist_jobs" {|{ "jobs": [] }|};
+  expect_jobfile_error "unknown op" "op"
+    {|{ "linguist_jobs": 1, "jobs": [ { "op": "compile", "file": "x" } ] }|};
+  expect_jobfile_error "missing file" "file"
+    {|{ "linguist_jobs": 1, "jobs": [ { "op": "check" } ] }|};
+  expect_jobfile_error "bad faults" "faults"
+    {|{ "linguist_jobs": 1,
+        "jobs": [ { "op": "check", "file": "x", "faults": "nope" } ] }|};
+  expect_jobfile_error "translate needs a language" "language"
+    {|{ "linguist_jobs": 1, "jobs": [ { "op": "translate", "file": "x" } ] }|}
+
+let test_jobfile_default_ids () =
+  let doc =
+    {|{ "linguist_jobs": 1, "jobs": [
+         { "op": "check", "file": "a.ag" },
+         { "op": "check", "file": "b.ag" } ] }|}
+  in
+  match Jobfile.parse doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok jobs ->
+      Alcotest.(check (list string))
+        "positional ids" [ "job-1"; "job-2" ]
+        (List.map (fun j -> j.Jobfile.j_id) jobs)
+
+(* ---------------- batch semantics ---------------- *)
+
+let write_temp_grammar () =
+  let path = Filename.temp_file "server_test" ".ag" in
+  let oc = open_out_bin path in
+  output_string oc Lg_languages.Desk_calc.ag_source;
+  close_out oc;
+  path
+
+(* One destructively-faulted job among healthy siblings: the batch must
+   record exactly one typed failure (exit 40-44) and leave the siblings'
+   payloads byte-identical to a sequential, fault-free-sibling run. *)
+let test_batch_fault_isolation () =
+  let grammar = write_temp_grammar () in
+  Fun.protect ~finally:(fun () -> Sys.remove grammar) @@ fun () ->
+  let healthy id =
+    Jobfile.make ~id ~store:"paged" ~op:Jobfile.Analyze ~file:grammar ()
+  in
+  let poisoned =
+    Jobfile.make ~id:"poisoned" ~store:"faulty"
+      ~faults:
+        {
+          Lg_apt.Apt_store.f_seed = 11;
+          f_rate = 0.3;
+          f_kinds = [ Lg_apt.Apt_store.Torn_write; Lg_apt.Apt_store.Bit_flip ];
+        }
+      ~op:Jobfile.Analyze ~file:grammar ()
+  in
+  let jobs = [ healthy "left"; poisoned; healthy "right" ] in
+  let pooled = Batch.run ~workers:2 jobs in
+  let failed =
+    List.filter (fun o -> not o.Batch.o_ok) pooled.Batch.outcomes
+  in
+  (match failed with
+  | [ o ] ->
+      Alcotest.(check string) "the poisoned job failed" "poisoned"
+        o.Batch.o_id;
+      if o.Batch.o_exit < 40 || o.Batch.o_exit > 44 then
+        Alcotest.failf "expected a typed 40-44 exit, got %d" o.Batch.o_exit;
+      if o.Batch.o_error = None then
+        Alcotest.fail "typed failure must carry a message"
+  | os -> Alcotest.failf "expected exactly one failure, got %d" (List.length os));
+  Alcotest.(check int) "summary counts the failure" 1 pooled.Batch.n_failed;
+  Alcotest.(check int) "siblings succeeded" 2 pooled.Batch.n_ok;
+  (* byte-determinism: the pooled document equals the sequential one *)
+  let sequential = Batch.run_sequential jobs in
+  Alcotest.(check string) "pooled run is byte-identical to sequential"
+    (Lg_support.Json_out.to_string (Batch.to_json sequential))
+    (Lg_support.Json_out.to_string (Batch.to_json pooled))
+
+let test_batch_missing_file () =
+  let jobs = [ Jobfile.make ~op:Jobfile.Check ~file:"/nonexistent.ag" () ] in
+  let s = Batch.run_sequential jobs in
+  match s.Batch.outcomes with
+  | [ o ] ->
+      if o.Batch.o_ok then Alcotest.fail "missing input must fail its job";
+      Alcotest.(check int) "plain failure, not a typed APT class" 1
+        o.Batch.o_exit
+  | _ -> Alcotest.fail "one job, one outcome"
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "results keep submission order" `Quick
+            test_pool_order;
+          Alcotest.test_case "bounded queue rejects with a diagnostic" `Quick
+            test_pool_backpressure;
+          Alcotest.test_case "a raising job fails alone" `Quick
+            test_pool_exception_isolation;
+          Alcotest.test_case "drain runs the backlog and closes intake" `Quick
+            test_pool_drain;
+        ] );
+      ( "hammer",
+        [
+          Alcotest.test_case "metrics registry is domain-safe" `Quick
+            test_metrics_hammer;
+          Alcotest.test_case "private tracers absorb losslessly" `Quick
+            test_trace_absorb_hammer;
+          Alcotest.test_case "interner is domain-safe" `Quick
+            test_interner_hammer;
+          Alcotest.test_case "io stats counters are exact" `Quick
+            test_io_stats_hammer;
+          Alcotest.test_case "once initializes exactly once" `Quick
+            test_once_hammer;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "concurrent misses share one build" `Quick
+            test_session_builds_once;
+          Alcotest.test_case "lru evicts the coldest ready entry" `Quick
+            test_session_lru_eviction;
+          Alcotest.test_case "failed build releases its key" `Quick
+            test_session_failed_build_releases_key;
+          Alcotest.test_case "digest separates kind and source" `Quick
+            test_session_digest;
+        ] );
+      ( "jobfile",
+        [
+          Alcotest.test_case "emit/parse round-trip" `Quick
+            test_jobfile_roundtrip;
+          Alcotest.test_case "malformed documents are rejected" `Quick
+            test_jobfile_rejects;
+          Alcotest.test_case "id-less jobs get positional ids" `Quick
+            test_jobfile_default_ids;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "faulted job fails alone, typed" `Quick
+            test_batch_fault_isolation;
+          Alcotest.test_case "missing input is a per-job failure" `Quick
+            test_batch_missing_file;
+        ] );
+    ]

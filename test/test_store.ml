@@ -368,20 +368,21 @@ let test_paged_stats () =
       payloads `Backward
   in
   Alcotest.(check int) "full scan reads exactly the file" f.f_size
-    stats.Io_stats.bytes_read;
-  Alcotest.(check int) "and writes it once" f.f_size stats.Io_stats.bytes_written;
-  Alcotest.(check bool) "pages were written" true (stats.Io_stats.pages_written > 0);
-  Alcotest.(check bool) "pool took hits" true (stats.Io_stats.pool_hits > 0);
-  Alcotest.(check bool) "seeks counted" true (stats.Io_stats.seeks > 0);
+    (Io_stats.get stats.Io_stats.bytes_read);
+  Alcotest.(check int) "and writes it once" f.f_size
+    (Io_stats.get stats.Io_stats.bytes_written);
+  Alcotest.(check bool) "pages were written" true (Io_stats.get stats.Io_stats.pages_written > 0);
+  Alcotest.(check bool) "pool took hits" true (Io_stats.get stats.Io_stats.pool_hits > 0);
+  Alcotest.(check bool) "seeks counted" true (Io_stats.get stats.Io_stats.seeks > 0);
   let pstats, _ =
     scan_with_stats
       (Store_registry.find ~config:(tiny_pages dir) "prefetch")
       payloads `Forward
   in
   Alcotest.(check bool) "read-ahead pages got used" true
-    (pstats.Io_stats.prefetch_hits > 0);
+    (Io_stats.get pstats.Io_stats.prefetch_hits > 0);
   Alcotest.(check bool) "read-ahead costs fewer seeks" true
-    (pstats.Io_stats.seeks < stats.Io_stats.seeks)
+    (Io_stats.get pstats.Io_stats.seeks < Io_stats.get stats.Io_stats.seeks)
 
 let test_zip_ratio () =
   with_temp_dir @@ fun dir ->
