@@ -79,6 +79,13 @@ let is_exact key =
   || starts_with ~prefix:"attributes." key
   || String.equal key "linguist_manifest"
 
+(* Optional-subsystem series: published only when the workload exercises
+   the subsystem (the delta-driven evaluator's [incremental.*] counters in
+   a metrics snapshot). They appear and disappear with the workload mix,
+   so both directions — new in HEAD, or in BASE but absent from HEAD —
+   are informational, never a gate failure. *)
+let is_optional key = contains ~sub:"incremental." key
+
 (* Context, not measurement: ignore entirely. *)
 let is_ignored key =
   List.mem key [ "file"; "command"; "workload" ]
@@ -134,7 +141,11 @@ let compare_docs ~tolerances base head =
   List.iter (fun (k, leaf) -> Hashtbl.replace head_tbl k leaf) head_leaves;
   List.iter
     (fun (key, b) ->
-      if not (is_ignored key || is_time_like key) then begin
+      if is_optional key && not (Hashtbl.mem head_tbl key) then
+        Printf.printf "gone        %-44s %s (optional series, not gated)\n"
+          key (leaf_string b)
+      else if not (is_ignored key || is_time_like key || is_optional key)
+      then begin
         v.checked <- v.checked + 1;
         match Hashtbl.find_opt head_tbl key with
         | None -> regress "%-44s present in BASE, missing from HEAD" key
@@ -174,11 +185,10 @@ let compare_docs ~tolerances base head =
       end)
     base_leaves;
   List.iter
-    (fun (key, _) ->
-      if
-        (not (is_ignored key || is_time_like key))
-        && not (List.mem_assoc key base_leaves)
-      then Printf.printf "new         %s\n" key)
+    (fun (key, h) ->
+      if (not (is_ignored key)) && not (List.mem_assoc key base_leaves) then
+        Printf.printf "new         %-44s %s%s\n" key (leaf_string h)
+          (if is_optional key then " (optional series, not gated)" else ""))
     head_leaves;
   v
 

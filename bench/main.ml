@@ -843,6 +843,168 @@ let batch_bench () =
   List.iter Sys.remove files;
   (try Unix.rmdir dir with Unix.Unix_error _ -> ())
 
+(* ============ incremental re-translation (delta-driven evaluation) ============ *)
+
+let incremental_bench () =
+  section
+    "Incremental: delta-driven re-evaluation vs from-scratch (docs/INCREMENTAL.md)";
+  let t = Linguist_ag.translator () in
+  let plan = Translator.plan t in
+  let ir = Translator.ir t in
+  let n = 300 in
+  let parse edits =
+    let source = Workloads.synthetic_ag ~edits n in
+    let diag = Lg_support.Diag.create () in
+    Option.get (Translator.tree_of_source t ~file:"<inc>" ~diag source)
+  in
+  let tree0 = parse [] in
+  let full0 = Engine.run plan tree0 in
+  let full_rules = full0.Engine.stats.Engine.rules_evaluated in
+  let config = Lg_incremental.Incr.default_config in
+  let engine_options = Engine.default_options in
+  let r0, state0 =
+    Lg_incremental.Incr.update config ~plan ~engine_options ~tree:tree0
+  in
+  rowf "  workload: %d-production AG input, %d APT nodes, %d rules from scratch\n"
+    n
+    (Lg_apt.Tree.size tree0)
+    full_rules;
+  (* a small LCG so the edit positions are stable run to run — the
+     committed baseline gates on these exact counts *)
+  let seed = ref 9176 in
+  let rand m =
+    seed := ((!seed * 25173) + 13849) land 0xFFFF;
+    !seed mod m
+  in
+  let n_edits = 12 in
+  let state = ref state0 in
+  let edits = ref [] in
+  let outputs_equal a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun (na, va) (nb, vb) ->
+           String.equal na nb && Lg_support.Value.equal va vb)
+         a b
+  in
+  rowf "  %-6s %-5s %8s %8s %7s %7s %6s %9s %7s %6s\n" "edit" "at" "reused"
+    "fresh" "churn" "fired" "waves" "engine" "ratio" "ok";
+  let rows =
+    List.init n_edits (fun k ->
+        let pos = rand n and c = 2 + rand 7 in
+        edits := (pos, c) :: List.remove_assoc pos !edits;
+        let tree = parse !edits in
+        let result, next =
+          Lg_incremental.Incr.update ?state:!state config ~plan ~engine_options
+            ~tree
+        in
+        state := next;
+        let scratch = Engine.run plan tree in
+        let oracle = Demand.evaluate ir tree in
+        let ok =
+          outputs_equal result.Lg_incremental.Incr.outputs
+            scratch.Engine.outputs
+          && outputs_equal result.Lg_incremental.Incr.outputs
+               oracle.Demand.outputs
+        in
+        let engine_rules = scratch.Engine.stats.Engine.rules_evaluated in
+        let reused, fresh, churn, fired, waves =
+          match result.Lg_incremental.Incr.mode with
+          | Lg_incremental.Incr.Incremental
+              { reused; fresh; fired; waves; changed = _ } ->
+              ( reused,
+                fresh,
+                float_of_int fresh
+                /. float_of_int (max 1 result.Lg_incremental.Incr.tree_size),
+                fired,
+                waves )
+          | Lg_incremental.Incr.Fresh { fired } -> (0, 0, 1.0, fired, 0)
+          | Lg_incremental.Incr.Fallback { churn; _ } ->
+              (0, 0, churn, engine_rules, 0)
+        in
+        let ratio = float_of_int engine_rules /. float_of_int (max 1 fired) in
+        rowf "  %-6d %-5d %8d %8d %6.1f%% %7d %6d %9d %6.1fx %6b\n" (k + 1)
+          pos reused fresh (100.0 *. churn) fired waves engine_rules ratio ok;
+        (k + 1, pos, reused, fresh, churn, fired, waves, engine_rules, ok))
+  in
+  let fired_of (_, _, _, _, _, f, _, _, _) = f in
+  let rules_of (_, _, _, _, _, _, _, r, _) = r in
+  let ok_all = List.for_all (fun (_, _, _, _, _, _, _, _, ok) -> ok) rows in
+  let total_fired = List.fold_left (fun a r -> a + fired_of r) 0 rows in
+  let total_rules = List.fold_left (fun a r -> a + rules_of r) 0 rows in
+  let worst_fraction =
+    List.fold_left
+      (fun a r ->
+        Float.max a (float_of_int (fired_of r) /. float_of_int (rules_of r)))
+      0.0 rows
+  in
+  let mean_ratio =
+    float_of_int total_rules /. float_of_int (max 1 total_fired)
+  in
+  rowf "  shape: every edit byte-identical to from-scratch and oracle: %b\n"
+    ok_all;
+  rowf
+    "  shape: mean firing ratio %.1fx (>= 5x: %b); worst edit fired %.1f%% \
+     of the from-scratch rules\n"
+    mean_ratio (mean_ratio >= 5.0)
+    (100.0 *. worst_fraction);
+  let json =
+    let open Lg_support.Json_out in
+    Obj
+      [
+        ( "workload",
+          Str
+            (Printf.sprintf
+               "synthetic_ag %d via the linguist.ag translator, %d edits" n
+               n_edits) );
+        ("apt_nodes", int (Lg_apt.Tree.size tree0));
+        ("full_rules", int full_rules);
+        ( "first_build_fired",
+          match r0.Lg_incremental.Incr.mode with
+          | Lg_incremental.Incr.Fresh { fired } -> int fired
+          | _ -> Null );
+        ( "edits",
+          Arr
+            (List.map
+               (fun (k, pos, reused, fresh, churn, fired, waves, rules, ok) ->
+                 Obj
+                   [
+                     ("edit", int k);
+                     ("position", int pos);
+                     ("reused_nodes", int reused);
+                     ("fresh_nodes", int fresh);
+                     ("churn", Num churn);
+                     ("fired", int fired);
+                     ("waves", int waves);
+                     ("engine_rules", int rules);
+                     ("differential_ok", Bool ok);
+                   ])
+               rows) );
+        ( "aggregate",
+          (* every key here gates as "more is worse": fired counts and
+             fired-per-engine-rule fractions, not speedup ratios *)
+          Obj
+            [
+              ("total_fired", int total_fired);
+              ("total_engine_rules", int total_rules);
+              ( "mean_fired_fraction",
+                Num (float_of_int total_fired /. float_of_int total_rules) );
+              ("worst_fired_fraction", Num worst_fraction);
+              ("differential_ok", Bool ok_all);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_incremental.json" in
+  output_string oc (Lg_support.Json_out.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  rowf "  wrote BENCH_incremental.json (%d edits)\n" n_edits;
+  register_bechamel "incremental/one small edit (300-production input)"
+    (fun () ->
+      let tree = parse [ (17, 3) ] in
+      ignore
+        (Lg_incremental.Incr.update ?state:!state config ~plan ~engine_options
+           ~tree))
+
 (* ---------- driver ---------- *)
 
 let all =
@@ -851,6 +1013,7 @@ let all =
     ("f1", f1); ("f2", f2); ("abl", ablations); ("policy", policy_ablation);
     ("schulz", schulz_ablation); ("stores", store_bench);
     ("faults", faults_bench); ("batch", batch_bench);
+    ("incremental", incremental_bench);
   ]
 
 let run_experiments args =

@@ -3,8 +3,11 @@
    and real Pascal programs exercised the original. *)
 
 (* An AG source with [n] chained productions — input for the translator
-   generated from linguist.ag (syntactically valid, semantically clean). *)
-let synthetic_ag n =
+   generated from linguist.ag (syntactically valid, semantically clean).
+   [edits] overlays production [i]'s literal constant with [c] for each
+   [(i, c)] (default 1): the incremental benchmark's way of applying a
+   small, localized source edit without disturbing anything else. *)
+let synthetic_ag ?(edits = []) n =
   let buf = Buffer.create (n * 96) in
   Buffer.add_string buf "grammar Big;\nroot a0;\nterminals T; end\nnonterminals\n";
   for i = 0 to n do
@@ -16,10 +19,11 @@ let synthetic_ag n =
   done;
   Buffer.add_string buf "end\nproductions\n";
   for i = 0 to n - 1 do
+    let c = Option.value ~default:1 (List.assoc_opt i edits) in
     Buffer.add_string buf
       (Printf.sprintf
-         "  a%d ::= a%d -> L%d :\n    L%d.TMP = a%d.D + 1,\n    a%d.D = TMP,\n    a%d.X = a%d.X + TMP;\n"
-         i (i + 1) i i i (i + 1) i (i + 1))
+         "  a%d ::= a%d -> L%d :\n    L%d.TMP = a%d.D + %d,\n    a%d.D = TMP,\n    a%d.X = a%d.X + TMP;\n"
+         i (i + 1) i i i c (i + 1) i (i + 1))
   done;
   Buffer.add_string buf
     (Printf.sprintf "  a%d ::= T -> L%d :\n    L%d.TMP = 0,\n    a%d.X = a%d.D;\nend\n" n n n n n);

@@ -622,6 +622,44 @@ let jobs_flag =
           "Worker domains evaluating jobs in parallel; $(b,0) runs \
            sequentially in the calling domain.")
 
+let incremental_flag =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Keep per-document incremental state for $(b,update) jobs and \
+           requests: successive updates to the same doc diff against the \
+           cached tree and re-fire only the edit's consequences (see \
+           docs/INCREMENTAL.md). Without this flag, updates still answer \
+           correctly but evaluate from scratch.")
+
+let incremental_threshold =
+  Arg.(
+    value
+    & opt float Lg_server.Batch.default_incremental.Lg_server.Batch.inc_threshold
+    & info [ "incremental-threshold" ] ~docv:"FRACTION"
+        ~doc:
+          "Churn fraction (fresh nodes / tree size, in [0,1]) above which \
+           an incremental update falls back to full evaluation instead of \
+           propagating.")
+
+let incremental_spill =
+  Arg.(
+    value & flag
+    & info [ "incremental-spill" ]
+        ~doc:
+          "Round-trip each document's versioned attribute store through \
+           an APT backend between updates (state in the store registry's \
+           custody — and under its fault injection).")
+
+let incremental_of ~on ~threshold ~spill =
+  if not on then None
+  else if threshold < 0.0 || threshold > 1.0 then
+    failwith
+      (Printf.sprintf "--incremental-threshold must be in [0,1] (got %g)"
+         threshold)
+  else Some { Lg_server.Batch.inc_threshold = threshold; inc_spill = spill }
+
 let batch_cmd =
   let jobfile_arg =
     Arg.(
@@ -645,14 +683,15 @@ let batch_cmd =
              snapshot in the results JSON. Off by default so results \
              are byte-identical across worker counts.")
   in
-  let run ~jobs_path ~workers ~out ~timings ~trace_out ~trace_attrs =
+  let run ~jobs_path ~workers ~out ~timings ~incremental ~trace_out ~trace_attrs
+      =
     match Lg_server.Jobfile.parse_file jobs_path with
     | Error msg -> `Error (false, msg)
     | Ok jobs ->
         let metrics = Lg_support.Metrics.create () in
         let summary =
           with_trace ~trace_out ~trace_attrs ~label:"batch" (fun () ->
-              Lg_server.Batch.run ~workers ~metrics jobs)
+              Lg_server.Batch.run ~workers ~metrics ?incremental jobs)
         in
         let doc =
           match Lg_server.Batch.to_json ~timings summary with
@@ -685,11 +724,19 @@ let batch_cmd =
           docs/SERVER.md).")
     Term.(
       ret
-        (const (fun workers out timings tout tattrs jobs_path ->
+        (const (fun workers out timings inc inc_threshold inc_spill tout tattrs
+                    jobs_path ->
              guard (fun () ->
-                 run ~jobs_path ~workers ~out ~timings ~trace_out:tout
-                   ~trace_attrs:tattrs))
-        $ jobs_flag $ out_arg $ timings_flag $ trace_out $ trace_attrs
+                 match
+                   incremental_of ~on:inc ~threshold:inc_threshold
+                     ~spill:inc_spill
+                 with
+                 | incremental ->
+                     run ~jobs_path ~workers ~out ~timings ~incremental
+                       ~trace_out:tout ~trace_attrs:tattrs
+                 | exception Failure msg -> `Error (false, msg)))
+        $ jobs_flag $ out_arg $ timings_flag $ incremental_flag
+        $ incremental_threshold $ incremental_spill $ trace_out $ trace_attrs
         $ jobfile_arg))
 
 let socket_arg =
@@ -708,10 +755,21 @@ let serve_cmd =
              are rejected with $(b,saturated) until the backlog drains. \
              Default: 4 per worker.")
   in
-  let run ~workers ~queue ~socket =
+  let session_ttl_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "session-ttl" ] ~docv:"SECONDS"
+          ~doc:
+            "Expire cached sessions idle for longer than $(docv) (on top \
+             of the cost-aware capacity eviction; see docs/SERVER.md).")
+  in
+  let run ~workers ~queue ~session_ttl ~incremental ~socket =
     let workers = max 1 workers in
-    Printf.eprintf "serve: listening on %s (%d workers)\n%!" socket workers;
-    Lg_server.Server.serve ?queue_capacity:queue ~workers ~socket ();
+    Printf.eprintf "serve: listening on %s (%d workers%s)\n%!" socket workers
+      (if incremental = None then "" else ", incremental");
+    Lg_server.Server.serve ?queue_capacity:queue ?session_ttl ?incremental
+      ~workers ~socket ();
     Printf.eprintf "serve: drained, socket closed\n%!";
     `Ok ()
   in
@@ -723,9 +781,17 @@ let serve_cmd =
           $(b,batch) (see docs/SERVER.md).")
     Term.(
       ret
-        (const (fun workers queue socket ->
-             guard (fun () -> run ~workers ~queue ~socket))
-        $ jobs_flag $ queue_arg $ socket_arg))
+        (const (fun workers queue session_ttl inc inc_threshold inc_spill socket ->
+             guard (fun () ->
+                 match
+                   incremental_of ~on:inc ~threshold:inc_threshold
+                     ~spill:inc_spill
+                 with
+                 | incremental ->
+                     run ~workers ~queue ~session_ttl ~incremental ~socket
+                 | exception Failure msg -> `Error (false, msg)))
+        $ jobs_flag $ queue_arg $ session_ttl_arg $ incremental_flag
+        $ incremental_threshold $ incremental_spill $ socket_arg))
 
 let request_cmd =
   let request_arg =

@@ -1,0 +1,57 @@
+(** The versioned attribute store.
+
+    One entry per computed attribute instance — keyed by (tree node id,
+    attribute id) — holding the value and the {e epoch stamp} of its
+    last recomputation. Epochs advance once per [update]; a stamp older
+    than the current epoch marks a value carried over from a previous
+    evaluation, which {!Propagate} may trust until a changed input
+    reaches it through the dependency edges.
+
+    Intrinsic attributes are never stored: they live in the leaf nodes
+    themselves and travel with the tree through the merge.
+
+    The store persists through the {!Lg_apt.Aptfile} façade — and hence
+    through any store registered in [lib/apt/store/] ([paged], [zip],
+    fault-injecting wrappers, …): {!save} streams the entries as APT
+    records, {!load} reads them back through the full integrity stack
+    (paging, CRC framing, retry budgets). A quarantined page surfaces as
+    a typed {!Lg_apt.Apt_error}, which the {!Incr} façade converts into
+    a clean full-evaluation fallback. *)
+
+type entry = { value : Lg_support.Value.t; stamp : int }
+type t
+
+val create : unit -> t
+
+val epoch : t -> int
+(** The current epoch; 0 on a fresh store. *)
+
+val next_epoch : t -> int
+(** Advance and return the new epoch — one call per update. *)
+
+val find : t -> node:int -> attr:int -> entry option
+
+(** What {!record} did to the cached entry. [Created] means no previous
+    value existed (a fresh instance); [Changed] means a previous value
+    was overwritten with a different one — the only case that must
+    propagate to consumers. *)
+type write = Created | Changed | Unchanged
+
+val record : t -> node:int -> attr:int -> Lg_support.Value.t -> write
+(** Store a value stamped with the current epoch. *)
+
+val cardinal : t -> int
+
+val retain : t -> live:(int -> bool) -> unit
+(** Drop entries whose node id is no longer live — the compaction sweep
+    run when discarded subtrees have accumulated. *)
+
+(** {1 Persistence through the APT store registry} *)
+
+val save : t -> Lg_apt.Aptfile.backend -> Lg_apt.Aptfile.file
+(** Stream the store (header record, then one record per entry) through
+    [backend]. Raises {!Lg_apt.Apt_error.Error} on store faults. *)
+
+val load : Lg_apt.Aptfile.file -> t
+(** Read a {!save}d store back. Raises {!Lg_apt.Apt_error.Error} on any
+    integrity failure (corrupt record, truncation, retry exhaustion). *)

@@ -1,0 +1,244 @@
+open Lg_support
+open Lg_apt
+open Linguist
+
+type config = {
+  threshold : float;
+  spill : Aptfile.backend option;
+  metrics : Metrics.t;
+  tracer : Trace.t;
+}
+
+let default_config =
+  { threshold = 0.5; spill = None; metrics = Metrics.null; tracer = Trace.null }
+
+type state = {
+  st_ir : Ir.t;  (* identity guard: state is only valid for its plan *)
+  mutable st_fp : Fingerprint.t;
+  mutable st_tree : Tree.t;
+  mutable st_versions : Attr_versions.t;
+  mutable st_parents : (int, Tree.t * int) Hashtbl.t;
+  st_index : Propagate.dep_index;
+}
+
+let state_tree st = st.st_tree
+let state_epoch st = Attr_versions.epoch st.st_versions
+
+let memory_cells st =
+  Attr_versions.cardinal st.st_versions + Fingerprint.memo_size st.st_fp
+
+type mode =
+  | Fresh of { fired : int }
+  | Incremental of {
+      reused : int;
+      fresh : int;
+      fired : int;
+      waves : int;
+      changed : int;
+    }
+  | Fallback of { reason : string; churn : float }
+
+type result = {
+  outputs : (string * Value.t) list;
+  mode : mode;
+  tree_size : int;
+}
+
+(* Register (parent, position) links for the children of every node in
+   [tree]; reused subtrees below [deep]=false are skipped. *)
+let register_parents parents ?(deep = true) tree =
+  let rec go (n : Tree.t) =
+    List.iteri
+      (fun i (c : Tree.t) ->
+        Hashtbl.replace parents c.Tree.id (n, i);
+        if deep then go c)
+      n.Tree.children
+  in
+  go tree
+
+let interior_nodes tree =
+  let acc = ref [] in
+  Tree.iter_postfix_ltr
+    (fun n -> if n.Tree.prod <> Node.leaf_prod then acc := n :: !acc)
+    tree;
+  !acc
+
+let max_rules_per_prod (ir : Ir.t) =
+  Array.fold_left
+    (fun acc (p : Ir.production) -> max acc (List.length p.Ir.p_rules))
+    1 ir.Ir.prods
+
+let firing_budget ir tree_size = 8 * ((tree_size * max_rules_per_prod ir) + 64)
+
+let outputs_of (ir : Ir.t) versions parents tree =
+  List.filter_map
+    (fun (a : Ir.attr) ->
+      if a.Ir.a_kind = Ir.Synthesized then
+        Some (a.Ir.a_name, Propagate.demand ~ir ~versions ~parents tree a.Ir.a_id)
+      else None)
+    (Ir.attrs_of_sym ir ir.Ir.root)
+
+(* Compaction: discarded subtrees leave dead entries in the fingerprint
+   memo, the parent links and the versioned store. When the memo has
+   outgrown the live tree, rebuild all three against the live node
+   set. *)
+let compact st =
+  let tree_size = Tree.size st.st_tree in
+  if Fingerprint.memo_size st.st_fp > (3 * tree_size) + 1024 then begin
+    let fp = Fingerprint.create () in
+    ignore (Fingerprint.cons fp st.st_tree);
+    st.st_fp <- fp;
+    let parents = Hashtbl.create (max 64 tree_size) in
+    register_parents parents st.st_tree;
+    st.st_parents <- parents;
+    let live_ids = Hashtbl.create (max 64 tree_size) in
+    Tree.iter_postfix_ltr
+      (fun n -> Hashtbl.replace live_ids n.Tree.id ())
+      st.st_tree;
+    Attr_versions.retain st.st_versions ~live:(Hashtbl.mem live_ids)
+  end
+
+let validate_root (ir : Ir.t) (tree : Tree.t) =
+  if
+    tree.Tree.prod = Node.leaf_prod
+    || ir.Ir.prods.(tree.Tree.prod).Ir.p_lhs <> ir.Ir.root
+  then invalid_arg "Incr.update: tree is not rooted at the root symbol"
+
+(* Full evaluation of [tree] into a fresh state: every interior node is
+   a seed, so the versioned store comes out complete. *)
+let build_fresh config ~(ir : Ir.t) ~tree =
+  let fp = Fingerprint.create () in
+  ignore (Fingerprint.cons fp tree);
+  let parents = Hashtbl.create (max 64 (Tree.size tree)) in
+  register_parents parents tree;
+  let versions = Attr_versions.create () in
+  ignore (Attr_versions.next_epoch versions);
+  let index = Propagate.dep_index ir in
+  let outcome =
+    Propagate.run ~ir ~index ~versions ~parents ~tracer:config.tracer
+      ~seeds:(interior_nodes tree)
+      ~max_fired:(firing_budget ir (Tree.size tree))
+  in
+  let st =
+    {
+      st_ir = ir;
+      st_fp = fp;
+      st_tree = tree;
+      st_versions = versions;
+      st_parents = parents;
+      st_index = index;
+    }
+  in
+  (st, outcome)
+
+let update ?state config ~(plan : Plan.t) ~engine_options ~tree =
+  let ir = plan.Plan.ir in
+  validate_root ir tree;
+  let metrics = Metrics.resolve config.metrics in
+  let tracer = Trace.resolve config.tracer in
+  let config = { config with metrics; tracer } in
+  Metrics.incr metrics "incremental.updates";
+  let publish_stats (st : Tree_diff.stats) =
+    Metrics.incr metrics ~by:st.Tree_diff.reused_nodes "incremental.reused_nodes";
+    Metrics.incr metrics ~by:st.Tree_diff.fresh_nodes "incremental.fresh_nodes";
+    Metrics.set metrics "incremental.reuse_ratio" (1.0 -. st.Tree_diff.churn)
+  in
+  let full_engine () = (Engine.run ~options:engine_options plan tree).Engine.outputs in
+  let fallback ~churn reason =
+    Metrics.incr metrics "incremental.fallbacks";
+    Trace.span tracer ~cat:"incremental" "incremental.fallback" (fun () ->
+        let outputs = full_engine () in
+        ( {
+            outputs;
+            mode = Fallback { reason; churn };
+            tree_size = Tree.size tree;
+          },
+          None ))
+  in
+  Trace.span tracer ~cat:"incremental" "incremental.update" (fun () ->
+      match state with
+      | Some st when st.st_ir == ir -> (
+          try
+            (* Optionally round-trip the versioned store through the APT
+               store registry: state survives in the store's custody and
+               is subject to its integrity machinery. *)
+            (match config.spill with
+            | None -> ()
+            | Some backend ->
+                let file = Attr_versions.save st.st_versions backend in
+                Fun.protect
+                  ~finally:(fun () -> Aptfile.dispose file)
+                  (fun () ->
+                    Metrics.incr metrics
+                      ~by:(Aptfile.size_bytes file)
+                      "incremental.spill_bytes";
+                    st.st_versions <- Attr_versions.load file));
+            let merged, seeds, dstats =
+              Trace.span tracer ~cat:"incremental" "incremental.diff" (fun () ->
+                  Tree_diff.merge st.st_fp ~prev:st.st_tree ~next:tree)
+            in
+            publish_stats dstats;
+            if dstats.Tree_diff.churn > config.threshold then begin
+              (* The edit rewrote most of the tree: propagation would be
+                 a slow full evaluation. *)
+              fallback ~churn:dstats.Tree_diff.churn "churn above threshold"
+            end
+            else begin
+              Metrics.incr metrics "incremental.hits";
+              st.st_tree <- merged;
+              List.iter
+                (fun (seed : Tree.t) ->
+                  List.iteri
+                    (fun i (c : Tree.t) ->
+                      Hashtbl.replace st.st_parents c.Tree.id (seed, i))
+                    seed.Tree.children)
+                seeds;
+              ignore (Attr_versions.next_epoch st.st_versions);
+              let outcome =
+                Propagate.run ~ir ~index:st.st_index ~versions:st.st_versions
+                  ~parents:st.st_parents ~tracer ~seeds
+                  ~max_fired:(firing_budget ir (Tree.size merged))
+              in
+              Metrics.incr metrics ~by:outcome.Propagate.fired
+                "incremental.propagated_rules";
+              Metrics.incr metrics ~by:outcome.Propagate.cache_hits
+                "incremental.cache_hits";
+              Metrics.observe metrics "incremental.waves"
+                (float_of_int outcome.Propagate.waves);
+              let outputs =
+                outputs_of ir st.st_versions st.st_parents merged
+              in
+              compact st;
+              ( {
+                  outputs;
+                  mode =
+                    Incremental
+                      {
+                        reused = dstats.Tree_diff.reused_nodes;
+                        fresh = dstats.Tree_diff.fresh_nodes;
+                        fired = outcome.Propagate.fired;
+                        waves = outcome.Propagate.waves;
+                        changed = outcome.Propagate.changed;
+                      };
+                  tree_size = Tree.size merged;
+                },
+                Some st )
+            end
+          with
+          | Apt_error.Error e ->
+              (* A quarantined page (or any integrity failure) in the
+                 versioned store: abandon the state, answer from the
+                 full engine — correct or typed 40–44, never wrong. *)
+              fallback ~churn:0.0
+                (Printf.sprintf "store error: %s" (Apt_error.to_string e))
+          | Propagate.Stuck reason -> fallback ~churn:0.0 reason)
+      | Some _ | None ->
+          Metrics.incr metrics "incremental.fresh";
+          let st, outcome = build_fresh config ~ir ~tree in
+          let outputs = outputs_of ir st.st_versions st.st_parents tree in
+          ( {
+              outputs;
+              mode = Fresh { fired = outcome.Propagate.fired };
+              tree_size = Tree.size tree;
+            },
+            Some st ))

@@ -1,0 +1,78 @@
+(** The incremental re-translation façade.
+
+    One [update] call per freshly parsed tree: diff against the cached
+    tree ({!Tree_diff}), re-fire the edit's consequences
+    ({!Propagate}), read the root outputs back from the versioned store
+    ({!Attr_versions}). The contract is differential — the outputs of
+    every update are byte-identical to a from-scratch {!Linguist.Demand}
+    / {!Linguist.Engine} evaluation of the same tree — so a caller can
+    treat incremental mode as a pure latency optimisation.
+
+    Two fallbacks guard the fast path, both counted in
+    [incremental.fallbacks]:
+    - {b churn}: when the diff marks more than [threshold] of the tree
+      fresh, propagation would approach full evaluation anyway; the
+      update runs the classic {!Linguist.Engine} instead and drops the
+      session state (the next update rebuilds it from scratch);
+    - {b integrity}: any typed {!Lg_apt.Apt_error} out of the versioned
+      store (e.g. a quarantined page under fault injection), or a
+      non-convergent propagation, abandons the incremental state and
+      re-runs the full engine — the caller sees either a correct answer
+      or the engine's own typed error (exit 40–44), never a wrong
+      answer. *)
+
+type config = {
+  threshold : float;
+      (** churn fraction above which the update falls back to the full
+          engine; 0.5 by default *)
+  spill : Lg_apt.Aptfile.backend option;
+      (** when set, the versioned store round-trips through this APT
+          backend on every update — state lives in the store registry
+          and is subject to its integrity machinery *)
+  metrics : Lg_support.Metrics.t;  (** resolved against the ambient *)
+  tracer : Lg_support.Trace.t;  (** resolved against the ambient *)
+}
+
+val default_config : config
+
+type state
+(** Cached per-document session state: the last merged tree, the
+    versioned attribute store, parent links and the fingerprint
+    interner. *)
+
+val state_tree : state -> Lg_apt.Tree.t
+val state_epoch : state -> int
+
+val memory_cells : state -> int
+(** Cached attribute entries + fingerprint memo size — the weight a
+    cost-aware session cache charges for the state. *)
+
+type mode =
+  | Fresh of { fired : int }  (** no usable previous state *)
+  | Incremental of {
+      reused : int;
+      fresh : int;
+      fired : int;
+      waves : int;
+      changed : int;
+    }
+  | Fallback of { reason : string; churn : float }
+
+type result = {
+  outputs : (string * Lg_support.Value.t) list;
+  mode : mode;
+  tree_size : int;
+}
+
+val update :
+  ?state:state ->
+  config ->
+  plan:Linguist.Plan.t ->
+  engine_options:Linguist.Engine.options ->
+  tree:Lg_apt.Tree.t ->
+  result * state option
+(** Evaluate [tree], reusing [state] when it belongs to the same plan.
+    Returns the next state to cache — [None] after a fallback, so the
+    following update rebuilds from scratch. Raises
+    {!Lg_apt.Apt_error.Error} only out of the full-engine fallback
+    path. *)

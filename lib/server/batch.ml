@@ -113,6 +113,13 @@ let analyze_payload (a : Lg_languages.Linguist_ag.analysis) =
       ("report_entries", int (List.length a.Lg_languages.Linguist_ag.report));
     ]
 
+(* How [update] jobs evaluate: threshold and state spilling for the
+   incremental subsystem. [None] (the default) still serves updates —
+   each one evaluates from scratch — but keeps no per-document state. *)
+type incremental = { inc_threshold : float; inc_spill : bool }
+
+let default_incremental = { inc_threshold = 0.5; inc_spill = false }
+
 let translate_payload (tr : Linguist.Translator.translation) =
   Obj
     [
@@ -128,7 +135,31 @@ let translate_payload (tr : Linguist.Translator.translation) =
           tr.Linguist.Translator.eval_stats.Linguist.Engine.rules_evaluated );
     ]
 
-let run_job ~sessions (j : Jobfile.job) =
+(* The update payload deliberately omits evaluation-mode statistics:
+   with a worker pool, same-doc updates may run in any order, so which
+   one finds cached state is nondeterministic — but the outputs are not
+   (the differential contract), and only they are emitted, keeping
+   [to_json ~timings:false] byte-identical across worker counts. *)
+let update_payload ~outputs ~tree_size ~input_lines =
+  Obj
+    [
+      ( "outputs",
+        Obj
+          (List.map
+             (fun (name, v) -> (name, Str (Lg_support.Value.to_string v)))
+             outputs) );
+      ("tree_size", int tree_size);
+      ("input_lines", int input_lines);
+    ]
+
+let count_lines source =
+  let n = String.length source in
+  let lines = ref 0 in
+  String.iter (fun c -> if c = '\n' then incr lines) source;
+  if n > 0 && source.[n - 1] <> '\n' then incr lines;
+  !lines
+
+let run_job ~sessions ?incremental (j : Jobfile.job) =
   let t0 = Unix.gettimeofday () in
   let finish ~ok ~code ~error payload =
     {
@@ -220,6 +251,63 @@ let run_job ~sessions (j : Jobfile.job) =
         | Error diag ->
             failed ~code:1
               (Linguist.Listing.errors_only ~source ~file:j.Jobfile.j_file diag))
+    | Jobfile.Update lang -> (
+        let session = Session.language_session sessions lang in
+        let translator =
+          match session.Session.s_payload with
+          | Session.Translator t -> t
+          | Session.Artifact _ -> assert false
+        in
+        let diag = Lg_support.Diag.create () in
+        match
+          Linguist.Translator.tree_of_source translator ~file:j.Jobfile.j_file
+            ~diag source
+        with
+        | None ->
+            failed ~code:1
+              (Linguist.Listing.errors_only ~source ~file:j.Jobfile.j_file diag)
+        | Some tree ->
+            let plan = Linguist.Translator.plan translator in
+            let config inc =
+              {
+                Lg_incremental.Incr.default_config with
+                threshold = inc.inc_threshold;
+                spill =
+                  (if inc.inc_spill then
+                     Some engine_options.Linguist.Engine.backend
+                   else None);
+              }
+            in
+            let result =
+              match incremental with
+              | None ->
+                  (* stateless: every update evaluates from scratch *)
+                  fst
+                    (Lg_incremental.Incr.update (config default_incremental)
+                       ~plan ~engine_options ~tree)
+              | Some inc ->
+                  let doc =
+                    Option.value j.Jobfile.j_doc ~default:j.Jobfile.j_file
+                  in
+                  let slot =
+                    Session.doc_slot sessions ~digest:session.Session.s_digest
+                      ~doc
+                  in
+                  Mutex.lock slot.Session.doc_lock;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock slot.Session.doc_lock)
+                    (fun () ->
+                      let result, next =
+                        Lg_incremental.Incr.update ?state:slot.Session.doc_state
+                          (config inc) ~plan ~engine_options ~tree
+                      in
+                      slot.Session.doc_state <- next;
+                      result)
+            in
+            finish ~ok:true ~code:0 ~error:None
+              (update_payload ~outputs:result.Lg_incremental.Incr.outputs
+                 ~tree_size:result.Lg_incremental.Incr.tree_size
+                 ~input_lines:(count_lines source)))
   with
   | outcome -> outcome
   | exception Lg_apt.Apt_error.Error e ->
@@ -233,7 +321,7 @@ let default_workers () =
 
 (* run one job inside its own trace story, then splice that story into
    the run-wide trace; [absorb] is a no-op when the parent is disabled *)
-let traced_job ~parent ~sessions j =
+let traced_job ~parent ~sessions ?incremental j =
   let jt =
     if Lg_support.Trace.enabled parent then Lg_support.Trace.create ()
     else Lg_support.Trace.null
@@ -246,7 +334,7 @@ let traced_job ~parent ~sessions j =
       Lg_support.Trace.absorb parent jt)
     (fun () ->
       Lg_support.Trace.span jt ~cat:"job" j.Jobfile.j_id (fun () ->
-          run_job ~sessions j))
+          run_job ~sessions ?incremental j))
 
 let summarize ~workers ~wall outcomes =
   let n_ok = List.length (List.filter (fun o -> o.o_ok) outcomes) in
@@ -258,7 +346,7 @@ let summarize ~workers ~wall outcomes =
     wall_seconds = wall;
   }
 
-let run ?workers ?sessions ?metrics ?tracer jobs =
+let run ?workers ?sessions ?metrics ?tracer ?incremental jobs =
   let workers = match workers with Some w -> w | None -> default_workers () in
   let sessions =
     match sessions with Some c -> c | None -> Session.create_cache ()
@@ -272,7 +360,7 @@ let run ?workers ?sessions ?metrics ?tracer jobs =
   let t0 = Unix.gettimeofday () in
   let outcomes =
     if workers <= 0 then
-      List.map (fun j -> traced_job ~parent ~sessions j) jobs
+      List.map (fun j -> traced_job ~parent ~sessions ?incremental j) jobs
     else begin
       let pool =
         Pool.create ~metrics ~workers
@@ -283,7 +371,9 @@ let run ?workers ?sessions ?metrics ?tracer jobs =
       let handles =
         List.map
           (fun j ->
-            match Pool.submit pool (fun () -> traced_job ~parent ~sessions j)
+            match
+              Pool.submit pool (fun () ->
+                  traced_job ~parent ~sessions ?incremental j)
             with
             | Ok h -> h
             | Error _ ->
@@ -311,8 +401,8 @@ let run ?workers ?sessions ?metrics ?tracer jobs =
   in
   summarize ~workers:(max workers 0) ~wall:(Unix.gettimeofday () -. t0) outcomes
 
-let run_sequential ?sessions ?tracer jobs =
-  run ~workers:0 ?sessions ?metrics:None ?tracer jobs
+let run_sequential ?sessions ?tracer ?incremental jobs =
+  run ~workers:0 ?sessions ?metrics:None ?tracer ?incremental jobs
 
 let outcome_to_json ~timings o =
   Obj

@@ -38,9 +38,22 @@ type summary = {
   wall_seconds : float;
 }
 
-val run_job : sessions:Session.cache -> Jobfile.job -> outcome
+(** How [update] jobs evaluate (see [docs/INCREMENTAL.md]).
+    [inc_threshold] is the churn fraction above which an update falls
+    back to full evaluation; [inc_spill] round-trips each document's
+    versioned attribute store through the job's APT backend (state in
+    the store registry's custody — and under its fault injection). *)
+type incremental = { inc_threshold : float; inc_spill : bool }
+
+val default_incremental : incremental
+(** threshold 0.5, no spilling. *)
+
+val run_job :
+  sessions:Session.cache -> ?incremental:incremental -> Jobfile.job -> outcome
 (** One job, synchronously, in the calling domain — the unit of work the
-    pool executes. Never raises: every failure lands in the outcome. *)
+    pool executes. Never raises: every failure lands in the outcome.
+    Without [incremental], [update] jobs still answer correctly but
+    evaluate from scratch and keep no per-document state. *)
 
 val default_workers : unit -> int
 (** [min 4 (recommended_domain_count - 1)], at least 1. *)
@@ -50,6 +63,7 @@ val run :
   ?sessions:Session.cache ->
   ?metrics:Lg_support.Metrics.t ->
   ?tracer:Lg_support.Trace.t ->
+  ?incremental:incremental ->
   Jobfile.job list ->
   summary
 (** Run the list on a fresh pool of [workers] domains (default
@@ -59,8 +73,11 @@ val run :
     order. *)
 
 val run_sequential :
-  ?sessions:Session.cache -> ?tracer:Lg_support.Trace.t ->
-  Jobfile.job list -> summary
+  ?sessions:Session.cache ->
+  ?tracer:Lg_support.Trace.t ->
+  ?incremental:incremental ->
+  Jobfile.job list ->
+  summary
 (** [run ~workers:0] — the baseline the benchmark harness compares pooled
     throughput against. *)
 

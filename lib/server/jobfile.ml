@@ -1,9 +1,10 @@
-type op = Check | Analyze | Translate of string
+type op = Check | Analyze | Translate of string | Update of string
 
 type job = {
   j_id : string;
   j_op : op;
   j_file : string;
+  j_doc : string option;
   j_store : string;
   j_page_size : int option;
   j_faults : Lg_apt.Apt_store.fault_spec option;
@@ -14,12 +15,13 @@ type job = {
 let version = 1
 let magic = "linguist_jobs"
 
-let make ?(id = "") ?(store = "mem") ?page_size ?faults ?depth_budget
+let make ?(id = "") ?doc ?(store = "mem") ?page_size ?faults ?depth_budget
     ?node_budget ~op ~file () =
   {
     j_id = id;
     j_op = op;
     j_file = file;
+    j_doc = doc;
     j_store = store;
     j_page_size = page_size;
     j_faults = faults;
@@ -31,6 +33,7 @@ let op_name = function
   | Check -> "check"
   | Analyze -> "analyze"
   | Translate _ -> "translate"
+  | Update _ -> "update"
 
 let fault_kind_name = function
   | Lg_apt.Apt_store.Transient_io -> "transient"
@@ -50,9 +53,11 @@ let job_to_json j =
   Obj
     ([ ("id", Str j.j_id); ("op", Str (op_name j.j_op)) ]
     @ (match j.j_op with
-      | Translate lang -> [ ("language", Str lang) ]
+      | Translate lang | Update lang -> [ ("language", Str lang) ]
       | Check | Analyze -> [])
-    @ [ ("file", Str j.j_file); ("store", Str j.j_store) ]
+    @ [ ("file", Str j.j_file) ]
+    @ opt "doc" (fun d -> Str d) j.j_doc
+    @ [ ("store", Str j.j_store) ]
     @ opt "page_size" int j.j_page_size
     @ opt "faults" (fun f -> Str (render_faults f)) j.j_faults
     @ opt "depth_budget" int j.j_depth_budget
@@ -84,6 +89,7 @@ let job_of_json ~index doc =
       let* id = str_member "id" doc in
       let* op_str = str_member "op" doc in
       let* language = str_member "language" doc in
+      let* doc_id = str_member "doc" doc in
       let* file = str_member "file" doc in
       let* store = str_member "store" doc in
       let* page_size = int_member "page_size" doc in
@@ -96,10 +102,17 @@ let job_of_json ~index doc =
         | Some "analyze", None -> Ok Analyze
         | Some "translate", Some lang -> Ok (Translate lang)
         | Some "translate", None -> Error "op \"translate\" needs a \"language\""
+        | Some "update", Some lang -> Ok (Update lang)
+        | Some "update", None -> Error "op \"update\" needs a \"language\""
         | Some ("check" | "analyze"), Some _ ->
-            Error "\"language\" only applies to op \"translate\""
+            Error "\"language\" only applies to ops \"translate\" and \"update\""
         | Some other, _ -> Error (Printf.sprintf "unknown op %S" other)
         | None, _ -> Error "missing \"op\""
+      in
+      let* () =
+        match (op, doc_id) with
+        | Update _, _ | _, None -> Ok ()
+        | _, Some _ -> Error "\"doc\" only applies to op \"update\""
       in
       let* file =
         match file with Some f -> Ok f | None -> Error "missing \"file\""
@@ -120,6 +133,7 @@ let job_of_json ~index doc =
             | _ -> Printf.sprintf "job-%d" (index + 1));
           j_op = op;
           j_file = file;
+          j_doc = doc_id;
           j_store = Option.value store ~default:"mem";
           j_page_size = page_size;
           j_faults = faults;

@@ -18,22 +18,34 @@
     self-hosted evaluator generated from [linguist.ag] over an [.ag]
     source — a full parallel evaluator run), ["translate"] (a built-in
     language translator over an input text; see
-    {!Session.language_names}). Every field but [op] and [file] is
-    optional: [id] defaults to ["job-N"] (1-based position), [store] to
-    ["mem"], budgets to the engine defaults, [faults] (a
-    [SEED:RATE:KINDS] spec as in [--apt-faults]) to none.
+    {!Session.language_names}), and ["update"] (an incremental
+    re-translation: like ["translate"], but when the batch/serve run has
+    [--incremental] on, successive updates to the same ["doc"] diff
+    against the cached tree and re-fire only the edit's consequences —
+    see [docs/INCREMENTAL.md]). Every field but [op] and [file] is
+    optional: [id] defaults to ["job-N"] (1-based position), [doc] (only
+    valid on ["update"]) to the job's [file] path, [store] to ["mem"],
+    budgets to the engine defaults, [faults] (a [SEED:RATE:KINDS] spec
+    as in [--apt-faults]) to none.
 
     Reading is strict — an unknown [op], a malformed [faults] spec or a
     wrong [linguist_jobs] version is an [Error], not a guess — and
     {!to_string} emits a document that re-reads to the same list, which
     the golden round-trip in [test_cli.ml] pins. *)
 
-type op = Check | Analyze | Translate of string  (** language name *)
+type op =
+  | Check
+  | Analyze
+  | Translate of string  (** language name *)
+  | Update of string  (** language name; incremental re-translation *)
 
 type job = {
   j_id : string;
   j_op : op;
   j_file : string;  (** input path, resolved against the process cwd *)
+  j_doc : string option;
+      (** document identity for [Update] — updates sharing a doc share
+          incremental state; defaults to [j_file] *)
   j_store : string;  (** APT store name (registry of {!Lg_apt.Store_registry}) *)
   j_page_size : int option;
   j_faults : Lg_apt.Apt_store.fault_spec option;
@@ -46,6 +58,7 @@ val version : int
 
 val make :
   ?id:string ->
+  ?doc:string ->
   ?store:string ->
   ?page_size:int ->
   ?faults:Lg_apt.Apt_store.fault_spec ->

@@ -67,8 +67,117 @@ type state = {
   pool : Pool.t;
   sessions : Session.cache;
   metrics : Lg_support.Metrics.t;
+  incremental : Batch.incremental option;
   stop : bool Atomic.t;
 }
+
+(* The [update] op body, run on a pool domain like a job: parse the
+   inline source, diff/propagate against the document's cached state
+   (when --incremental is on), answer outputs + evaluation-mode
+   statistics. *)
+let run_update st ~lang ~doc ~source =
+  match Session.language_session st.sessions lang with
+  | exception Failure msg -> error_response msg []
+  | session -> (
+      let translator =
+        match session.Session.s_payload with
+        | Session.Translator t -> t
+        | Session.Artifact _ -> assert false
+      in
+      let diag = Lg_support.Diag.create () in
+      match
+        Linguist.Translator.tree_of_source translator ~file:doc ~diag source
+      with
+      | None ->
+          error_response
+            (Linguist.Listing.errors_only ~source ~file:doc diag)
+            []
+      | Some tree ->
+          let inc =
+            Option.value st.incremental ~default:Batch.default_incremental
+          in
+          let config =
+            {
+              Lg_incremental.Incr.default_config with
+              threshold = inc.Batch.inc_threshold;
+              spill =
+                (if inc.Batch.inc_spill then Some Lg_apt.Aptfile.Mem else None);
+            }
+          in
+          let plan = Linguist.Translator.plan translator in
+          let engine_options = Linguist.Engine.default_options in
+          let result =
+            match st.incremental with
+            | None ->
+                (* serving statelessly: correct, just not incremental *)
+                fst
+                  (Lg_incremental.Incr.update config ~plan ~engine_options
+                     ~tree)
+            | Some _ ->
+                let slot =
+                  Session.doc_slot st.sessions ~digest:session.Session.s_digest
+                    ~doc
+                in
+                Mutex.lock slot.Session.doc_lock;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock slot.Session.doc_lock)
+                  (fun () ->
+                    let result, next =
+                      Lg_incremental.Incr.update ?state:slot.Session.doc_state
+                        config ~plan ~engine_options ~tree
+                    in
+                    slot.Session.doc_state <- next;
+                    result)
+          in
+          let mode_json =
+            match result.Lg_incremental.Incr.mode with
+            | Lg_incremental.Incr.Fresh { fired } ->
+                Obj [ ("kind", Str "fresh"); ("fired", int fired) ]
+            | Lg_incremental.Incr.Incremental
+                { reused; fresh; fired; waves; changed } ->
+                Obj
+                  [
+                    ("kind", Str "incremental");
+                    ("reused_nodes", int reused);
+                    ("fresh_nodes", int fresh);
+                    ("fired", int fired);
+                    ("waves", int waves);
+                    ("changed", int changed);
+                  ]
+            | Lg_incremental.Incr.Fallback { reason; churn } ->
+                Obj
+                  [
+                    ("kind", Str "fallback");
+                    ("reason", Str reason);
+                    ("churn", Num churn);
+                  ]
+          in
+          Obj
+            [
+              ("ok", Bool true);
+              ("session", Str session.Session.s_digest);
+              ("doc", Str doc);
+              ( "outputs",
+                Obj
+                  (List.map
+                     (fun (name, v) ->
+                       (name, Str (Lg_support.Value.to_string v)))
+                     result.Lg_incremental.Incr.outputs) );
+              ("tree_size", int result.Lg_incremental.Incr.tree_size);
+              ("incremental", mode_json);
+            ])
+
+let info_json (i : Session.info) =
+  Obj
+    [
+      ("digest", Str i.Session.i_digest);
+      ("label", Str i.Session.i_label);
+      ("weight", Num i.Session.i_weight);
+      ("build_seconds", Num i.Session.i_build_seconds);
+      ("age_seconds", Num i.Session.i_age);
+      ("idle_seconds", Num i.Session.i_idle);
+      ("docs", int i.Session.i_docs);
+    ]
 
 let handle_request st doc =
   match member "op" doc with
@@ -94,7 +203,8 @@ let handle_request st doc =
           | Ok job -> (
               match
                 Pool.submit st.pool (fun () ->
-                    Batch.run_job ~sessions:st.sessions job)
+                    Batch.run_job ~sessions:st.sessions
+                      ?incremental:st.incremental job)
               with
               | Error { Pool.rj_depth; rj_capacity } ->
                   error_response "saturated"
@@ -106,6 +216,50 @@ let handle_request st doc =
                   match Pool.await handle with
                   | Ok outcome -> outcome_response outcome
                   | Error e -> error_response (Printexc.to_string e) []))))
+  | Some (Str "update") -> (
+      let str name =
+        match member name doc with Some (Str s) -> Some s | _ -> None
+      in
+      match (str "language", str "source") with
+      | None, _ -> error_response "op \"update\" needs a \"language\"" []
+      | _, None -> error_response "op \"update\" needs a \"source\"" []
+      | Some lang, Some source -> (
+          let doc_id = Option.value (str "doc") ~default:("<" ^ lang ^ ">") in
+          match
+            Pool.submit st.pool (fun () ->
+                run_update st ~lang ~doc:doc_id ~source)
+          with
+          | Error { Pool.rj_depth; rj_capacity } ->
+              error_response "saturated"
+                [ ("queue_depth", int rj_depth); ("capacity", int rj_capacity) ]
+          | Ok handle -> (
+              match Pool.await handle with
+              | Ok response -> response
+              | Error e -> error_response (Printexc.to_string e) [])))
+  | Some (Str "evict") -> (
+      let digest =
+        match (member "digest" doc, member "language" doc) with
+        | Some (Str d), _ -> Some d
+        | None, Some (Str lang) ->
+            Some (Session.digest ~kind:"language" ~source:lang)
+        | _, _ -> None
+      in
+      match digest with
+      | None -> error_response "op \"evict\" needs a \"digest\" or \"language\"" []
+      | Some d ->
+          Obj
+            [
+              ("ok", Bool true);
+              ("evicted", Bool (Session.evict st.sessions ~digest:d));
+            ])
+  | Some (Str "clear") ->
+      Obj [ ("ok", Bool true); ("cleared", int (Session.clear st.sessions)) ]
+  | Some (Str "sessions") ->
+      Obj
+        [
+          ("ok", Bool true);
+          ("sessions", Arr (List.map info_json (Session.entries_info st.sessions)));
+        ]
   | Some (Str other) -> error_response (Printf.sprintf "unknown op %S" other) []
   | _ -> error_response "missing \"op\" member" []
 
@@ -126,7 +280,8 @@ let connection_loop st fd =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> try go () with Failure _ | Unix.Unix_error _ -> ())
 
-let serve ?queue_capacity ?session_capacity ?metrics ~workers ~socket () =
+let serve ?queue_capacity ?session_capacity ?session_ttl ?metrics ?incremental
+    ~workers ~socket () =
   let metrics =
     match metrics with Some m -> m | None -> Lg_support.Metrics.create ()
   in
@@ -136,8 +291,10 @@ let serve ?queue_capacity ?session_capacity ?metrics ~workers ~socket () =
   let st =
     {
       pool = Pool.create ~metrics ~workers ~queue_capacity ();
-      sessions = Session.create_cache ?capacity:session_capacity ();
+      sessions =
+        Session.create_cache ?capacity:session_capacity ?ttl:session_ttl ();
       metrics;
+      incremental;
       stop = Atomic.make false;
     }
   in

@@ -20,6 +20,20 @@
       queue is at capacity the request is {e rejected immediately}:
       [{"ok":false,"error":"saturated","queue_depth":N,"capacity":M}] —
       backpressure is the client's signal to retry later.
+    - [{"op":"update","language":L,"source":S,"doc":D}] — incremental
+      re-translation of the inline source text [S] under language [L]
+      (see [docs/INCREMENTAL.md]). [doc] (optional) names the editor
+      buffer: successive updates to the same doc diff against its cached
+      tree and re-fire only the edit's consequences — when the server
+      runs with incremental mode on; otherwise each update evaluates
+      from scratch (still correct). Response:
+      [{"ok":true,"session":digest,"doc":D,"outputs":{...},
+      "tree_size":N,"incremental":{"kind":"fresh"|"incremental"|
+      "fallback",...}}].
+    - [{"op":"sessions"}] → the session cache's entries with their
+      rebuild-cost weights, ages and parked document counts.
+    - [{"op":"evict","digest":d}] (or ["language":L]) → drop one cached
+      session and its documents; [{"op":"clear"}] → drop them all.
     - [{"op":"shutdown"}] → [{"ok":true,"stopping":true}]; the server
       stops accepting connections, drains the pool and returns.
 
@@ -35,7 +49,9 @@ val protocol_version : int
 val serve :
   ?queue_capacity:int ->
   ?session_capacity:int ->
+  ?session_ttl:float ->
   ?metrics:Lg_support.Metrics.t ->
+  ?incremental:Batch.incremental ->
   workers:int ->
   socket:string ->
   unit ->
@@ -43,8 +59,11 @@ val serve :
 (** Bind [socket] (an existing stale socket file is replaced), serve
     until a [shutdown] request, then drain and clean up the socket file.
     [queue_capacity] (default [4 * workers]) bounds queued jobs;
-    [metrics] defaults to a fresh registry. Raises [Unix.Unix_error] if
-    the socket cannot be bound. *)
+    [metrics] defaults to a fresh registry; [session_ttl] expires idle
+    cached sessions. [incremental] turns per-document state keeping on
+    for [update] ops/jobs ([--incremental] in the CLI); without it
+    updates evaluate from scratch. Raises [Unix.Unix_error] if the
+    socket cannot be bound. *)
 
 (** {1 Client side} *)
 

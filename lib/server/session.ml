@@ -1,8 +1,15 @@
 (* Building/Ready entries under one mutex: the first requester of a key
    inserts [Building] and compiles outside the lock; latecomers wait on
    the condition until the slot turns [Ready] (or vanishes, when the
-   build raised — then one of them becomes the next builder). Recency is
-   a monotonic tick per hit; eviction drops the stalest Ready entry. *)
+   build raised — then one of them becomes the next builder).
+
+   Eviction is cost-aware (GreedyDual): every Ready entry carries a
+   credit of [floor + weight], where the weight estimates what evicting
+   it would cost to rebuild (measured build seconds plus a term for the
+   LALR table bytes). Eviction removes the minimum-credit entry and
+   raises the floor to that credit, so recency and rebuild cost trade
+   off against each other instead of recency alone deciding. An
+   optional TTL expires entries that have sat untouched. *)
 
 type payload =
   | Artifact of Linguist.Driver.artifact
@@ -12,27 +19,61 @@ type t = { s_digest : string; s_label : string; s_payload : payload }
 
 let digest ~kind ~source = Digest.to_hex (Digest.string (kind ^ "\x00" ^ source))
 
-type entry = Building | Ready of { session : t; mutable last_use : int }
+type ready = {
+  session : t;
+  mutable last_use : int;  (* monotonic tick, diagnostics only *)
+  mutable last_touch : float;  (* clock seconds, drives the TTL *)
+  mutable credit : float;  (* GreedyDual priority *)
+  built_at : float;
+  build_seconds : float;
+  weight : float;
+}
+
+type entry = Building | Ready of ready
+
+(* Per-document incremental state parked next to the session that owns
+   it; the slot mutex serialises updates to one document while leaving
+   other documents of the same session free. *)
+type doc_slot = {
+  doc_lock : Mutex.t;
+  mutable doc_state : Lg_incremental.Incr.state option;
+  mutable doc_last_use : int;
+}
 
 type cache = {
   lock : Mutex.t;
   turned : Condition.t;  (* signalled whenever an entry changes state *)
   entries : (string, entry) Hashtbl.t;
+  docs : (string * string, doc_slot) Hashtbl.t;  (* (digest, doc) *)
   cap : int;
+  doc_cap : int;
+  ttl : float option;
+  clock : unit -> float;
+  mutable floor : float;  (* GreedyDual inflation *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+  mutable expirations : int;
 }
 
-let create_cache ?(capacity = 8) () =
+let create_cache ?(capacity = 8) ?(doc_capacity = 128) ?ttl
+    ?(clock = Unix.gettimeofday) () =
   {
     lock = Mutex.create ();
     turned = Condition.create ();
     entries = Hashtbl.create 16;
+    docs = Hashtbl.create 16;
     cap = max 1 capacity;
+    doc_cap = max 1 doc_capacity;
+    ttl;
+    clock;
+    floor = 0.0;
     tick = 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
+    expirations = 0;
   }
 
 let locked c f =
@@ -42,36 +83,92 @@ let locked c f =
 let length c = locked c (fun () -> Hashtbl.length c.entries)
 let capacity c = c.cap
 let stats c = locked c (fun () -> (c.hits, c.misses))
+let eviction_stats c = locked c (fun () -> (c.evictions, c.expirations))
+
+(* under the lock *)
+let drop_docs c digest =
+  let dead =
+    Hashtbl.fold
+      (fun ((d, _) as key) _ acc -> if String.equal d digest then key :: acc else acc)
+      c.docs []
+  in
+  List.iter (Hashtbl.remove c.docs) dead
+
+(* under the lock *)
+let remove_entry c key =
+  Hashtbl.remove c.entries key;
+  drop_docs c key
+
+(* under the lock: expire Ready entries that outlived the TTL *)
+let sweep_expired c =
+  match c.ttl with
+  | None -> ()
+  | Some ttl ->
+      let now = c.clock () in
+      let dead =
+        Hashtbl.fold
+          (fun key entry acc ->
+            match entry with
+            | Ready r when now -. r.last_touch > ttl -> key :: acc
+            | Ready _ | Building -> acc)
+          c.entries []
+      in
+      List.iter
+        (fun key ->
+          remove_entry c key;
+          c.expirations <- c.expirations + 1)
+        dead
 
 (* under the lock *)
 let evict_if_full c =
+  sweep_expired c;
   let ready = ref 0 in
   Hashtbl.iter
     (fun _ -> function Ready _ -> incr ready | Building -> ())
     c.entries;
   if !ready >= c.cap then begin
-    let stalest = ref None in
+    (* minimum credit; ties broken by recency, so uniform weights
+       degrade to exact LRU *)
+    let cheapest = ref None in
     Hashtbl.iter
       (fun key -> function
         | Building -> ()
         | Ready r -> (
-            match !stalest with
-            | Some (_, age) when age <= r.last_use -> ()
-            | _ -> stalest := Some (key, r.last_use)))
+            match !cheapest with
+            | Some (_, credit, use)
+              when credit < r.credit
+                   || (credit = r.credit && use <= r.last_use) ->
+                ()
+            | _ -> cheapest := Some (key, r.credit, r.last_use)))
       c.entries;
-    match !stalest with
-    | Some (key, _) -> Hashtbl.remove c.entries key
+    match !cheapest with
+    | Some (key, credit, _) ->
+        remove_entry c key;
+        c.evictions <- c.evictions + 1;
+        c.floor <- Float.max c.floor credit
     | None -> ()
   end
 
-let find_or_build c ~digest ~label ~build =
+(* The rebuild-cost weight: measured build time plus a term for the
+   parse tables a translator would have to reconstruct. *)
+let table_bytes_of = function
+  | Artifact _ -> 0
+  | Translator t -> Lg_lalr.Tables.table_bytes (Linguist.Translator.parse_tables t)
+
+let default_weight ~build_seconds payload =
+  build_seconds +. (float_of_int (table_bytes_of payload) /. 1.0e7)
+
+let find_or_build c ?weight ~digest ~label ~build () =
   let role =
     locked c @@ fun () ->
+    sweep_expired c;
     let rec decide () =
       match Hashtbl.find_opt c.entries digest with
       | Some (Ready r) ->
           c.tick <- c.tick + 1;
           r.last_use <- c.tick;
+          r.last_touch <- c.clock ();
+          r.credit <- c.floor +. r.weight;
           c.hits <- c.hits + 1;
           `Hit r.session
       | Some Building ->
@@ -87,14 +184,31 @@ let find_or_build c ~digest ~label ~build =
   match role with
   | `Hit session -> session
   | `Build -> (
+      let started = c.clock () in
       match build () with
       | payload ->
+          let build_seconds = c.clock () -. started in
+          let weight =
+            match weight with
+            | Some w -> w
+            | None -> default_weight ~build_seconds payload
+          in
           let session = { s_digest = digest; s_label = label; s_payload = payload } in
           locked c (fun () ->
               Hashtbl.remove c.entries digest;
               evict_if_full c;
               c.tick <- c.tick + 1;
-              Hashtbl.replace c.entries digest (Ready { session; last_use = c.tick });
+              Hashtbl.replace c.entries digest
+                (Ready
+                   {
+                     session;
+                     last_use = c.tick;
+                     last_touch = c.clock ();
+                     credit = c.floor +. weight;
+                     built_at = started;
+                     build_seconds;
+                     weight;
+                   });
               Condition.broadcast c.turned);
           session
       | exception e ->
@@ -102,6 +216,95 @@ let find_or_build c ~digest ~label ~build =
               Hashtbl.remove c.entries digest;
               Condition.broadcast c.turned);
           raise e)
+
+let evict c ~digest =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.entries digest with
+      | Some (Ready _) ->
+          remove_entry c digest;
+          c.evictions <- c.evictions + 1;
+          true
+      | Some Building | None -> false)
+
+let clear c =
+  locked c (fun () ->
+      let ready =
+        Hashtbl.fold
+          (fun key entry acc ->
+            match entry with Ready _ -> key :: acc | Building -> acc)
+          c.entries []
+      in
+      List.iter (remove_entry c) ready;
+      c.evictions <- c.evictions + List.length ready;
+      List.length ready)
+
+type info = {
+  i_digest : string;
+  i_label : string;
+  i_weight : float;
+  i_build_seconds : float;
+  i_age : float;
+  i_idle : float;
+  i_docs : int;
+}
+
+let entries_info c =
+  locked c (fun () ->
+      let now = c.clock () in
+      let docs_of digest =
+        Hashtbl.fold
+          (fun (d, _) _ n -> if String.equal d digest then n + 1 else n)
+          c.docs 0
+      in
+      Hashtbl.fold
+        (fun key entry acc ->
+          match entry with
+          | Building -> acc
+          | Ready r ->
+              {
+                i_digest = key;
+                i_label = r.session.s_label;
+                i_weight = r.weight;
+                i_build_seconds = r.build_seconds;
+                i_age = now -. r.built_at;
+                i_idle = now -. r.last_touch;
+                i_docs = docs_of key;
+              }
+              :: acc)
+        c.entries []
+      |> List.sort (fun a b -> compare a.i_label b.i_label))
+
+(* under the lock: bound the per-cache document population *)
+let evict_stale_doc c =
+  if Hashtbl.length c.docs > c.doc_cap then begin
+    let stalest = ref None in
+    Hashtbl.iter
+      (fun key slot ->
+        match !stalest with
+        | Some (_, age) when age <= slot.doc_last_use -> ()
+        | _ -> stalest := Some (key, slot.doc_last_use))
+      c.docs;
+    match !stalest with
+    | Some (key, _) -> Hashtbl.remove c.docs key
+    | None -> ()
+  end
+
+let doc_slot c ~digest ~doc =
+  locked c (fun () ->
+      c.tick <- c.tick + 1;
+      match Hashtbl.find_opt c.docs (digest, doc) with
+      | Some slot ->
+          slot.doc_last_use <- c.tick;
+          slot
+      | None ->
+          let slot =
+            { doc_lock = Mutex.create (); doc_state = None; doc_last_use = c.tick }
+          in
+          Hashtbl.replace c.docs (digest, doc) slot;
+          evict_stale_doc c;
+          slot)
+
+let doc_count c = locked c (fun () -> Hashtbl.length c.docs)
 
 let grammar_session c ?(options = Linguist.Driver.default_options) ~file ~source
     () =
@@ -112,6 +315,7 @@ let grammar_session c ?(options = Linguist.Driver.default_options) ~file ~source
       | Ok artifact -> Artifact artifact
       | Error diag ->
           failwith (Linguist.Listing.errors_only ~source ~file diag))
+    ()
 
 let languages :
     (string * (unit -> Linguist.Translator.t)) list =
@@ -135,3 +339,4 @@ let language_session c name =
       let key = digest ~kind:"language" ~source:name in
       find_or_build c ~digest:key ~label:("language:" ^ name)
         ~build:(fun () -> Translator (make ()))
+        ()

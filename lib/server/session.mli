@@ -1,4 +1,4 @@
-(** Compiled-grammar sessions and their LRU cache.
+(** Compiled-grammar sessions and their cost-aware cache.
 
     A session is the expensive, immutable part of serving a job: a
     grammar pushed through the whole {!Linguist.Driver} pipeline — parse
@@ -9,13 +9,30 @@
     paper's one-grammar/many-translations economics).
 
     Sessions are keyed by a {!digest} of what they were built from and
-    held in a bounded LRU {!cache}. The cache is concurrency-aware: when
+    held in a bounded cache. The cache is concurrency-aware: when
     several pool workers request the same absent key at once, exactly one
     builds while the rest block until the session is ready
     ([Building]/[Ready] states under one mutex+condition). A build that
     raises releases its key — waiters retry, and a deterministic grammar
     error simply fails each requester. Entries under construction are
-    never evicted. *)
+    never evicted.
+
+    {b Eviction is cost-aware}, not plain LRU: each entry's weight is
+    its measured build seconds plus a term for its LALR table bytes
+    ([lalr.table_bytes] — what a rebuild would have to reconstruct), and
+    the cache runs the GreedyDual policy: an entry's priority is the
+    global floor plus its weight, refreshed on every hit; eviction takes
+    the minimum-priority entry and raises the floor to it. Cheap stale
+    entries go first; an expensive session must be idle much longer
+    before it yields its slot. An optional TTL expires entries that have
+    sat untouched regardless of weight.
+
+    The cache also parks {b per-document incremental state}
+    ({!Lg_incremental.Incr.state}) next to the session that owns it:
+    [update] ops fetch a {!doc_slot} keyed by (session digest, document
+    id). Slots die with their session — evicting a session drops its
+    documents — and are themselves bounded ([doc_capacity], stalest
+    first). *)
 
 type payload =
   | Artifact of Linguist.Driver.artifact
@@ -39,9 +56,18 @@ val digest : kind:string -> source:string -> string
 
 type cache
 
-val create_cache : ?capacity:int -> unit -> cache
-(** LRU over ready sessions; [capacity] (default 8, at least 1) bounds
-    resident sessions. *)
+val create_cache :
+  ?capacity:int ->
+  ?doc_capacity:int ->
+  ?ttl:float ->
+  ?clock:(unit -> float) ->
+  unit ->
+  cache
+(** [capacity] (default 8, at least 1) bounds resident sessions;
+    [doc_capacity] (default 128) bounds parked per-document states
+    across all sessions. [ttl] (seconds; default none) expires entries
+    idle longer than that. [clock] (default [Unix.gettimeofday]) is
+    injectable for deterministic TTL tests. *)
 
 val length : cache -> int
 val capacity : cache -> int
@@ -49,11 +75,59 @@ val capacity : cache -> int
 val stats : cache -> int * int
 (** [(hits, misses)] so far — misses count builds started. *)
 
+val eviction_stats : cache -> int * int
+(** [(evictions, ttl_expirations)] so far. *)
+
 val find_or_build :
-  cache -> digest:string -> label:string -> build:(unit -> payload) -> t
+  cache ->
+  ?weight:float ->
+  digest:string ->
+  label:string ->
+  build:(unit -> payload) ->
+  unit ->
+  t
 (** The session for [digest], building it with [build] on a miss. Blocks
     while another worker is building the same digest. Re-raises whatever
-    [build] raises. *)
+    [build] raises. [weight] overrides the measured rebuild-cost weight
+    (build seconds + table bytes / 10{^7}) — deterministic tests pin
+    it. *)
+
+val evict : cache -> digest:string -> bool
+(** Drop one Ready entry (and its parked documents); [false] when the
+    digest is absent or still building. *)
+
+val clear : cache -> int
+(** Drop every Ready entry and all parked documents; returns how many
+    sessions were dropped. Entries under construction survive. *)
+
+type info = {
+  i_digest : string;
+  i_label : string;
+  i_weight : float;
+  i_build_seconds : float;
+  i_age : float;  (** seconds since the build finished starting *)
+  i_idle : float;  (** seconds since the last hit *)
+  i_docs : int;  (** parked per-document states *)
+}
+
+val entries_info : cache -> info list
+(** A snapshot of every Ready entry, sorted by label — the [sessions]
+    serve op. *)
+
+(** {1 Per-document incremental state} *)
+
+type doc_slot = {
+  doc_lock : Mutex.t;
+      (** serialises updates to one document; hold it across the whole
+          {!Lg_incremental.Incr.update} *)
+  mutable doc_state : Lg_incremental.Incr.state option;
+  mutable doc_last_use : int;
+}
+
+val doc_slot : cache -> digest:string -> doc:string -> doc_slot
+(** The (create-on-first-use) slot for a document of a session. *)
+
+val doc_count : cache -> int
 
 (** {1 Standard sessions} *)
 

@@ -1,0 +1,596 @@
+(* The incremental re-translation subsystem: fingerprint/merge units,
+   QCheck edit-sequence differentials (incremental = Demand = Engine,
+   byte-identically, across the registered stores), fallback semantics,
+   fault injection through the spilled versioned store, the cost-aware
+   session cache, and the update job plumbing. *)
+open Linguist
+open Lg_incremental
+
+let check_value = Fixtures.check_value
+
+let plan_of src =
+  Driver.plan_of_ir (Fixtures.ir_of_source ~lines:40 src)
+
+let outputs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (na, va) (nb, vb) ->
+         String.equal na nb && Lg_support.Value.equal va vb)
+       a b
+
+(* ---------- tree editing ---------- *)
+
+let is_leaf (t : Lg_apt.Tree.t) = t.Lg_apt.Tree.prod = Lg_apt.Node.leaf_prod
+
+(* Rebuild [tree] with the node at preorder position [at] replaced by
+   what [subst] makes of it; the spine above gets fresh interiors,
+   untouched siblings are shared physically — exactly what a re-parse
+   after a localized edit produces. *)
+let edit_at tree ~at ~subst =
+  let n = ref (-1) in
+  let rec go (t : Lg_apt.Tree.t) =
+    incr n;
+    if !n = at then subst t
+    else if is_leaf t then t
+    else begin
+      let children = List.map go t.Lg_apt.Tree.children in
+      if List.for_all2 ( == ) children t.Lg_apt.Tree.children then t
+      else
+        Lg_apt.Tree.interior ~prod:t.Lg_apt.Tree.prod ~sym:t.Lg_apt.Tree.sym
+          ~children
+    end
+  in
+  go tree
+
+(* Perturb the intrinsic attributes of the first leaf at or after
+   preorder position [at] (wrapping); always changes at least one value. *)
+let perturb_leaf tree ~rng =
+  let leaves = ref [] in
+  let n = ref (-1) in
+  let rec count (t : Lg_apt.Tree.t) =
+    incr n;
+    if is_leaf t && Array.length t.Lg_apt.Tree.leaf_attrs > 0 then
+      leaves := !n :: !leaves;
+    List.iter count t.Lg_apt.Tree.children
+  in
+  count tree;
+  match !leaves with
+  | [] -> tree
+  | positions ->
+      let at = List.nth positions (rng (List.length positions)) in
+      edit_at tree ~at ~subst:(fun t ->
+          let attrs =
+            Array.map
+              (function
+                | Lg_support.Value.Int i -> Lg_support.Value.Int (i + 1 + rng 5)
+                | Lg_support.Value.Name m ->
+                    Lg_support.Value.Name ((m + 1) mod 4)
+                | v -> v)
+              t.Lg_apt.Tree.leaf_attrs
+          in
+          Lg_apt.Tree.leaf ~sym:t.Lg_apt.Tree.sym ~attrs)
+
+(* Structural edit: replace a random subtree with a same-symbol subtree
+   of a freshly generated donor tree (falls back to a leaf perturbation
+   when no donor symbol matches). *)
+let splice_subtree ir tree ~rng =
+  let donor = Fixtures.random_tree ir ~rng ~size:(3 + rng 20) in
+  let subtrees = ref [] in
+  let rec collect (t : Lg_apt.Tree.t) =
+    subtrees := t :: !subtrees;
+    List.iter collect t.Lg_apt.Tree.children
+  in
+  collect donor;
+  let positions = ref [] in
+  let n = ref (-1) in
+  let rec index (t : Lg_apt.Tree.t) =
+    incr n;
+    if
+      (not (is_leaf t))
+      && List.exists
+           (fun (d : Lg_apt.Tree.t) ->
+             (not (is_leaf d)) && d.Lg_apt.Tree.sym = t.Lg_apt.Tree.sym)
+           !subtrees
+    then positions := (!n, t.Lg_apt.Tree.sym) :: !positions;
+    List.iter index t.Lg_apt.Tree.children
+  in
+  index tree;
+  match !positions with
+  | [] -> perturb_leaf tree ~rng
+  | positions ->
+      let at, sym = List.nth positions (rng (List.length positions)) in
+      let candidates =
+        List.filter
+          (fun (d : Lg_apt.Tree.t) ->
+            (not (is_leaf d)) && d.Lg_apt.Tree.sym = sym)
+          !subtrees
+      in
+      let replacement = List.nth candidates (rng (List.length candidates)) in
+      edit_at tree ~at ~subst:(fun _ -> replacement)
+
+(* ---------- fingerprint / merge units ---------- *)
+
+let test_fingerprint_interning () =
+  let ir = Fixtures.ir_of_source Fixtures.sum_grammar in
+  let st = Random.State.make [| 7 |] in
+  let rng bound = Random.State.int st bound in
+  let tree = Fixtures.random_tree ir ~rng ~size:30 in
+  (* a physically distinct but structurally identical copy *)
+  let rec copy (t : Lg_apt.Tree.t) =
+    if is_leaf t then
+      Lg_apt.Tree.leaf ~sym:t.Lg_apt.Tree.sym ~attrs:t.Lg_apt.Tree.leaf_attrs
+    else
+      Lg_apt.Tree.interior ~prod:t.Lg_apt.Tree.prod ~sym:t.Lg_apt.Tree.sym
+        ~children:(List.map copy t.Lg_apt.Tree.children)
+  in
+  let fp = Fingerprint.create () in
+  Alcotest.(check int)
+    "equal shapes intern to the same cons"
+    (Fingerprint.cons fp tree)
+    (Fingerprint.cons fp (copy tree));
+  let edited = perturb_leaf tree ~rng in
+  Alcotest.(check bool)
+    "a perturbed leaf changes the root cons" false
+    (Fingerprint.cons fp tree = Fingerprint.cons fp edited)
+
+(* [random_tree]'s size is a budget, not a floor: scan seeds for a tree
+   big enough that an edit leaves something to reuse. *)
+let sizable_tree ir ~seed =
+  let rec find s =
+    if s > seed + 200 then Alcotest.fail "no sizable random tree found"
+    else begin
+      let st = Random.State.make [| s |] in
+      let rng bound = Random.State.int st bound in
+      let tree = Fixtures.random_tree ir ~rng ~size:40 in
+      if Lg_apt.Tree.size tree >= 15 then (tree, rng) else find (s + 1)
+    end
+  in
+  find seed
+
+let test_merge_reuses_unchanged () =
+  let ir = Fixtures.ir_of_source Fixtures.sum_grammar in
+  let tree, rng = sizable_tree ir ~seed:11 in
+  let edited = perturb_leaf tree ~rng in
+  let fp = Fingerprint.create () in
+  let merged, seeds, stats = Tree_diff.merge fp ~prev:tree ~next:edited in
+  Alcotest.(check int)
+    "merge preserves the node count"
+    (Lg_apt.Tree.size edited) (Lg_apt.Tree.size merged);
+  Alcotest.(check bool) "an edit leaves seeds" true (seeds <> []);
+  Alcotest.(check int)
+    "reused + fresh covers the tree"
+    (Lg_apt.Tree.size edited)
+    (stats.Tree_diff.reused_nodes + stats.Tree_diff.fresh_nodes);
+  Alcotest.(check bool)
+    "unchanged subtrees are reused" true
+    (stats.Tree_diff.reused_nodes > 0);
+  Alcotest.(check bool)
+    "churn is the fresh fraction" true
+    (stats.Tree_diff.churn > 0.0 && stats.Tree_diff.churn < 1.0)
+
+(* ---------- the update path ---------- *)
+
+let test_identical_resubmit_fires_nothing () =
+  let plan = plan_of Fixtures.sum_grammar in
+  let st = Random.State.make [| 23 |] in
+  let rng bound = Random.State.int st bound in
+  let tree = Fixtures.random_tree plan.Plan.ir ~rng ~size:30 in
+  let engine_options = Engine.default_options in
+  let config = Incr.default_config in
+  let r1, state = Incr.update config ~plan ~engine_options ~tree in
+  (match r1.Incr.mode with
+  | Incr.Fresh { fired } ->
+      Alcotest.(check bool) "first build fires rules" true (fired > 0)
+  | _ -> Alcotest.fail "first update should be Fresh");
+  let r2, _ =
+    Incr.update ?state config ~plan ~engine_options ~tree
+  in
+  (match r2.Incr.mode with
+  | Incr.Incremental { fired; fresh; _ } ->
+      Alcotest.(check int) "identical resubmit fires nothing" 0 fired;
+      Alcotest.(check int) "identical resubmit creates no nodes" 0 fresh
+  | _ -> Alcotest.fail "resubmit should take the incremental path");
+  Alcotest.(check (list (pair Alcotest.string check_value)))
+    "outputs are stable" r1.Incr.outputs r2.Incr.outputs
+
+let test_threshold_fallback_is_correct () =
+  let plan = plan_of Fixtures.env_grammar in
+  let st = Random.State.make [| 31 |] in
+  let rng bound = Random.State.int st bound in
+  let tree = Fixtures.random_tree plan.Plan.ir ~rng ~size:30 in
+  let edited = perturb_leaf tree ~rng in
+  let engine_options = Engine.default_options in
+  let config = { Incr.default_config with threshold = 0.0 } in
+  let _, state = Incr.update config ~plan ~engine_options ~tree in
+  let r, next = Incr.update ?state config ~plan ~engine_options ~tree:edited in
+  (match r.Incr.mode with
+  | Incr.Fallback { churn; _ } ->
+      Alcotest.(check bool) "fallback reports churn" true (churn > 0.0)
+  | _ -> Alcotest.fail "threshold 0 must fall back on any edit");
+  Alcotest.(check bool) "fallback drops the state" true (next = None);
+  let oracle = Demand.evaluate plan.Plan.ir edited in
+  Alcotest.(check (list (pair Alcotest.string check_value)))
+    "fallback answers like the oracle" oracle.Demand.outputs r.Incr.outputs
+
+(* ---------- edit-sequence differential (QCheck) ---------- *)
+
+let store_backends =
+  List.map
+    (fun name -> (name, Lg_apt.Aptfile.backend_of_store_name name))
+    (Lg_apt.Store_registry.names ())
+
+let run_edit_sequence ~grammar ~seed ~edits ~spill =
+  let plan = plan_of grammar in
+  let ir = plan.Plan.ir in
+  let st = Random.State.make [| seed |] in
+  let rng bound = Random.State.int st bound in
+  let engine_options = Engine.default_options in
+  let config = { Incr.default_config with spill } in
+  let state = ref None in
+  let tree = ref (Fixtures.random_tree ir ~rng ~size:(10 + rng 40)) in
+  for step = 0 to edits do
+    if step > 0 then
+      tree :=
+        (if rng 2 = 0 then splice_subtree ir !tree ~rng
+         else perturb_leaf !tree ~rng);
+    let result, next =
+      Incr.update ?state:!state config ~plan ~engine_options ~tree:!tree
+    in
+    state := next;
+    let oracle = Demand.evaluate ir !tree in
+    if not (outputs_equal result.Incr.outputs oracle.Demand.outputs) then
+      Alcotest.failf "seed %d step %d: incremental disagrees with the oracle"
+        seed step;
+    List.iter
+      (fun (store, backend) ->
+        let engine =
+          Engine.run ~options:{ engine_options with backend } plan !tree
+        in
+        if not (outputs_equal result.Incr.outputs engine.Engine.outputs) then
+          Alcotest.failf
+            "seed %d step %d: incremental disagrees with the engine on %s"
+            seed step store)
+      store_backends
+  done
+
+let prop_edit_sequence_differential =
+  QCheck.Test.make
+    ~name:"incremental = oracle = engine over random edit sequences" ~count:25
+    QCheck.(pair (int_bound 100000) (int_range 0 1))
+    (fun (seed, which) ->
+      let grammar =
+        if which = 0 then Fixtures.sum_grammar else Fixtures.env_grammar
+      in
+      run_edit_sequence ~grammar ~seed ~edits:6 ~spill:None;
+      true)
+
+let test_spilled_state_differential () =
+  (* the versioned store round-trips through a real APT backend between
+     updates: state custody belongs to the store registry *)
+  List.iter
+    (fun (store, backend) ->
+      let metrics = Lg_support.Metrics.create () in
+      ignore metrics;
+      run_edit_sequence ~grammar:Fixtures.sum_grammar ~seed:(Hashtbl.hash store)
+        ~edits:4 ~spill:(Some backend))
+    (List.filter (fun (n, _) -> n <> "faulty") store_backends)
+
+let test_spill_publishes_metrics () =
+  let plan = plan_of Fixtures.sum_grammar in
+  let st = Random.State.make [| 47 |] in
+  let rng bound = Random.State.int st bound in
+  let tree = Fixtures.random_tree plan.Plan.ir ~rng ~size:25 in
+  let metrics = Lg_support.Metrics.create () in
+  let config =
+    { Incr.default_config with spill = Some Lg_apt.Aptfile.Mem; metrics }
+  in
+  let engine_options = Engine.default_options in
+  let _, state = Incr.update config ~plan ~engine_options ~tree in
+  let edited = perturb_leaf tree ~rng in
+  let _, _ = Incr.update ?state config ~plan ~engine_options ~tree:edited in
+  (match Lg_support.Metrics.find metrics "incremental.spill_bytes" with
+  | Some (Lg_support.Metrics.Counter n) ->
+      Alcotest.(check bool) "spill moved bytes" true (n > 0)
+  | _ -> Alcotest.fail "incremental.spill_bytes not published");
+  match Lg_support.Metrics.find metrics "incremental.hits" with
+  | Some (Lg_support.Metrics.Counter n) ->
+      Alcotest.(check int) "one incremental hit" 1 n
+  | _ -> Alcotest.fail "incremental.hits not published"
+
+(* ---------- fault injection ---------- *)
+
+let faulty_backend ~kinds ~rate =
+  let config =
+    {
+      Lg_apt.Apt_store.default_config with
+      faults =
+        Some { Lg_apt.Apt_store.f_seed = 13; f_rate = rate; f_kinds = kinds };
+    }
+  in
+  Lg_apt.Aptfile.backend_of_store_name ~config "faulty"
+
+let test_fault_during_spill_falls_back_cleanly () =
+  (* the versioned store lands on a medium that damages every write: the
+     reload fails with a typed error, the update falls back to the full
+     engine (clean Mem backend) and still answers correctly *)
+  let plan = plan_of Fixtures.sum_grammar in
+  let st = Random.State.make [| 53 |] in
+  let rng bound = Random.State.int st bound in
+  let tree = Fixtures.random_tree plan.Plan.ir ~rng ~size:25 in
+  let metrics = Lg_support.Metrics.create () in
+  let config =
+    {
+      Incr.default_config with
+      spill = Some (faulty_backend ~kinds:[ Lg_apt.Apt_store.Bit_flip ] ~rate:1.0);
+      metrics;
+    }
+  in
+  let engine_options = Engine.default_options in
+  let _, state = Incr.update config ~plan ~engine_options ~tree in
+  let edited = perturb_leaf tree ~rng in
+  let r, next = Incr.update ?state config ~plan ~engine_options ~tree:edited in
+  (match r.Incr.mode with
+  | Incr.Fallback { reason; _ } ->
+      Alcotest.(check bool) "reason names the store failure" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "a corrupted spill must fall back");
+  Alcotest.(check bool) "state is dropped after the fault" true (next = None);
+  let oracle = Demand.evaluate plan.Plan.ir edited in
+  Alcotest.(check (list (pair Alcotest.string check_value)))
+    "the answer is still correct" oracle.Demand.outputs r.Incr.outputs;
+  match Lg_support.Metrics.find metrics "incremental.fallbacks" with
+  | Some (Lg_support.Metrics.Counter n) ->
+      Alcotest.(check int) "one fallback counted" 1 n
+  | _ -> Alcotest.fail "incremental.fallbacks not published"
+
+let test_double_fault_surfaces_typed_error () =
+  (* when even the fallback engine runs on the damaged medium, the caller
+     gets the typed 40-44 error — never a wrong answer *)
+  let plan = plan_of Fixtures.sum_grammar in
+  let st = Random.State.make [| 59 |] in
+  let rng bound = Random.State.int st bound in
+  let tree = Fixtures.random_tree plan.Plan.ir ~rng ~size:25 in
+  let faulty = faulty_backend ~kinds:[ Lg_apt.Apt_store.Bit_flip ] ~rate:1.0 in
+  let config = { Incr.default_config with spill = Some faulty } in
+  let engine_options = { Engine.default_options with backend = faulty } in
+  match Incr.update config ~plan ~engine_options ~tree with
+  | exception Lg_apt.Apt_error.Error e ->
+      let code = Lg_apt.Apt_error.exit_code e in
+      Alcotest.(check bool)
+        (Printf.sprintf "exit code %d is in the typed 40-44 range" code)
+        true
+        (code >= 40 && code <= 44)
+  | r, state -> (
+      (* the fresh build does not spill; the fault can only surface on
+         the second update *)
+      let edited = perturb_leaf tree ~rng in
+      match Incr.update ?state config ~plan ~engine_options ~tree:edited with
+      | exception Lg_apt.Apt_error.Error e ->
+          let code = Lg_apt.Apt_error.exit_code e in
+          Alcotest.(check bool)
+            (Printf.sprintf "exit code %d is in the typed 40-44 range" code)
+            true
+            (code >= 40 && code <= 44)
+      | r2, _ ->
+          (* both engines survived the medium: the answers must agree *)
+          let oracle = Demand.evaluate plan.Plan.ir edited in
+          Alcotest.(check (list (pair Alcotest.string check_value)))
+            "never a wrong answer" oracle.Demand.outputs r2.Incr.outputs;
+          ignore r)
+
+(* ---------- the cost-aware session cache ---------- *)
+
+let shared_artifact =
+  lazy
+    (Lg_server.Session.Artifact
+       (Driver.process_exn ~file:"<cache>" Fixtures.sum_grammar))
+
+let test_cost_aware_eviction () =
+  let cache = Lg_server.Session.create_cache ~capacity:2 () in
+  let build () = Lazy.force shared_artifact in
+  let add ~weight digest label =
+    ignore
+      (Lg_server.Session.find_or_build cache ~weight ~digest ~label ~build ())
+  in
+  add ~weight:100.0 "dig-a" "a-expensive";
+  add ~weight:1.0 "dig-b" "b-cheap";
+  (* a third entry must evict the cheap one, not the expensive one *)
+  add ~weight:1.0 "dig-c" "c-cheap";
+  let labels =
+    List.map
+      (fun (i : Lg_server.Session.info) -> i.Lg_server.Session.i_label)
+      (Lg_server.Session.entries_info cache)
+  in
+  Alcotest.(check (list string))
+    "the cheap entry went first"
+    [ "a-expensive"; "c-cheap" ] labels;
+  let evictions, _ = Lg_server.Session.eviction_stats cache in
+  Alcotest.(check int) "one eviction" 1 evictions
+
+let test_ttl_expiry () =
+  let now = ref 0.0 in
+  let cache =
+    Lg_server.Session.create_cache ~capacity:4 ~ttl:10.0
+      ~clock:(fun () -> !now)
+      ()
+  in
+  let build () = Lazy.force shared_artifact in
+  ignore
+    (Lg_server.Session.find_or_build cache ~weight:1.0 ~digest:"dig-old"
+       ~label:"old" ~build ());
+  now := 20.0;
+  ignore
+    (Lg_server.Session.find_or_build cache ~weight:1.0 ~digest:"dig-new"
+       ~label:"new" ~build ());
+  let labels =
+    List.map
+      (fun (i : Lg_server.Session.info) -> i.Lg_server.Session.i_label)
+      (Lg_server.Session.entries_info cache)
+  in
+  Alcotest.(check (list string)) "the idle entry expired" [ "new" ] labels;
+  let _, expirations = Lg_server.Session.eviction_stats cache in
+  Alcotest.(check int) "one ttl expiration" 1 expirations
+
+let test_evict_clear_and_docs () =
+  let cache = Lg_server.Session.create_cache ~capacity:4 () in
+  let build () = Lazy.force shared_artifact in
+  ignore
+    (Lg_server.Session.find_or_build cache ~weight:1.0 ~digest:"dig-a"
+       ~label:"a" ~build ());
+  let slot = Lg_server.Session.doc_slot cache ~digest:"dig-a" ~doc:"buf.txt" in
+  Alcotest.(check bool) "fresh slot has no state" true (slot.Lg_server.Session.doc_state = None);
+  Alcotest.(check int) "one parked doc" 1 (Lg_server.Session.doc_count cache);
+  Alcotest.(check bool)
+    "evicting an absent digest is false" false
+    (Lg_server.Session.evict cache ~digest:"dig-missing");
+  Alcotest.(check bool)
+    "evicting a present digest is true" true
+    (Lg_server.Session.evict cache ~digest:"dig-a");
+  Alcotest.(check int)
+    "eviction drops the docs too" 0
+    (Lg_server.Session.doc_count cache);
+  ignore
+    (Lg_server.Session.find_or_build cache ~weight:1.0 ~digest:"dig-b"
+       ~label:"b" ~build ());
+  ignore
+    (Lg_server.Session.find_or_build cache ~weight:1.0 ~digest:"dig-c"
+       ~label:"c" ~build ());
+  Alcotest.(check int) "clear drops everything" 2 (Lg_server.Session.clear cache);
+  Alcotest.(check int) "cache is empty" 0 (Lg_server.Session.length cache)
+
+(* ---------- the update job plumbing ---------- *)
+
+let test_jobfile_update_roundtrip () =
+  let jobs =
+    [
+      Lg_server.Jobfile.make ~id:"u1"
+        ~op:(Lg_server.Jobfile.Update "desk_calc")
+        ~doc:"buffer-7" ~file:"in.calc" ();
+      Lg_server.Jobfile.make ~id:"u2"
+        ~op:(Lg_server.Jobfile.Update "desk_calc")
+        ~file:"other.calc" ();
+    ]
+  in
+  match Lg_server.Jobfile.parse (Lg_server.Jobfile.to_string jobs) with
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+  | Ok parsed ->
+      Alcotest.(check int) "both jobs survive" 2 (List.length parsed);
+      let j1 = List.hd parsed and j2 = List.nth parsed 1 in
+      (match j1.Lg_server.Jobfile.j_op with
+      | Lg_server.Jobfile.Update lang ->
+          Alcotest.(check string) "language survives" "desk_calc" lang
+      | _ -> Alcotest.fail "op changed kind");
+      Alcotest.(check (option string))
+        "doc survives" (Some "buffer-7") j1.Lg_server.Jobfile.j_doc;
+      Alcotest.(check (option string))
+        "absent doc stays absent" None j2.Lg_server.Jobfile.j_doc
+
+let test_jobfile_update_validation () =
+  let parse s = Lg_server.Jobfile.parse s in
+  (match
+     parse
+       {|{"linguist_jobs":1,"jobs":[{"op":"update","file":"x.calc"}]}|}
+   with
+  | Error msg ->
+      Alcotest.(check bool) "update needs a language" true
+        (Fixtures.contains_substring ~needle:"language" msg)
+  | Ok _ -> Alcotest.fail "update without language must be rejected");
+  match
+    parse
+      {|{"linguist_jobs":1,"jobs":[{"op":"translate","language":"desk_calc","doc":"d","file":"x.calc"}]}|}
+  with
+  | Error msg ->
+      Alcotest.(check bool) "doc only applies to update" true
+        (Fixtures.contains_substring ~needle:"doc" msg)
+  | Ok _ -> Alcotest.fail "doc on translate must be rejected"
+
+let test_batch_update_jobs_deterministic () =
+  let dir = Filename.temp_file "lg-test-inc" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let path = Filename.concat dir "prog.calc" in
+  let oc = open_out path in
+  output_string oc "a := 1;\nb := a + 2;\nprint a + b;\n";
+  close_out oc;
+  let job =
+    Lg_server.Jobfile.make ~id:"u"
+      ~op:(Lg_server.Jobfile.Update "desk_calc")
+      ~doc:"prog" ~file:path ()
+  in
+  let sessions = Lg_server.Session.create_cache () in
+  let payload (o : Lg_server.Batch.outcome) =
+    Lg_support.Json_out.to_string o.Lg_server.Batch.o_payload
+  in
+  let stateless = Lg_server.Batch.run_job ~sessions job in
+  Alcotest.(check bool) "stateless update succeeds" true
+    stateless.Lg_server.Batch.o_ok;
+  let inc = Lg_server.Batch.default_incremental in
+  let first = Lg_server.Batch.run_job ~sessions ~incremental:inc job in
+  let second = Lg_server.Batch.run_job ~sessions ~incremental:inc job in
+  Alcotest.(check bool) "incremental update succeeds" true
+    first.Lg_server.Batch.o_ok;
+  (* the payload carries only outputs/tree size — independent of whether
+     the evaluation was fresh, incremental or stateless, so pooled runs
+     stay byte-identical to sequential ones *)
+  Alcotest.(check string)
+    "stateless and incremental payloads match" (payload stateless)
+    (payload first);
+  Alcotest.(check string)
+    "a state-hit changes nothing" (payload first) (payload second);
+  Alcotest.(check int) "the doc state is parked" 1
+    (Lg_server.Session.doc_count sessions)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "diff",
+        [
+          Alcotest.test_case "fingerprints intern by shape" `Quick
+            test_fingerprint_interning;
+          Alcotest.test_case "merge reuses unchanged subtrees" `Quick
+            test_merge_reuses_unchanged;
+        ] );
+      ( "update",
+        [
+          Alcotest.test_case "identical resubmit fires nothing" `Quick
+            test_identical_resubmit_fires_nothing;
+          Alcotest.test_case "threshold fallback stays correct" `Quick
+            test_threshold_fallback_is_correct;
+          QCheck_alcotest.to_alcotest prop_edit_sequence_differential;
+          Alcotest.test_case "spilled state differential, all stores" `Quick
+            test_spilled_state_differential;
+          Alcotest.test_case "spill publishes incremental.* metrics" `Quick
+            test_spill_publishes_metrics;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "quarantined spill falls back cleanly" `Quick
+            test_fault_during_spill_falls_back_cleanly;
+          Alcotest.test_case "double fault surfaces the typed error" `Quick
+            test_double_fault_surfaces_typed_error;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "eviction is cost-aware" `Quick
+            test_cost_aware_eviction;
+          Alcotest.test_case "ttl expires idle entries" `Quick test_ttl_expiry;
+          Alcotest.test_case "evict, clear and parked docs" `Quick
+            test_evict_clear_and_docs;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "update op round-trips" `Quick
+            test_jobfile_update_roundtrip;
+          Alcotest.test_case "update op is validated" `Quick
+            test_jobfile_update_validation;
+          Alcotest.test_case "batch update payloads are deterministic" `Quick
+            test_batch_update_jobs_deterministic;
+        ] );
+    ]

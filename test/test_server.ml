@@ -236,7 +236,7 @@ let test_session_builds_once () =
   in
   in_domains n_domains (fun _ ->
       let s =
-        Session.find_or_build cache ~digest:"d-shared" ~label:"shared" ~build
+        Session.find_or_build cache ~digest:"d-shared" ~label:"shared" ~build ()
       in
       if s.Session.s_digest <> "d-shared" then failwith "wrong session");
   Alcotest.(check int) "concurrent requests share one build" 1
@@ -250,10 +250,13 @@ let test_session_lru_eviction () =
   let builds = Atomic.make 0 in
   let payload = Lazy.force shared_payload in
   let get d =
+    (* uniform pinned weights: cost-aware eviction degrades to exact LRU *)
     ignore
-      (Session.find_or_build cache ~digest:d ~label:d ~build:(fun () ->
+      (Session.find_or_build cache ~weight:1.0 ~digest:d ~label:d
+         ~build:(fun () ->
            Atomic.incr builds;
-           payload))
+           payload)
+         ())
   in
   get "a";
   get "b";
@@ -270,16 +273,18 @@ let test_session_lru_eviction () =
 let test_session_failed_build_releases_key () =
   let cache = Session.create_cache ~capacity:2 () in
   (match
-     Session.find_or_build cache ~digest:"d-fail" ~label:"f" ~build:(fun () ->
-         failwith "bad grammar")
+     Session.find_or_build cache ~digest:"d-fail" ~label:"f"
+       ~build:(fun () -> failwith "bad grammar")
+       ()
    with
   | exception Failure msg ->
       Alcotest.(check string) "build error propagates" "bad grammar" msg
   | _ -> Alcotest.fail "expected the build failure");
   Alcotest.(check int) "failed entry not retained" 0 (Session.length cache);
   let s =
-    Session.find_or_build cache ~digest:"d-fail" ~label:"f" ~build:(fun () ->
-        Lazy.force shared_payload)
+    Session.find_or_build cache ~digest:"d-fail" ~label:"f"
+      ~build:(fun () -> Lazy.force shared_payload)
+      ()
   in
   Alcotest.(check string) "key reusable after failure" "d-fail"
     s.Session.s_digest
