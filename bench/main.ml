@@ -1005,6 +1005,236 @@ let incremental_bench () =
         (Lg_incremental.Incr.update ?state:!state config ~plan ~engine_options
            ~tree))
 
+(* ============ generated corpus: multi-tenant contention ============ *)
+
+(* The corpus-backed sibling of [batch_bench]: where that workload is five
+   embedded grammars analyzed repeatedly, this one materializes the
+   default generated corpus (docs/CORPUS.md) — twenty distinct tenants,
+   ten inputs each, mixed translate/update ops over cycled APT stores
+   with deterministic fault specs — and pushes it through the service.
+   Twenty tenants against the default 8-slot session cache keep the
+   GreedyDual evictor busy; the tenant-interleaved job order makes
+   adjacent jobs contend for different sessions.
+
+   The committed baseline (bench/baselines/BENCH_corpus.json) gates only
+   machine-independent leaves: corpus shape, job outcomes, byte-identity
+   and the xl-profile scale row. Cache hit/miss/eviction counts depend on
+   measured build seconds (GreedyDual weights), so they are printed but
+   kept out of the JSON. *)
+
+let corpus_bench () =
+  section "Generated corpus: multi-tenant batch over the session cache";
+  let spec = Lg_corpus.Emit.default in
+  let dir = Filename.temp_file "linguist-bench-corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let corpus = Lg_corpus.Emit.write ~dir spec in
+  let write_seconds = Unix.gettimeofday () -. t0 in
+  let jobs = corpus.Lg_corpus.Emit.c_jobs in
+  let n_jobs = List.length jobs in
+  let count p = List.length (List.filter p jobs) in
+  let n_translate =
+    count (fun j ->
+        match j.Lg_server.Jobfile.j_op with
+        | Lg_server.Jobfile.Translate _ -> true
+        | _ -> false)
+  and n_update =
+    count (fun j ->
+        match j.Lg_server.Jobfile.j_op with
+        | Lg_server.Jobfile.Update _ -> true
+        | _ -> false)
+  and n_check =
+    count (fun j -> j.Lg_server.Jobfile.j_op = Lg_server.Jobfile.Check)
+  and n_analyze =
+    count (fun j -> j.Lg_server.Jobfile.j_op = Lg_server.Jobfile.Analyze)
+  and n_faulted = count (fun j -> j.Lg_server.Jobfile.j_faults <> None) in
+  let shape =
+    List.fold_left
+      (fun (syms, prods, rules) b ->
+        let d = Lg_corpus.Corpus_gen.describe b in
+        ( syms + d.Lg_corpus.Corpus_gen.d_symbols,
+          prods + d.Lg_corpus.Corpus_gen.d_productions,
+          rules + d.Lg_corpus.Corpus_gen.d_rules ))
+      (0, 0, 0) corpus.Lg_corpus.Emit.c_built
+  in
+  let syms_total, prods_total, rules_total = shape in
+  rowf "  corpus: %d grammars x %d inputs -> %d jobs (%.2f s to materialize)\n"
+    spec.Lg_corpus.Emit.s_grammars spec.Lg_corpus.Emit.s_inputs n_jobs
+    write_seconds;
+  rowf "  tenants total %d symbols, %d productions, %d rules\n" syms_total
+    prods_total rules_total;
+  rowf "  ops: %d translate, %d update, %d check, %d analyze (%d faulted)\n"
+    n_translate n_update n_check n_analyze n_faulted;
+  (* jobfile paths are corpus-relative; the batch resolves them against
+     the working directory *)
+  let old_cwd = Sys.getcwd () in
+  Sys.chdir dir;
+  let seq, seq_sessions, pooled =
+    Fun.protect ~finally:(fun () -> Sys.chdir old_cwd) @@ fun () ->
+    let seq_sessions = Lg_server.Session.create_cache () in
+    let seq = Lg_server.Batch.run_sequential ~sessions:seq_sessions jobs in
+    let pooled =
+      List.map
+        (fun workers ->
+          (* a fresh cache per run: every configuration pays the same
+             cold-tenant contention *)
+          let sessions = Lg_server.Session.create_cache () in
+          (workers, Lg_server.Batch.run ~workers ~sessions jobs))
+        [ 1; 2; 4 ]
+    in
+    (seq, seq_sessions, pooled)
+  in
+  let payloads s =
+    Lg_support.Json_out.to_string (Lg_server.Batch.to_json ~timings:false s)
+  in
+  let seq_rate =
+    float_of_int n_jobs /. Float.max 1e-9 seq.Lg_server.Batch.wall_seconds
+  in
+  rowf "  %-14s %8s %10s %10s %10s\n" "configuration" "jobs" "ok" "jobs/s"
+    "speedup";
+  rowf "  %-14s %8d %10d %10.1f %10s\n" "sequential" n_jobs
+    seq.Lg_server.Batch.n_ok seq_rate "1.00x";
+  List.iter
+    (fun (workers, s) ->
+      let rate =
+        float_of_int n_jobs /. Float.max 1e-9 s.Lg_server.Batch.wall_seconds
+      in
+      rowf "  %-14s %8d %10d %10.1f %9.2fx\n"
+        (Printf.sprintf "pool (%d)" workers)
+        n_jobs s.Lg_server.Batch.n_ok rate (rate /. seq_rate))
+    pooled;
+  let identical =
+    List.for_all (fun (_, s) -> payloads s = payloads seq) pooled
+  in
+  rowf "  pooled results byte-identical to sequential: %b\n" identical;
+  let hits, misses = Lg_server.Session.stats seq_sessions in
+  let evictions, _ = Lg_server.Session.eviction_stats seq_sessions in
+  rowf
+    "  session cache (sequential run): %d hits, %d misses, %d GreedyDual \
+     evictions\n\
+    \  (%d tenants over %d slots — eviction counts ride on measured build \
+     weights,\n\
+    \   so they are informational, not gated)\n"
+    hits misses evictions spec.Lg_corpus.Emit.s_grammars
+    (Lg_server.Session.capacity seq_sessions);
+  (* backpressure: fill a small pool with jobs that cannot finish until
+     released; accepted work is bounded by workers + queue slots and the
+     rest is refused immediately — the contract clients see *)
+  let bp_workers = 2 and bp_capacity = 4 and bp_submitted = 32 in
+  let release = Atomic.make false in
+  let bp_pool =
+    Lg_server.Pool.create ~workers:bp_workers ~queue_capacity:bp_capacity ()
+  in
+  let accepted = ref 0 and rejections = ref 0 in
+  for _ = 1 to bp_submitted do
+    match
+      Lg_server.Pool.submit bp_pool (fun () ->
+          while not (Atomic.get release) do
+            Domain.cpu_relax ()
+          done)
+    with
+    | Ok _ -> incr accepted
+    | Error _ -> incr rejections
+  done;
+  Atomic.set release true;
+  Lg_server.Pool.drain bp_pool;
+  let bp_bounded = !accepted <= bp_workers + bp_capacity in
+  rowf
+    "  backpressure: %d submits against %d workers / %d queue slots -> %d \
+     accepted, %d refused\n"
+    bp_submitted bp_workers bp_capacity !accepted !rejections;
+  (* the scale row: one xl-profile tenant, an order of magnitude past
+     linguist.ag *)
+  let xl =
+    Lg_corpus.Corpus_gen.build_exn
+      (Lg_corpus.Corpus_gen.generate ~name:"xl"
+         (Lg_corpus.Corpus_gen.config_of_profile Lg_corpus.Corpus_gen.Xl)
+         ~seed:1)
+  in
+  let xd = Lg_corpus.Corpus_gen.describe xl in
+  rowf "  xl profile (seed 1): %d symbols, %d productions, %d rules, %d passes\n"
+    xd.Lg_corpus.Corpus_gen.d_symbols xd.Lg_corpus.Corpus_gen.d_productions
+    xd.Lg_corpus.Corpus_gen.d_rules xd.Lg_corpus.Corpus_gen.d_passes;
+  let json =
+    let open Lg_support.Json_out in
+    Obj
+      [
+        ( "workload",
+          Str
+            (Printf.sprintf
+               "generated corpus, %d grammars x %d inputs, mixed ops"
+               spec.Lg_corpus.Emit.s_grammars spec.Lg_corpus.Emit.s_inputs) );
+        ( "corpus",
+          Obj
+            [
+              ("grammars", int spec.Lg_corpus.Emit.s_grammars);
+              ("inputs_per_grammar", int spec.Lg_corpus.Emit.s_inputs);
+              ("jobs", int n_jobs);
+              ("translate_jobs", int n_translate);
+              ("update_jobs", int n_update);
+              ("check_jobs", int n_check);
+              ("analyze_jobs", int n_analyze);
+              ("faulted_jobs", int n_faulted);
+              ("symbols_total", int syms_total);
+              ("productions_total", int prods_total);
+              ("rules_total", int rules_total);
+              ("write_seconds", Num write_seconds);
+            ] );
+        ( "batch",
+          Obj
+            [
+              ("ok", int seq.Lg_server.Batch.n_ok);
+              ("failed", int seq.Lg_server.Batch.n_failed);
+              ("sequential_wall_seconds", Num seq.Lg_server.Batch.wall_seconds);
+              ( "pooled",
+                Arr
+                  (List.map
+                     (fun (workers, s) ->
+                       Obj
+                         [
+                           ("workers", int workers);
+                           ("ok", int s.Lg_server.Batch.n_ok);
+                           ( "wall_seconds",
+                             Num s.Lg_server.Batch.wall_seconds );
+                         ])
+                     pooled) );
+              ("byte_identical", Bool identical);
+            ] );
+        ( "backpressure",
+          Obj
+            [
+              ("workers", int bp_workers);
+              ("queue_capacity", int bp_capacity);
+              ("submitted", int bp_submitted);
+              ("rejections_observed", Bool (!rejections > 0));
+              ("accepted_within_bound", Bool bp_bounded);
+            ] );
+        ( "xl",
+          Obj
+            [
+              ("seed", int 1);
+              ("symbols", int xd.Lg_corpus.Corpus_gen.d_symbols);
+              ("productions", int xd.Lg_corpus.Corpus_gen.d_productions);
+              ("rules", int xd.Lg_corpus.Corpus_gen.d_rules);
+              ("passes", int xd.Lg_corpus.Corpus_gen.d_passes);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_corpus.json" in
+  output_string oc (Lg_support.Json_out.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  rowf "  wrote BENCH_corpus.json\n"
+
 (* ---------- driver ---------- *)
 
 let all =
@@ -1013,7 +1243,7 @@ let all =
     ("f1", f1); ("f2", f2); ("abl", ablations); ("policy", policy_ablation);
     ("schulz", schulz_ablation); ("stores", store_bench);
     ("faults", faults_bench); ("batch", batch_bench);
-    ("incremental", incremental_bench);
+    ("incremental", incremental_bench); ("corpus", corpus_bench);
   ]
 
 let run_experiments args =

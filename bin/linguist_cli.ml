@@ -852,6 +852,213 @@ let self_cmd =
                (fun () -> run ()))
         $ trace_out $ trace_attrs))
 
+(* ---------------- corpus ---------------- *)
+
+let corpus_cmd =
+  let profile_conv =
+    let parse s =
+      match Lg_corpus.Corpus_gen.profile_of_string s with
+      | Some p -> Ok p
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown profile %s (expected one of %s)" s
+                  (String.concat ", "
+                     (List.map fst Lg_corpus.Corpus_gen.profile_names))))
+    and print ppf p =
+      Format.pp_print_string ppf (Lg_corpus.Corpus_gen.profile_name p)
+    in
+    Arg.conv (parse, print)
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt profile_conv Lg_corpus.Corpus_gen.Small
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:
+            "Grammar size profile: $(b,small), $(b,medium), $(b,large) or \
+             $(b,xl) (see docs/CORPUS.md).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Generator seed. The same seed, profile and name are \
+             byte-identical on any machine.")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Grammar name in the generated text.")
+  in
+  let generate_cmd =
+    let out_arg =
+      Arg.(
+        value & opt string "-"
+        & info [ "out" ] ~docv:"FILE"
+            ~doc:"Write the grammar source to $(docv) ($(b,-) for stdout).")
+    in
+    let run profile seed name out =
+      let g =
+        Lg_corpus.Corpus_gen.generate ~name
+          (Lg_corpus.Corpus_gen.config_of_profile profile)
+          ~seed
+      in
+      if out = "-" then print_string g.Lg_corpus.Corpus_gen.g_source
+      else begin
+        let oc = open_out_bin out in
+        output_string oc g.Lg_corpus.Corpus_gen.g_source;
+        close_out oc;
+        Printf.eprintf "corpus: wrote %s (%s, seed %d)\n%!" out
+          (Lg_corpus.Corpus_gen.profile_name profile)
+          seed
+      end;
+      `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "generate"
+         ~doc:"Generate one always-evaluable grammar from a seed.")
+      Term.(
+        ret
+          (const (fun profile seed name out ->
+               try run profile seed name out
+               with Invalid_argument msg -> `Error (false, msg))
+          $ profile_arg $ seed_arg $ name_arg $ out_arg))
+  in
+  let describe_cmd =
+    let lalr_flag =
+      Arg.(
+        value & flag
+        & info [ "lalr" ]
+            ~doc:
+              "Also build LALR(1) tables and report state and unresolved \
+               conflict counts (the expensive part at xl size).")
+    in
+    let run profile seed name lalr =
+      let g =
+        Lg_corpus.Corpus_gen.generate ~name
+          (Lg_corpus.Corpus_gen.config_of_profile profile)
+          ~seed
+      in
+      match Lg_corpus.Corpus_gen.build g with
+      | Error listing -> `Error (false, listing)
+      | Ok b ->
+          let d = Lg_corpus.Corpus_gen.describe ~lalr b in
+          let row label n = Printf.printf "%-14s %d\n" label n in
+          Printf.printf "%-14s %s (%s, seed %d, %s)\n" "grammar"
+            d.Lg_corpus.Corpus_gen.d_name
+            (Lg_corpus.Corpus_gen.profile_name profile)
+            d.Lg_corpus.Corpus_gen.d_seed d.Lg_corpus.Corpus_gen.d_strategy;
+          row "terminals" d.Lg_corpus.Corpus_gen.d_terminals;
+          row "nonterminals" d.Lg_corpus.Corpus_gen.d_nonterminals;
+          row "limbs" d.Lg_corpus.Corpus_gen.d_limbs;
+          row "symbols" d.Lg_corpus.Corpus_gen.d_symbols;
+          row "attributes" d.Lg_corpus.Corpus_gen.d_attrs;
+          row "productions" d.Lg_corpus.Corpus_gen.d_productions;
+          row "rules" d.Lg_corpus.Corpus_gen.d_rules;
+          row "copy rules" d.Lg_corpus.Corpus_gen.d_copy_rules;
+          row "occurrences" d.Lg_corpus.Corpus_gen.d_occurrences;
+          row "passes" d.Lg_corpus.Corpus_gen.d_passes;
+          (match
+             ( d.Lg_corpus.Corpus_gen.d_lalr_states,
+               d.Lg_corpus.Corpus_gen.d_lalr_conflicts )
+           with
+          | Some states, Some conflicts ->
+              row "lalr states" states;
+              row "conflicts" conflicts
+          | _ -> ());
+          `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "describe"
+         ~doc:
+           "Generate and build a grammar, printing size and shape counters.")
+      Term.(
+        ret
+          (const (fun profile seed name lalr ->
+               try run profile seed name lalr
+               with Invalid_argument msg -> `Error (false, msg))
+          $ profile_arg $ seed_arg $ name_arg $ lalr_flag))
+  in
+  let emit_jobs_cmd =
+    let dir_arg =
+      Arg.(
+        required
+        & opt (some string) None
+        & info [ "dir" ] ~docv:"DIR"
+            ~doc:"Corpus root to create: grammars/, inputs/, jobs.json.")
+    in
+    let grammars_arg =
+      Arg.(
+        value
+        & opt int Lg_corpus.Emit.default.Lg_corpus.Emit.s_grammars
+        & info [ "grammars" ] ~docv:"N" ~doc:"Number of tenant grammars.")
+    in
+    let inputs_arg =
+      Arg.(
+        value
+        & opt int Lg_corpus.Emit.default.Lg_corpus.Emit.s_inputs
+        & info [ "inputs" ] ~docv:"K" ~doc:"Inputs per grammar.")
+    in
+    let input_size_arg =
+      Arg.(
+        value
+        & opt int Lg_corpus.Emit.default.Lg_corpus.Emit.s_input_size
+        & info [ "input-size" ] ~docv:"TOKENS"
+            ~doc:"Sentence size budget per input, in tokens.")
+    in
+    let fault_every_arg =
+      Arg.(
+        value
+        & opt int Lg_corpus.Emit.default.Lg_corpus.Emit.s_fault_every
+        & info [ "fault-every" ] ~docv:"N"
+            ~doc:
+              "Give every $(docv)-th disk-store job a deterministic \
+               transient-read fault spec ($(b,0) for none).")
+    in
+    let run dir seed profile n_grammars inputs input_size fault_every =
+      let spec =
+        {
+          Lg_corpus.Emit.s_seed = seed;
+          s_grammars = n_grammars;
+          s_profile = profile;
+          s_inputs = inputs;
+          s_input_size = input_size;
+          s_fault_every = fault_every;
+        }
+      in
+      let corpus = Lg_corpus.Emit.write ~dir spec in
+      Printf.eprintf
+        "corpus: %d grammars x %d inputs, %d jobs -> %s\n\
+         run with: (cd %s && linguist-cli batch jobs.json)\n\
+         %!"
+        n_grammars inputs
+        (List.length corpus.Lg_corpus.Emit.c_jobs)
+        dir dir;
+      `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "emit-jobs"
+         ~doc:
+           "Materialize a multi-tenant corpus: grammars, input fleets and \
+            one $(b,linguist_jobs:1) jobfile with mixed \
+            translate/update/check ops, store cycling and fault specs.")
+      Term.(
+        ret
+          (const (fun dir seed profile g i sz f ->
+               try run dir seed profile g i sz f with
+               | Invalid_argument msg | Failure msg -> `Error (false, msg))
+          $ dir_arg $ seed_arg $ profile_arg $ grammars_arg $ inputs_arg
+          $ input_size_arg $ fault_every_arg))
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "Seeded grammar corpus: generate always-evaluable grammars at \
+          scale and emit multi-tenant workloads (see docs/CORPUS.md).")
+    [ generate_cmd; describe_cmd; emit_jobs_cmd ]
+
 let () =
   let info =
     Cmd.info "linguist-cli" ~version:"1.0"
@@ -865,5 +1072,5 @@ let () =
           [
             check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd;
             self_cmd; stores_cmd; fsck_cmd; report_cmd; batch_cmd;
-            serve_cmd; request_cmd;
+            serve_cmd; request_cmd; corpus_cmd;
           ]))

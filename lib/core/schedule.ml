@@ -3,36 +3,82 @@ open Plan
 exception Infeasible of string
 
 (* Can the subtree rooted at a symbol contain a node labelled with [target]?
-   Precomputed transitive closure over the phrase structure. *)
+   The transitive closure of the phrase structure, as a membership
+   predicate. Computed per strongly-connected component in reverse
+   topological order — every symbol of an SCC shares one closure row, and
+   all cross-SCC successors are final when a component is popped — with
+   bitset rows, so large generated grammars (the corpus xl profile runs
+   to thousands of symbols) stay far from the naive list-based
+   fixpoint's cubic cost. *)
 let below_relation (ir : Ir.t) =
   let n = Array.length ir.symbols in
-  let below = Array.make n [] in
+  let adj = Array.make n [] in
   Array.iter
     (fun (p : Ir.production) ->
       Array.iter
         (fun s ->
-          if not (List.mem s below.(p.p_lhs)) then
-            below.(p.p_lhs) <- s :: below.(p.p_lhs))
+          if not (List.mem s adj.(p.p_lhs)) then
+            adj.(p.p_lhs) <- s :: adj.(p.p_lhs))
         p.p_rhs)
     ir.prods;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iteri
-      (fun s succs ->
-        List.iter
-          (fun s' ->
-            List.iter
-              (fun s'' ->
-                if not (List.mem s'' below.(s)) then begin
-                  below.(s) <- s'' :: below.(s);
-                  changed := true
-                end)
-              below.(s'))
-          succs)
-      below
+  let words = (n + 62) / 63 in
+  let rows = Array.make n [||] in
+  let set row s = row.(s / 63) <- row.(s / 63) lor (1 lsl (s mod 63)) in
+  let get row s = row.(s / 63) land (1 lsl (s mod 63)) <> 0 in
+  (* Tarjan: components complete only after everything reachable from
+     them, so each popped component can union final successor rows. *)
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      adj.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      let comp = pop [] in
+      let row = Array.make words 0 in
+      List.iter
+        (fun m ->
+          List.iter
+            (fun c ->
+              set row c;
+              (* final unless [c] is in this very component — then its
+                 row is still unassigned (its closure IS [row]) *)
+              if Array.length rows.(c) > 0 then
+                let rc = rows.(c) in
+                for i = 0 to words - 1 do
+                  row.(i) <- row.(i) lor rc.(i)
+                done)
+            adj.(m))
+        comp;
+      (* members of a cyclic component reach each other, matching the
+         closure the old fixpoint computed; a bit for a same-component
+         child is already set above *)
+      List.iter (fun m -> rows.(m) <- row) comp
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
   done;
-  fun sym -> sym :: below.(sym)
+  fun sym target -> target = sym || get rows.(sym) target
 
 (* Where an attribute instance's value can be found, possibly via a chain
    of subsumed copies. *)
@@ -54,7 +100,7 @@ let build (ir : Ir.t) (pr : Pass_assign.result) ~dead ~(alloc : Subsume.allocati
     List.exists
       (fun aid ->
         pr.Pass_assign.passes.(aid) = pass
-        && List.mem ir.attrs.(aid).Ir.a_sym (below sym))
+        && below sym ir.attrs.(aid).Ir.a_sym)
       syn_members_of_global.(g)
   in
   let build_prod (prod : Ir.production) pass dir =

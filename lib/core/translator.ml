@@ -15,27 +15,79 @@ let ir t = t.artifact.Driver.ir
 let plan t = t.artifact.Driver.plan
 let parse_tables t = t.tables
 
+let assemble ~intrinsics ~scanner artifact =
+  let cfg = Ir.to_cfg artifact.Driver.ir in
+  let tables = Lg_lalr.Tables.build cfg in
+  {
+    artifact;
+    cfg;
+    tables;
+    scanner = Lg_scanner.Tables.compile scanner;
+    names = Interner.create ();
+    intrinsics;
+  }
+
 let make ?options ?(intrinsics = fun _ _ -> None) ~scanner ~ag_source ~file () =
   match Driver.process ?options ~file ag_source with
   | Error diag -> Error diag
-  | Ok artifact ->
-      let cfg = Ir.to_cfg artifact.Driver.ir in
-      let tables = Lg_lalr.Tables.build cfg in
-      Ok
-        {
-          artifact;
-          cfg;
-          tables;
-          scanner = Lg_scanner.Tables.compile scanner;
-          names = Interner.create ();
-          intrinsics;
-        }
+  | Ok artifact -> Ok (assemble ~intrinsics ~scanner artifact)
 
 let make_exn ?options ?intrinsics ~scanner ~ag_source ~file () =
   match make ?options ?intrinsics ~scanner ~ag_source ~file () with
   | Ok t -> t
   | Error diag ->
       failwith (Format.asprintf "Translator.make:@.%a" Diag.pp_all diag)
+
+(* A scanner derived from the grammar itself: one identifier rule whose
+   keyword table maps every terminal name to itself, so input texts are
+   whitespace-separated terminal names. This is how generated corpus
+   grammars — whose terminals have no concrete lexical shape — get a
+   working front end without a hand-written scanner spec. *)
+let symbolic_scanner ir =
+  let keywords =
+    Array.to_list ir.Ir.symbols
+    |> List.filter_map (fun (s : Ir.symbol) ->
+           if s.Ir.s_kind = Ir.Terminal then Some (s.Ir.s_name, s.Ir.s_name)
+           else None)
+  in
+  Lg_scanner.Spec.make ~keywords ~keyword_rules:[ "SYM" ]
+    [
+      ("WS", "[ \\t\\r\\n]+", Lg_scanner.Spec.Skip);
+      ("COMMENT", "#[^\\n]*", Lg_scanner.Spec.Skip);
+      ("SYM", "[A-Za-z][A-Za-z0-9_$]*", Lg_scanner.Spec.Token);
+    ]
+
+(* Symbolic inputs carry no lexeme payload beyond the terminal name, so
+   non-conventional intrinsics default to the name's trailing digit run
+   (terminal [k7] supplies 7) — enough to give every generated grammar
+   live intrinsic values. Conventional names fall through to the
+   LINE/COL/NAME/BASENAME/TEXT/LEXVAL defaults of [leaf_of_token]. *)
+let symbolic_intrinsics (token : Lg_scanner.Engine.token) attr =
+  match attr with
+  | "LINE" | "COL" | "NAME" | "BASENAME" | "TEXT" | "LEXVAL" -> None
+  | _ ->
+      let lex = token.Lg_scanner.Engine.lexeme in
+      let n = String.length lex in
+      let i = ref n in
+      while !i > 0 && lex.[!i - 1] >= '0' && lex.[!i - 1] <= '9' do
+        decr i
+      done;
+      let v =
+        if !i < n then int_of_string (String.sub lex !i (n - !i))
+        else if n > 0 && lex.[n - 1] >= 'a' && lex.[n - 1] <= 'z' then
+          Char.code lex.[n - 1] - Char.code 'a'
+        else 0
+      in
+      Some (Value.Int v)
+
+let of_source ?options ?(intrinsics = symbolic_intrinsics) ~ag_source ~file () =
+  match Driver.process ?options ~file ag_source with
+  | Error diag -> Error diag
+  | Ok artifact ->
+      Ok
+        (assemble ~intrinsics
+           ~scanner:(symbolic_scanner artifact.Driver.ir)
+           artifact)
 
 (* Build the intrinsic slot array of a terminal occurrence. *)
 let leaf_of_token t sym (token : Lg_scanner.Engine.token) =

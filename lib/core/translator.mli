@@ -49,6 +49,37 @@ val make_exn :
   unit ->
   t
 
+val symbolic_scanner : Ir.t -> Lg_scanner.Spec.t
+(** A scanner derived from the grammar's own terminal names: one
+    identifier rule ([SYM]) whose keyword table maps every terminal name
+    to itself, plus whitespace/comment skips. Under it, an input text is
+    a whitespace-separated sequence of terminal names — the convention
+    generated corpus grammars use (see [docs/CORPUS.md]). *)
+
+val symbolic_intrinsics :
+  Lg_scanner.Engine.token -> string -> Lg_support.Value.t option
+(** The default intrinsics callback of {!of_source}: a non-conventional
+    intrinsic attribute receives the token lexeme's trailing digit run as
+    an [Int]; with no trailing digits, the alphabet index of the last
+    character ([a] = 0 .. [z] = 25, letter-named corpus terminals land
+    here), else 0. The conventional names
+    ([LINE]/[COL]/[NAME]/[BASENAME]/[TEXT]/[LEXVAL]) return [None] so the
+    standard defaults apply. *)
+
+val of_source :
+  ?options:Driver.options ->
+  ?intrinsics:
+    (Lg_scanner.Engine.token -> string -> Lg_support.Value.t option) ->
+  ag_source:string ->
+  file:string ->
+  unit ->
+  (t, Lg_support.Diag.collector) result
+(** Build a complete translator from an AG source alone: {!make} with
+    {!symbolic_scanner} derived from the checked grammar and
+    {!symbolic_intrinsics} as the default callback. This is the path
+    that serves arbitrary (e.g. corpus-generated) grammars as batch/serve
+    tenants without a hand-written scanner. *)
+
 type translation = {
   outputs : (string * Lg_support.Value.t) list;
   eval_stats : Engine.run_stats;

@@ -1,0 +1,29 @@
+(** Random attribute-grammar generation for whole-pipeline fuzzing.
+
+    Grammars come out as {e text} and go through the real front end, so
+    the scanner, parser, checker and implicit-copy-rule machinery are
+    fuzzed together with pass assignment, scheduling, subsumption, and
+    the engine/oracle pair. Generated grammars are well-formed by
+    construction (declared symbols, complete rule sets — some
+    deliberately left to the implicit copy-rule mechanism); they may
+    still be rejected by the evaluability test (circular or too many
+    passes), which callers treat as a discard, not a failure.
+
+    This is the {e adversarial} generator — its random attribute
+    dependencies probe the checker's rejection paths. {!Corpus_gen} is
+    its constructive sibling: always-evaluable grammars at scale. The
+    [rng] consumption order is part of the fuzz campaigns' reproducer
+    contract ([test_fuzz.ml] replays seeds); don't reorder draws. *)
+
+type config = {
+  n_nonterminals : int;  (** besides the root *)
+  n_terminals : int;
+  max_rhs : int;
+  max_expr_depth : int;
+}
+
+val default_config : config
+
+val generate : ?config:config -> (int -> int) -> string
+(** [generate rng] is a complete AG source text; [rng bound] must return
+    a value in [\[0, bound)]. *)

@@ -1,0 +1,453 @@
+(* Scaled attribute-grammar generation, evaluable by construction.
+
+   Where Ag_gen throws random dependencies at the checker and lets the
+   evaluability test discard what it must, this generator builds
+   grammars that are guaranteed to pass it, at any size — that is what
+   makes a deterministic corpus possible (a discard rate would make
+   "20 grammars" seed-dependent).
+
+   Phrase structure: every production of a nonterminal starts with a
+   marker terminal distinct within that nonterminal's alternatives, and
+   no production is nullable — the grammar is LL(1) by construction and
+   hence LALR(1) without conflicts. Every nonterminal has a
+   terminal-only leaf production (productivity), and [n_i]'s chain
+   production contains [n_{i+1}] (reachability); extra productions draw
+   children freely, so recursion — including mutual — is allowed and
+   input size is unbounded.
+
+   Attribute structure: [passes] stratified families. Family [p] gives
+   every nonterminal an inherited [Ip] and a synthesized [Sp]; its
+   dependencies are direction-consistent with pass [p] of the declared
+   strategy (pass 1 of [bottom_up] runs right-to-left, of
+   [recursive_descent] left-to-right, alternating after that — see
+   docs/LANGUAGE.md):
+
+   - a child's [Ip] draws from the parent's [Ip], from [Sp] of siblings
+     on the already-visited side for that direction, and from any
+     family [q < p] value (stored by an earlier pass);
+   - the parent's [Sp] draws from the children's [Sp], its own [Ip],
+     and earlier families.
+
+   Two dependencies are forced so the pass count is exactly [passes],
+   not merely at most: the root production has two [n0] children whose
+   [Ip] references the sibling's [Sp] (pinning family [p] to a pass of
+   its direction), and, for [p > 1], a child's [S(p-1)] (pinning it
+   after family [p-1]). Chain productions then propagate the pin down:
+   every explicit child rule forces the parent's [Ip], and an omitted
+   rule is the implicit copy [child.Ip = lhs.Ip] — the same dependency.
+
+   Like Ag_gen, everything else about expressions is random: arithmetic
+   over the legal reference pool, Max/IncrIfZero, occasional top-level
+   conditionals, and implicit copy-rules where the language allows
+   omission (the subsumption machinery's diet). *)
+
+type strategy = Bottom_up | Recursive_descent
+
+type config = {
+  nonterminals : int;  (** chain nonterminals besides the root *)
+  terminals : int;
+  passes : int;  (** attribute families = alternating passes *)
+  fanout : int;  (** extra rhs symbols per recursive production *)
+  extra_prods : int;  (** extra productions per nonterminal (max) *)
+  expr_depth : int;
+  strategy : strategy;
+}
+
+type profile = Small | Medium | Large | Xl
+
+let config_of_profile = function
+  | Small ->
+      {
+        nonterminals = 6;
+        terminals = 6;
+        passes = 2;
+        fanout = 2;
+        extra_prods = 2;
+        expr_depth = 2;
+        strategy = Bottom_up;
+      }
+  | Medium ->
+      {
+        nonterminals = 30;
+        terminals = 12;
+        passes = 3;
+        fanout = 3;
+        extra_prods = 2;
+        expr_depth = 2;
+        strategy = Recursive_descent;
+      }
+  | Large ->
+      {
+        nonterminals = 120;
+        terminals = 24;
+        passes = 4;
+        fanout = 3;
+        extra_prods = 3;
+        expr_depth = 2;
+        strategy = Bottom_up;
+      }
+  | Xl ->
+      {
+        nonterminals = 520;
+        terminals = 64;
+        passes = 4;
+        fanout = 3;
+        extra_prods = 3;
+        expr_depth = 2;
+        strategy = Recursive_descent;
+      }
+
+let profile_names = [ ("small", Small); ("medium", Medium); ("large", Large); ("xl", Xl) ]
+
+let profile_of_string s = List.assoc_opt (String.lowercase_ascii s) profile_names
+
+let profile_name p =
+  fst (List.find (fun (_, q) -> q = p) profile_names)
+
+type grammar = {
+  g_name : string;
+  g_seed : int;
+  g_config : config;
+  g_source : string;
+}
+
+(* Symbol names are letters only ("Na".."Nz", "Naa"..): the AG language
+   resolves repeated occurrences by numeric suffix with all trailing
+   digits stripped, so a symbol whose own name ends in a digit could
+   never be disambiguated. The capital prefix keeps any suffix clear of
+   the (all-lowercase) keyword table. *)
+let rec alpha i =
+  let last = String.make 1 (Char.chr (Char.code 'a' + (i mod 26))) in
+  if i < 26 then last else alpha ((i / 26) - 1) ^ last
+
+type sym = T of int | N of int
+
+let validate c =
+  if c.nonterminals < 2 then invalid_arg "Corpus_gen: nonterminals < 2";
+  if c.terminals < c.extra_prods + 2 then
+    invalid_arg "Corpus_gen: terminals must be >= extra_prods + 2";
+  if c.passes < 1 || c.passes > 8 then
+    invalid_arg "Corpus_gen: passes must be in 1..8";
+  if c.fanout < 1 then invalid_arg "Corpus_gen: fanout < 1"
+
+let generate ?(name = "Corpus") config ~seed =
+  validate config;
+  let rng = Prng.fn (Prng.create seed) in
+  let nt = config.nonterminals and tn = config.terminals in
+  let p_count = config.passes in
+  (* family [p] runs left-to-right iff pass [p] of the strategy does *)
+  let first_l2r = config.strategy = Recursive_descent in
+  let l2r p = if p mod 2 = 1 then first_l2r else not first_l2r in
+  let nt_name i = "N" ^ alpha i in
+  let t_name k = "T" ^ alpha k in
+  (* ----- phrase structure ----- *)
+  let marker_base = Array.init nt (fun _ -> rng tn) in
+  let marker i j = T ((marker_base.(i) + j) mod tn) in
+  let random_sym () = if rng 3 = 0 then T (rng tn) else N (rng nt) in
+  let productions = ref [] in
+  let add lhs rhs = productions := (lhs, rhs) :: !productions in
+  add `Root [ T (rng tn); N 0; N 0 ];
+  for i = 0 to nt - 1 do
+    add (`Nt i) [ marker i 0 ];
+    if i < nt - 1 then
+      add (`Nt i) (marker i 1 :: N (i + 1) :: List.init (rng config.fanout) (fun _ -> random_sym ()))
+    else add (`Nt i) [ marker i 1; T (rng tn); T (rng tn) ];
+    let n_extra = rng (config.extra_prods + 1) in
+    for j = 0 to n_extra - 1 do
+      add (`Nt i)
+        (marker i (2 + j) :: List.init (1 + rng config.fanout) (fun _ -> random_sym ()))
+    done
+  done;
+  let productions = List.rev !productions in
+  (* ----- text ----- *)
+  let buf = Buffer.create (1 lsl 16) in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "grammar %s;\nroot start;\nstrategy %s;\n" name
+    (match config.strategy with
+    | Bottom_up -> "bottom_up"
+    | Recursive_descent -> "recursive_descent");
+  addf "terminals\n";
+  for k = 0 to tn - 1 do
+    addf "  %s has intrinsic V : int;\n" (t_name k)
+  done;
+  addf "end\nnonterminals\n";
+  let families kinds =
+    String.concat ", "
+      (List.concat_map
+         (fun p ->
+           List.filter_map
+             (function
+               | `Inh -> Some (Printf.sprintf "inh I%d : int" p)
+               | `Syn -> Some (Printf.sprintf "syn S%d : int" p))
+             kinds)
+         (List.init p_count (fun p -> p + 1)))
+  in
+  addf "  start has %s;\n" (families [ `Syn ]);
+  for i = 0 to nt - 1 do
+    addf "  %s has %s;\n" (nt_name i) (families [ `Inh; `Syn ])
+  done;
+  addf "end\nlimbs\n";
+  List.iteri (fun i _ -> addf "  Limb%d has TMP : int;\n" (i + 1)) productions;
+  addf "end\nproductions\n";
+  (* ----- semantics ----- *)
+  let render_prod limb_idx (lhs, rhs) =
+    let lhs_name = match lhs with `Root -> "start" | `Nt i -> nt_name i in
+    let is_root = lhs = `Root in
+    let rhs_names =
+      List.map (function T k -> t_name k | N i -> nt_name i) rhs
+    in
+    let all = lhs_name :: rhs_names in
+    let occ_name sym_name occ_index =
+      let same =
+        List.filteri
+          (fun j n -> j <= occ_index && String.equal n sym_name)
+          all
+      in
+      let total = List.filter (String.equal sym_name) all in
+      if List.length total = 1 then sym_name
+      else Printf.sprintf "%s%d" sym_name (List.length same - 1)
+    in
+    let lhs_occ = occ_name lhs_name 0 in
+    let rhs_occ i = occ_name (List.nth rhs_names i) (i + 1) in
+    let v_ref_positions =
+      List.concat
+        (List.mapi
+           (fun i s ->
+             match s with
+             | T _ -> [ (i, Printf.sprintf "%s.V" (rhs_occ i)) ]
+             | N _ -> [])
+           rhs)
+    in
+    let v_refs = List.map snd v_ref_positions in
+    let nt_children =
+      List.concat
+        (List.mapi (fun i s -> match s with N _ -> [ i ] | T _ -> []) rhs)
+    in
+    let syn_ref pos p = Printf.sprintf "%s.S%d" (rhs_occ pos) p in
+    let lhs_inh p = Printf.sprintf "%s.I%d" lhs_occ p in
+    (* Family [q < p] values visible at a given schedule point. The pass
+       model is record-oriented: any RHS attribute — earlier-pass or
+       intrinsic included — becomes available only once the sweep reads
+       that child's record, so rules defining a child's inherited may
+       only reference positions at-or-before that child in visit order
+       ([filter]); LHS-synthesized and limb rules see everything. *)
+    let lower_refs ~filter p =
+      List.concat_map
+        (fun q ->
+          List.filter_map
+            (fun pos -> if filter pos then Some (syn_ref pos q) else None)
+            nt_children
+          @ if is_root then [] else [ lhs_inh q ])
+        (List.init (p - 1) (fun q -> q + 1))
+    in
+    let pick a = a.(rng (Array.length a)) in
+    let expr_over pool =
+      let refs = Array.of_list ("1" :: "2" :: pool) in
+      let rec expr depth =
+        if depth = 0 then pick refs
+        else
+          match rng 5 with
+          | 0 -> Printf.sprintf "(%s + %s)" (expr (depth - 1)) (expr (depth - 1))
+          | 1 -> Printf.sprintf "(%s - %s)" (expr (depth - 1)) (expr (depth - 1))
+          | 2 -> Printf.sprintf "Max(%s, %s)" (expr (depth - 1)) (expr (depth - 1))
+          | 3 ->
+              Printf.sprintf "IncrIfZero(%s, %s)" (expr (depth - 1))
+                (expr (depth - 1))
+          | _ -> pick refs
+      in
+      expr (rng (config.expr_depth + 1))
+    in
+    (* forced references keep the pass structure honest; a conditional
+       may only sit at the top of a rule, so it appears only when
+       nothing is folded around it *)
+    let top_expr ~forced pool =
+      match forced with
+      | [] ->
+          if rng 6 = 0 then
+            let refs = Array.of_list ("1" :: "2" :: pool) in
+            Printf.sprintf "if %s = %s then %s else %s endif" (pick refs)
+              (pick refs) (expr_over pool) (expr_over pool)
+          else expr_over pool
+      | _ ->
+          List.fold_left
+            (fun acc f -> Printf.sprintf "(%s + %s)" f acc)
+            (expr_over pool) forced
+    in
+    let rules = ref [] in
+    let addr target rhs_text =
+      rules := Printf.sprintf "%s = %s" target rhs_text :: !rules
+    in
+    addr
+      (Printf.sprintf "Limb%d.TMP" limb_idx)
+      (top_expr ~forced:[] (v_refs @ if is_root then [] else [ lhs_inh 1 ]));
+    for p = 1 to p_count do
+      let before pos m = if l2r p then m < pos else m > pos in
+      let at_or_before pos m = m = pos || before pos m in
+      let visited_sibs pos = List.filter (before pos) nt_children in
+      let nearest_sib pos =
+        match visited_sibs pos with
+        | [] -> None
+        | sibs ->
+            Some
+              (if l2r p then List.nth sibs (List.length sibs - 1)
+               else List.hd sibs)
+      in
+      (* children's inherited *)
+      List.iter
+        (fun pos ->
+          let sib_refs = List.map (fun j -> syn_ref j p) (visited_sibs pos) in
+          let pool =
+            sib_refs
+            @ lower_refs ~filter:(at_or_before pos) p
+            @ List.filter_map
+                (fun (m, r) -> if at_or_before pos m then Some r else None)
+                v_ref_positions
+          in
+          let forced =
+            (match nearest_sib pos with
+            | Some j -> [ syn_ref j p ]
+            | None -> [])
+            @
+            if is_root then
+              (* the child's own S(p-1): stored by the previous pass, read
+                 with the child's record, so legal here — and it pins
+                 family p strictly after family p-1 *)
+              if p > 1 then [ syn_ref pos (p - 1) ] else []
+            else [ lhs_inh p ]
+          in
+          let implicit_ok = not is_root in
+          if not (implicit_ok && rng 3 = 0) then
+            addr
+              (Printf.sprintf "%s.I%d" (rhs_occ pos) p)
+              (top_expr ~forced pool))
+        nt_children;
+      (* lhs synthesized *)
+      let child_refs = List.map (fun j -> syn_ref j p) nt_children in
+      let pool =
+        child_refs
+        @ lower_refs ~filter:(fun _ -> true) p
+        @ v_refs
+        @ if is_root then [] else [ lhs_inh p ]
+      in
+      let forced =
+        (match child_refs with c :: _ -> [ c ] | [] -> [])
+        @ if nt_children = [] && not is_root then [ lhs_inh p ] else []
+      in
+      let implicit_ok = List.length nt_children = 1 in
+      if not (implicit_ok && rng 3 = 0) then
+        addr (Printf.sprintf "%s.S%d" lhs_occ p) (top_expr ~forced pool)
+    done;
+    let rhs_text =
+      String.concat " " (List.mapi (fun i _ -> rhs_occ i) rhs_names)
+    in
+    addf "  %s ::= %s -> Limb%d :\n    %s;\n" lhs_occ rhs_text limb_idx
+      (String.concat ",\n    " (List.rev !rules))
+  in
+  List.iteri (fun i prod -> render_prod (i + 1) prod) productions;
+  addf "end\n";
+  { g_name = name; g_seed = seed; g_config = config; g_source = Buffer.contents buf }
+
+(* ----- building and deriving workloads ----- *)
+
+type built = {
+  b_grammar : grammar;
+  b_artifact : Linguist.Driver.artifact;
+  b_cfg : Lg_grammar.Cfg.t;
+  b_analysis : Lg_grammar.Analysis.t;
+}
+
+let build g =
+  let file = g.g_name ^ ".ag" in
+  (* no listing or generated code: at xl scale those overlays dwarf the
+     analysis itself, and corpus consumers only want the artifact *)
+  let options =
+    {
+      Linguist.Driver.default_options with
+      Linguist.Driver.emit_listing = false;
+      emit_code = false;
+    }
+  in
+  match Linguist.Driver.process ~options ~file g.g_source with
+  | Error diag ->
+      Error (Linguist.Listing.errors_only ~source:g.g_source ~file diag)
+  | Ok artifact ->
+      let cfg = Linguist.Ir.to_cfg artifact.Linguist.Driver.ir in
+      Ok { b_grammar = g; b_artifact = artifact; b_cfg = cfg;
+           b_analysis = Lg_grammar.Analysis.compute cfg }
+
+let build_exn g =
+  match build g with
+  | Ok b -> b
+  | Error msg ->
+      failwith (Printf.sprintf "Corpus_gen.build %s (seed %d): %s" g.g_name g.g_seed msg)
+
+let sentence_tokens b ~seed ~size =
+  let rng = Prng.fn (Prng.create seed) in
+  Lg_grammar.Sentence_gen.sentence b.b_cfg b.b_analysis ~rng ~size
+
+let sentence b ~seed ~size =
+  let ts = sentence_tokens b ~seed ~size in
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char buf (if i mod 12 = 0 then '\n' else ' ');
+      Buffer.add_string buf (Lg_grammar.Cfg.terminal_name b.b_cfg t))
+    ts;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+type description = {
+  d_name : string;
+  d_seed : int;
+  d_strategy : string;
+  d_terminals : int;
+  d_nonterminals : int;
+  d_limbs : int;
+  d_symbols : int;
+  d_attrs : int;
+  d_productions : int;
+  d_rules : int;
+  d_copy_rules : int;
+  d_occurrences : int;
+  d_passes : int;
+  d_lalr_states : int option;
+  d_lalr_conflicts : int option;
+}
+
+let describe ?(lalr = false) b =
+  let ir = b.b_artifact.Linguist.Driver.ir in
+  let stats = Linguist.Ir.stats ir in
+  let count kind =
+    Array.fold_left
+      (fun n (s : Linguist.Ir.symbol) ->
+        if s.Linguist.Ir.s_kind = kind then n + 1 else n)
+      0 ir.Linguist.Ir.symbols
+  in
+  let states, conflicts =
+    if not lalr then (None, None)
+    else
+      let tables = Lg_lalr.Tables.build b.b_cfg in
+      ( Some (Lg_lalr.Tables.state_count tables),
+        Some (List.length (Lg_lalr.Tables.unresolved_conflicts tables)) )
+  in
+  {
+    d_name = b.b_grammar.g_name;
+    d_seed = b.b_grammar.g_seed;
+    d_strategy =
+      (match b.b_grammar.g_config.strategy with
+      | Bottom_up -> "bottom_up"
+      | Recursive_descent -> "recursive_descent");
+    d_terminals = count Linguist.Ir.Terminal;
+    d_nonterminals = count Linguist.Ir.Nonterminal;
+    d_limbs = count Linguist.Ir.Limb;
+    d_symbols = stats.Linguist.Ir.n_symbols;
+    d_attrs = stats.Linguist.Ir.n_attrs;
+    d_productions = stats.Linguist.Ir.n_prods;
+    d_rules = stats.Linguist.Ir.n_rules;
+    d_copy_rules = stats.Linguist.Ir.n_copy_rules;
+    d_occurrences = stats.Linguist.Ir.n_occurrences;
+    d_passes =
+      b.b_artifact.Linguist.Driver.passes.Linguist.Pass_assign.n_passes;
+    d_lalr_states = states;
+    d_lalr_conflicts = conflicts;
+  }

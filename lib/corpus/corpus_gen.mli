@@ -1,0 +1,93 @@
+(** Seeded generation of large, always-evaluable attribute grammars.
+
+    The constructive sibling of {!Ag_gen}: where that generator throws
+    random dependencies at the checker and accepts a discard rate, this
+    one builds grammars guaranteed to pass the evaluability test with a
+    pass count pinned to [config.passes], and to build conflict-free
+    LALR(1) tables — at an order of magnitude past [linguist.ag]. That
+    guarantee is what makes a {e deterministic} corpus possible: a
+    seed + config names an exact fleet of grammars, inputs, and jobs.
+
+    Construction, briefly (details atop [corpus_gen.ml]): productions
+    lead with per-nonterminal distinct marker terminals (LL(1), hence
+    LALR(1) without conflicts); attributes come in [passes] stratified
+    families [Ip]/[Sp] whose dependencies are direction-consistent with
+    pass [p] of the declared strategy, with forced sibling and
+    cross-family references pinning the pass count exactly. *)
+
+type strategy = Bottom_up | Recursive_descent
+
+type config = {
+  nonterminals : int;  (** chain nonterminals besides the root *)
+  terminals : int;
+  passes : int;  (** attribute families = alternating passes *)
+  fanout : int;  (** extra rhs symbols per recursive production *)
+  extra_prods : int;  (** extra productions per nonterminal (max) *)
+  expr_depth : int;
+  strategy : strategy;
+}
+
+type profile = Small | Medium | Large | Xl
+
+val config_of_profile : profile -> config
+val profile_of_string : string -> profile option
+val profile_name : profile -> string
+val profile_names : (string * profile) list
+
+type grammar = {
+  g_name : string;
+  g_seed : int;
+  g_config : config;
+  g_source : string;  (** complete AG source text *)
+}
+
+val generate : ?name:string -> config -> seed:int -> grammar
+(** Deterministic: same [name], [config] and [seed] yield byte-identical
+    source on any machine.
+    @raise Invalid_argument on nonsensical configs (notably
+    [terminals < extra_prods + 2], which marker distinctness needs). *)
+
+type built = {
+  b_grammar : grammar;
+  b_artifact : Linguist.Driver.artifact;
+  b_cfg : Lg_grammar.Cfg.t;
+  b_analysis : Lg_grammar.Analysis.t;
+}
+
+val build : grammar -> (built, string) result
+(** Run the real front end ({!Linguist.Driver.process}) on the generated
+    text. [Error] carries the diagnostic listing — for a generator bug,
+    since corpus grammars are evaluable by construction. *)
+
+val build_exn : grammar -> built
+
+val sentence_tokens : built -> seed:int -> size:int -> int list
+(** Terminal indices of a seeded {!Lg_grammar.Sentence_gen} derivation. *)
+
+val sentence : built -> seed:int -> size:int -> string
+(** The same derivation rendered as scanner-ready input text: terminal
+    names, whitespace-separated (the symbolic scanner of
+    {!Linguist.Translator.of_source} tokenizes exactly these). *)
+
+type description = {
+  d_name : string;
+  d_seed : int;
+  d_strategy : string;
+  d_terminals : int;
+  d_nonterminals : int;
+  d_limbs : int;
+  d_symbols : int;
+  d_attrs : int;
+  d_productions : int;
+  d_rules : int;
+  d_copy_rules : int;
+  d_occurrences : int;
+  d_passes : int;
+  d_lalr_states : int option;  (** only when [describe ~lalr:true] *)
+  d_lalr_conflicts : int option;  (** unresolved; 0 for corpus grammars *)
+}
+
+val describe : ?lalr:bool -> built -> description
+(** Size and shape counters ([lalr] defaults to [false]: table
+    construction is the expensive part and xl-profile describes skip
+    it). *)

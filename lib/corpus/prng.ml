@@ -1,0 +1,34 @@
+(* A self-contained splitmix64 so corpus generation is bit-stable across
+   OCaml releases — [Random.State]'s sequence is not part of the stdlib's
+   compatibility contract, and committed corpus baselines gate on the
+   exact grammars these streams produce. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* the top bits are the well-mixed ones; a modulo bias of < 2^-50 for
+     the small bounds used here is irrelevant *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 2) (Int64.of_int bound))
+
+let fn t bound = int t bound
+
+let derive seed salt =
+  let t = create seed in
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int (salt + 1)) golden);
+  Int64.to_int (Int64.shift_right_logical (next t) 2)

@@ -1,0 +1,22 @@
+(** A deterministic splitmix64 stream.
+
+    Corpus generation must be bit-stable across machines and OCaml
+    releases (committed baselines gate on the exact corpus a seed
+    produces), so it never touches [Random] — every random choice draws
+    from one of these streams. *)
+
+type t
+
+val create : int -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val fn : t -> int -> int
+(** [fn t] partially applied is the [int -> int] closure shape that
+    {!Ag_gen.generate} and {!Lg_grammar.Sentence_gen} consume. *)
+
+val derive : int -> int -> int
+(** [derive seed salt]: a stable nonnegative sub-seed, so one spec seed
+    fans out into independent per-grammar and per-input streams. *)

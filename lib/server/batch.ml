@@ -152,6 +152,15 @@ let update_payload ~outputs ~tree_size ~input_lines =
       ("input_lines", int input_lines);
     ]
 
+(* Resolve a translate/update tenant to its cached translator session:
+   built-ins by name, grammar files by content digest (two jobs naming
+   the same .ag text share one compilation). *)
+let tenant_translator ~sessions = function
+  | Jobfile.Language lang -> Session.language_session sessions lang
+  | Jobfile.Grammar path ->
+      Session.translator_session sessions ~file:path ~source:(read_file path)
+        ()
+
 let count_lines source =
   let n = String.length source in
   let lines = ref 0 in
@@ -236,8 +245,8 @@ let run_job ~sessions ?incremental (j : Jobfile.job) =
           Lg_languages.Linguist_ag.analyze ~engine_options ~translator source
         in
         finish ~ok:true ~code:0 ~error:None (analyze_payload a)
-    | Jobfile.Translate lang -> (
-        let session = Session.language_session sessions lang in
+    | Jobfile.Translate tenant -> (
+        let session = tenant_translator ~sessions tenant in
         let translator =
           match session.Session.s_payload with
           | Session.Translator t -> t
@@ -251,8 +260,8 @@ let run_job ~sessions ?incremental (j : Jobfile.job) =
         | Error diag ->
             failed ~code:1
               (Linguist.Listing.errors_only ~source ~file:j.Jobfile.j_file diag))
-    | Jobfile.Update lang -> (
-        let session = Session.language_session sessions lang in
+    | Jobfile.Update tenant -> (
+        let session = tenant_translator ~sessions tenant in
         let translator =
           match session.Session.s_payload with
           | Session.Translator t -> t

@@ -1,4 +1,5 @@
-type op = Check | Analyze | Translate of string | Update of string
+type tenant = Language of string | Grammar of string
+type op = Check | Analyze | Translate of tenant | Update of tenant
 
 type job = {
   j_id : string;
@@ -53,7 +54,10 @@ let job_to_json j =
   Obj
     ([ ("id", Str j.j_id); ("op", Str (op_name j.j_op)) ]
     @ (match j.j_op with
-      | Translate lang | Update lang -> [ ("language", Str lang) ]
+      | Translate (Language lang) | Update (Language lang) ->
+          [ ("language", Str lang) ]
+      | Translate (Grammar path) | Update (Grammar path) ->
+          [ ("grammar", Str path) ]
       | Check | Analyze -> [])
     @ [ ("file", Str j.j_file) ]
     @ opt "doc" (fun d -> Str d) j.j_doc
@@ -89,6 +93,7 @@ let job_of_json ~index doc =
       let* id = str_member "id" doc in
       let* op_str = str_member "op" doc in
       let* language = str_member "language" doc in
+      let* grammar = str_member "grammar" doc in
       let* doc_id = str_member "doc" doc in
       let* file = str_member "file" doc in
       let* store = str_member "store" doc in
@@ -96,16 +101,28 @@ let job_of_json ~index doc =
       let* faults_str = str_member "faults" doc in
       let* depth_budget = int_member "depth_budget" doc in
       let* node_budget = int_member "node_budget" doc in
+      let* tenant =
+        match (language, grammar) with
+        | Some _, Some _ ->
+            Error "\"language\" and \"grammar\" are mutually exclusive"
+        | Some lang, None -> Ok (Some (Language lang))
+        | None, Some path -> Ok (Some (Grammar path))
+        | None, None -> Ok None
+      in
       let* op =
-        match (op_str, language) with
+        match (op_str, tenant) with
         | Some "check", None -> Ok Check
         | Some "analyze", None -> Ok Analyze
-        | Some "translate", Some lang -> Ok (Translate lang)
-        | Some "translate", None -> Error "op \"translate\" needs a \"language\""
-        | Some "update", Some lang -> Ok (Update lang)
-        | Some "update", None -> Error "op \"update\" needs a \"language\""
+        | Some "translate", Some t -> Ok (Translate t)
+        | Some "translate", None ->
+            Error "op \"translate\" needs a \"language\" or a \"grammar\""
+        | Some "update", Some t -> Ok (Update t)
+        | Some "update", None ->
+            Error "op \"update\" needs a \"language\" or a \"grammar\""
         | Some ("check" | "analyze"), Some _ ->
-            Error "\"language\" only applies to ops \"translate\" and \"update\""
+            Error
+              "\"language\"/\"grammar\" only apply to ops \"translate\" and \
+               \"update\""
         | Some other, _ -> Error (Printf.sprintf "unknown op %S" other)
         | None, _ -> Error "missing \"op\""
       in

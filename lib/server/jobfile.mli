@@ -16,13 +16,16 @@
 
     Operations: ["check"] (native driver diagnostics), ["analyze"] (the
     self-hosted evaluator generated from [linguist.ag] over an [.ag]
-    source — a full parallel evaluator run), ["translate"] (a built-in
-    language translator over an input text; see
-    {!Session.language_names}), and ["update"] (an incremental
+    source — a full parallel evaluator run), ["translate"] (a tenant
+    translator over an input text), and ["update"] (an incremental
     re-translation: like ["translate"], but when the batch/serve run has
     [--incremental] on, successive updates to the same ["doc"] diff
     against the cached tree and re-fire only the edit's consequences —
-    see [docs/INCREMENTAL.md]). Every field but [op] and [file] is
+    see [docs/INCREMENTAL.md]). ["translate"]/["update"] name their
+    tenant with exactly one of ["language"] (a built-in; see
+    {!Session.language_names}) or ["grammar"] (a path to an [.ag]
+    source compiled on demand — the corpus multi-tenant path, see
+    [docs/CORPUS.md]). Every field but [op] and [file] is
     optional: [id] defaults to ["job-N"] (1-based position), [doc] (only
     valid on ["update"]) to the job's [file] path, [store] to ["mem"],
     budgets to the engine defaults, [faults] (a [SEED:RATE:KINDS] spec
@@ -33,11 +36,21 @@
     {!to_string} emits a document that re-reads to the same list, which
     the golden round-trip in [test_cli.ml] pins. *)
 
+type tenant =
+  | Language of string
+      (** a built-in language translator; see {!Session.language_names} *)
+  | Grammar of string
+      (** path to an [.ag] source compiled on demand into a translator
+          with the grammar-derived symbolic scanner
+          ({!Linguist.Translator.of_source}) — the multi-tenant path
+          corpus workloads use (see [docs/CORPUS.md]). Sessions are
+          keyed by the grammar file's content digest. *)
+
 type op =
   | Check
   | Analyze
-  | Translate of string  (** language name *)
-  | Update of string  (** language name; incremental re-translation *)
+  | Translate of tenant
+  | Update of tenant  (** incremental re-translation *)
 
 type job = {
   j_id : string;

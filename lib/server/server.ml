@@ -75,9 +75,23 @@ type state = {
    inline source, diff/propagate against the document's cached state
    (when --incremental is on), answer outputs + evaluation-mode
    statistics. *)
-let run_update st ~lang ~doc ~source =
-  match Session.language_session st.sessions lang with
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let tenant_session st = function
+  | Jobfile.Language lang -> Session.language_session st.sessions lang
+  | Jobfile.Grammar path ->
+      Session.translator_session st.sessions ~file:path
+        ~source:(read_file path) ()
+
+let run_update st ~tenant ~doc ~source =
+  match tenant_session st tenant with
   | exception Failure msg -> error_response msg []
+  | exception Sys_error msg -> error_response msg []
   | session -> (
       let translator =
         match session.Session.s_payload with
@@ -220,14 +234,29 @@ let handle_request st doc =
       let str name =
         match member name doc with Some (Str s) -> Some s | _ -> None
       in
-      match (str "language", str "source") with
-      | None, _ -> error_response "op \"update\" needs a \"language\"" []
+      let tenant =
+        match (str "language", str "grammar") with
+        | Some _, Some _ -> Error "\"language\" and \"grammar\" are mutually exclusive"
+        | Some lang, None -> Ok (Jobfile.Language lang)
+        | None, Some path -> Ok (Jobfile.Grammar path)
+        | None, None ->
+            Error "op \"update\" needs a \"language\" or a \"grammar\""
+      in
+      match (tenant, str "source") with
+      | Error msg, _ -> error_response msg []
       | _, None -> error_response "op \"update\" needs a \"source\"" []
-      | Some lang, Some source -> (
-          let doc_id = Option.value (str "doc") ~default:("<" ^ lang ^ ">") in
+      | Ok tenant, Some source -> (
+          let tenant_name =
+            match tenant with
+            | Jobfile.Language lang -> lang
+            | Jobfile.Grammar path -> path
+          in
+          let doc_id =
+            Option.value (str "doc") ~default:("<" ^ tenant_name ^ ">")
+          in
           match
             Pool.submit st.pool (fun () ->
-                run_update st ~lang ~doc:doc_id ~source)
+                run_update st ~tenant ~doc:doc_id ~source)
           with
           | Error { Pool.rj_depth; rj_capacity } ->
               error_response "saturated"

@@ -317,6 +317,19 @@ let grammar_session c ?(options = Linguist.Driver.default_options) ~file ~source
           failwith (Linguist.Listing.errors_only ~source ~file diag))
     ()
 
+let translator_session c ?options ~file ~source () =
+  let key = digest ~kind:"translator" ~source in
+  find_or_build c ~digest:key
+    ~label:("translator:" ^ Filename.basename file)
+    ~build:(fun () ->
+      match
+        Linguist.Translator.of_source ?options ~ag_source:source ~file ()
+      with
+      | Ok t -> Translator t
+      | Error diag ->
+          failwith (Linguist.Listing.errors_only ~source ~file diag))
+    ()
+
 let languages :
     (string * (unit -> Linguist.Translator.t)) list =
   [

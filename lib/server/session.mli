@@ -142,6 +142,22 @@ val grammar_session :
     @raise Failure with the rendered diagnostics when the grammar has
     errors. *)
 
+val translator_session :
+  cache ->
+  ?options:Linguist.Driver.options ->
+  file:string ->
+  source:string ->
+  unit ->
+  t
+(** A {!Translator} session for an arbitrary [.ag] source — compiled
+    with the grammar-derived symbolic scanner
+    ({!Linguist.Translator.of_source}), keyed by the source's content
+    digest. This is how ["grammar"]-tenant translate/update jobs share
+    one compilation per distinct grammar text (the corpus multi-tenant
+    path; see [docs/CORPUS.md]).
+    @raise Failure with the rendered diagnostics when the grammar has
+    errors. *)
+
 val language_session : cache -> string -> t
 (** A {!Translator} session for a built-in language — one of
     {!language_names}: ["desk_calc"], ["assembler"], ["knuth_binary"],

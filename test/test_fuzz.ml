@@ -8,6 +8,7 @@
    the campaign greedily drops productions from the generated source while
    the failure persists and reports the minimized reproducer. *)
 open Linguist
+module Ag_gen = Lg_corpus.Ag_gen
 
 type verdict =
   | Accepted  (** evaluable; differential checks ran and passed *)

@@ -464,10 +464,10 @@ let test_jobfile_update_roundtrip () =
   let jobs =
     [
       Lg_server.Jobfile.make ~id:"u1"
-        ~op:(Lg_server.Jobfile.Update "desk_calc")
+        ~op:(Lg_server.Jobfile.Update (Lg_server.Jobfile.Language "desk_calc"))
         ~doc:"buffer-7" ~file:"in.calc" ();
       Lg_server.Jobfile.make ~id:"u2"
-        ~op:(Lg_server.Jobfile.Update "desk_calc")
+        ~op:(Lg_server.Jobfile.Update (Lg_server.Jobfile.Language "desk_calc"))
         ~file:"other.calc" ();
     ]
   in
@@ -477,7 +477,7 @@ let test_jobfile_update_roundtrip () =
       Alcotest.(check int) "both jobs survive" 2 (List.length parsed);
       let j1 = List.hd parsed and j2 = List.nth parsed 1 in
       (match j1.Lg_server.Jobfile.j_op with
-      | Lg_server.Jobfile.Update lang ->
+      | Lg_server.Jobfile.Update (Lg_server.Jobfile.Language lang) ->
           Alcotest.(check string) "language survives" "desk_calc" lang
       | _ -> Alcotest.fail "op changed kind");
       Alcotest.(check (option string))
@@ -521,7 +521,7 @@ let test_batch_update_jobs_deterministic () =
   close_out oc;
   let job =
     Lg_server.Jobfile.make ~id:"u"
-      ~op:(Lg_server.Jobfile.Update "desk_calc")
+      ~op:(Lg_server.Jobfile.Update (Lg_server.Jobfile.Language "desk_calc"))
       ~doc:"prog" ~file:path ()
   in
   let sessions = Lg_server.Session.create_cache () in

@@ -313,7 +313,7 @@ let test_jobfile_roundtrip () =
       Jobfile.make ~id:"calc" ~op:Jobfile.Check ~file:"a.ag" ();
       Jobfile.make ~id:"full" ~store:"paged" ~page_size:512 ~faults
         ~depth_budget:1000 ~node_budget:50 ~op:Jobfile.Analyze ~file:"b.ag" ();
-      Jobfile.make ~id:"tr" ~op:(Jobfile.Translate "desk_calc") ~file:"in.calc"
+      Jobfile.make ~id:"tr" ~op:(Jobfile.Translate (Jobfile.Language "desk_calc")) ~file:"in.calc"
         ();
     ]
   in
@@ -412,6 +412,49 @@ let test_batch_fault_isolation () =
     (Lg_support.Json_out.to_string (Batch.to_json sequential))
     (Lg_support.Json_out.to_string (Batch.to_json pooled))
 
+(* The corpus differential: a generated multi-tenant workload — many
+   grammars, interleaved tenants, mixed translate/update ops, mixed
+   stores, fault specs — run through the pool must produce a document
+   byte-identical to the sequential run. This extends the differential
+   beyond hand-written grammars to the generated corpus. *)
+let test_batch_corpus_differential () =
+  let dir = Filename.temp_file "server_corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let spec =
+    {
+      Lg_corpus.Emit.s_seed = 3;
+      s_grammars = 5;
+      s_profile = Lg_corpus.Corpus_gen.Small;
+      s_inputs = 4;
+      s_input_size = 30;
+      s_fault_every = 5;
+    }
+  in
+  let corpus = Lg_corpus.Emit.write ~dir spec in
+  let old = Sys.getcwd () in
+  Sys.chdir dir;
+  Fun.protect ~finally:(fun () -> Sys.chdir old) @@ fun () ->
+  let sequential = Batch.run_sequential corpus.Lg_corpus.Emit.c_jobs in
+  Alcotest.(check int) "corpus workload is all-ok" 0
+    sequential.Batch.n_failed;
+  let doc s = Lg_support.Json_out.to_string (Batch.to_json s) in
+  List.iter
+    (fun workers ->
+      let pooled = Batch.run ~workers corpus.Lg_corpus.Emit.c_jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "%d workers byte-identical to sequential" workers)
+        (doc sequential) (doc pooled))
+    [ 2; 4 ]
+
 let test_batch_missing_file () =
   let jobs = [ Jobfile.make ~op:Jobfile.Check ~file:"/nonexistent.ag" () ] in
   let s = Batch.run_sequential jobs in
@@ -475,5 +518,7 @@ let () =
             test_batch_fault_isolation;
           Alcotest.test_case "missing input is a per-job failure" `Quick
             test_batch_missing_file;
+          Alcotest.test_case "corpus pooled = sequential, byte-identical"
+            `Quick test_batch_corpus_differential;
         ] );
     ]
