@@ -1235,6 +1235,206 @@ let corpus_bench () =
   close_out oc;
   rowf "  wrote BENCH_corpus.json\n"
 
+(* ============ server-layer chaos: supervision under injected faults ============ *)
+
+(* The serving sibling of [faults_bench]: where that one injects
+   transient EIO under the APT pager, this one injects worker crashes
+   and wedges above the store stack and measures what the supervision
+   layer (docs/SERVER.md) makes of them. Chaos rolls are a pure
+   function of (seed, job id, relative file path), so the injected-job
+   set — and therefore every gated count — is machine-independent;
+   only the wall/recovery keys (named with "seconds") vary, and the
+   diff gate treats those as informational. *)
+
+let chaos_bench () =
+  section "Chaos: supervised pool under deterministic server-layer faults";
+  let metric_counter metrics name =
+    match Lg_support.Metrics.find metrics name with
+    | Some (Lg_support.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let corpus =
+    [
+      ("desk_calc.ag", Desk_calc.ag_source);
+      ("assembler.ag", Assembler.ag_source);
+      ("knuth_binary.ag", Knuth_binary.ag_source);
+      ("pascal_subset.ag", Pascal_ag.ag_source);
+      ("linguist.ag", Linguist_ag.ag_source);
+    ]
+  in
+  let dir = Filename.temp_file "linguist-bench-chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  List.iter
+    (fun (name, source) ->
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc source;
+      close_out oc)
+    corpus;
+  let old_cwd = Sys.getcwd () in
+  (* jobs name their grammars by relative path, so the chaos rolls do
+     not depend on the temp directory *)
+  Sys.chdir dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir old_cwd;
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let repeats = 4 in
+  let jobs_over names =
+    List.concat_map
+      (fun name ->
+        List.init repeats (fun i ->
+            Lg_server.Jobfile.make
+              ~id:(Printf.sprintf "%s#%d" name i)
+              ~op:Lg_server.Jobfile.Analyze ~file:name ()))
+      names
+  in
+  (* one tenant (the self-hosted analyzer) takes every crash, so the
+     quarantine threshold is parked out of the way: its admission
+     control is exercised by the test suite; this table measures the
+     supervision costs *)
+  let fresh_sessions () =
+    Lg_server.Session.create_cache ~quarantine_after:1_000 ()
+  in
+  let payloads (s : Lg_server.Batch.summary) =
+    List.filter_map
+      (fun (o : Lg_server.Batch.outcome) ->
+        if o.Lg_server.Batch.o_ok then
+          Some
+            ( o.Lg_server.Batch.o_id,
+              Lg_support.Json_out.to_string o.Lg_server.Batch.o_payload )
+        else None)
+      s.Lg_server.Batch.outcomes
+  in
+  let jobs = jobs_over (List.map fst corpus) in
+  let n_jobs = List.length jobs in
+  let base = payloads (Lg_server.Batch.run_sequential ~sessions:(fresh_sessions ()) jobs) in
+  (* 1. a crash storm: every injected job costs its worker domain *)
+  let crash_spec =
+    { Lg_server.Chaos.c_seed = 11; c_rate = 0.15; c_kinds = [ Lg_server.Chaos.Crash ] }
+  in
+  let crash_metrics = Lg_support.Metrics.create () in
+  let s_crash =
+    Lg_server.Batch.run ~workers:4 ~sessions:(fresh_sessions ())
+      ~metrics:crash_metrics
+      ~chaos:(Lg_server.Chaos.create ~metrics:crash_metrics crash_spec)
+      jobs
+  in
+  let crash_failures =
+    List.filter (fun (o : Lg_server.Batch.outcome) -> not o.Lg_server.Batch.o_ok)
+      s_crash.Lg_server.Batch.outcomes
+  in
+  let crash_typed =
+    List.for_all (fun (o : Lg_server.Batch.outcome) -> o.Lg_server.Batch.o_exit = 51)
+      crash_failures
+  in
+  let survivors = payloads s_crash in
+  let identical =
+    List.for_all
+      (fun (id, p) -> List.assoc_opt id base = Some p)
+      survivors
+  in
+  let restarts = metric_counter crash_metrics "server.worker_restarts" in
+  rowf "  %-34s %8s %8s %10s %10s\n" "scenario" "jobs" "failed" "restarts"
+    "wall ms";
+  rowf "  %-34s %8d %8d %10d %10.1f\n"
+    (Printf.sprintf "crash storm (%s)" (Lg_server.Chaos.render_spec crash_spec))
+    n_jobs s_crash.Lg_server.Batch.n_failed restarts
+    (1000.0 *. s_crash.Lg_server.Batch.wall_seconds);
+  rowf "  shape: failures all typed 51: %b; survivors byte-identical: %b\n"
+    crash_typed identical;
+  (* 2. wedged workers against the watchdog: injected jobs sleep well
+     past the deadline budget, healthy ones finish well inside it *)
+  let wedge_names = [ "desk_calc.ag"; "assembler.ag"; "knuth_binary.ag" ] in
+  let wedge_jobs = jobs_over wedge_names in
+  let wedge_spec =
+    { Lg_server.Chaos.c_seed = 7; c_rate = 0.1; c_kinds = [ Lg_server.Chaos.Wedge ] }
+  in
+  let deadline = 1.0 in
+  let wedge_metrics = Lg_support.Metrics.create () in
+  let s_wedge =
+    Lg_server.Batch.run ~workers:4 ~sessions:(fresh_sessions ())
+      ~metrics:wedge_metrics ~deadline
+      ~chaos:(Lg_server.Chaos.create ~wedge:1.5 ~metrics:wedge_metrics wedge_spec)
+      wedge_jobs
+  in
+  let wedge_failures =
+    List.filter (fun (o : Lg_server.Batch.outcome) -> not o.Lg_server.Batch.o_ok)
+      s_wedge.Lg_server.Batch.outcomes
+  in
+  let wedge_typed =
+    List.for_all (fun (o : Lg_server.Batch.outcome) -> o.Lg_server.Batch.o_exit = 50)
+      wedge_failures
+  in
+  rowf "  %-34s %8d %8d %10d %10.1f\n"
+    (Printf.sprintf "wedge vs %.1fs deadline (%s)" deadline
+       (Lg_server.Chaos.render_spec wedge_spec))
+    (List.length wedge_jobs)
+    s_wedge.Lg_server.Batch.n_failed
+    (metric_counter wedge_metrics "server.worker_restarts")
+    (1000.0 *. s_wedge.Lg_server.Batch.wall_seconds);
+  rowf "  shape: failures all typed 50: %b\n" wedge_typed;
+  (* 3. recovery latency: how long the first job after a worker crash
+     waits for the respawned domain *)
+  let pool = Lg_server.Pool.create ~workers:2 ~queue_capacity:8 () in
+  let recovery_seconds =
+    Fun.protect ~finally:(fun () -> Lg_server.Pool.drain pool) @@ fun () ->
+    (match
+       Lg_server.Pool.submit pool (fun () ->
+           raise (Lg_server.Pool.Crash "bench"))
+     with
+    | Ok h -> ignore (Lg_server.Pool.await h)
+    | Error _ -> ());
+    let (), seconds =
+      wall_time (fun () ->
+          match Lg_server.Pool.submit pool (fun () -> ()) with
+          | Ok h -> ignore (Lg_server.Pool.await h)
+          | Error _ -> ())
+    in
+    seconds
+  in
+  rowf "  first job after a worker crash: %.2f ms\n" (1000.0 *. recovery_seconds);
+  let json =
+    let open Lg_support.Json_out in
+    Obj
+      [
+        ( "workload",
+          Str
+            (Printf.sprintf "analyze x%d over %d embedded grammars" repeats
+               (List.length corpus)) );
+        ("jobs", int n_jobs);
+        ( "crash",
+          Obj
+            [
+              ("spec", Str (Lg_server.Chaos.render_spec crash_spec));
+              ("failed", int s_crash.Lg_server.Batch.n_failed);
+              ("worker_restarts", int restarts);
+              ("failures_typed_51", Bool crash_typed);
+              ("survivors_byte_identical", Bool identical);
+              ("wall_seconds", Num s_crash.Lg_server.Batch.wall_seconds);
+            ] );
+        ( "wedge",
+          Obj
+            [
+              ("spec", Str (Lg_server.Chaos.render_spec wedge_spec));
+              ("deadline_budget_seconds", Num deadline);
+              ("jobs", int (List.length wedge_jobs));
+              ("failed", int s_wedge.Lg_server.Batch.n_failed);
+              ("failures_typed_50", Bool wedge_typed);
+              ("wall_seconds", Num s_wedge.Lg_server.Batch.wall_seconds);
+            ] );
+        ( "recovery",
+          Obj [ ("post_crash_first_job_seconds", Num recovery_seconds) ] );
+      ]
+  in
+  let oc = open_out (Filename.concat old_cwd "BENCH_chaos.json") in
+  output_string oc (Lg_support.Json_out.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  rowf "  wrote BENCH_chaos.json\n"
+
 (* ---------- driver ---------- *)
 
 let all =
@@ -1244,6 +1444,7 @@ let all =
     ("schulz", schulz_ablation); ("stores", store_bench);
     ("faults", faults_bench); ("batch", batch_bench);
     ("incremental", incremental_bench); ("corpus", corpus_bench);
+    ("chaos", chaos_bench);
   ]
 
 let run_experiments args =

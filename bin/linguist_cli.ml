@@ -660,6 +660,53 @@ let incremental_of ~on ~threshold ~spill =
          threshold)
   else Some { Lg_server.Batch.inc_threshold = threshold; inc_spill = spill }
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-job wall-clock budget (queue wait counts); a job's \
+           own $(b,deadline) field overrides it. Over budget, the pool \
+           watchdog fails the job with the typed $(b,deadline_exceeded) \
+           diagnostic (exit 50) and recycles its worker.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED:RATE:KINDS"
+        ~doc:
+          "Deterministic server-layer fault injection, e.g. \
+           $(b,9:0.05:crash,drop). KINDS is a comma list of \
+           $(b,delay)$(b,,)$(b,crash)$(b,,)$(b,wedge)$(b,,)$(b,drop) or \
+           $(b,all) (see docs/SERVER.md).")
+
+let chaos_poison_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-poison" ] ~docv:"SUBSTR"
+        ~doc:
+          "With $(b,--chaos): any job whose id or file contains $(docv) \
+           crashes its worker every time — the session-quarantine \
+           scenario.")
+
+let chaos_of ~spec ~poison ~metrics =
+  match spec with
+  | None ->
+      if poison = None then None
+      else failwith "--chaos-poison needs --chaos"
+  | Some s -> (
+      match Lg_server.Chaos.parse_spec s with
+      | Error msg -> failwith (Printf.sprintf "--chaos %s: %s" s msg)
+      | Ok spec -> Some (Lg_server.Chaos.create ?poison ~metrics spec))
+
+let deadline_of = function
+  | Some d when d <= 0.0 ->
+      failwith (Printf.sprintf "--deadline must be positive (got %g)" d)
+  | d -> d
+
 let batch_cmd =
   let jobfile_arg =
     Arg.(
@@ -683,15 +730,20 @@ let batch_cmd =
              snapshot in the results JSON. Off by default so results \
              are byte-identical across worker counts.")
   in
-  let run ~jobs_path ~workers ~out ~timings ~incremental ~trace_out ~trace_attrs
-      =
+  let run ~jobs_path ~workers ~out ~timings ~incremental ~chaos_spec ~poison
+      ~deadline ~trace_out ~trace_attrs =
     match Lg_server.Jobfile.parse_file jobs_path with
     | Error msg -> `Error (false, msg)
-    | Ok jobs ->
+    | Ok jobs -> (
         let metrics = Lg_support.Metrics.create () in
+        match (chaos_of ~spec:chaos_spec ~poison ~metrics, deadline_of deadline)
+        with
+        | exception Failure msg -> `Error (false, msg)
+        | chaos, deadline ->
         let summary =
           with_trace ~trace_out ~trace_attrs ~label:"batch" (fun () ->
-              Lg_server.Batch.run ~workers ~metrics ?incremental jobs)
+              Lg_server.Batch.run ~workers ~metrics ?incremental ?chaos
+                ?deadline jobs)
         in
         let doc =
           match Lg_server.Batch.to_json ~timings summary with
@@ -714,7 +766,7 @@ let batch_cmd =
           summary.Lg_server.Batch.workers
           summary.Lg_server.Batch.wall_seconds;
         if summary.Lg_server.Batch.n_failed = 0 then `Ok ()
-        else `Error (false, "some jobs failed (see the results JSON)")
+        else `Error (false, "some jobs failed (see the results JSON)"))
   in
   Cmd.v
     (Cmd.info "batch"
@@ -724,8 +776,8 @@ let batch_cmd =
           docs/SERVER.md).")
     Term.(
       ret
-        (const (fun workers out timings inc inc_threshold inc_spill tout tattrs
-                    jobs_path ->
+        (const (fun workers out timings inc inc_threshold inc_spill chaos_spec
+                    poison deadline tout tattrs jobs_path ->
              guard (fun () ->
                  match
                    incremental_of ~on:inc ~threshold:inc_threshold
@@ -733,10 +785,12 @@ let batch_cmd =
                  with
                  | incremental ->
                      run ~jobs_path ~workers ~out ~timings ~incremental
-                       ~trace_out:tout ~trace_attrs:tattrs
+                       ~chaos_spec ~poison ~deadline ~trace_out:tout
+                       ~trace_attrs:tattrs
                  | exception Failure msg -> `Error (false, msg)))
         $ jobs_flag $ out_arg $ timings_flag $ incremental_flag
-        $ incremental_threshold $ incremental_spill $ trace_out $ trace_attrs
+        $ incremental_threshold $ incremental_spill $ chaos_arg
+        $ chaos_poison_arg $ deadline_arg $ trace_out $ trace_attrs
         $ jobfile_arg))
 
 let socket_arg =
@@ -764,14 +818,36 @@ let serve_cmd =
             "Expire cached sessions idle for longer than $(docv) (on top \
              of the cost-aware capacity eviction; see docs/SERVER.md).")
   in
-  let run ~workers ~queue ~session_ttl ~incremental ~socket =
+  let quarantine_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quarantine-after" ] ~docv:"N"
+          ~doc:
+            "Quarantine a session after $(docv) of its jobs take a worker \
+             down (crash or deadline); further jobs naming it are refused \
+             with the typed $(b,session_quarantined) diagnostic (exit 52) \
+             until it is evicted. Default 3.")
+  in
+  let run ~workers ~queue ~session_ttl ~quarantine ~incremental ~chaos_spec
+      ~poison ~deadline ~socket =
     let workers = max 1 workers in
-    Printf.eprintf "serve: listening on %s (%d workers%s)\n%!" socket workers
-      (if incremental = None then "" else ", incremental");
-    Lg_server.Server.serve ?queue_capacity:queue ?session_ttl ?incremental
-      ~workers ~socket ();
-    Printf.eprintf "serve: drained, socket closed\n%!";
-    `Ok ()
+    let metrics = Lg_support.Metrics.create () in
+    match (chaos_of ~spec:chaos_spec ~poison ~metrics, deadline_of deadline)
+    with
+    | exception Failure msg -> `Error (false, msg)
+    | chaos, deadline ->
+        Printf.eprintf "serve: listening on %s (%d workers%s%s)\n%!" socket
+          workers
+          (if incremental = None then "" else ", incremental")
+          (match chaos_spec with
+          | None -> ""
+          | Some s -> ", chaos " ^ s);
+        Lg_server.Server.serve ?queue_capacity:queue ?session_ttl
+          ?quarantine_after:quarantine ~metrics ?incremental ?chaos ?deadline
+          ~workers ~socket ();
+        Printf.eprintf "serve: drained, socket closed\n%!";
+        `Ok ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -781,17 +857,20 @@ let serve_cmd =
           $(b,batch) (see docs/SERVER.md).")
     Term.(
       ret
-        (const (fun workers queue session_ttl inc inc_threshold inc_spill socket ->
+        (const (fun workers queue session_ttl quarantine inc inc_threshold
+                    inc_spill chaos_spec poison deadline socket ->
              guard (fun () ->
                  match
                    incremental_of ~on:inc ~threshold:inc_threshold
                      ~spill:inc_spill
                  with
                  | incremental ->
-                     run ~workers ~queue ~session_ttl ~incremental ~socket
+                     run ~workers ~queue ~session_ttl ~quarantine ~incremental
+                       ~chaos_spec ~poison ~deadline ~socket
                  | exception Failure msg -> `Error (false, msg)))
-        $ jobs_flag $ queue_arg $ session_ttl_arg $ incremental_flag
-        $ incremental_threshold $ incremental_spill $ socket_arg))
+        $ jobs_flag $ queue_arg $ session_ttl_arg $ quarantine_arg
+        $ incremental_flag $ incremental_threshold $ incremental_spill
+        $ chaos_arg $ chaos_poison_arg $ deadline_arg $ socket_arg))
 
 let request_cmd =
   let request_arg =
@@ -802,7 +881,35 @@ let request_cmd =
             "The request JSON, e.g. $(b,'{\"op\":\"ping\"}') — or \
              $(b,@FILE) to read it from a file.")
   in
-  let run ~socket ~request =
+  let retries_arg =
+    Arg.(
+      value
+      & opt int Lg_server.Server.default_attempts
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts before giving up on transient failures (connect \
+             errors, dropped connections, $(b,saturated) backpressure), \
+             with jittered exponential backoff between tries.")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "retry-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Total wall-clock budget across retries; once spent, the next \
+             failure is final.")
+  in
+  let no_retry_flag =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:
+            "Exactly one attempt: transient failures and $(b,saturated) \
+             responses surface immediately (the pre-retry behavior — \
+             scripts that implement their own backoff).")
+  in
+  let run ~socket ~request ~retries ~budget ~no_retry =
     let text =
       if String.length request > 0 && request.[0] = '@' then
         read_file (String.sub request 1 (String.length request - 1))
@@ -811,7 +918,10 @@ let request_cmd =
     match Lg_support.Json_out.parse text with
     | exception Failure msg -> `Error (false, "request is not JSON: " ^ msg)
     | doc ->
-        let response = Lg_server.Server.request ~socket doc in
+        let attempts = if no_retry then 1 else max 1 retries in
+        let response =
+          Lg_server.Server.request ~attempts ?budget ~socket doc
+        in
         print_endline (Lg_support.Json_out.to_string ~pretty:true response);
         let ok =
           match Lg_support.Json_out.member "ok" response with
@@ -824,11 +934,15 @@ let request_cmd =
     (Cmd.info "request"
        ~doc:
          "Send one framed JSON request to a running $(b,serve) socket \
-          and print the response (the smoke-test client).")
+          and print the response (the smoke-test client). Transient \
+          failures are retried with jittered exponential backoff; see \
+          $(b,--retries)/$(b,--no-retry).")
     Term.(
       ret
-        (const (fun socket request -> guard (fun () -> run ~socket ~request))
-        $ socket_arg $ request_arg))
+        (const (fun socket retries budget no_retry request ->
+             guard (fun () -> run ~socket ~request ~retries ~budget ~no_retry))
+        $ socket_arg $ retries_arg $ retry_budget_arg $ no_retry_flag
+        $ request_arg))
 
 let self_cmd =
   let run () =

@@ -321,12 +321,91 @@ let run_job ~sessions ?incremental (j : Jobfile.job) =
   | outcome -> outcome
   | exception Lg_apt.Apt_error.Error e ->
       failed ~code:(Lg_apt.Apt_error.exit_code e) (Lg_apt.Apt_error.to_string e)
+  | exception Server_error.Error e ->
+      (* e.g. a quarantined tenant refused at session lookup *)
+      failed ~code:(Server_error.exit_code e) (Server_error.to_string e)
   | exception Failure msg -> failed ~code:1 msg
   | exception Sys_error msg -> failed ~code:1 msg
   | exception e -> failed ~code:1 (Printexc.to_string e))
 
 let default_workers () =
   max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+(* The session a job holds responsible when it takes a worker down: the
+   digest its tenant would cache under, so strikes line up with what
+   [find_or_build] will refuse once quarantined. [Check] compiles fresh
+   every time — no session, no one to strike. *)
+let culprit (j : Jobfile.job) =
+  let of_tenant = function
+    | Jobfile.Language lang ->
+        Some (Session.digest ~kind:"language" ~source:lang, "language:" ^ lang)
+    | Jobfile.Grammar path -> (
+        match read_file path with
+        | source ->
+            Some
+              ( Session.digest ~kind:"translator" ~source,
+                "translator:" ^ Filename.basename path )
+        | exception _ -> None)
+  in
+  match j.Jobfile.j_op with
+  | Jobfile.Check -> None
+  | Jobfile.Analyze ->
+      Some
+        ( Session.digest ~kind:"language" ~source:"linguist",
+          "language:linguist" )
+  | Jobfile.Translate t | Jobfile.Update t -> of_tenant t
+
+(* admission control, ahead of everything else in the thunk (including
+   chaos injection): a job naming a quarantined session is refused with
+   the typed diagnostic before it can burn a worker *)
+let quarantine_gate ~sessions (j : Jobfile.job) =
+  match culprit j with
+  | Some (digest, label) when Session.is_quarantined sessions ~digest ->
+      Server_error.raise_
+        (Server_error.Session_quarantined
+           { digest; label; strikes = Session.strike_count sessions ~digest })
+  | _ -> ()
+
+(* runs in the worker, before the job proper: a [Crash_job] roll kills
+   the worker through the supervision path, [Wedge_job] holds it until
+   the watchdog's deadline (or just runs late without one) *)
+let chaos_gate ?chaos (j : Jobfile.job) =
+  match chaos with
+  | None -> ()
+  | Some c -> (
+      match Chaos.on_job c ~id:j.Jobfile.j_id ~file:j.Jobfile.j_file with
+      | None -> ()
+      | Some Chaos.Delay_job -> Unix.sleepf (Chaos.delay_seconds c)
+      | Some Chaos.Wedge_job -> Unix.sleepf (Chaos.wedge_seconds c)
+      | Some Chaos.Crash_job -> raise (Pool.Crash "chaos: injected worker crash"))
+
+let failure_outcome ?(metrics = Lg_support.Metrics.null) ~sessions
+    (j : Jobfile.job) exn =
+  let failed ~code msg =
+    {
+      o_id = j.Jobfile.j_id;
+      o_op = Jobfile.op_name j.Jobfile.j_op;
+      o_file = j.Jobfile.j_file;
+      o_ok = false;
+      o_exit = code;
+      o_error = Some msg;
+      o_payload = Null;
+      o_seconds = 0.;
+    }
+  in
+  match exn with
+  | Server_error.Error e ->
+      (match e with
+      | Server_error.Worker_crashed _ | Server_error.Deadline_exceeded _ -> (
+          match culprit j with
+          | Some (digest, label) ->
+              let n = Session.strike sessions ~digest ~label in
+              if n = Session.quarantine_threshold sessions then
+                Lg_support.Metrics.incr metrics "server.quarantined"
+          | None -> ())
+      | Server_error.Session_quarantined _ -> ());
+      failed ~code:(Server_error.exit_code e) (Server_error.to_string e)
+  | e -> failed ~code:1 (Printexc.to_string e)
 
 (* run one job inside its own trace story, then splice that story into
    the run-wide trace; [absorb] is a no-op when the parent is disabled *)
@@ -355,7 +434,7 @@ let summarize ~workers ~wall outcomes =
     wall_seconds = wall;
   }
 
-let run ?workers ?sessions ?metrics ?tracer ?incremental jobs =
+let run ?workers ?sessions ?metrics ?tracer ?incremental ?chaos ?deadline jobs =
   let workers = match workers with Some w -> w | None -> default_workers () in
   let sessions =
     match sessions with Some c -> c | None -> Session.create_cache ()
@@ -366,10 +445,29 @@ let run ?workers ?sessions ?metrics ?tracer ?incremental jobs =
   let parent =
     match tracer with Some t -> t | None -> Lg_support.Trace.ambient ()
   in
+  (* jobfile deadline wins over the run default *)
+  let job_deadline (j : Jobfile.job) =
+    match j.Jobfile.j_deadline with Some _ as d -> d | None -> deadline
+  in
   let t0 = Unix.gettimeofday () in
   let outcomes =
     if workers <= 0 then
-      List.map (fun j -> traced_job ~parent ~sessions ?incremental j) jobs
+      List.map
+        (fun j ->
+          match
+            quarantine_gate ~sessions j;
+            chaos_gate ?chaos j;
+            traced_job ~parent ~sessions ?incremental j
+          with
+          | o -> o
+          | exception Pool.Crash msg ->
+              failure_outcome ~metrics ~sessions j
+                (Server_error.Error
+                   (Server_error.Worker_crashed
+                      { job = j.Jobfile.j_id; detail = msg }))
+          | exception Server_error.Error e ->
+              failure_outcome ~metrics ~sessions j (Server_error.Error e))
+        jobs
     else begin
       let pool =
         Pool.create ~metrics ~workers
@@ -381,7 +479,11 @@ let run ?workers ?sessions ?metrics ?tracer ?incremental jobs =
         List.map
           (fun j ->
             match
-              Pool.submit pool (fun () ->
+              Pool.submit ~label:j.Jobfile.j_id ?deadline:(job_deadline j)
+                pool
+                (fun () ->
+                  quarantine_gate ~sessions j;
+                  chaos_gate ?chaos j;
                   traced_job ~parent ~sessions ?incremental j)
             with
             | Ok h -> h
@@ -394,17 +496,7 @@ let run ?workers ?sessions ?metrics ?tracer ?incremental jobs =
         (fun j h ->
           match Pool.await h with
           | Ok outcome -> outcome
-          | Error e ->
-              {
-                o_id = j.Jobfile.j_id;
-                o_op = Jobfile.op_name j.Jobfile.j_op;
-                o_file = j.Jobfile.j_file;
-                o_ok = false;
-                o_exit = 1;
-                o_error = Some (Printexc.to_string e);
-                o_payload = Null;
-                o_seconds = 0.;
-              })
+          | Error e -> failure_outcome ~metrics ~sessions j e)
         jobs handles
     end
   in

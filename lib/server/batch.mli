@@ -15,7 +15,16 @@
     metrics into the shared registry. The {e payload} of a result is
     deterministic — timings are kept apart so a pooled run is
     byte-identical to a sequential run over the same jobs
-    ({!to_json} with [~timings:false], the default). *)
+    ({!to_json} with [~timings:false], the default).
+
+    The fault-tolerance layer composes here too: a [deadline] (per-job
+    field, or the run default) arms the pool watchdog; a job that
+    crashes its worker ({!Pool.Crash}, [Out_of_memory]) or blows its
+    deadline fails with a typed {!Server_error} exit (50–52) and
+    {!Session.strike}s its tenant's session toward quarantine; an
+    optional {!Chaos} injector exercises all of it deterministically.
+    Because chaos rolls are keyed by job id/file, the {e surviving}
+    jobs of a chaotic run stay byte-identical to a fault-free run. *)
 
 type outcome = {
   o_id : string;
@@ -24,7 +33,9 @@ type outcome = {
   o_ok : bool;
   o_exit : int;
       (** 0 success; 1 diagnostics/logic failure; 40–44 the typed APT
-          integrity / resource classes ({!Lg_apt.Apt_error.exit_code}) *)
+          integrity / resource classes ({!Lg_apt.Apt_error.exit_code});
+          50–52 the typed serving classes
+          ({!Server_error.exit_code}) *)
   o_error : string option;
   o_payload : Lg_support.Json_out.t;  (** deterministic result document *)
   o_seconds : float;  (** job wall time (not part of the payload) *)
@@ -58,19 +69,52 @@ val run_job :
 val default_workers : unit -> int
 (** [min 4 (recommended_domain_count - 1)], at least 1. *)
 
+val quarantine_gate : sessions:Session.cache -> Jobfile.job -> unit
+(** Admission control: raises the typed
+    {!Server_error.Session_quarantined} when the job's tenant session is
+    quarantined — call it first in the thunk, ahead of {!chaos_gate},
+    so a refusal never burns a worker. *)
+
+val chaos_gate : ?chaos:Chaos.t -> Jobfile.job -> unit
+(** Run [chaos]'s injection decision for the job — call it {e inside}
+    the pool thunk, before the job proper. [Delay_job]/[Wedge_job]
+    sleep; [Crash_job] raises {!Pool.Crash}. No-op without [chaos]. *)
+
+val failure_outcome :
+  ?metrics:Lg_support.Metrics.t ->
+  sessions:Session.cache ->
+  Jobfile.job ->
+  exn ->
+  outcome
+(** The outcome for a job the {e supervision layer} failed — the
+    [Error e] arm of {!Pool.await}, and the serve front-end's
+    equivalent. A typed {!Server_error.Error} keeps its exit code and
+    rendered message; anything else is exit 1. [Worker_crashed] and
+    [Deadline_exceeded] additionally {!Session.strike} the job's tenant
+    session (crossing the quarantine threshold bumps
+    [server.quarantined] on [metrics]). *)
+
 val run :
   ?workers:int ->
   ?sessions:Session.cache ->
   ?metrics:Lg_support.Metrics.t ->
   ?tracer:Lg_support.Trace.t ->
   ?incremental:incremental ->
+  ?chaos:Chaos.t ->
+  ?deadline:float ->
   Jobfile.job list ->
   summary
 (** Run the list on a fresh pool of [workers] domains (default
     {!default_workers}; [0] runs sequentially with no pool). [metrics]
     and [tracer] default to the calling domain's ambient registry and
     tracer. The pool is drained before returning; outcomes keep jobfile
-    order. *)
+    order.
+
+    [deadline] (seconds) is the default wall-clock budget for jobs that
+    don't set their own [j_deadline]; enforced by the pool watchdog, so
+    sequential runs ([workers = 0]) don't enforce it. [chaos] injects
+    deterministic job-level faults ({!Chaos.on_job}) ahead of each
+    job. *)
 
 val run_sequential :
   ?sessions:Session.cache ->

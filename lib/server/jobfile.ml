@@ -11,13 +11,14 @@ type job = {
   j_faults : Lg_apt.Apt_store.fault_spec option;
   j_depth_budget : int option;
   j_node_budget : int option;
+  j_deadline : float option;
 }
 
 let version = 1
 let magic = "linguist_jobs"
 
 let make ?(id = "") ?doc ?(store = "mem") ?page_size ?faults ?depth_budget
-    ?node_budget ~op ~file () =
+    ?node_budget ?deadline ~op ~file () =
   {
     j_id = id;
     j_op = op;
@@ -28,6 +29,7 @@ let make ?(id = "") ?doc ?(store = "mem") ?page_size ?faults ?depth_budget
     j_faults = faults;
     j_depth_budget = depth_budget;
     j_node_budget = node_budget;
+    j_deadline = deadline;
   }
 
 let op_name = function
@@ -65,7 +67,8 @@ let job_to_json j =
     @ opt "page_size" int j.j_page_size
     @ opt "faults" (fun f -> Str (render_faults f)) j.j_faults
     @ opt "depth_budget" int j.j_depth_budget
-    @ opt "node_budget" int j.j_node_budget)
+    @ opt "node_budget" int j.j_node_budget
+    @ opt "deadline" (fun d -> Num d) j.j_deadline)
 
 let to_json jobs =
   Obj [ (magic, int version); ("jobs", Arr (List.map job_to_json jobs)) ]
@@ -85,6 +88,12 @@ let int_member name doc =
   | Some _ -> Error (Printf.sprintf "%S must be a number" name)
   | None -> Ok None
 
+let num_member name doc =
+  match member name doc with
+  | Some (Num f) -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "%S must be a number" name)
+  | None -> Ok None
+
 let ( let* ) = Result.bind
 
 let job_of_json ~index doc =
@@ -101,6 +110,12 @@ let job_of_json ~index doc =
       let* faults_str = str_member "faults" doc in
       let* depth_budget = int_member "depth_budget" doc in
       let* node_budget = int_member "node_budget" doc in
+      let* deadline = num_member "deadline" doc in
+      let* () =
+        match deadline with
+        | Some d when d <= 0.0 -> Error "\"deadline\" must be positive"
+        | _ -> Ok ()
+      in
       let* tenant =
         match (language, grammar) with
         | Some _, Some _ ->
@@ -156,6 +171,7 @@ let job_of_json ~index doc =
           j_faults = faults;
           j_depth_budget = depth_budget;
           j_node_budget = node_budget;
+          j_deadline = deadline;
         }
   | _ -> Error "each job must be an object"
 

@@ -29,7 +29,9 @@
     optional: [id] defaults to ["job-N"] (1-based position), [doc] (only
     valid on ["update"]) to the job's [file] path, [store] to ["mem"],
     budgets to the engine defaults, [faults] (a [SEED:RATE:KINDS] spec
-    as in [--apt-faults]) to none.
+    as in [--apt-faults]) to none, [deadline] (a positive wall-clock
+    budget in seconds, measured from submission — queue wait counts) to
+    the run's [--deadline] default or none.
 
     Reading is strict — an unknown [op], a malformed [faults] spec or a
     wrong [linguist_jobs] version is an [Error], not a guess — and
@@ -64,6 +66,10 @@ type job = {
   j_faults : Lg_apt.Apt_store.fault_spec option;
   j_depth_budget : int option;
   j_node_budget : int option;
+  j_deadline : float option;
+      (** per-job wall-clock budget (seconds); overrides the run
+          default. Over budget ⇒ the job fails with
+          {!Server_error.Deadline_exceeded} (exit 50). *)
 }
 
 val version : int
@@ -77,6 +83,7 @@ val make :
   ?faults:Lg_apt.Apt_store.fault_spec ->
   ?depth_budget:int ->
   ?node_budget:int ->
+  ?deadline:float ->
   op:op ->
   file:string ->
   unit ->

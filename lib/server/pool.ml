@@ -1,9 +1,23 @@
-(* One lock/condition pair guards the queue; workers sleep on [nonempty]
-   and are woken by submits and by drain. Results travel through per-job
-   cells with their own lock/condition, so awaiting one job never
-   contends with the queue. *)
+(* One lock/condition pair guards the queue and the worker slot table;
+   workers sleep on [nonempty] and are woken by submits and by drain.
+   Results travel through per-job cells with their own lock/condition
+   and first-fill-wins semantics, so awaiting one job never contends
+   with the queue — and the watchdog can fail a cell that the (possibly
+   wedged) worker will try to fill much later.
+
+   Supervision model: each of the [n_workers] slots is owned by exactly
+   one live domain, identified by the slot's epoch. A worker that dies
+   under a job (an exception escaping the job harness: Crash,
+   Out_of_memory) spawns its own successor into its slot before
+   exiting; the watchdog abandons a worker stuck past its job's
+   deadline by bumping the slot epoch and spawning a replacement — the
+   abandoned domain notices the epoch change when its job finally
+   returns and exits quietly. Replaced domains are parked on a zombie
+   list and joined by [drain]. *)
 
 type reject = { rj_depth : int; rj_capacity : int }
+
+exception Crash of string
 
 type 'a handle = {
   h_lock : Mutex.t;
@@ -11,14 +25,48 @@ type 'a handle = {
   mutable h_result : ('a, exn) result option;
 }
 
+(* first fill wins: the watchdog and the worker may race to complete a
+   job, and exactly one side's result must stand *)
+let fill cell result =
+  Mutex.lock cell.h_lock;
+  let filled = cell.h_result = None in
+  if filled then begin
+    cell.h_result <- Some result;
+    Condition.broadcast cell.h_done
+  end;
+  Mutex.unlock cell.h_lock;
+  filled
+
+type inflight = {
+  if_label : string;
+  if_submitted : float;
+  if_deadline : float option;  (* absolute wall-clock expiry *)
+  if_fail : exn -> bool;  (* fail the job's cell; true if we won *)
+}
+
+type slot = {
+  mutable s_epoch : int;
+  mutable s_domain : unit Domain.t option;
+  mutable s_inflight : inflight option;
+}
+
+type packaged = {
+  p_inflight : inflight;
+  p_run : unit -> unit;  (* fills the cell; raises only to kill the worker *)
+}
+
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : packaged Queue.t;
   capacity : int;
   n_workers : int;
   mutable closing : bool;
-  mutable domains : unit Domain.t list;  (* emptied by drain *)
+  slots : slot array;
+  mutable zombies : unit Domain.t list;  (* replaced domains, joined by drain *)
+  watchdog_interval : float;
+  watchdog_stop : bool Atomic.t;
+  mutable watchdog : Thread.t option;
   metrics : Lg_support.Metrics.t;
 }
 
@@ -30,21 +78,36 @@ let publish_depth t depth =
   Lg_support.Metrics.set_int t.metrics "server.queue_depth" depth;
   Lg_support.Metrics.set_max t.metrics "server.queue_peak" (float_of_int depth)
 
-let rec worker_loop t =
-  Mutex.lock t.lock;
-  while Queue.is_empty t.queue && not t.closing do
-    Condition.wait t.nonempty t.lock
-  done;
-  if Queue.is_empty t.queue then Mutex.unlock t.lock (* draining, queue dry *)
-  else begin
-    let job = Queue.pop t.queue in
-    publish_depth t (Queue.length t.queue);
-    Mutex.unlock t.lock;
-    job ();
-    worker_loop t
-  end
+let deadline_error inf =
+  let deadline =
+    match inf.if_deadline with
+    | Some d -> d -. inf.if_submitted
+    | None -> 0.0
+  in
+  Server_error.Error
+    (Server_error.Deadline_exceeded
+       {
+         job = inf.if_label;
+         deadline;
+         elapsed = Unix.gettimeofday () -. inf.if_submitted;
+       })
 
-let worker t () =
+let expired inf now =
+  match inf.if_deadline with Some d -> now > d | None -> false
+
+(* under the lock: replace [slot]'s domain with a fresh worker; the old
+   domain (dying or abandoned) is parked for drain to join *)
+let rec replace_worker t slot =
+  slot.s_epoch <- slot.s_epoch + 1;
+  slot.s_inflight <- None;
+  (match slot.s_domain with
+  | Some d -> t.zombies <- d :: t.zombies
+  | None -> ());
+  let epoch = slot.s_epoch in
+  slot.s_domain <- Some (Domain.spawn (fun () -> worker t slot epoch));
+  Lg_support.Metrics.incr t.metrics "server.worker_restarts"
+
+and worker t slot epoch =
   (* the pool's registry becomes this domain's ambient, so store layers
      and the evaluator publish into it exactly as they do single-threaded *)
   Lg_support.Metrics.install t.metrics;
@@ -57,9 +120,75 @@ let worker t () =
   let floor_words = 4 * 1024 * 1024 in
   if g.Gc.minor_heap_size < floor_words then
     Gc.set { g with Gc.minor_heap_size = floor_words };
-  worker_loop t
+  worker_loop t slot epoch
 
-let create ?(metrics = Lg_support.Metrics.null) ~workers ~queue_capacity () =
+and worker_loop t slot epoch =
+  Mutex.lock t.lock;
+  if slot.s_epoch <> epoch then Mutex.unlock t.lock (* abandoned: die quietly *)
+  else begin
+    while Queue.is_empty t.queue && not t.closing do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.lock (* draining, queue dry *)
+    else begin
+      let p = Queue.pop t.queue in
+      publish_depth t (Queue.length t.queue);
+      (* a job that expired while queued is failed without running it:
+         its client already gave up, so running it only burns a worker *)
+      if expired p.p_inflight (Unix.gettimeofday ()) then begin
+        Mutex.unlock t.lock;
+        if p.p_inflight.if_fail (deadline_error p.p_inflight) then
+          Lg_support.Metrics.incr t.metrics "server.deadline_exceeded";
+        worker_loop t slot epoch
+      end
+      else begin
+        slot.s_inflight <- Some p.p_inflight;
+        Mutex.unlock t.lock;
+        let death = (try p.p_run (); None with e -> Some e) in
+        Mutex.lock t.lock;
+        let abandoned = slot.s_epoch <> epoch in
+        if not abandoned then slot.s_inflight <- None;
+        match (death, abandoned) with
+        | None, false ->
+            Mutex.unlock t.lock;
+            worker_loop t slot epoch
+        | _, true ->
+            (* the watchdog already replaced us; our result (if any) lost
+               the fill race, so just let this domain end *)
+            Mutex.unlock t.lock
+        | Some _, false ->
+            (* the worker domain is dying: spawn our own successor unless
+               the pool is closing with nothing left to do *)
+            if not (t.closing && Queue.is_empty t.queue) then
+              replace_worker t slot;
+            Mutex.unlock t.lock
+      end
+    end
+  end
+
+let watchdog_loop t () =
+  while not (Atomic.get t.watchdog_stop) do
+    Thread.delay t.watchdog_interval;
+    let now = Unix.gettimeofday () in
+    locked t (fun () ->
+        Array.iter
+          (fun slot ->
+            match slot.s_inflight with
+            | Some inf when expired inf now ->
+                if inf.if_fail (deadline_error inf) then begin
+                  Lg_support.Metrics.incr t.metrics "server.deadline_exceeded";
+                  replace_worker t slot
+                end
+                else
+                  (* the job completed between our check and the fill:
+                     leave the worker alone *)
+                  slot.s_inflight <- None
+            | _ -> ())
+          t.slots)
+  done
+
+let create ?(metrics = Lg_support.Metrics.null) ?(watchdog_interval = 0.01)
+    ~workers ~queue_capacity () =
   let workers = max 1 workers and capacity = max 1 queue_capacity in
   let t =
     {
@@ -69,28 +198,64 @@ let create ?(metrics = Lg_support.Metrics.null) ~workers ~queue_capacity () =
       capacity;
       n_workers = workers;
       closing = false;
-      domains = [];
+      slots =
+        Array.init workers (fun _ ->
+            { s_epoch = 0; s_domain = None; s_inflight = None });
+      zombies = [];
+      watchdog_interval = Float.max 0.001 watchdog_interval;
+      watchdog_stop = Atomic.make false;
+      watchdog = None;
       metrics;
     }
   in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  Array.iter
+    (fun slot -> slot.s_domain <- Some (Domain.spawn (fun () -> worker t slot 0)))
+    t.slots;
+  t.watchdog <- Some (Thread.create (watchdog_loop t) ());
   t
 
 let workers t = t.n_workers
+let capacity t = t.capacity
 
-let submit t f =
+let submit ?(label = "") ?deadline t f =
   let cell =
     { h_lock = Mutex.create (); h_done = Condition.create (); h_result = None }
   in
   let submitted_at = Unix.gettimeofday () in
-  let job () =
-    let result = try Ok (f ()) with e -> Error e in
+  let inflight =
+    {
+      if_label = label;
+      if_submitted = submitted_at;
+      if_deadline = Option.map (fun d -> submitted_at +. Float.max 0.0 d) deadline;
+      if_fail = (fun e -> fill cell (Error e));
+    }
+  in
+  let run () =
+    let result =
+      match f () with
+      | v -> `Ok v
+      | exception Crash msg ->
+          `Died
+            (Server_error.Error
+               (Server_error.Worker_crashed { job = label; detail = msg }))
+      | exception Out_of_memory ->
+          (* the domain's heap state is suspect: fail the job typed and
+             recycle the worker, exactly as for an explicit crash *)
+          `Died
+            (Server_error.Error
+               (Server_error.Worker_crashed
+                  { job = label; detail = "Out_of_memory" }))
+      | exception e -> `Err e
+    in
     Lg_support.Metrics.observe t.metrics "server.job_seconds"
       (Unix.gettimeofday () -. submitted_at);
-    Mutex.lock cell.h_lock;
-    cell.h_result <- Some result;
-    Condition.broadcast cell.h_done;
-    Mutex.unlock cell.h_lock
+    match result with
+    | `Ok v -> ignore (fill cell (Ok v))
+    | `Err e -> ignore (fill cell (Error e))
+    | `Died e ->
+        ignore (fill cell (Error e));
+        Lg_support.Metrics.incr t.metrics "server.worker_crashes";
+        raise (Crash "worker lost")
   in
   locked t @@ fun () ->
   if t.closing then invalid_arg "Pool.submit: pool is draining";
@@ -100,7 +265,7 @@ let submit t f =
     Error { rj_depth = depth; rj_capacity = t.capacity }
   end
   else begin
-    Queue.push job t.queue;
+    Queue.push { p_inflight = inflight; p_run = run } t.queue;
     Lg_support.Metrics.incr t.metrics "server.jobs";
     publish_depth t (depth + 1);
     Condition.signal t.nonempty;
@@ -119,13 +284,37 @@ let await cell =
 let queue_depth t = locked t (fun () -> Queue.length t.queue)
 
 let drain t =
-  let domains =
-    locked t (fun () ->
-        t.closing <- true;
-        Condition.broadcast t.nonempty;
-        let d = t.domains in
-        t.domains <- [];
-        d)
+  locked t (fun () ->
+      t.closing <- true;
+      Condition.broadcast t.nonempty);
+  (* workers may still respawn successors while the backlog drains (a
+     crash with jobs left must not strand them), so join in rounds until
+     a sweep finds no live domain *)
+  let rec join_all () =
+    let ds =
+      locked t (fun () ->
+          let slot_domains =
+            Array.to_list t.slots
+            |> List.filter_map (fun slot ->
+                   let d = slot.s_domain in
+                   slot.s_domain <- None;
+                   d)
+          in
+          let ds = slot_domains @ t.zombies in
+          t.zombies <- [];
+          ds)
+    in
+    match ds with
+    | [] -> ()
+    | ds ->
+        List.iter Domain.join ds;
+        join_all ()
   in
-  List.iter Domain.join domains;
+  join_all ();
+  Atomic.set t.watchdog_stop true;
+  (match t.watchdog with
+  | Some th ->
+      t.watchdog <- None;
+      Thread.join th
+  | None -> ());
   publish_depth t 0

@@ -1,12 +1,31 @@
-(** A fixed-size domain worker pool with a bounded job queue.
+(** A supervised, fixed-size domain worker pool with a bounded job
+    queue, per-job deadlines and a watchdog.
 
-    The batch-evaluation service's execution substrate: [workers] domains
-    pull thunks off one queue and run them to completion. The queue is
-    {e bounded} — a {!submit} against a full queue is refused immediately
-    with the queue's state ({!reject}) instead of blocking, which is the
-    backpressure contract the socket front-end ({!Server}) exposes to
-    clients — and {!drain} stops intake, runs the backlog dry and joins
-    every worker, so shutdown never abandons accepted work.
+    The batch-evaluation service's execution substrate: [workers]
+    domains pull thunks off one queue and run them to completion. The
+    queue is {e bounded} — a {!submit} against a full queue is refused
+    immediately with the queue's state ({!reject}) instead of blocking,
+    which is the backpressure contract the socket front-end ({!Server})
+    exposes to clients — and {!drain} stops intake, runs the backlog dry
+    and joins every worker, so shutdown never abandons accepted work.
+
+    {b Supervision}: a worker domain that dies under a job — a job
+    raising {!Crash} (chaos injection, or code that must take its
+    worker down) or [Out_of_memory] — fails that job with a typed
+    {!Server_error.Worker_crashed}, spawns its own replacement, and
+    publishes [server.worker_restarts]. The pool never loses capacity
+    to a dead worker, and a faulted job still poisons only its own
+    handle.
+
+    {b Deadlines}: a {!submit} may carry a wall-clock budget measured
+    from submission. A watchdog thread (period [watchdog_interval])
+    fails over-budget jobs with a typed
+    {!Server_error.Deadline_exceeded}, abandons the stuck worker
+    (the domain is left to finish its thunk and exit quietly; its
+    eventual result loses the first-fill race) and spawns a
+    replacement, so a wedged evaluation cannot hold a worker forever.
+    A job that expires while still queued is failed on dequeue without
+    running. Abandoned and replaced domains are joined by {!drain}.
 
     Each worker domain installs the pool's metrics registry as its
     domain-local ambient ({!Lg_support.Metrics.install}), so code deep
@@ -14,8 +33,10 @@
     shared registry exactly as it would single-threaded. The pool itself
     publishes under [server.*]: [server.queue_depth] (gauge, current
     backlog), [server.queue_peak] (gauge, high-water mark),
-    [server.jobs] / [server.rejections] (counters) and
-    [server.job_seconds] (histogram of submit-to-completion latency).
+    [server.jobs] / [server.rejections] (counters),
+    [server.job_seconds] (histogram of submit-to-completion latency),
+    and the supervision counters [server.worker_crashes],
+    [server.worker_restarts] and [server.deadline_exceeded].
 
     Ambient {e tracers} are deliberately not installed here: a trace is
     one well-nested story, so per-job tracers are the callers' business
@@ -32,30 +53,46 @@ type reject = {
   rj_capacity : int;
 }
 
+exception Crash of string
+(** A job raising this kills its worker domain: the job fails with a
+    typed {!Server_error.Worker_crashed} carrying the message, and the
+    pool respawns the worker. This is how chaos injection (and any code
+    that knows its domain is lost) exercises the supervision path. *)
+
 val create :
   ?metrics:Lg_support.Metrics.t ->
+  ?watchdog_interval:float ->
   workers:int ->
   queue_capacity:int ->
   unit ->
   t
-(** Spawn [workers] domains (at least 1). [queue_capacity] bounds the
-    number of {e not yet started} jobs (at least 1); [metrics] (default
-    {!Lg_support.Metrics.null}) receives the [server.*] series and
-    becomes each worker's ambient registry. *)
+(** Spawn [workers] domains (at least 1) and the watchdog thread.
+    [queue_capacity] bounds the number of {e not yet started} jobs (at
+    least 1); [watchdog_interval] (default 0.01 s, floor 1 ms) is the
+    deadline-scan period and therefore the enforcement granularity;
+    [metrics] (default {!Lg_support.Metrics.null}) receives the
+    [server.*] series and becomes each worker's ambient registry. *)
 
 val workers : t -> int
+val capacity : t -> int
 
-val submit : t -> (unit -> 'a) -> ('a handle, reject) result
+val submit :
+  ?label:string -> ?deadline:float -> t -> (unit -> 'a) -> ('a handle, reject) result
 (** Enqueue a job, or refuse it when the queue is at capacity.
+    [label] names the job in typed diagnostics; [deadline] (seconds,
+    measured from this call — queue wait counts) arms the watchdog.
     @raise Invalid_argument on a pool that {!drain} has shut down. *)
 
 val await : 'a handle -> ('a, exn) result
-(** Block until the job has run. [Error e] carries the exception the job
-    raised — a faulted job poisons only its own handle, never the pool. *)
+(** Block until the job has a result. [Error e] carries the exception
+    the job raised — or the typed {!Server_error.Error} the supervision
+    layer failed it with — a faulted job poisons only its own handle,
+    never the pool. *)
 
 val queue_depth : t -> int
 (** Jobs accepted but not yet started. *)
 
 val drain : t -> unit
-(** Stop accepting work, run every queued job, join all workers.
-    Idempotent. *)
+(** Stop accepting work, run every queued job, join all workers
+    (including replaced and abandoned domains — a wedged thunk must
+    terminate for drain to return), stop the watchdog. Idempotent. *)

@@ -68,7 +68,11 @@ type state = {
   sessions : Session.cache;
   metrics : Lg_support.Metrics.t;
   incremental : Batch.incremental option;
+  chaos : Chaos.t option;
+  deadline : float option;  (* default budget for job/update ops *)
+  started : float;
   stop : bool Atomic.t;
+  draining : bool Atomic.t;
 }
 
 (* The [update] op body, run on a pool domain like a job: parse the
@@ -193,6 +197,27 @@ let info_json (i : Session.info) =
       ("docs", int i.Session.i_docs);
     ]
 
+let quarantined_json st =
+  Arr
+    (List.map
+       (fun (digest, label, strikes) ->
+         Obj
+           [
+             ("digest", Str digest);
+             ("label", Str label);
+             ("strikes", int strikes);
+           ])
+       (Session.quarantined st.sessions))
+
+(* a supervision failure on an op without a jobfile entry (update):
+   typed errors keep their exit code in the response *)
+let supervised_error e extra =
+  match e with
+  | Server_error.Error se ->
+      error_response (Server_error.to_string se)
+        (("exit", int (Server_error.exit_code se)) :: extra)
+  | e -> error_response (Printexc.to_string e) extra
+
 let handle_request st doc =
   match member "op" doc with
   | Some (Str "ping") ->
@@ -208,6 +233,31 @@ let handle_request st doc =
   | Some (Str "shutdown") ->
       Atomic.set st.stop true;
       Obj [ ("ok", Bool true); ("stopping", Bool true) ]
+  | Some (Str "health") ->
+      if Atomic.get st.draining then
+        error_response "draining" [ ("status", Str "draining") ]
+      else
+        Obj
+          [
+            ("ok", Bool true);
+            ("status", Str "serving");
+            ("workers", int (Pool.workers st.pool));
+            ("queue_depth", int (Pool.queue_depth st.pool));
+            ("queue_capacity", int (Pool.capacity st.pool));
+            ("sessions", int (Session.length st.sessions));
+            ("quarantined", quarantined_json st);
+            ("uptime_seconds", Num (Unix.gettimeofday () -. st.started));
+          ]
+  | Some (Str "drain") ->
+      Atomic.set st.draining true;
+      Obj
+        [
+          ("ok", Bool true);
+          ("draining", Bool true);
+          ("queue_depth", int (Pool.queue_depth st.pool));
+        ]
+  | Some (Str "job") when Atomic.get st.draining ->
+      error_response "draining" []
   | Some (Str "job") -> (
       match member "job" doc with
       | None -> error_response "missing \"job\" member" []
@@ -215,8 +265,16 @@ let handle_request st doc =
           match Jobfile.job_of_json ~index:0 jdoc with
           | Error msg -> error_response msg []
           | Ok job -> (
+              let deadline =
+                match job.Jobfile.j_deadline with
+                | Some _ as d -> d
+                | None -> st.deadline
+              in
               match
-                Pool.submit st.pool (fun () ->
+                Pool.submit ~label:job.Jobfile.j_id ?deadline st.pool
+                  (fun () ->
+                    Batch.quarantine_gate ~sessions:st.sessions job;
+                    Batch.chaos_gate ?chaos:st.chaos job;
                     Batch.run_job ~sessions:st.sessions
                       ?incremental:st.incremental job)
               with
@@ -229,7 +287,12 @@ let handle_request st doc =
               | Ok handle -> (
                   match Pool.await handle with
                   | Ok outcome -> outcome_response outcome
-                  | Error e -> error_response (Printexc.to_string e) []))))
+                  | Error e ->
+                      outcome_response
+                        (Batch.failure_outcome ~metrics:st.metrics
+                           ~sessions:st.sessions job e)))))
+  | Some (Str "update") when Atomic.get st.draining ->
+      error_response "draining" []
   | Some (Str "update") -> (
       let str name =
         match member name doc with Some (Str s) -> Some s | _ -> None
@@ -255,8 +318,9 @@ let handle_request st doc =
             Option.value (str "doc") ~default:("<" ^ tenant_name ^ ">")
           in
           match
-            Pool.submit st.pool (fun () ->
-                run_update st ~tenant ~doc:doc_id ~source)
+            Pool.submit ~label:("update:" ^ doc_id) ?deadline:st.deadline
+              st.pool
+              (fun () -> run_update st ~tenant ~doc:doc_id ~source)
           with
           | Error { Pool.rj_depth; rj_capacity } ->
               error_response "saturated"
@@ -264,7 +328,7 @@ let handle_request st doc =
           | Ok handle -> (
               match Pool.await handle with
               | Ok response -> response
-              | Error e -> error_response (Printexc.to_string e) [])))
+              | Error e -> supervised_error e [])))
   | Some (Str "evict") -> (
       let digest =
         match (member "digest" doc, member "language" doc) with
@@ -302,15 +366,31 @@ let connection_loop st fd =
           | doc -> handle_request st doc
           | exception Failure msg -> error_response ("bad request: " ^ msg) []
         in
-        write_frame fd (to_string response);
-        if not (Atomic.get st.stop) then go ()
+        (* a [drop] chaos roll closes the connection instead of
+           answering — the work is already done; the retrying client's
+           recovery path is what's under test *)
+        let dropped =
+          match st.chaos with
+          | Some c when Chaos.drop_response c -> true
+          | _ -> false
+        in
+        if not dropped then begin
+          write_frame fd (to_string response);
+          if not (Atomic.get st.stop) then go ()
+        end
   in
+  (* EPIPE/ECONNRESET from a client that hung up mid-response (SIGPIPE
+     is ignored process-wide by [serve]) ends this connection only *)
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> try go () with Failure _ | Unix.Unix_error _ -> ())
 
-let serve ?queue_capacity ?session_capacity ?session_ttl ?metrics ?incremental
-    ~workers ~socket () =
+let serve ?queue_capacity ?session_capacity ?session_ttl ?quarantine_after
+    ?metrics ?incremental ?chaos ?deadline ~workers ~socket () =
+  (* a client that vanishes mid-response must cost us an EPIPE, not the
+     process; per-connection handling turns it into a closed connection *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let metrics =
     match metrics with Some m -> m | None -> Lg_support.Metrics.create ()
   in
@@ -321,10 +401,15 @@ let serve ?queue_capacity ?session_capacity ?session_ttl ?metrics ?incremental
     {
       pool = Pool.create ~metrics ~workers ~queue_capacity ();
       sessions =
-        Session.create_cache ?capacity:session_capacity ?ttl:session_ttl ();
+        Session.create_cache ?capacity:session_capacity ?ttl:session_ttl
+          ?quarantine_after ();
       metrics;
       incremental;
+      chaos;
+      deadline;
+      started = Unix.gettimeofday ();
       stop = Atomic.make false;
+      draining = Atomic.make false;
     }
   in
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -350,7 +435,7 @@ let serve ?queue_capacity ?session_capacity ?session_ttl ?metrics ?incremental
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let request ~socket doc =
+let one_request ~socket doc =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -360,3 +445,64 @@ let request ~socket doc =
       match read_frame fd with
       | Some payload -> parse payload
       | None -> failwith "server closed the connection without a response")
+
+(* what the retrying client treats as transient: the server not (yet)
+   there, a connection torn down mid-exchange, or a dropped response *)
+let retryable_exn = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT
+        | Unix.ENOTCONN ),
+        _,
+        _ ) ->
+      true
+  | Failure msg ->
+      String.equal msg "server closed the connection without a response"
+      || String.equal msg "connection closed mid-frame"
+  | _ -> false
+
+(* the queue-full backpressure signal — the one *response* worth
+   retrying; every other error response is a final answer *)
+let saturated_response doc =
+  match (member "ok" doc, member "error" doc) with
+  | Some (Bool false), Some (Str "saturated") -> true
+  | _ -> false
+
+let default_attempts = 5
+
+let request ?(attempts = default_attempts) ?(backoff = 0.05) ?budget
+    ?(jitter_seed = 0) ~socket doc =
+  let attempts = max 1 attempts in
+  let t0 = Unix.gettimeofday () in
+  let over_budget () =
+    match budget with
+    | Some b -> Unix.gettimeofday () -. t0 >= b
+    | None -> false
+  in
+  (* exponential backoff with deterministic jitter in [0.5, 1.5) of the
+     nominal step, clipped to whatever is left of the budget *)
+  let pause attempt =
+    let d = Digest.string (Printf.sprintf "retry:%d:%d" jitter_seed attempt) in
+    let u =
+      float_of_int ((Char.code d.[0] * 256) + Char.code d.[1]) /. 65536.0
+    in
+    let nominal = backoff *. (2.0 ** float_of_int (attempt - 1)) in
+    let s = nominal *. (0.5 +. u) in
+    let s =
+      match budget with
+      | Some b -> Float.min s (Float.max 0.0 (b -. (Unix.gettimeofday () -. t0)))
+      | None -> s
+    in
+    if s > 0.0 then Unix.sleepf s
+  in
+  let rec go attempt =
+    let retriable = attempt < attempts && not (over_budget ()) in
+    match one_request ~socket doc with
+    | response when saturated_response response && retriable ->
+        pause attempt;
+        go (attempt + 1)
+    | response -> response
+    | exception e when retryable_exn e && retriable ->
+        pause attempt;
+        go (attempt + 1)
+  in
+  go 1

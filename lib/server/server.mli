@@ -19,7 +19,23 @@
       record ({!Batch.outcome}) with [{"ok":true/false,...}]. When the
       queue is at capacity the request is {e rejected immediately}:
       [{"ok":false,"error":"saturated","queue_depth":N,"capacity":M}] —
-      backpressure is the client's signal to retry later.
+      backpressure is the client's signal to back off and retry, which
+      the default {!request} client does for you (see below). A job
+      carries its [deadline] (or inherits the server's [--deadline]
+      default); over budget, crashing its worker, or naming a
+      quarantined tenant fails it with the typed exit codes 50/51/52
+      ({!Server_error}) in the outcome record.
+    - [{"op":"health"}] → [{"ok":true,"status":"serving","workers":N,
+      "queue_depth":N,"queue_capacity":N,"sessions":N,
+      "quarantined":[{"digest":..,"label":..,"strikes":N}],
+      "uptime_seconds":S}] — the readiness probe. While draining it
+      answers [{"ok":false,"error":"draining"}], so the CLI's exit code
+      doubles as the probe result.
+    - [{"op":"drain"}] → [{"ok":true,"draining":true,...}]; from then on
+      [job]/[update] requests are refused with
+      [{"ok":false,"error":"draining"}] while accepted work finishes.
+      [ping]/[health]/[metrics]/[shutdown] still answer — [drain] then
+      [shutdown] is the graceful stop.
     - [{"op":"update","language":L,"source":S,"doc":D}] — incremental
       re-translation of the inline source text [S] under language [L]
       (see [docs/INCREMENTAL.md]). [doc] (optional) names the editor
@@ -50,8 +66,11 @@ val serve :
   ?queue_capacity:int ->
   ?session_capacity:int ->
   ?session_ttl:float ->
+  ?quarantine_after:int ->
   ?metrics:Lg_support.Metrics.t ->
   ?incremental:Batch.incremental ->
+  ?chaos:Chaos.t ->
+  ?deadline:float ->
   workers:int ->
   socket:string ->
   unit ->
@@ -60,14 +79,43 @@ val serve :
     until a [shutdown] request, then drain and clean up the socket file.
     [queue_capacity] (default [4 * workers]) bounds queued jobs;
     [metrics] defaults to a fresh registry; [session_ttl] expires idle
-    cached sessions. [incremental] turns per-document state keeping on
-    for [update] ops/jobs ([--incremental] in the CLI); without it
-    updates evaluate from scratch. Raises [Unix.Unix_error] if the
-    socket cannot be bound. *)
+    cached sessions; [quarantine_after] (default 3) is the
+    worker-fatal strike threshold ({!Session}). [incremental] turns
+    per-document state keeping on for [update] ops/jobs ([--incremental]
+    in the CLI); without it updates evaluate from scratch. [deadline]
+    (seconds) is the default wall-clock budget for [job]/[update] ops
+    that don't carry their own. [chaos] arms deterministic fault
+    injection ({!Chaos}) — worker delays/crashes/wedges and response
+    drops — for resilience testing. Installs [SIGPIPE → ignore]
+    process-wide, so a vanished client costs one connection, not the
+    server. Raises [Unix.Unix_error] if the socket cannot be bound. *)
 
 (** {1 Client side} *)
 
-val request : socket:string -> Lg_support.Json_out.t -> Lg_support.Json_out.t
-(** One-shot client: connect, send one framed request, read the framed
-    response. Raises [Unix.Unix_error] / [Failure] on connection or
-    protocol errors. *)
+val default_attempts : int
+(** 5. *)
+
+val request :
+  ?attempts:int ->
+  ?backoff:float ->
+  ?budget:float ->
+  ?jitter_seed:int ->
+  socket:string ->
+  Lg_support.Json_out.t ->
+  Lg_support.Json_out.t
+(** Send one framed request and return the framed response, retrying
+    transient failures: connect errors (server not up yet, socket file
+    missing), connections torn down mid-exchange (a chaotic [drop], a
+    crashed-and-restarted server) and ["saturated"] backpressure
+    responses. Any other response — including error responses — is
+    final. Up to [attempts] tries (default {!default_attempts}; [1]
+    disables retrying — the [--no-retry] behavior), sleeping an
+    exponential backoff ([backoff], default 0.05 s nominal first step)
+    with deterministic jitter seeded by [jitter_seed] between tries;
+    [budget] (seconds) caps the {e total} wall clock spent, after which
+    the next failure is re-raised as-is. Raises [Unix.Unix_error] /
+    [Failure] when retries are exhausted.
+
+    Note a retried [job] may execute twice server-side (a dropped
+    response arrives after the work ran) — jobs are stateless apart
+    from session warming, so a re-run answers identically. *)

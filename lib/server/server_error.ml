@@ -1,0 +1,42 @@
+(* The serving layer's typed failure channel, mirroring Apt_error's
+   design one layer up: pool- and session-level failures surface as
+   values of [t] carried by the [Error] exception — never as bare
+   [Failure] strings — so batch outcomes and socket responses can
+   dispatch on the class and exit with a stable code. *)
+
+type t =
+  | Deadline_exceeded of { job : string; deadline : float; elapsed : float }
+  | Worker_crashed of { job : string; detail : string }
+  | Session_quarantined of { digest : string; label : string; strikes : int }
+
+exception Error of t
+
+let raise_ e = raise (Error e)
+
+let exit_code = function
+  | Deadline_exceeded _ -> 50
+  | Worker_crashed _ -> 51
+  | Session_quarantined _ -> 52
+
+let to_string = function
+  | Deadline_exceeded { job; deadline; elapsed } ->
+      Printf.sprintf
+        "job %s exceeded its %gs deadline (%.3fs since submission); failed \
+         by the pool watchdog, worker recycled"
+        (if job = "" then "<anonymous>" else job)
+        deadline elapsed
+  | Worker_crashed { job; detail } ->
+      Printf.sprintf "worker crashed running job %s: %s (worker respawned)"
+        (if job = "" then "<anonymous>" else job)
+        detail
+  | Session_quarantined { digest; label; strikes } ->
+      Printf.sprintf
+        "session %s (%s) is quarantined after %d worker-fatal job%s; \
+         \"evict\" clears it"
+        label digest strikes
+        (if strikes = 1 then "" else "s")
+
+let class_name = function
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Worker_crashed _ -> "worker_crashed"
+  | Session_quarantined _ -> "session_quarantined"

@@ -1,0 +1,42 @@
+(** Typed errors for the serving layer — the {!Pool}'s supervision and
+    deadline machinery and the {!Session} cache's quarantine.
+
+    Mirrors {!Lg_apt.Apt_error} one layer up: where that module types
+    storage-integrity failures (exit codes 40–44), this one types
+    {e service} failures — a job over its wall-clock budget, a worker
+    domain lost mid-job, a grammar whose jobs keep killing workers —
+    with stable exit codes 50–52 so batch outcome records and socket
+    clients can dispatch on the class (see [docs/SERVER.md]'s
+    failure-modes matrix). *)
+
+type t =
+  | Deadline_exceeded of { job : string; deadline : float; elapsed : float }
+      (** The pool watchdog failed the job: [elapsed] seconds since
+          submission exceeded the [deadline] budget (queue wait included
+          — an expired job that never started is failed on dequeue).
+          The worker that was running it is abandoned and replaced. *)
+  | Worker_crashed of { job : string; detail : string }
+      (** The worker domain died under the job — an exception that
+          escapes the job harness ({!Pool.Crash}, [Out_of_memory]) — and
+          was respawned. The job is failed with this diagnostic; its
+          siblings and the pool survive. *)
+  | Session_quarantined of { digest : string; label : string; strikes : int }
+      (** The session's jobs have crashed workers or blown deadlines
+          [strikes] times — at or past the cache's quarantine threshold
+          — so requests naming it are refused without evaluating.
+          [evict] (or [clear]) lifts the quarantine. *)
+
+exception Error of t
+
+val raise_ : t -> 'a
+
+val exit_code : t -> int
+(** Stable exit code for outcome records, pinned by [test_server.ml]:
+    deadline exceeded 50, worker crashed 51, session quarantined 52.
+    Never renumbered (40–44 remain the APT classes). *)
+
+val to_string : t -> string
+
+val class_name : t -> string
+(** Short machine-readable class tag: ["deadline_exceeded"],
+    ["worker_crashed"], ["session_quarantined"]. *)

@@ -9,7 +9,14 @@
    LALR table bytes). Eviction removes the minimum-credit entry and
    raises the floor to that credit, so recency and rebuild cost trade
    off against each other instead of recency alone deciding. An
-   optional TTL expires entries that have sat untouched. *)
+   optional TTL expires entries that have sat untouched.
+
+   Quarantine: the serving layer reports a strike against a digest each
+   time one of its jobs takes a worker down (crash or watchdog
+   timeout). At [quarantine_after] strikes the digest is quarantined —
+   its cached entry is dropped and every further request raises a typed
+   Server_error until [evict] (or [clear]) lifts it — so one bad
+   grammar cannot consume the fleet one worker at a time. *)
 
 type payload =
   | Artifact of Linguist.Driver.artifact
@@ -49,6 +56,8 @@ type cache = {
   doc_cap : int;
   ttl : float option;
   clock : unit -> float;
+  quarantine_after : int;
+  strikes : (string, int * string) Hashtbl.t;  (* digest -> strikes, label *)
   mutable floor : float;  (* GreedyDual inflation *)
   mutable tick : int;
   mutable hits : int;
@@ -58,7 +67,7 @@ type cache = {
 }
 
 let create_cache ?(capacity = 8) ?(doc_capacity = 128) ?ttl
-    ?(clock = Unix.gettimeofday) () =
+    ?(quarantine_after = 3) ?(clock = Unix.gettimeofday) () =
   {
     lock = Mutex.create ();
     turned = Condition.create ();
@@ -68,6 +77,8 @@ let create_cache ?(capacity = 8) ?(doc_capacity = 128) ?ttl
     doc_cap = max 1 doc_capacity;
     ttl;
     clock;
+    quarantine_after = max 1 quarantine_after;
+    strikes = Hashtbl.create 8;
     floor = 0.0;
     tick = 0;
     hits = 0;
@@ -158,9 +169,54 @@ let table_bytes_of = function
 let default_weight ~build_seconds payload =
   build_seconds +. (float_of_int (table_bytes_of payload) /. 1.0e7)
 
+(* under the lock *)
+let quarantined_strikes c digest =
+  match Hashtbl.find_opt c.strikes digest with
+  | Some (n, label) when n >= c.quarantine_after -> Some (n, label)
+  | _ -> None
+
+let strike c ~digest ~label =
+  locked c (fun () ->
+      let n =
+        match Hashtbl.find_opt c.strikes digest with
+        | Some (n, _) -> n + 1
+        | None -> 1
+      in
+      Hashtbl.replace c.strikes digest (n, label);
+      if n >= c.quarantine_after then
+        (* the quarantined session's resident entry (if any) is dropped:
+           a payload whose jobs keep killing workers is not worth its
+           slot, and requests are refused before the lookup anyway *)
+        remove_entry c digest;
+      n)
+
+let quarantine_threshold c = c.quarantine_after
+
+let is_quarantined c ~digest =
+  locked c (fun () -> quarantined_strikes c digest <> None)
+
+let strike_count c ~digest =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.strikes digest with
+      | Some (n, _) -> n
+      | None -> 0)
+
+let quarantined c =
+  locked c (fun () ->
+      Hashtbl.fold
+        (fun digest (n, label) acc ->
+          if n >= c.quarantine_after then (digest, label, n) :: acc else acc)
+        c.strikes []
+      |> List.sort (fun (_, a, _) (_, b, _) -> compare a b))
+
 let find_or_build c ?weight ~digest ~label ~build () =
   let role =
     locked c @@ fun () ->
+    (match quarantined_strikes c digest with
+    | Some (strikes, qlabel) ->
+        Server_error.raise_
+          (Server_error.Session_quarantined { digest; label = qlabel; strikes })
+    | None -> ());
     sweep_expired c;
     let rec decide () =
       match Hashtbl.find_opt c.entries digest with
@@ -219,15 +275,18 @@ let find_or_build c ?weight ~digest ~label ~build () =
 
 let evict c ~digest =
   locked c (fun () ->
+      let struck = Hashtbl.mem c.strikes digest in
+      Hashtbl.remove c.strikes digest;
       match Hashtbl.find_opt c.entries digest with
       | Some (Ready _) ->
           remove_entry c digest;
           c.evictions <- c.evictions + 1;
           true
-      | Some Building | None -> false)
+      | Some Building | None -> struck)
 
 let clear c =
   locked c (fun () ->
+      Hashtbl.reset c.strikes;
       let ready =
         Hashtbl.fold
           (fun key entry acc ->

@@ -27,6 +27,15 @@
     before it yields its slot. An optional TTL expires entries that have
     sat untouched regardless of weight.
 
+    {b Quarantine} mirrors the APT layer's page quarantine one level
+    up: the serving layer {!strike}s a digest each time one of its jobs
+    takes a worker down (domain crash, watchdog timeout). At
+    [quarantine_after] strikes (default 3) the digest is quarantined —
+    its resident entry is dropped and {!find_or_build} raises a typed
+    {!Server_error.Session_quarantined} without building — so one bad
+    grammar cannot consume the fleet one worker at a time. {!evict} (or
+    {!clear}) lifts the quarantine along with the entry.
+
     The cache also parks {b per-document incremental state}
     ({!Lg_incremental.Incr.state}) next to the session that owns it:
     [update] ops fetch a {!doc_slot} keyed by (session digest, document
@@ -60,14 +69,17 @@ val create_cache :
   ?capacity:int ->
   ?doc_capacity:int ->
   ?ttl:float ->
+  ?quarantine_after:int ->
   ?clock:(unit -> float) ->
   unit ->
   cache
 (** [capacity] (default 8, at least 1) bounds resident sessions;
     [doc_capacity] (default 128) bounds parked per-document states
     across all sessions. [ttl] (seconds; default none) expires entries
-    idle longer than that. [clock] (default [Unix.gettimeofday]) is
-    injectable for deterministic TTL tests. *)
+    idle longer than that. [quarantine_after] (default 3, at least 1)
+    is the worker-fatal strike count at which a digest is quarantined.
+    [clock] (default [Unix.gettimeofday]) is injectable for
+    deterministic TTL tests. *)
 
 val length : cache -> int
 val capacity : cache -> int
@@ -90,15 +102,40 @@ val find_or_build :
     while another worker is building the same digest. Re-raises whatever
     [build] raises. [weight] overrides the measured rebuild-cost weight
     (build seconds + table bytes / 10{^7}) — deterministic tests pin
-    it. *)
+    it.
+    @raise Server_error.Error
+      ([Session_quarantined]) when the digest has accumulated
+      [quarantine_after] strikes — without looking up or building. *)
 
 val evict : cache -> digest:string -> bool
-(** Drop one Ready entry (and its parked documents); [false] when the
-    digest is absent or still building. *)
+(** Drop one Ready entry (and its parked documents) {e and} lift any
+    quarantine on the digest; [false] when the digest had neither an
+    entry nor strikes, or is still building. *)
 
 val clear : cache -> int
-(** Drop every Ready entry and all parked documents; returns how many
-    sessions were dropped. Entries under construction survive. *)
+(** Drop every Ready entry, all parked documents and all strike
+    records; returns how many sessions were dropped. Entries under
+    construction survive. *)
+
+(** {1 Quarantine} *)
+
+val strike : cache -> digest:string -> label:string -> int
+(** Record one worker-fatal failure against [digest] (the serving layer
+    calls this when a job crashes its worker or blows its deadline) and
+    return the new strike count. Crossing the threshold drops the
+    digest's resident entry. *)
+
+val quarantine_threshold : cache -> int
+
+val is_quarantined : cache -> digest:string -> bool
+
+val strike_count : cache -> digest:string -> int
+(** Strikes recorded so far (0 when clean); counts below the threshold
+    do not block requests. *)
+
+val quarantined : cache -> (string * string * int) list
+(** Every quarantined digest as [(digest, label, strikes)], sorted by
+    label — the [health] serve op's listing. *)
 
 type info = {
   i_digest : string;

@@ -465,6 +465,627 @@ let test_batch_missing_file () =
         o.Batch.o_exit
   | _ -> Alcotest.fail "one job, one outcome"
 
+(* ---------------- supervision: crashes and deadlines ---------------- *)
+
+let counter metrics name =
+  match Lg_support.Metrics.find metrics name with
+  | Some (Lg_support.Metrics.Counter n) -> n
+  | _ -> 0
+
+let test_pool_crash_respawn () =
+  let metrics = Lg_support.Metrics.create () in
+  let pool = Pool.create ~metrics ~workers:2 ~queue_capacity:16 () in
+  Fun.protect ~finally:(fun () -> Pool.drain pool) @@ fun () ->
+  let bad =
+    match
+      Pool.submit ~label:"victim" pool (fun () -> raise (Pool.Crash "injected"))
+    with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "rejected"
+  in
+  (match Pool.await bad with
+  | Error (Server_error.Error (Server_error.Worker_crashed { job; detail } as e))
+    ->
+      Alcotest.(check string) "label carried" "victim" job;
+      Alcotest.(check string) "detail carried" "injected" detail;
+      Alcotest.(check int) "typed exit code" 51 (Server_error.exit_code e)
+  | Error e -> Alcotest.failf "wrong error: %s" (Printexc.to_string e)
+  | Ok () -> Alcotest.fail "crashed job reported success");
+  (* the dead worker's replacement restores full capacity *)
+  let after =
+    List.init 8 (fun i ->
+        match Pool.submit pool (fun () -> i) with
+        | Ok h -> h
+        | Error _ -> Alcotest.fail "rejected after respawn")
+  in
+  List.iteri
+    (fun i h ->
+      match Pool.await h with
+      | Ok v -> Alcotest.(check int) "ran after respawn" i v
+      | Error e -> Alcotest.failf "raised %s" (Printexc.to_string e))
+    after;
+  Alcotest.(check int) "one crash counted" 1
+    (counter metrics "server.worker_crashes");
+  if counter metrics "server.worker_restarts" < 1 then
+    Alcotest.fail "no restart counted"
+
+let test_pool_deadline () =
+  let metrics = Lg_support.Metrics.create () in
+  let pool =
+    Pool.create ~metrics ~watchdog_interval:0.002 ~workers:1 ~queue_capacity:8
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Pool.drain pool) @@ fun () ->
+  let slow =
+    match
+      Pool.submit ~label:"wedged" ~deadline:0.05 pool (fun () ->
+          Unix.sleepf 0.5;
+          "late")
+    with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "rejected"
+  in
+  (match Pool.await slow with
+  | Error
+      (Server_error.Error
+         (Server_error.Deadline_exceeded { job; deadline; elapsed } as e)) ->
+      Alcotest.(check string) "label carried" "wedged" job;
+      Alcotest.(check int) "typed exit code" 50 (Server_error.exit_code e);
+      if deadline <= 0.0 then Alcotest.fail "deadline not recorded";
+      if elapsed < deadline then Alcotest.fail "failed before the deadline";
+      if elapsed > 0.4 then
+        Alcotest.failf "watchdog waited for the thunk (%.3f s)" elapsed
+  | Error e -> Alcotest.failf "wrong error: %s" (Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "over-budget job reported success");
+  (* the replacement worker serves while the abandoned one still sleeps *)
+  let t0 = Unix.gettimeofday () in
+  (match Pool.submit pool (fun () -> "prompt") with
+  | Ok h -> (
+      match Pool.await h with
+      | Ok s -> Alcotest.(check string) "replacement serves" "prompt" s
+      | Error e -> Alcotest.failf "raised %s" (Printexc.to_string e))
+  | Error _ -> Alcotest.fail "rejected after abandonment");
+  if Unix.gettimeofday () -. t0 > 0.4 then
+    Alcotest.fail "replacement was not prompt";
+  if counter metrics "server.deadline_exceeded" < 1 then
+    Alcotest.fail "deadline metric missing"
+
+let test_pool_deadline_in_queue () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:8 () in
+  Fun.protect ~finally:(fun () -> Pool.drain pool) @@ fun () ->
+  let ran = Atomic.make false in
+  let blocker =
+    match Pool.submit pool (fun () -> Unix.sleepf 0.2) with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "blocker rejected"
+  in
+  while Pool.queue_depth pool > 0 do
+    Domain.cpu_relax ()
+  done;
+  let doomed =
+    match
+      Pool.submit ~label:"queued" ~deadline:0.05 pool (fun () ->
+          Atomic.set ran true)
+    with
+    | Ok h -> h
+    | Error _ -> Alcotest.fail "doomed rejected"
+  in
+  (match Pool.await doomed with
+  | Error (Server_error.Error (Server_error.Deadline_exceeded _)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Printexc.to_string e)
+  | Ok () -> Alcotest.fail "expired-in-queue job reported success");
+  (match Pool.await blocker with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "blocker raised %s" (Printexc.to_string e));
+  Alcotest.(check bool) "expired job never ran" false (Atomic.get ran)
+
+(* ---------------- session quarantine ---------------- *)
+
+let test_session_quarantine () =
+  let c = Session.create_cache ~quarantine_after:2 () in
+  let digest = Session.digest ~kind:"language" ~source:"desk_calc" in
+  Alcotest.(check bool) "clean" false (Session.is_quarantined c ~digest);
+  Alcotest.(check int) "threshold" 2 (Session.quarantine_threshold c);
+  Alcotest.(check int) "first strike" 1
+    (Session.strike c ~digest ~label:"language:desk_calc");
+  Alcotest.(check bool) "below threshold" false
+    (Session.is_quarantined c ~digest);
+  (* the session may be resident when it crosses the threshold *)
+  ignore (Session.language_session c "desk_calc");
+  Alcotest.(check int) "resident" 1 (Session.length c);
+  Alcotest.(check int) "second strike" 2
+    (Session.strike c ~digest ~label:"language:desk_calc");
+  Alcotest.(check bool) "quarantined" true (Session.is_quarantined c ~digest);
+  Alcotest.(check int) "entry dropped on crossing" 0 (Session.length c);
+  (match Session.language_session c "desk_calc" with
+  | exception
+      Server_error.Error
+        (Server_error.Session_quarantined { digest = d; strikes; _ } as e) ->
+      Alcotest.(check string) "digest named" digest d;
+      Alcotest.(check int) "strikes named" 2 strikes;
+      Alcotest.(check int) "typed exit code" 52 (Server_error.exit_code e)
+  | _ -> Alcotest.fail "quarantined session must refuse to build");
+  (match Session.quarantined c with
+  | [ (d, label, 2) ] ->
+      Alcotest.(check string) "listed digest" digest d;
+      Alcotest.(check string) "listed label" "language:desk_calc" label
+  | l -> Alcotest.failf "expected one quarantined entry, got %d" (List.length l));
+  Alcotest.(check bool) "evict lifts quarantine" true
+    (Session.evict c ~digest);
+  Alcotest.(check bool) "clean again" false (Session.is_quarantined c ~digest);
+  ignore (Session.language_session c "desk_calc")
+
+let test_session_quarantine_clear () =
+  let c = Session.create_cache ~quarantine_after:1 () in
+  let digest = Session.digest ~kind:"x" ~source:"y" in
+  ignore (Session.strike c ~digest ~label:"x:y");
+  Alcotest.(check bool) "quarantined at threshold 1" true
+    (Session.is_quarantined c ~digest);
+  ignore (Session.clear c);
+  Alcotest.(check bool) "clear lifts quarantine" false
+    (Session.is_quarantined c ~digest);
+  Alcotest.(check int) "strikes reset" 0 (Session.strike_count c ~digest)
+
+(* ---------------- chaos injection ---------------- *)
+
+let test_chaos_spec () =
+  (match Chaos.parse_spec "9:0.05:crash,drop" with
+  | Ok spec ->
+      Alcotest.(check string) "round-trip" "9:0.05:crash,drop"
+        (Chaos.render_spec spec);
+      Alcotest.(check int) "seed" 9 spec.Chaos.c_seed
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  (match Chaos.parse_spec "3:0.5:all" with
+  | Ok spec ->
+      Alcotest.(check int) "all = four kinds" 4 (List.length spec.Chaos.c_kinds)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  List.iter
+    (fun bad ->
+      match Chaos.parse_spec bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ ""; "x"; "1:2"; "1:1.5:crash"; "1:0.1:explode"; "seed:0.1:crash"; "1:0.1:" ]
+
+let test_chaos_determinism () =
+  let spec = { Chaos.c_seed = 7; c_rate = 0.3; c_kinds = [ Chaos.Crash ] } in
+  let decisions c =
+    List.init 100 (fun i ->
+        Chaos.on_job c ~id:(Printf.sprintf "job-%d" i) ~file:"f.ag")
+  in
+  let a = decisions (Chaos.create spec)
+  and b = decisions (Chaos.create spec) in
+  Alcotest.(check bool) "same spec, same rolls" true (a = b);
+  let hit = List.length (List.filter Option.is_some a) in
+  if hit = 0 || hit = 100 then
+    Alcotest.failf "rate 0.3 drew %d/100 injections" hit;
+  (* poison overrides the roll with a crash, keyed by id or file *)
+  let p = Chaos.create ~poison:"bad" { spec with Chaos.c_rate = 0.0 } in
+  Alcotest.(check bool) "poisoned id crashes" true
+    (Chaos.on_job p ~id:"bad-1" ~file:"f.ag" = Some Chaos.Crash_job);
+  Alcotest.(check bool) "poisoned file crashes" true
+    (Chaos.on_job p ~id:"j" ~file:"dir/bad.ag" = Some Chaos.Crash_job);
+  Alcotest.(check bool) "others untouched at rate 0" true
+    (Chaos.on_job p ~id:"j" ~file:"f.ag" = None)
+
+(* Chaos through the batch layer: injected crashes fail typed, spare
+   their siblings, and leave every surviving payload byte-identical to
+   the fault-free sequential run — the rolls are keyed by the job, not
+   the schedule. *)
+let test_batch_chaos_differential () =
+  let grammar = write_temp_grammar () in
+  Fun.protect ~finally:(fun () -> Sys.remove grammar) @@ fun () ->
+  let jobs =
+    List.init 24 (fun i ->
+        Jobfile.make
+          ~id:(Printf.sprintf "job-%02d" i)
+          ~op:Jobfile.Analyze ~file:grammar ())
+  in
+  let baseline = Batch.run_sequential jobs in
+  Alcotest.(check int) "baseline all ok" 0 baseline.Batch.n_failed;
+  let payloads s =
+    List.map
+      (fun o -> (o.Batch.o_id, Lg_support.Json_out.to_string o.Batch.o_payload))
+      (List.filter (fun o -> o.Batch.o_ok) s.Batch.outcomes)
+  in
+  let base = payloads baseline in
+  let spec = { Chaos.c_seed = 11; c_rate = 0.25; c_kinds = [ Chaos.Crash ] } in
+  let survivors_of workers =
+    (* all 24 jobs share one tenant; a generous threshold keeps the
+       quarantine (tested elsewhere) out of this byte-identity check *)
+    let sessions = Session.create_cache ~quarantine_after:1_000 () in
+    let chaotic = Batch.run ~workers ~sessions ~chaos:(Chaos.create spec) jobs in
+    List.iter
+      (fun o ->
+        if not o.Batch.o_ok then
+          Alcotest.(check int)
+            (o.Batch.o_id ^ " failed typed")
+            51 o.Batch.o_exit)
+      chaotic.Batch.outcomes;
+    if chaotic.Batch.n_failed = 0 then
+      Alcotest.fail "rate 0.25 injected nothing";
+    payloads chaotic
+  in
+  let s2 = survivors_of 2 in
+  let s4 = survivors_of 4 in
+  Alcotest.(check bool) "same survivors at 2 and 4 workers" true (s2 = s4);
+  List.iter
+    (fun (id, payload) ->
+      match List.assoc_opt id base with
+      | Some b ->
+          Alcotest.(check string) (id ^ " survivor byte-identical") b payload
+      | None -> Alcotest.failf "%s not in the baseline" id)
+    s2
+
+(* A poisoned tenant accrues strikes and ends quarantined: later jobs
+   are refused with the typed diagnostic before burning a worker. *)
+let test_batch_poison_quarantine () =
+  let grammar = write_temp_grammar () in
+  Fun.protect ~finally:(fun () -> Sys.remove grammar) @@ fun () ->
+  let sessions = Session.create_cache ~quarantine_after:2 () in
+  let metrics = Lg_support.Metrics.create () in
+  let jobs =
+    List.init 4 (fun i ->
+        Jobfile.make
+          ~id:(Printf.sprintf "poison-%d" i)
+          ~op:Jobfile.Analyze ~file:grammar ())
+  in
+  let chaos =
+    Chaos.create ~poison:"poison"
+      { Chaos.c_seed = 1; c_rate = 0.0; c_kinds = [ Chaos.Crash ] }
+  in
+  (* sequential, so strikes land between jobs *)
+  let s = Batch.run ~workers:0 ~sessions ~metrics ~chaos jobs in
+  Alcotest.(check (list int))
+    "two crashes, then typed refusals" [ 51; 51; 52; 52 ]
+    (List.map (fun o -> o.Batch.o_exit) s.Batch.outcomes);
+  Alcotest.(check int) "quarantine crossing counted" 1
+    (counter metrics "server.quarantined");
+  let digest = Session.digest ~kind:"language" ~source:"linguist" in
+  Alcotest.(check bool) "tenant session quarantined" true
+    (Session.is_quarantined sessions ~digest)
+
+(* ---------------- jobfile deadline field ---------------- *)
+
+let test_jobfile_deadline () =
+  let doc =
+    {|{ "linguist_jobs": 1,
+        "jobs": [ { "op": "check", "file": "g.ag", "deadline": 0.25 },
+                  { "op": "check", "file": "g.ag" } ] }|}
+  in
+  (match Jobfile.parse doc with
+  | Ok [ a; b ] ->
+      Alcotest.(check (option (float 1e-9))) "deadline read" (Some 0.25)
+        a.Jobfile.j_deadline;
+      Alcotest.(check (option (float 1e-9))) "absent stays absent" None
+        b.Jobfile.j_deadline;
+      let text = Jobfile.to_string [ a; b ] in
+      (match Jobfile.parse text with
+      | Ok [ a'; _ ] ->
+          Alcotest.(check (option (float 1e-9))) "survives round-trip"
+            (Some 0.25) a'.Jobfile.j_deadline
+      | _ -> Alcotest.fail "re-parse failed")
+  | Ok _ -> Alcotest.fail "wrong job count"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  expect_jobfile_error "deadline must be positive" "must be positive"
+    {|{ "linguist_jobs": 1,
+        "jobs": [ { "op": "check", "file": "g.ag", "deadline": -1 } ] }|};
+  expect_jobfile_error "deadline must be a number" "must be a number"
+    {|{ "linguist_jobs": 1,
+        "jobs": [ { "op": "check", "file": "g.ag", "deadline": "fast" } ] }|}
+
+(* ---------------- the socket front-end under fault injection ------- *)
+
+let rec rm_rf_dir path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf_dir (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "server_chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf_dir dir) (fun () -> f dir)
+
+let wait_for_socket path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if not (Sys.file_exists path) then Alcotest.fail "server never bound"
+
+let job_request j =
+  match Jobfile.to_json [ j ] with
+  | doc -> (
+      match Lg_support.Json_out.member "jobs" doc with
+      | Some (Lg_support.Json_out.Arr [ jdoc ]) ->
+          Lg_support.Json_out.Obj
+            [ ("op", Lg_support.Json_out.Str "job"); ("job", jdoc) ]
+      | _ -> Alcotest.fail "jobfile codec broke")
+
+let response_field doc name =
+  match Lg_support.Json_out.member name doc with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S" name
+
+let response_exit doc =
+  Lg_support.Json_out.to_int (response_field doc "exit")
+
+let response_ok doc =
+  match Lg_support.Json_out.member "ok" doc with
+  | Some (Lg_support.Json_out.Bool b) -> b
+  | _ -> false
+
+(* Shutdown under load: accepted work survives a drain — in-flight and
+   queued jobs answer, new intake is refused, health reports draining,
+   and the socket file is gone after shutdown. *)
+let test_serve_shutdown_under_load () =
+  with_temp_dir @@ fun dir ->
+  let grammar = write_temp_grammar () in
+  Fun.protect ~finally:(fun () -> Sys.remove grammar) @@ fun () ->
+  let socket = Filename.concat dir "srv.sock" in
+  let chaos =
+    (* every job sleeps 0.15 s, so drain really races running work *)
+    Chaos.create ~delay:0.15
+      { Chaos.c_seed = 1; c_rate = 1.0; c_kinds = [ Chaos.Delay ] }
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ~workers:1 ~queue_capacity:8 ~chaos ~socket ())
+      ()
+  in
+  wait_for_socket socket;
+  let job i =
+    Jobfile.make ~id:(Printf.sprintf "load-%d" i) ~op:Jobfile.Analyze
+      ~file:grammar ()
+  in
+  let results = Array.make 3 None in
+  let clients =
+    List.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              Some (Server.request ~attempts:1 ~socket (job_request (job i))))
+          ())
+  in
+  Thread.delay 0.05;
+  let drained = Server.request ~socket (Lg_support.Json_out.parse {|{"op":"drain"}|}) in
+  Alcotest.(check bool) "drain acknowledged" true (response_ok drained);
+  let refused =
+    Server.request ~attempts:1 ~socket (job_request (job 99))
+  in
+  Alcotest.(check bool) "new intake refused" false (response_ok refused);
+  (match response_field refused "error" with
+  | Lg_support.Json_out.Str "draining" -> ()
+  | _ -> Alcotest.fail "refusal must say draining");
+  let health = Server.request ~socket (Lg_support.Json_out.parse {|{"op":"health"}|}) in
+  Alcotest.(check bool) "health reports draining" false (response_ok health);
+  (* accepted work still answers *)
+  List.iter Thread.join clients;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "accepted job %d answered" i)
+            true (response_ok r)
+      | None -> Alcotest.failf "accepted job %d got no response" i)
+    results;
+  let bye = Server.request ~socket (Lg_support.Json_out.parse {|{"op":"shutdown"}|}) in
+  Alcotest.(check bool) "shutdown acknowledged" true (response_ok bye);
+  Thread.join server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+(* The retrying client rides out dropped connections. *)
+let test_serve_retry_client () =
+  with_temp_dir @@ fun dir ->
+  let socket = Filename.concat dir "srv.sock" in
+  let chaos =
+    Chaos.create { Chaos.c_seed = 2; c_rate = 0.5; c_kinds = [ Chaos.Drop ] }
+  in
+  let server =
+    Thread.create
+      (fun () -> Server.serve ~workers:1 ~queue_capacity:8 ~chaos ~socket ())
+      ()
+  in
+  wait_for_socket socket;
+  let ping = Lg_support.Json_out.parse {|{"op":"ping"}|} in
+  (* without retries, half the responses vanish *)
+  let failures = ref 0 in
+  for _ = 1 to 10 do
+    match Server.request ~attempts:1 ~socket ping with
+    | _ -> ()
+    | exception Failure _ -> incr failures
+  done;
+  if !failures = 0 then Alcotest.fail "drop rate 0.5 dropped nothing";
+  (* with retries, every request lands *)
+  for i = 1 to 10 do
+    let r = Server.request ~attempts:8 ~backoff:0.01 ~jitter_seed:i ~socket ping in
+    Alcotest.(check bool) (Printf.sprintf "retried ping %d" i) true
+      (response_ok r)
+  done;
+  (* shutdown's own response may be dropped; a retry then races the
+     vanishing socket — either way the server stops *)
+  (try
+     ignore
+       (Server.request ~attempts:8 ~backoff:0.01 ~socket
+          (Lg_support.Json_out.parse {|{"op":"shutdown"}|}))
+   with Unix.Unix_error _ | Failure _ -> ());
+  Thread.join server
+
+(* The acceptance scenario: a 200-job corpus workload served under
+   crash + drop chaos with one always-crashing tenant. The server must
+   survive to a clean shutdown with every job answered, every failure
+   typed (exit 50-52), the poison tenant quarantined, and every
+   surviving payload byte-identical to a fault-free sequential run. *)
+let test_serve_chaos_endurance () =
+  with_temp_dir @@ fun dir ->
+  let spec =
+    {
+      Lg_corpus.Emit.s_seed = 5;
+      s_grammars = 10;
+      s_profile = Lg_corpus.Corpus_gen.Small;
+      s_inputs = 20;
+      s_input_size = 25;
+      s_fault_every = 0;
+    }
+  in
+  let corpus = Lg_corpus.Emit.write ~dir spec in
+  (* the poison tenant: same grammar text as g000 plus a byte, so it
+     compiles but caches under its own digest *)
+  let poison_path = Filename.concat dir "poison.ag" in
+  (let src_g0 =
+     let ic = open_in_bin (Filename.concat dir (Lg_corpus.Emit.grammar_rel 0)) in
+     let s = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     s
+   in
+   let oc = open_out_bin poison_path in
+   output_string oc (src_g0 ^ "\n");
+   close_out oc);
+  let poison_jobs =
+    List.init 4 (fun i ->
+        Jobfile.make
+          ~id:(Printf.sprintf "poison-%d" (i + 1))
+          ~op:(Jobfile.Translate (Jobfile.Grammar "poison.ag"))
+          ~file:(Lg_corpus.Emit.input_rel 0 0)
+          ())
+  in
+  let corpus_jobs =
+    List.filteri (fun i _ -> i < 196) corpus.Lg_corpus.Emit.c_jobs
+  in
+  if List.length corpus_jobs < 196 then
+    Alcotest.failf "corpus too small: %d jobs" (List.length corpus_jobs);
+  let old = Sys.getcwd () in
+  Sys.chdir dir;
+  Fun.protect ~finally:(fun () -> Sys.chdir old) @@ fun () ->
+  (* fault-free reference for the byte-identity contract *)
+  let baseline = Batch.run_sequential (corpus_jobs @ poison_jobs) in
+  Alcotest.(check int) "fault-free baseline is all-ok" 0
+    baseline.Batch.n_failed;
+  let base_payloads =
+    List.map
+      (fun o -> (o.Batch.o_id, Lg_support.Json_out.to_string o.Batch.o_payload))
+      baseline.Batch.outcomes
+  in
+  let socket = Filename.concat dir "srv.sock" in
+  let chaos =
+    Chaos.create ~poison:"poison"
+      { Chaos.c_seed = 23; c_rate = 0.08; c_kinds = [ Chaos.Crash; Chaos.Drop ] }
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ~workers:4 ~queue_capacity:64 ~quarantine_after:3 ~chaos
+          ~deadline:30.0 ~socket ())
+      ()
+  in
+  wait_for_socket socket;
+  (* 6 client threads drain the shared corpus backlog through the
+     retrying client; every job must come back with a response *)
+  let backlog = ref corpus_jobs in
+  let lock = Mutex.create () in
+  let responses = ref [] in
+  let next () =
+    Mutex.lock lock;
+    let j =
+      match !backlog with
+      | [] -> None
+      | j :: rest ->
+          backlog := rest;
+          Some j
+    in
+    Mutex.unlock lock;
+    j
+  in
+  let record id doc =
+    Mutex.lock lock;
+    responses := (id, doc) :: !responses;
+    Mutex.unlock lock
+  in
+  let clients =
+    List.init 6 (fun c ->
+        Thread.create
+          (fun () ->
+            let rec go () =
+              match next () with
+              | None -> ()
+              | Some j ->
+                  let r =
+                    Server.request ~attempts:8 ~backoff:0.01 ~jitter_seed:c
+                      ~socket (job_request j)
+                  in
+                  record j.Jobfile.j_id r;
+                  go ()
+            in
+            go ())
+          ())
+  in
+  List.iter Thread.join clients;
+  (* the poison tenant, sequentially: strikes accrue job by job, so the
+     fourth must be refused before it can burn a worker *)
+  let poison_exits =
+    List.map
+      (fun j ->
+        let r =
+          Server.request ~attempts:8 ~backoff:0.01 ~socket (job_request j)
+        in
+        record j.Jobfile.j_id r;
+        response_exit r)
+      poison_jobs
+  in
+  List.iter
+    (fun e ->
+      if e <> 51 && e <> 52 then
+        Alcotest.failf "poison job exited %d (want 51/52)" e)
+    poison_exits;
+  Alcotest.(check int) "poison tenant ends refused" 52
+    (List.nth poison_exits 3);
+  (* every one of the 200 jobs answered *)
+  Alcotest.(check int) "zero job loss" 200 (List.length !responses);
+  (* typed diagnostics on every failure; byte-identity on every survivor *)
+  List.iter
+    (fun (id, r) ->
+      if response_ok r then begin
+        Alcotest.(check int) (id ^ " clean exit") 0 (response_exit r);
+        match
+          ( List.assoc_opt id base_payloads,
+            Lg_support.Json_out.member "payload" r )
+        with
+        | Some base, Some payload ->
+            Alcotest.(check string)
+              (id ^ " survivor byte-identical")
+              base
+              (Lg_support.Json_out.to_string payload)
+        | _ -> Alcotest.failf "%s: missing payload" id
+      end
+      else
+        let e = response_exit r in
+        if e < 50 || e > 52 then
+          Alcotest.failf "%s failed untyped (exit %d)" id e)
+    !responses;
+  (* the quarantine is visible to operators *)
+  let health =
+    Server.request ~attempts:8 ~backoff:0.01 ~socket
+      (Lg_support.Json_out.parse {|{"op":"health"}|})
+  in
+  (match Lg_support.Json_out.member "quarantined" health with
+  | Some (Lg_support.Json_out.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "health must list the quarantined tenant");
+  (* graceful stop: drain, then shutdown; the socket file must go *)
+  ignore
+    (Server.request ~attempts:8 ~backoff:0.01 ~socket
+       (Lg_support.Json_out.parse {|{"op":"drain"}|}));
+  (try
+     ignore
+       (Server.request ~attempts:8 ~backoff:0.01 ~socket
+          (Lg_support.Json_out.parse {|{"op":"shutdown"}|}))
+   with Unix.Unix_error _ | Failure _ -> ());
+  Thread.join server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
 let () =
   Alcotest.run "server"
     [
@@ -520,5 +1141,43 @@ let () =
             test_batch_missing_file;
           Alcotest.test_case "corpus pooled = sequential, byte-identical"
             `Quick test_batch_corpus_differential;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "worker crash fails typed and respawns" `Quick
+            test_pool_crash_respawn;
+          Alcotest.test_case "watchdog enforces deadlines" `Quick
+            test_pool_deadline;
+          Alcotest.test_case "expired-in-queue jobs never run" `Quick
+            test_pool_deadline_in_queue;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "strikes quarantine and evict lifts" `Quick
+            test_session_quarantine;
+          Alcotest.test_case "clear resets strike records" `Quick
+            test_session_quarantine_clear;
+          Alcotest.test_case "poisoned tenant ends refused (batch)" `Quick
+            test_batch_poison_quarantine;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "spec codec accepts and rejects" `Quick
+            test_chaos_spec;
+          Alcotest.test_case "rolls are deterministic, poison absolute" `Quick
+            test_chaos_determinism;
+          Alcotest.test_case "survivors byte-identical under crashes" `Quick
+            test_batch_chaos_differential;
+          Alcotest.test_case "jobfile carries deadlines" `Quick
+            test_jobfile_deadline;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "drain answers accepted work, refuses new"
+            `Quick test_serve_shutdown_under_load;
+          Alcotest.test_case "retrying client rides out drops" `Quick
+            test_serve_retry_client;
+          Alcotest.test_case "chaotic 200-job corpus run survives" `Slow
+            test_serve_chaos_endurance;
         ] );
     ]
