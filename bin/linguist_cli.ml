@@ -829,14 +829,30 @@ let serve_cmd =
              with the typed $(b,session_quarantined) diagnostic (exit 52) \
              until it is evicted. Default 3.")
   in
+  let postmortem_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "postmortem-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write a flight-recorder dump (the job's recent lifecycle \
+             events as JSON) into $(docv) for every job that dies with \
+             $(b,deadline_exceeded) (exit 50) or $(b,worker_crashed) \
+             (exit 51). The directory is created if missing; see \
+             docs/OBSERVABILITY.md for the dump schema.")
+  in
   let run ~workers ~queue ~session_ttl ~quarantine ~incremental ~chaos_spec
-      ~poison ~deadline ~socket =
+      ~poison ~deadline ~trace_out ~postmortem_dir ~socket =
     let workers = max 1 workers in
     let metrics = Lg_support.Metrics.create () in
     match (chaos_of ~spec:chaos_spec ~poison ~metrics, deadline_of deadline)
     with
     | exception Failure msg -> `Error (false, msg)
     | chaos, deadline ->
+        let tracer =
+          if trace_out = None then Lg_support.Trace.null
+          else Lg_support.Trace.create ()
+        in
         Printf.eprintf "serve: listening on %s (%d workers%s%s)\n%!" socket
           workers
           (if incremental = None then "" else ", incremental")
@@ -844,8 +860,21 @@ let serve_cmd =
           | None -> ""
           | Some s -> ", chaos " ^ s);
         Lg_server.Server.serve ?queue_capacity:queue ?session_ttl
-          ?quarantine_after:quarantine ~metrics ?incremental ?chaos ?deadline
-          ~workers ~socket ();
+          ?quarantine_after:quarantine ~metrics ~tracer ?postmortem_dir
+          ?incremental ?chaos ?deadline ~workers ~socket ();
+        (match trace_out with
+        | Some "-" ->
+            print_string
+              (Lg_support.Trace.to_chrome_json ~process_name:"linguist-serve"
+                 tracer);
+            Printf.eprintf "trace: wrote %d spans to stdout\n%!"
+              (Lg_support.Trace.span_count tracer)
+        | Some path ->
+            Lg_support.Trace.write_chrome ~process_name:"linguist-serve"
+              tracer ~path;
+            Printf.eprintf "trace: wrote %s (%d spans)\n%!" path
+              (Lg_support.Trace.span_count tracer)
+        | None -> ());
         Printf.eprintf "serve: drained, socket closed\n%!";
         `Ok ()
   in
@@ -858,7 +887,8 @@ let serve_cmd =
     Term.(
       ret
         (const (fun workers queue session_ttl quarantine inc inc_threshold
-                    inc_spill chaos_spec poison deadline socket ->
+                    inc_spill chaos_spec poison deadline tout postmortem_dir
+                    socket ->
              guard (fun () ->
                  match
                    incremental_of ~on:inc ~threshold:inc_threshold
@@ -866,11 +896,13 @@ let serve_cmd =
                  with
                  | incremental ->
                      run ~workers ~queue ~session_ttl ~quarantine ~incremental
-                       ~chaos_spec ~poison ~deadline ~socket
+                       ~chaos_spec ~poison ~deadline ~trace_out:tout
+                       ~postmortem_dir ~socket
                  | exception Failure msg -> `Error (false, msg)))
         $ jobs_flag $ queue_arg $ session_ttl_arg $ quarantine_arg
         $ incremental_flag $ incremental_threshold $ incremental_spill
-        $ chaos_arg $ chaos_poison_arg $ deadline_arg $ socket_arg))
+        $ chaos_arg $ chaos_poison_arg $ deadline_arg $ trace_out
+        $ postmortem_arg $ socket_arg))
 
 let request_cmd =
   let request_arg =
@@ -943,6 +975,153 @@ let request_cmd =
              guard (fun () -> run ~socket ~request ~retries ~budget ~no_retry))
         $ socket_arg $ retries_arg $ retry_budget_arg $ no_retry_flag
         $ request_arg))
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between dashboard refreshes (default 2).")
+  in
+  let once_flag =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render one frame to stdout and exit — scripting and smoke \
+             tests (no screen clearing).")
+  in
+  let run ~socket ~interval ~once =
+    let open Lg_support.Json_out in
+    let req doc = Lg_server.Server.request ~attempts:2 ~socket doc in
+    let jnum = function Some (Num f) -> f | _ -> 0.0 in
+    let jint j = int_of_float (jnum j) in
+    let jstr = function Some (Str s) -> s | _ -> "" in
+    let frame () =
+      let health = req (Obj [ ("op", Str "health") ]) in
+      let metrics = req (Obj [ ("op", Str "metrics") ]) in
+      let tenants = req (Obj [ ("op", Str "tenants") ]) in
+      let b = Buffer.create 1024 in
+      let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      let status =
+        match member "ok" health with
+        | Some (Bool true) -> jstr (member "status" health)
+        | _ ->
+            let e = jstr (member "error" health) in
+            if e = "" then "unreachable" else e
+      in
+      add "linguist top — %s\n" socket;
+      add "status %-10s uptime %.1f s\n" status
+        (jnum (member "uptime_seconds" health));
+      add
+        "workers %d (live %d, parked %d, restarts %d)   queue %d/%d (peak \
+         %d)   sessions %d\n"
+        (jint (member "workers" health))
+        (jint (member "workers_live" health))
+        (jint (member "workers_parked" health))
+        (jint (member "worker_restarts" health))
+        (jint (member "queue_depth" health))
+        (jint (member "queue_capacity" health))
+        (jint (member "queue_peak" health))
+        (jint (member "sessions" health));
+      let quarantined =
+        match member "quarantined" health with
+        | Some (Arr l) -> List.length l
+        | _ -> 0
+      in
+      add "quarantined sessions %d\n\n" quarantined;
+      let series name =
+        match member "metrics" metrics with
+        | Some (Obj fields) -> List.assoc_opt name fields
+        | _ -> None
+      in
+      let counter name = jint (series name) in
+      add
+        "jobs %d   rejections %d   crashes %d   deadline misses %d   \
+         quarantine refusals %d\n"
+        (counter "server.jobs")
+        (counter "server.rejections")
+        (counter "server.worker_crashes")
+        (counter "server.deadline_exceeded")
+        (counter "server.quarantined");
+      let hist_line label name =
+        match series name with
+        | Some (Obj h) ->
+            let p k =
+              match List.assoc_opt k h with
+              | Some (Num f) -> Printf.sprintf "%.4g s" f
+              | _ -> "-"
+            in
+            let count =
+              match List.assoc_opt "count" h with
+              | Some (Num f) -> int_of_float f
+              | _ -> 0
+            in
+            add "%-11s count %-6d p50 %-10s p95 %-10s p99 %-10s\n" label
+              count (p "p50") (p "p95") (p "p99")
+        | _ -> add "%-11s (no data)\n" label
+      in
+      hist_line "queue_wait" "server.queue_wait_seconds";
+      hist_line "service" "server.service_seconds";
+      add "\n%-36s %6s %6s %6s %6s %6s %6s %8s  %s\n" "TENANT" "JOBS" "OK"
+        "FAIL" "HITS" "MISS" "EVICT" "STRIKES" "Q";
+      (match member "tenants" tenants with
+      | Some (Arr rows) ->
+          List.iter
+            (fun row ->
+              let gi n = jint (member n row) in
+              let ci n =
+                match member "cache" row with
+                | Some cache -> jint (member n cache)
+                | None -> 0
+              in
+              add "%-36s %6d %6d %6d %6d %6d %6d %8d  %s\n"
+                (jstr (member "label" row))
+                (gi "jobs") (gi "ok")
+                (gi "jobs" - gi "ok")
+                (ci "hits") (ci "misses") (ci "evictions") (gi "strikes")
+                (match member "quarantined" row with
+                | Some (Bool true) -> "yes"
+                | _ -> "no"))
+            rows
+      | _ -> ());
+      Buffer.contents b
+    in
+    try
+      if once then begin
+        print_string (frame ());
+        `Ok ()
+      end
+      else
+        let rec loop () =
+          let text = frame () in
+          (* clear + home between frames so the dashboard repaints in
+             place; the frame is rendered off-screen first to keep the
+             flicker window small *)
+          print_string "\x1b[2J\x1b[H";
+          print_string text;
+          flush stdout;
+          Unix.sleepf (Float.max 0.1 interval);
+          loop ()
+        in
+        loop ()
+    with
+    | Unix.Unix_error (err, _, _) ->
+        `Error (false, "top: " ^ Unix.error_message err)
+    | Failure msg -> `Error (false, "top: " ^ msg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running $(b,serve) socket: polls the \
+          $(b,health), $(b,metrics) and $(b,tenants) ops and renders \
+          worker/queue state, SLO percentiles and the per-tenant \
+          accounting table. $(b,--once) prints a single frame.")
+    Term.(
+      ret
+        (const (fun socket interval once ->
+             guard (fun () -> run ~socket ~interval ~once))
+        $ socket_arg $ interval_arg $ once_flag))
 
 let self_cmd =
   let run () =
@@ -1186,5 +1365,5 @@ let () =
           [
             check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd;
             self_cmd; stores_cmd; fsck_cmd; report_cmd; batch_cmd;
-            serve_cmd; request_cmd; corpus_cmd;
+            serve_cmd; request_cmd; top_cmd; corpus_cmd;
           ]))

@@ -452,21 +452,40 @@ let run ?workers ?sessions ?metrics ?tracer ?incremental ?chaos ?deadline jobs =
   let t0 = Unix.gettimeofday () in
   let outcomes =
     if workers <= 0 then
+      (* No pool, but the same server.* series the pool would publish —
+         a sequential run is comparable to a pooled one on the metrics
+         axis, not only on the payload axis. Queue wait is identically
+         zero: the calling domain "dequeues" each job the instant it is
+         "submitted". *)
       List.map
         (fun j ->
-          match
-            quarantine_gate ~sessions j;
-            chaos_gate ?chaos j;
-            traced_job ~parent ~sessions ?incremental j
-          with
-          | o -> o
-          | exception Pool.Crash msg ->
-              failure_outcome ~metrics ~sessions j
-                (Server_error.Error
-                   (Server_error.Worker_crashed
-                      { job = j.Jobfile.j_id; detail = msg }))
-          | exception Server_error.Error e ->
-              failure_outcome ~metrics ~sessions j (Server_error.Error e))
+          Lg_support.Metrics.incr metrics "server.jobs";
+          Lg_support.Metrics.observe metrics
+            ~buckets:Lg_support.Metrics.latency_buckets
+            "server.queue_wait_seconds" 0.0;
+          let started = Unix.gettimeofday () in
+          let outcome =
+            match
+              quarantine_gate ~sessions j;
+              chaos_gate ?chaos j;
+              traced_job ~parent ~sessions ?incremental j
+            with
+            | o -> o
+            | exception Pool.Crash msg ->
+                Lg_support.Metrics.incr metrics "server.worker_crashes";
+                failure_outcome ~metrics ~sessions j
+                  (Server_error.Error
+                     (Server_error.Worker_crashed
+                        { job = j.Jobfile.j_id; detail = msg }))
+            | exception Server_error.Error e ->
+                failure_outcome ~metrics ~sessions j (Server_error.Error e)
+          in
+          let elapsed = Unix.gettimeofday () -. started in
+          Lg_support.Metrics.observe metrics
+            ~buckets:Lg_support.Metrics.latency_buckets
+            "server.service_seconds" elapsed;
+          Lg_support.Metrics.observe metrics "server.job_seconds" elapsed;
+          outcome)
         jobs
     else begin
       let pool =
@@ -502,8 +521,8 @@ let run ?workers ?sessions ?metrics ?tracer ?incremental ?chaos ?deadline jobs =
   in
   summarize ~workers:(max workers 0) ~wall:(Unix.gettimeofday () -. t0) outcomes
 
-let run_sequential ?sessions ?tracer ?incremental jobs =
-  run ~workers:0 ?sessions ?metrics:None ?tracer ?incremental jobs
+let run_sequential ?sessions ?metrics ?tracer ?incremental jobs =
+  run ~workers:0 ?sessions ?metrics ?tracer ?incremental jobs
 
 let outcome_to_json ~timings o =
   Obj

@@ -69,6 +69,13 @@ val run_job :
 val default_workers : unit -> int
 (** [min 4 (recommended_domain_count - 1)], at least 1. *)
 
+val culprit : Jobfile.job -> (string * string) option
+(** [(digest, label)] of the session a job would be served from — the
+    digest its tenant caches under, the one {!failure_outcome} strikes
+    and the serve front-end's per-tenant accounting charges. [None] for
+    [check] jobs (compiled fresh, no session) and for a grammar tenant
+    whose file cannot be read. *)
+
 val quarantine_gate : sessions:Session.cache -> Jobfile.job -> unit
 (** Admission control: raises the typed
     {!Server_error.Session_quarantined} when the job's tenant session is
@@ -118,12 +125,16 @@ val run :
 
 val run_sequential :
   ?sessions:Session.cache ->
+  ?metrics:Lg_support.Metrics.t ->
   ?tracer:Lg_support.Trace.t ->
   ?incremental:incremental ->
   Jobfile.job list ->
   summary
 (** [run ~workers:0] — the baseline the benchmark harness compares pooled
-    throughput against. *)
+    throughput against. Publishes the same [server.*] series a pooled
+    run would (jobs, queue-wait/service/job histograms — queue wait
+    identically 0), so the two are comparable on the metrics axis
+    too. *)
 
 val to_json : ?timings:bool -> summary -> Lg_support.Json_out.t
 (** The results document. With [timings:false] (the default) the

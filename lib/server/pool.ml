@@ -68,6 +68,10 @@ type t = {
   watchdog_stop : bool Atomic.t;
   mutable watchdog : Thread.t option;
   metrics : Lg_support.Metrics.t;
+  (* mirrored into metrics, but kept here too so health probes can
+     answer on a pool whose registry is disabled *)
+  mutable peak : int;
+  mutable restarts : int;
 }
 
 let locked t f =
@@ -75,6 +79,7 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let publish_depth t depth =
+  if depth > t.peak then t.peak <- depth;
   Lg_support.Metrics.set_int t.metrics "server.queue_depth" depth;
   Lg_support.Metrics.set_max t.metrics "server.queue_peak" (float_of_int depth)
 
@@ -105,6 +110,7 @@ let rec replace_worker t slot =
   | None -> ());
   let epoch = slot.s_epoch in
   slot.s_domain <- Some (Domain.spawn (fun () -> worker t slot epoch));
+  t.restarts <- t.restarts + 1;
   Lg_support.Metrics.incr t.metrics "server.worker_restarts"
 
 and worker t slot epoch =
@@ -206,6 +212,8 @@ let create ?(metrics = Lg_support.Metrics.null) ?(watchdog_interval = 0.01)
       watchdog_stop = Atomic.make false;
       watchdog = None;
       metrics;
+      peak = 0;
+      restarts = 0;
     }
   in
   Array.iter
@@ -231,6 +239,14 @@ let submit ?(label = "") ?deadline t f =
     }
   in
   let run () =
+    (* the SLO split: queue wait ends when a worker picks the job up,
+       service is everything from there to completion — both on the
+       latency ladder, where job_seconds (their sum) keeps its coarse
+       historical buckets *)
+    let started_at = Unix.gettimeofday () in
+    Lg_support.Metrics.observe t.metrics
+      ~buckets:Lg_support.Metrics.latency_buckets "server.queue_wait_seconds"
+      (started_at -. submitted_at);
     let result =
       match f () with
       | v -> `Ok v
@@ -247,14 +263,20 @@ let submit ?(label = "") ?deadline t f =
                   { job = label; detail = "Out_of_memory" }))
       | exception e -> `Err e
     in
+    let finished_at = Unix.gettimeofday () in
+    Lg_support.Metrics.observe t.metrics
+      ~buckets:Lg_support.Metrics.latency_buckets "server.service_seconds"
+      (finished_at -. started_at);
     Lg_support.Metrics.observe t.metrics "server.job_seconds"
-      (Unix.gettimeofday () -. submitted_at);
+      (finished_at -. submitted_at);
     match result with
     | `Ok v -> ignore (fill cell (Ok v))
     | `Err e -> ignore (fill cell (Error e))
     | `Died e ->
-        ignore (fill cell (Error e));
+        (* count before publishing the result: an awaiter reading the
+           registry right after [await] must see the crash *)
         Lg_support.Metrics.incr t.metrics "server.worker_crashes";
+        ignore (fill cell (Error e));
         raise (Crash "worker lost")
   in
   locked t @@ fun () ->
@@ -282,6 +304,16 @@ let await cell =
   r
 
 let queue_depth t = locked t (fun () -> Queue.length t.queue)
+let queue_peak t = locked t (fun () -> t.peak)
+let restart_count t = locked t (fun () -> t.restarts)
+
+let live_workers t =
+  locked t (fun () ->
+      Array.fold_left
+        (fun n slot -> if slot.s_domain = None then n else n + 1)
+        0 t.slots)
+
+let parked_workers t = locked t (fun () -> List.length t.zombies)
 
 let drain t =
   locked t (fun () ->

@@ -35,6 +35,9 @@
     backlog), [server.queue_peak] (gauge, high-water mark),
     [server.jobs] / [server.rejections] (counters),
     [server.job_seconds] (histogram of submit-to-completion latency),
+    its SLO split [server.queue_wait_seconds] (submit to dequeue) and
+    [server.service_seconds] (dequeue to completion) on the
+    {!Lg_support.Metrics.latency_buckets} ladder,
     and the supervision counters [server.worker_crashes],
     [server.worker_restarts] and [server.deadline_exceeded].
 
@@ -91,6 +94,23 @@ val await : 'a handle -> ('a, exn) result
 
 val queue_depth : t -> int
 (** Jobs accepted but not yet started. *)
+
+val queue_peak : t -> int
+(** High-water mark of {!queue_depth} over the pool's lifetime. *)
+
+val live_workers : t -> int
+(** Worker slots currently owned by a live domain — [workers] in steady
+    state, briefly fewer mid-replacement. *)
+
+val parked_workers : t -> int
+(** Replaced domains (crashed workers' predecessors, watchdog-abandoned
+    wedged workers) not yet joined by {!drain} — a persistent nonzero
+    count under load is the "my workers keep dying" smell. *)
+
+val restart_count : t -> int
+(** Worker replacements so far (crash respawns + watchdog
+    abandonments) — the [server.worker_restarts] counter, readable
+    without a metrics registry. *)
 
 val drain : t -> unit
 (** Stop accepting work, run every queued job, join all workers

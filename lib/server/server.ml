@@ -63,10 +63,90 @@ let outcome_response (o : Batch.outcome) =
       ("payload", o.Batch.o_payload);
     ]
 
+(* Per-tenant (per session digest) accounting: job and failure counts
+   by exit class plus queue-wait/service time totals, one row per digest
+   ever served. The cache columns and quarantine strikes live in the
+   Session cache and are joined in at snapshot time. Supervision-failed
+   jobs (a crashed worker cannot report its split) count toward jobs and
+   failures but not toward the time totals. *)
+type tenant_stat = {
+  mutable tn_label : string;
+  mutable tn_jobs : int;
+  mutable tn_ok : int;
+  mutable tn_failures : (int * int) list;  (* exit code -> count *)
+  mutable tn_queue_wait : float;
+  mutable tn_service : float;
+}
+
+type tenants = {
+  tn_lock : Mutex.t;
+  tn_table : (string, tenant_stat) Hashtbl.t;
+}
+
+let tenants_create () =
+  { tn_lock = Mutex.create (); tn_table = Hashtbl.create 16 }
+
+let tenants_charge tn ~digest ~label ~ok ~exit_code ~queue_wait ~service =
+  if digest <> "" then begin
+    Mutex.lock tn.tn_lock;
+    let row =
+      match Hashtbl.find_opt tn.tn_table digest with
+      | Some row -> row
+      | None ->
+          let row =
+            {
+              tn_label = label;
+              tn_jobs = 0;
+              tn_ok = 0;
+              tn_failures = [];
+              tn_queue_wait = 0.0;
+              tn_service = 0.0;
+            }
+          in
+          Hashtbl.replace tn.tn_table digest row;
+          row
+    in
+    if label <> "" then row.tn_label <- label;
+    row.tn_jobs <- row.tn_jobs + 1;
+    if ok then row.tn_ok <- row.tn_ok + 1
+    else
+      row.tn_failures <-
+        (match List.assoc_opt exit_code row.tn_failures with
+        | Some n ->
+            (exit_code, n + 1) :: List.remove_assoc exit_code row.tn_failures
+        | None -> (exit_code, 1) :: row.tn_failures);
+    row.tn_queue_wait <- row.tn_queue_wait +. queue_wait;
+    row.tn_service <- row.tn_service +. service;
+    Mutex.unlock tn.tn_lock
+  end
+
+let tenants_snapshot tn =
+  Mutex.lock tn.tn_lock;
+  let rows =
+    Hashtbl.fold
+      (fun digest row acc ->
+        ( digest,
+          row.tn_label,
+          row.tn_jobs,
+          row.tn_ok,
+          List.sort compare row.tn_failures,
+          row.tn_queue_wait,
+          row.tn_service )
+        :: acc)
+      tn.tn_table []
+  in
+  Mutex.unlock tn.tn_lock;
+  List.sort (fun (_, a, _, _, _, _, _) (_, b, _, _, _, _, _) -> compare a b) rows
+
 type state = {
   pool : Pool.t;
   sessions : Session.cache;
   metrics : Lg_support.Metrics.t;
+  tracer : Lg_support.Trace.t;  (* run-wide; requests absorb into it *)
+  events : Lg_support.Eventlog.t;  (* the flight recorder *)
+  postmortem_dir : string option;
+  pm_counter : int Atomic.t;  (* unique dump filenames *)
+  tenants : tenants;
   incremental : Batch.incremental option;
   chaos : Chaos.t option;
   deadline : float option;  (* default budget for job/update ops *)
@@ -218,7 +298,85 @@ let supervised_error e extra =
         (("exit", int (Server_error.exit_code se)) :: extra)
   | e -> error_response (Printexc.to_string e) extra
 
-let handle_request st doc =
+(* the accounting digest of an [update] op's tenant — the same key
+   Batch.culprit answers for jobfile entries *)
+let update_tenant_digest = function
+  | Jobfile.Language lang ->
+      Some (Session.digest ~kind:"language" ~source:lang, "language:" ^ lang)
+  | Jobfile.Grammar path -> (
+      match read_file path with
+      | source ->
+          Some
+            ( Session.digest ~kind:"translator" ~source,
+              "translator:" ^ Filename.basename path )
+      | exception _ -> None)
+
+let safe_filename id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+      | _ -> '_')
+    id
+
+(* The flight-recorder dump: when the supervision layer fails a job with
+   a typed worker_crashed/deadline_exceeded (exit 51/50), the job's
+   recent lifecycle events leave the ring as a post-mortem artifact next
+   to the typed diagnostic. Quarantine refusals (52) are admission
+   control, not crashes — no dump. *)
+let write_postmortem st ~job_id ~trace e =
+  match (st.postmortem_dir, e) with
+  | ( Some dir,
+      Server_error.Error
+        ((Server_error.Deadline_exceeded _ | Server_error.Worker_crashed _) as
+         se) ) -> (
+      let doc =
+        Lg_support.Eventlog.postmortem_json st.events ~job:job_id
+          ~reason:(Server_error.class_name se)
+          ~exit_code:(Server_error.exit_code se)
+          ~detail:(Server_error.to_string se) ~trace
+      in
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "postmortem-%s-%d.json" (safe_filename job_id)
+             (Atomic.fetch_and_add st.pm_counter 1))
+      in
+      try
+        let oc = open_out path in
+        output_string oc (to_string ~pretty:true doc);
+        output_char oc '\n';
+        close_out oc
+      with Sys_error _ -> ())
+  | _ -> ()
+
+(* session-hit/build and pass-k lifecycle events, mined from the spans
+   the job just recorded into the request tracer past [mark] — the
+   evaluator and session cache need no event-log plumbing of their own *)
+let record_lifecycle_events st ~trace ~job ~mark rt =
+  if Lg_support.Eventlog.enabled st.events && Lg_support.Trace.enabled rt then
+    List.filteri (fun i _ -> i >= mark) (Lg_support.Trace.spans rt)
+    |> List.iter (fun (sp : Lg_support.Trace.span) ->
+           let record kind =
+             Lg_support.Eventlog.record st.events ~trace
+               ~fields:
+                 [
+                   ("name", Str sp.Lg_support.Trace.sp_name);
+                   ("seconds", Num sp.Lg_support.Trace.sp_dur);
+                 ]
+               ~job kind
+           in
+           match sp.Lg_support.Trace.sp_cat with
+           | "pass" -> record "pass"
+           | "session" -> record sp.Lg_support.Trace.sp_name
+           | _ -> ())
+
+(* echo the client-minted trace id on the response, closing the loop *)
+let with_trace_id trace response =
+  match response with
+  | Obj members when trace <> "" -> Obj (members @ [ ("trace", Str trace) ])
+  | response -> response
+
+let handle_request st ~rt ~trace doc =
   match member "op" doc with
   | Some (Str "ping") ->
       Obj
@@ -228,8 +386,21 @@ let handle_request st doc =
           ("protocol", int protocol_version);
           ("workers", int (Pool.workers st.pool));
         ]
-  | Some (Str "metrics") ->
-      Obj [ ("ok", Bool true); ("metrics", Lg_support.Metrics.to_json st.metrics) ]
+  | Some (Str "metrics") -> (
+      match member "format" doc with
+      | Some (Str "prometheus") ->
+          Obj
+            [
+              ("ok", Bool true);
+              ( "prometheus",
+                Str
+                  (Format.asprintf "%a" Lg_support.Metrics.pp_prometheus
+                     st.metrics) );
+            ]
+      | Some (Str "json") | None ->
+          Obj
+            [ ("ok", Bool true); ("metrics", Lg_support.Metrics.to_json st.metrics) ]
+      | Some _ -> error_response "unknown metrics format" [])
   | Some (Str "shutdown") ->
       Atomic.set st.stop true;
       Obj [ ("ok", Bool true); ("stopping", Bool true) ]
@@ -242,12 +413,54 @@ let handle_request st doc =
             ("ok", Bool true);
             ("status", Str "serving");
             ("workers", int (Pool.workers st.pool));
+            ("workers_live", int (Pool.live_workers st.pool));
+            ("workers_parked", int (Pool.parked_workers st.pool));
+            ("worker_restarts", int (Pool.restart_count st.pool));
             ("queue_depth", int (Pool.queue_depth st.pool));
+            ("queue_peak", int (Pool.queue_peak st.pool));
             ("queue_capacity", int (Pool.capacity st.pool));
             ("sessions", int (Session.length st.sessions));
             ("quarantined", quarantined_json st);
             ("uptime_seconds", Num (Unix.gettimeofday () -. st.started));
           ]
+  | Some (Str "tenants") ->
+      Obj
+        [
+          ("ok", Bool true);
+          ( "tenants",
+            Arr
+              (List.map
+                 (fun (digest, label, jobs, ok, failures, queue_wait, service) ->
+                   let hits, misses, evictions =
+                     Session.tenant_stats st.sessions ~digest
+                   in
+                   Obj
+                     [
+                       ("digest", Str digest);
+                       ("label", Str label);
+                       ("jobs", int jobs);
+                       ("ok", int ok);
+                       ( "failures",
+                         Obj
+                           (List.map
+                              (fun (code, n) -> (string_of_int code, int n))
+                              failures) );
+                       ("queue_wait_seconds", Num queue_wait);
+                       ("service_seconds", Num service);
+                       ( "cache",
+                         Obj
+                           [
+                             ("hits", int hits);
+                             ("misses", int misses);
+                             ("evictions", int evictions);
+                           ] );
+                       ( "strikes",
+                         int (Session.strike_count st.sessions ~digest) );
+                       ( "quarantined",
+                         Bool (Session.is_quarantined st.sessions ~digest) );
+                     ])
+                 (tenants_snapshot st.tenants)) );
+        ]
   | Some (Str "drain") ->
       Atomic.set st.draining true;
       Obj
@@ -270,15 +483,85 @@ let handle_request st doc =
                 | Some _ as d -> d
                 | None -> st.deadline
               in
+              let label = job.Jobfile.j_id in
+              Lg_support.Eventlog.record st.events ~trace
+                ~fields:
+                  [
+                    ("op", Str (Jobfile.op_name job.Jobfile.j_op));
+                    ("file", Str job.Jobfile.j_file);
+                  ]
+                ~job:label "submitted";
+              Lg_support.Trace.begin_span rt ~cat:"queue" "queue.wait";
+              let submitted = Unix.gettimeofday () in
+              (* charge exactly once: the thunk's success path and the
+                 supervision path can both reach for the ledger (a job
+                 that finishes just as its watchdog fires) *)
+              let charged = Atomic.make false in
+              let charge ~ok ~exit_code ~queue_wait ~service =
+                if not (Atomic.exchange charged true) then
+                  match Batch.culprit job with
+                  | Some (digest, tenant_label) ->
+                      tenants_charge st.tenants ~digest ~label:tenant_label
+                        ~ok ~exit_code ~queue_wait ~service
+                  | None -> ()
+              in
               match
-                Pool.submit ~label:job.Jobfile.j_id ?deadline st.pool
-                  (fun () ->
-                    Batch.quarantine_gate ~sessions:st.sessions job;
-                    Batch.chaos_gate ?chaos:st.chaos job;
-                    Batch.run_job ~sessions:st.sessions
-                      ?incremental:st.incremental job)
+                Pool.submit ~label ?deadline st.pool (fun () ->
+                    let dequeued = Unix.gettimeofday () in
+                    Lg_support.Trace.end_span rt ();
+                    Lg_support.Eventlog.record st.events ~trace
+                      ~fields:
+                        [ ("queue_wait_seconds", Num (dequeued -. submitted)) ]
+                      ~job:label "dequeued";
+                    (* the request tracer becomes ambient for the job so
+                       session hit/build and evaluator pass spans land on
+                       this request's story *)
+                    let prev = Lg_support.Trace.ambient () in
+                    Lg_support.Trace.install rt;
+                    Fun.protect
+                      ~finally:(fun () -> Lg_support.Trace.install prev)
+                      (fun () ->
+                        Lg_support.Trace.begin_span rt ~cat:"serve" "service";
+                        Fun.protect
+                          ~finally:(fun () -> Lg_support.Trace.end_span rt ())
+                          (fun () ->
+                            Batch.quarantine_gate ~sessions:st.sessions job;
+                            (match st.chaos with
+                            | Some _ ->
+                                Lg_support.Trace.span rt ~cat:"chaos"
+                                  "chaos.gate" (fun () ->
+                                    Batch.chaos_gate ?chaos:st.chaos job)
+                            | None -> ());
+                            Lg_support.Eventlog.record st.events ~trace
+                              ~job:label "started";
+                            let mark = Lg_support.Trace.span_count rt in
+                            let outcome =
+                              Batch.run_job ~sessions:st.sessions
+                                ?incremental:st.incremental job
+                            in
+                            record_lifecycle_events st ~trace ~job:label ~mark
+                              rt;
+                            let finished = Unix.gettimeofday () in
+                            Lg_support.Eventlog.record st.events ~trace
+                              ~fields:
+                                [
+                                  ("exit", int outcome.Batch.o_exit);
+                                  ("seconds", Num (finished -. dequeued));
+                                ]
+                              ~job:label
+                              (if outcome.Batch.o_ok then "finished"
+                               else "failed");
+                            charge ~ok:outcome.Batch.o_ok
+                              ~exit_code:outcome.Batch.o_exit
+                              ~queue_wait:(dequeued -. submitted)
+                              ~service:(finished -. dequeued);
+                            outcome)))
               with
               | Error { Pool.rj_depth; rj_capacity } ->
+                  Lg_support.Trace.end_span rt ();
+                  Lg_support.Eventlog.record st.events ~trace
+                    ~fields:[ ("exit", int 1); ("error", Str "saturated") ]
+                    ~job:label "failed";
                   error_response "saturated"
                     [
                       ("queue_depth", int rj_depth);
@@ -286,11 +569,27 @@ let handle_request st doc =
                     ]
               | Ok handle -> (
                   match Pool.await handle with
-                  | Ok outcome -> outcome_response outcome
+                  | Ok outcome ->
+                      with_trace_id trace (outcome_response outcome)
                   | Error e ->
-                      outcome_response
-                        (Batch.failure_outcome ~metrics:st.metrics
-                           ~sessions:st.sessions job e)))))
+                      let outcome =
+                        Batch.failure_outcome ~metrics:st.metrics
+                          ~sessions:st.sessions job e
+                      in
+                      Lg_support.Eventlog.record st.events ~trace
+                        ~fields:
+                          [
+                            ("exit", int outcome.Batch.o_exit);
+                            ( "error",
+                              match outcome.Batch.o_error with
+                              | Some m -> Str m
+                              | None -> Null );
+                          ]
+                        ~job:label "failed";
+                      charge ~ok:false ~exit_code:outcome.Batch.o_exit
+                        ~queue_wait:0.0 ~service:0.0;
+                      write_postmortem st ~job_id:label ~trace e;
+                      with_trace_id trace (outcome_response outcome)))))
   | Some (Str "update") when Atomic.get st.draining ->
       error_response "draining" []
   | Some (Str "update") -> (
@@ -317,18 +616,87 @@ let handle_request st doc =
           let doc_id =
             Option.value (str "doc") ~default:("<" ^ tenant_name ^ ">")
           in
+          let label = "update:" ^ doc_id in
+          Lg_support.Eventlog.record st.events ~trace
+            ~fields:[ ("op", Str "update"); ("doc", Str doc_id) ]
+            ~job:label "submitted";
+          Lg_support.Trace.begin_span rt ~cat:"queue" "queue.wait";
+          let submitted = Unix.gettimeofday () in
+          let charged = Atomic.make false in
+          let charge ~ok ~exit_code ~queue_wait ~service =
+            if not (Atomic.exchange charged true) then
+              match update_tenant_digest tenant with
+              | Some (digest, tenant_label) ->
+                  tenants_charge st.tenants ~digest ~label:tenant_label ~ok
+                    ~exit_code ~queue_wait ~service
+              | None -> ()
+          in
           match
-            Pool.submit ~label:("update:" ^ doc_id) ?deadline:st.deadline
-              st.pool
-              (fun () -> run_update st ~tenant ~doc:doc_id ~source)
+            Pool.submit ~label ?deadline:st.deadline st.pool (fun () ->
+                let dequeued = Unix.gettimeofday () in
+                Lg_support.Trace.end_span rt ();
+                Lg_support.Eventlog.record st.events ~trace
+                  ~fields:
+                    [ ("queue_wait_seconds", Num (dequeued -. submitted)) ]
+                  ~job:label "dequeued";
+                let prev = Lg_support.Trace.ambient () in
+                Lg_support.Trace.install rt;
+                Fun.protect
+                  ~finally:(fun () -> Lg_support.Trace.install prev)
+                  (fun () ->
+                    Lg_support.Trace.begin_span rt ~cat:"serve" "service";
+                    Fun.protect
+                      ~finally:(fun () -> Lg_support.Trace.end_span rt ())
+                      (fun () ->
+                        Lg_support.Eventlog.record st.events ~trace ~job:label
+                          "started";
+                        let mark = Lg_support.Trace.span_count rt in
+                        let response =
+                          run_update st ~tenant ~doc:doc_id ~source
+                        in
+                        record_lifecycle_events st ~trace ~job:label ~mark rt;
+                        let finished = Unix.gettimeofday () in
+                        let ok =
+                          match member "ok" response with
+                          | Some (Bool b) -> b
+                          | _ -> false
+                        in
+                        Lg_support.Eventlog.record st.events ~trace
+                          ~fields:
+                            [
+                              ("exit", int (if ok then 0 else 1));
+                              ("seconds", Num (finished -. dequeued));
+                            ]
+                          ~job:label
+                          (if ok then "finished" else "failed");
+                        charge ~ok
+                          ~exit_code:(if ok then 0 else 1)
+                          ~queue_wait:(dequeued -. submitted)
+                          ~service:(finished -. dequeued);
+                        response)))
           with
           | Error { Pool.rj_depth; rj_capacity } ->
+              Lg_support.Trace.end_span rt ();
+              Lg_support.Eventlog.record st.events ~trace
+                ~fields:[ ("exit", int 1); ("error", Str "saturated") ]
+                ~job:label "failed";
               error_response "saturated"
                 [ ("queue_depth", int rj_depth); ("capacity", int rj_capacity) ]
           | Ok handle -> (
               match Pool.await handle with
-              | Ok response -> response
-              | Error e -> supervised_error e [])))
+              | Ok response -> with_trace_id trace response
+              | Error e ->
+                  let exit_code =
+                    match e with
+                    | Server_error.Error se -> Server_error.exit_code se
+                    | _ -> 1
+                  in
+                  Lg_support.Eventlog.record st.events ~trace
+                    ~fields:[ ("exit", int exit_code) ]
+                    ~job:label "failed";
+                  charge ~ok:false ~exit_code ~queue_wait:0.0 ~service:0.0;
+                  write_postmortem st ~job_id:label ~trace e;
+                  with_trace_id trace (supervised_error e []))))
   | Some (Str "evict") -> (
       let digest =
         match (member "digest" doc, member "language" doc) with
@@ -357,27 +725,65 @@ let handle_request st doc =
   | _ -> error_response "missing \"op\" member" []
 
 let connection_loop st fd =
+  let observed =
+    Lg_support.Trace.enabled st.tracer || Lg_support.Eventlog.enabled st.events
+  in
   let rec go () =
     match read_frame fd with
     | None -> ()
     | Some payload ->
-        let response =
+        let doc =
           match parse payload with
-          | doc -> handle_request st doc
-          | exception Failure msg -> error_response ("bad request: " ^ msg) []
+          | doc -> Ok doc
+          | exception Failure msg -> Error msg
         in
-        (* a [drop] chaos roll closes the connection instead of
-           answering — the work is already done; the retrying client's
-           recovery path is what's under test *)
-        let dropped =
-          match st.chaos with
-          | Some c when Chaos.drop_response c -> true
-          | _ -> false
+        let op, trace =
+          match doc with
+          | Ok doc ->
+              ( (match member "op" doc with Some (Str op) -> op | _ -> "?"),
+                match member "trace" doc with Some (Str t) -> t | _ -> "" )
+          | Error _ -> ("?", "")
         in
-        if not dropped then begin
-          write_frame fd (to_string response);
-          if not (Atomic.get st.stop) then go ()
-        end
+        (* one private tracer per request; the client-minted trace id
+           rides on the request span, and the finished story is absorbed
+           into the run-wide tracer for --trace-out *)
+        let rt =
+          if observed then Lg_support.Trace.create () else Lg_support.Trace.null
+        in
+        Lg_support.Trace.begin_span rt ~cat:"request" ("request:" ^ op);
+        if trace <> "" then
+          Lg_support.Trace.add_args rt
+            [ ("trace", Lg_support.Trace.Str trace) ];
+        let finish_rt () =
+          (* a wedged/deadlined job can leave queue.wait or service open *)
+          while Lg_support.Trace.open_depth rt > 0 do
+            Lg_support.Trace.end_span rt ()
+          done;
+          Lg_support.Trace.absorb st.tracer rt
+        in
+        let continue =
+          Fun.protect ~finally:finish_rt (fun () ->
+              let response =
+                match doc with
+                | Error msg -> error_response ("bad request: " ^ msg) []
+                | Ok doc -> handle_request st ~rt ~trace doc
+              in
+              (* a [drop] chaos roll closes the connection instead of
+                 answering — the work is already done; the retrying
+                 client's recovery path is what's under test *)
+              let dropped =
+                match st.chaos with
+                | Some c when Chaos.drop_response c -> true
+                | _ -> false
+              in
+              if dropped then false
+              else begin
+                Lg_support.Trace.span rt ~cat:"request" "response.write"
+                  (fun () -> write_frame fd (to_string response));
+                not (Atomic.get st.stop)
+              end)
+        in
+        if continue then go ()
   in
   (* EPIPE/ECONNRESET from a client that hung up mid-response (SIGPIPE
      is ignored process-wide by [serve]) ends this connection only *)
@@ -386,7 +792,8 @@ let connection_loop st fd =
     (fun () -> try go () with Failure _ | Unix.Unix_error _ -> ())
 
 let serve ?queue_capacity ?session_capacity ?session_ttl ?quarantine_after
-    ?metrics ?incremental ?chaos ?deadline ~workers ~socket () =
+    ?metrics ?tracer ?events ?postmortem_dir ?incremental ?chaos ?deadline
+    ~workers ~socket () =
   (* a client that vanishes mid-response must cost us an EPIPE, not the
      process; per-connection handling turns it into a closed connection *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -394,6 +801,15 @@ let serve ?queue_capacity ?session_capacity ?session_ttl ?quarantine_after
   let metrics =
     match metrics with Some m -> m | None -> Lg_support.Metrics.create ()
   in
+  let tracer =
+    match tracer with Some t -> t | None -> Lg_support.Trace.null
+  in
+  let events =
+    match events with Some e -> e | None -> Lg_support.Eventlog.create ()
+  in
+  (match postmortem_dir with
+  | Some dir -> ( try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+  | None -> ());
   let queue_capacity =
     match queue_capacity with Some c -> c | None -> 4 * max 1 workers
   in
@@ -404,6 +820,11 @@ let serve ?queue_capacity ?session_capacity ?session_ttl ?quarantine_after
         Session.create_cache ?capacity:session_capacity ?ttl:session_ttl
           ?quarantine_after ();
       metrics;
+      tracer;
+      events;
+      postmortem_dir;
+      pm_counter = Atomic.make 0;
+      tenants = tenants_create ();
       incremental;
       chaos;
       deadline;
@@ -469,8 +890,29 @@ let saturated_response doc =
 
 let default_attempts = 5
 
+(* client-side trace ids: 16 hex chars, unique enough to follow one
+   request through a merged server trace *)
+let trace_counter = Atomic.make 0
+
+let mint_trace_id () =
+  let d =
+    Digest.string
+      (Printf.sprintf "trace:%d:%.9f:%d" (Unix.getpid ())
+         (Unix.gettimeofday ())
+         (Atomic.fetch_and_add trace_counter 1))
+  in
+  String.sub (Digest.to_hex d) 0 16
+
 let request ?(attempts = default_attempts) ?(backoff = 0.05) ?budget
     ?(jitter_seed = 0) ~socket doc =
+  (* every client request carries a trace id; retries reuse it, so the
+     server trace shows one logical request across attempts *)
+  let doc =
+    match doc with
+    | Obj members when not (List.mem_assoc "trace" members) ->
+        Obj (members @ [ ("trace", Str (mint_trace_id ())) ])
+    | doc -> doc
+  in
   let attempts = max 1 attempts in
   let t0 = Unix.gettimeofday () in
   let over_budget () =

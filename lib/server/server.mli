@@ -9,11 +9,22 @@
     payload length followed by that many bytes of JSON. Payloads above
     {!max_frame} are refused.
 
+    {b Trace propagation}: any request may carry a ["trace"] member — an
+    opaque client-minted id (the {!request} client mints one per logical
+    request with {!mint_trace_id}; retries reuse it). The server opens a
+    per-request span tree ([request:<op>] › [queue.wait] › [service] ›
+    session/chaos/pass spans › [response.write]) tagged with that id,
+    absorbs it into the run-wide tracer ([serve --trace-out]), and echoes
+    the id back as a ["trace"] member on [job]/[update] responses. See
+    [docs/OBSERVABILITY.md].
+
     {b Requests} (the ["op"] member selects):
     - [{"op":"ping"}] → [{"ok":true,"server":"linguist","protocol":1}]
     - [{"op":"metrics"}] → [{"ok":true,"metrics":{...}}] — a snapshot of
       the shared registry (the [server.*] series and whatever the jobs
-      published).
+      published), histograms carrying derived [p50]/[p95]/[p99] members.
+      With ["format":"prometheus"] the snapshot comes instead as one
+      ["prometheus"] string member in text exposition format.
     - [{"op":"job","job":{...}}] — one {!Jobfile} entry (same fields as
       a jobfile's [jobs] element); the response is the job's result
       record ({!Batch.outcome}) with [{"ok":true/false,...}]. When the
@@ -26,11 +37,19 @@
       quarantined tenant fails it with the typed exit codes 50/51/52
       ({!Server_error}) in the outcome record.
     - [{"op":"health"}] → [{"ok":true,"status":"serving","workers":N,
-      "queue_depth":N,"queue_capacity":N,"sessions":N,
+      "workers_live":N,"workers_parked":N,"worker_restarts":N,
+      "queue_depth":N,"queue_peak":N,"queue_capacity":N,"sessions":N,
       "quarantined":[{"digest":..,"label":..,"strikes":N}],
-      "uptime_seconds":S}] — the readiness probe. While draining it
-      answers [{"ok":false,"error":"draining"}], so the CLI's exit code
-      doubles as the probe result.
+      "uptime_seconds":S}] — the readiness probe, with the worker-fleet
+      and queue high-water columns the [top] dashboard renders. While
+      draining it answers [{"ok":false,"error":"draining"}], so the
+      CLI's exit code doubles as the probe result.
+    - [{"op":"tenants"}] → [{"ok":true,"tenants":[...]}] — per-tenant
+      (per session digest) accounting: one row per digest ever served
+      with [jobs]/[ok] counts, [failures] keyed by exit class,
+      [queue_wait_seconds]/[service_seconds] totals, the session cache's
+      [hits]/[misses]/[evictions] for that digest, and the quarantine
+      [strikes]/[quarantined] columns. Rows are sorted by label.
     - [{"op":"drain"}] → [{"ok":true,"draining":true,...}]; from then on
       [job]/[update] requests are refused with
       [{"ok":false,"error":"draining"}] while accepted work finishes.
@@ -68,6 +87,9 @@ val serve :
   ?session_ttl:float ->
   ?quarantine_after:int ->
   ?metrics:Lg_support.Metrics.t ->
+  ?tracer:Lg_support.Trace.t ->
+  ?events:Lg_support.Eventlog.t ->
+  ?postmortem_dir:string ->
   ?incremental:Batch.incremental ->
   ?chaos:Chaos.t ->
   ?deadline:float ->
@@ -86,7 +108,16 @@ val serve :
     (seconds) is the default wall-clock budget for [job]/[update] ops
     that don't carry their own. [chaos] arms deterministic fault
     injection ({!Chaos}) — worker delays/crashes/wedges and response
-    drops — for resilience testing. Installs [SIGPIPE → ignore]
+    drops — for resilience testing.
+
+    [tracer] (default disabled) receives every request's absorbed span
+    tree — the CLI's [serve --trace-out] exports it as a merged Chrome
+    trace on shutdown. [events] is the flight recorder (default a fresh
+    512-event ring; pass {!Lg_support.Eventlog.null} to disable) that
+    records each job's lifecycle. [postmortem_dir] (created if missing)
+    turns on crash dumps: a job failing with [deadline_exceeded] (50) or
+    [worker_crashed] (51) writes its recent flight-recorder events as
+    [postmortem-<job>-<n>.json] there. Installs [SIGPIPE → ignore]
     process-wide, so a vanished client costs one connection, not the
     server. Raises [Unix.Unix_error] if the socket cannot be bound. *)
 
@@ -94,6 +125,11 @@ val serve :
 
 val default_attempts : int
 (** 5. *)
+
+val mint_trace_id : unit -> string
+(** A fresh 16-hex-char trace id (process-unique by pid, clock and a
+    counter). {!request} calls this for any request document that does
+    not already carry a ["trace"] member. *)
 
 val request :
   ?attempts:int ->
@@ -103,11 +139,12 @@ val request :
   socket:string ->
   Lg_support.Json_out.t ->
   Lg_support.Json_out.t
-(** Send one framed request and return the framed response, retrying
-    transient failures: connect errors (server not up yet, socket file
-    missing), connections torn down mid-exchange (a chaotic [drop], a
-    crashed-and-restarted server) and ["saturated"] backpressure
-    responses. Any other response — including error responses — is
+(** Send one framed request and return the framed response, minting a
+    ["trace"] id onto the request document unless it already carries
+    one, and retrying transient failures: connect errors (server not up
+    yet, socket file missing), connections torn down mid-exchange (a
+    chaotic [drop], a crashed-and-restarted server) and ["saturated"]
+    backpressure responses. Any other response — including error responses — is
     final. Up to [attempts] tries (default {!default_attempts}; [1]
     disables retrying — the [--no-retry] behavior), sleeping an
     exponential backoff ([backoff], default 0.05 s nominal first step)

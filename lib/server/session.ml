@@ -47,6 +47,15 @@ type doc_slot = {
   mutable doc_last_use : int;
 }
 
+(* per-digest cache traffic, the [tenants] serve op's cache column;
+   kept forever (a counter triple per digest ever served is cheap) so
+   accounting survives the entry's eviction *)
+type tstat = {
+  mutable ts_hits : int;
+  mutable ts_misses : int;
+  mutable ts_evictions : int;
+}
+
 type cache = {
   lock : Mutex.t;
   turned : Condition.t;  (* signalled whenever an entry changes state *)
@@ -58,6 +67,7 @@ type cache = {
   clock : unit -> float;
   quarantine_after : int;
   strikes : (string, int * string) Hashtbl.t;  (* digest -> strikes, label *)
+  tstats : (string, tstat) Hashtbl.t;  (* digest -> cache traffic *)
   mutable floor : float;  (* GreedyDual inflation *)
   mutable tick : int;
   mutable hits : int;
@@ -79,6 +89,7 @@ let create_cache ?(capacity = 8) ?(doc_capacity = 128) ?ttl
     clock;
     quarantine_after = max 1 quarantine_after;
     strikes = Hashtbl.create 8;
+    tstats = Hashtbl.create 16;
     floor = 0.0;
     tick = 0;
     hits = 0;
@@ -95,6 +106,21 @@ let length c = locked c (fun () -> Hashtbl.length c.entries)
 let capacity c = c.cap
 let stats c = locked c (fun () -> (c.hits, c.misses))
 let eviction_stats c = locked c (fun () -> (c.evictions, c.expirations))
+
+(* under the lock *)
+let tstat c digest =
+  match Hashtbl.find_opt c.tstats digest with
+  | Some s -> s
+  | None ->
+      let s = { ts_hits = 0; ts_misses = 0; ts_evictions = 0 } in
+      Hashtbl.replace c.tstats digest s;
+      s
+
+let tenant_stats c ~digest =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.tstats digest with
+      | Some s -> (s.ts_hits, s.ts_misses, s.ts_evictions)
+      | None -> (0, 0, 0))
 
 (* under the lock *)
 let drop_docs c digest =
@@ -156,6 +182,7 @@ let evict_if_full c =
     | Some (key, credit, _) ->
         remove_entry c key;
         c.evictions <- c.evictions + 1;
+        (tstat c key).ts_evictions <- (tstat c key).ts_evictions + 1;
         c.floor <- Float.max c.floor credit
     | None -> ()
   end
@@ -226,22 +253,36 @@ let find_or_build c ?weight ~digest ~label ~build () =
           r.last_touch <- c.clock ();
           r.credit <- c.floor +. r.weight;
           c.hits <- c.hits + 1;
+          (tstat c digest).ts_hits <- (tstat c digest).ts_hits + 1;
           `Hit r.session
       | Some Building ->
           Condition.wait c.turned c.lock;
           decide ()
       | None ->
           c.misses <- c.misses + 1;
+          (tstat c digest).ts_misses <- (tstat c digest).ts_misses + 1;
           Hashtbl.replace c.entries digest Building;
           `Build
     in
     decide ()
   in
+  (* the serving layer's per-request tracer is this domain's ambient: a
+     hit is a zero-width marker, a build wraps the whole compilation *)
+  let tr = Lg_support.Trace.ambient () in
   match role with
-  | `Hit session -> session
+  | `Hit session ->
+      Lg_support.Trace.span tr ~cat:"session"
+        ~args:[ ("digest", Lg_support.Trace.Str digest) ]
+        "session.hit"
+        (fun () -> ());
+      session
   | `Build -> (
       let started = c.clock () in
-      match build () with
+      match
+        Lg_support.Trace.span tr ~cat:"session"
+          ~args:[ ("digest", Lg_support.Trace.Str digest) ]
+          "session.build" build
+      with
       | payload ->
           let build_seconds = c.clock () -. started in
           let weight =
@@ -281,6 +322,7 @@ let evict c ~digest =
       | Some (Ready _) ->
           remove_entry c digest;
           c.evictions <- c.evictions + 1;
+          (tstat c digest).ts_evictions <- (tstat c digest).ts_evictions + 1;
           true
       | Some Building | None -> struck)
 
@@ -293,7 +335,11 @@ let clear c =
             match entry with Ready _ -> key :: acc | Building -> acc)
           c.entries []
       in
-      List.iter (remove_entry c) ready;
+      List.iter
+        (fun key ->
+          remove_entry c key;
+          (tstat c key).ts_evictions <- (tstat c key).ts_evictions + 1)
+        ready;
       c.evictions <- c.evictions + List.length ready;
       List.length ready)
 

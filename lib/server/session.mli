@@ -90,6 +90,11 @@ val stats : cache -> int * int
 val eviction_stats : cache -> int * int
 (** [(evictions, ttl_expirations)] so far. *)
 
+val tenant_stats : cache -> digest:string -> int * int * int
+(** [(hits, misses, evictions)] charged to one digest over the cache's
+    whole lifetime — accounting survives the entry itself (the [tenants]
+    serve op's cache column). All zeros for a digest never requested. *)
+
 val find_or_build :
   cache ->
   ?weight:float ->

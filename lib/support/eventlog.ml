@@ -1,0 +1,106 @@
+(* A mutex-guarded ring: [ring] is a fixed array of slots, [next] the
+   running sequence number; event seq modulo the capacity addresses its
+   slot, so the newest [capacity] events are always resident and an
+   append is O(1) with no allocation beyond the record itself. *)
+
+type event = {
+  ev_seq : int;
+  ev_time : float;
+  ev_job : string;
+  ev_trace : string;
+  ev_kind : string;
+  ev_fields : (string * Json_out.t) list;
+}
+
+type t = {
+  on : bool;
+  lock : Mutex.t;
+  ring : event option array;
+  mutable next : int;  (* seq of the next event = total recorded *)
+}
+
+let null = { on = false; lock = Mutex.create (); ring = [||]; next = 0 }
+
+let create ?(capacity = 512) () =
+  {
+    on = true;
+    lock = Mutex.create ();
+    ring = Array.make (max 16 capacity) None;
+    next = 0;
+  }
+
+let enabled t = t.on
+let capacity t = Array.length t.ring
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t ?(trace = "") ?(fields = []) ~job kind =
+  if t.on then
+    locked t @@ fun () ->
+    let ev =
+      {
+        ev_seq = t.next;
+        ev_time = Unix.gettimeofday ();
+        ev_job = job;
+        ev_trace = trace;
+        ev_kind = kind;
+        ev_fields = fields;
+      }
+    in
+    t.ring.(t.next mod Array.length t.ring) <- Some ev;
+    t.next <- t.next + 1
+
+let recorded t = locked t (fun () -> t.next)
+
+let recent ?job ?limit t =
+  if not t.on then []
+  else
+    let events =
+      locked t @@ fun () ->
+      let cap = Array.length t.ring in
+      let first = max 0 (t.next - cap) in
+      let rec collect seq acc =
+        if seq >= t.next then List.rev acc
+        else
+          match t.ring.(seq mod cap) with
+          | Some ev -> collect (seq + 1) (ev :: acc)
+          | None -> collect (seq + 1) acc
+      in
+      collect first []
+    in
+    let events =
+      match job with
+      | None -> events
+      | Some id -> List.filter (fun ev -> String.equal ev.ev_job id) events
+    in
+    match limit with
+    | None -> events
+    | Some n ->
+        let drop = max 0 (List.length events - max 0 n) in
+        List.filteri (fun i _ -> i >= drop) events
+
+let event_json ev =
+  Json_out.Obj
+    ([
+       ("seq", Json_out.int ev.ev_seq);
+       ("time", Json_out.Num ev.ev_time);
+       ("job", Json_out.Str ev.ev_job);
+       ("trace", Json_out.Str ev.ev_trace);
+       ("kind", Json_out.Str ev.ev_kind);
+     ]
+    @ ev.ev_fields)
+
+let postmortem_json t ~job ~reason ~exit_code ~detail ~trace =
+  Json_out.Obj
+    [
+      ("linguist_postmortem", Json_out.int 1);
+      ("job", Json_out.Str job);
+      ("reason", Json_out.Str reason);
+      ("exit", Json_out.int exit_code);
+      ("detail", Json_out.Str detail);
+      ("trace", Json_out.Str trace);
+      ( "events",
+        Json_out.Arr (List.map event_json (recent ~job t)) );
+    ]

@@ -45,6 +45,12 @@ let locked t f =
 let default_buckets =
   [ 1.0; 4.0; 16.0; 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0; 262144.0; 1048576.0 ]
 
+let latency_buckets =
+  [
+    0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.0; 2.5;
+    5.0; 10.0; 30.0; 60.0;
+  ]
+
 let kind_error name ~want ~got =
   invalid_arg
     (Printf.sprintf "Metrics: %S is a %s, used as a %s" name got want)
@@ -139,6 +145,36 @@ let find t name =
 
 let reset t = locked t @@ fun () -> Hashtbl.reset t.cells
 
+(* Prometheus-style quantile estimation over the cumulative bucket
+   counts: find the bucket the target rank lands in and interpolate
+   linearly inside it. A rank that lands in the +Inf overflow bucket
+   cannot be resolved past the largest finite bound, so that bound is
+   the answer (the same convention as histogram_quantile). *)
+let percentile (h : histogram) q =
+  if h.h_count = 0 then None
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int h.h_count in
+    let nb = Array.length h.h_buckets in
+    let rec go i cum =
+      if i >= nb then Some h.h_buckets.(nb - 1)
+      else
+        let cum' = cum + h.h_counts.(i) in
+        if h.h_counts.(i) > 0 && float_of_int cum' >= target then
+          let lower = if i = 0 then 0.0 else h.h_buckets.(i - 1) in
+          let upper = h.h_buckets.(i) in
+          let within =
+            (target -. float_of_int cum) /. float_of_int h.h_counts.(i)
+          in
+          Some (lower +. ((upper -. lower) *. Float.max 0.0 within))
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+(* the percentiles both exporters derive: the SLO points *)
+let slo_points = [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
+
 (* ---------- ambient registry ---------- *)
 
 (* Domain-local: each domain gets the null registry until it installs one.
@@ -161,17 +197,23 @@ let to_json t =
            | Gauge f -> Json_out.Num f
            | Histogram h ->
                Json_out.Obj
-                 [
-                   ( "buckets",
-                     Json_out.Arr
-                       (Array.to_list (Array.map (fun b -> Json_out.Num b) h.h_buckets))
-                   );
-                   ( "counts",
-                     Json_out.Arr
-                       (Array.to_list (Array.map Json_out.int h.h_counts)) );
-                   ("sum", Json_out.Num h.h_sum);
-                   ("count", Json_out.int h.h_count);
-                 ] ))
+                 ([
+                    ( "buckets",
+                      Json_out.Arr
+                        (Array.to_list (Array.map (fun b -> Json_out.Num b) h.h_buckets))
+                    );
+                    ( "counts",
+                      Json_out.Arr
+                        (Array.to_list (Array.map Json_out.int h.h_counts)) );
+                    ("sum", Json_out.Num h.h_sum);
+                    ("count", Json_out.int h.h_count);
+                  ]
+                 @ List.filter_map
+                     (fun (key, q) ->
+                       Option.map
+                         (fun v -> (key, Json_out.Num v))
+                         (percentile h q))
+                     slo_points) ))
        (dump t))
 
 let prom_name name =
@@ -201,5 +243,15 @@ let pp_prometheus ppf t =
             h.h_buckets;
           Format.fprintf ppf "%s_bucket{le=\"+Inf\"} %d@." n h.h_count;
           Format.fprintf ppf "%s_sum %s@." n (prom_float h.h_sum);
-          Format.fprintf ppf "%s_count %d@." n h.h_count)
+          Format.fprintf ppf "%s_count %d@." n h.h_count;
+          (* derived SLO quantiles, summary-style, next to the buckets
+             they came from — scrape-side percentile math optional *)
+          List.iter
+            (fun (_, q) ->
+              match percentile h q with
+              | Some v ->
+                  Format.fprintf ppf "%s{quantile=\"%s\"} %s@." n
+                    (prom_float q) (prom_float v)
+              | None -> ())
+            slo_points)
     (dump t)

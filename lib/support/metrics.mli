@@ -61,6 +61,11 @@ val default_buckets : float list
 (** Powers of 4 from 1 to 4{^10} — a decade-spanning default for byte
     and count distributions. *)
 
+val latency_buckets : float list
+(** Sub-millisecond to a minute (0.5 ms … 60 s) — the bucket ladder for
+    seconds-scale latency histograms ([server.queue_wait_seconds],
+    [server.service_seconds]), dense where SLOs live. *)
+
 (** {1 Reading} *)
 
 type histogram = {
@@ -74,6 +79,15 @@ type value = Counter of int | Gauge of float | Histogram of histogram
 
 val dump : t -> (string * value) list
 (** Every metric, sorted by name. Histogram arrays are copies. *)
+
+val percentile : histogram -> float -> float option
+(** [percentile h q] estimates the [q]-quantile ([q] clamped to [0,1])
+    from the fixed buckets: the bucket holding the target rank is found
+    on the cumulative counts and the value interpolated linearly inside
+    it (a lower bound of 0 is assumed for the first bucket). A rank
+    landing in the [+Inf] overflow bucket answers the largest finite
+    bucket bound — the histogram cannot resolve past it. [None] when the
+    histogram is empty. *)
 
 val find : t -> string -> value option
 val reset : t -> unit
@@ -97,10 +111,14 @@ val resolve : t -> t
 val to_json : t -> Json_out.t
 (** One object, keyed by metric name. Counters and gauges are numbers;
     a histogram is [{"buckets": [...], "counts": [...], "sum": _,
-    "count": _}] where [counts] has one entry per bucket plus the
-    overflow, summing to [count]. *)
+    "count": _, "p50": _, "p95": _, "p99": _}] where [counts] has one
+    entry per bucket plus the overflow, summing to [count], and the
+    [pNN] members are {!percentile}-derived SLO points (omitted while
+    the histogram is empty). *)
 
 val pp_prometheus : Format.formatter -> t -> unit
 (** Prometheus text exposition (version 0.0.4): [# TYPE] lines, dots in
     metric names rewritten to underscores, histograms as cumulative
-    [_bucket{le="..."}] series with [_sum]/[_count]. *)
+    [_bucket{le="..."}] series with [_sum]/[_count], followed by
+    summary-style [{quantile="0.5"|"0.95"|"0.99"}] points derived with
+    {!percentile}. *)

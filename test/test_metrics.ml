@@ -86,6 +86,113 @@ let test_reset () =
   Metrics.reset t;
   Alcotest.(check int) "empty after reset" 0 (List.length (Metrics.dump t))
 
+(* ----- percentiles ----- *)
+
+let hist name t =
+  match Metrics.find t name with
+  | Some (Metrics.Histogram h) -> h
+  | _ -> Alcotest.fail (name ^ " should be a histogram")
+
+let test_percentile_empty () =
+  let h =
+    {
+      Metrics.h_buckets = [| 1.0; 2.0 |];
+      h_counts = [| 0; 0; 0 |];
+      h_sum = 0.0;
+      h_count = 0;
+    }
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "empty histogram has no q=%g" q)
+        true
+        (Metrics.percentile h q = None))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_percentile_single_bucket () =
+  let t = Metrics.create () in
+  (* every observation lands in the (2,4] bucket: every quantile
+     interpolates inside it *)
+  List.iter
+    (Metrics.observe t ~buckets:[ 2.0; 4.0; 8.0 ] "h")
+    [ 2.5; 3.0; 3.5 ];
+  let h = hist "h" t in
+  List.iter
+    (fun q ->
+      match Metrics.percentile h q with
+      | Some v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%g inside the only occupied bucket" q)
+            true
+            (v >= 2.0 && v <= 4.0)
+      | None -> Alcotest.fail "non-empty histogram must answer")
+    [ 0.01; 0.5; 0.95; 0.99; 1.0 ]
+
+let test_percentile_all_overflow () =
+  let t = Metrics.create () in
+  (* everything beyond the largest finite bound: the histogram cannot
+     resolve past it, so every quantile saturates there *)
+  List.iter (Metrics.observe t ~buckets:[ 1.0; 4.0 ] "h") [ 100.0; 200.0 ];
+  let h = hist "h" t in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "q=%g saturates at the largest finite bound" q)
+        (Some 4.0) (Metrics.percentile h q))
+    [ 0.5; 0.95; 0.99 ]
+
+let test_percentile_monotone_and_clamped () =
+  let t = Metrics.create () in
+  List.iter
+    (fun i ->
+      Metrics.observe t ~buckets:Metrics.latency_buckets "h"
+        (0.001 *. float_of_int i))
+    (List.init 100 (fun i -> i + 1));
+  let h = hist "h" t in
+  let at q =
+    match Metrics.percentile h q with
+    | Some v -> v
+    | None -> Alcotest.fail "non-empty histogram must answer"
+  in
+  Alcotest.(check bool) "p50 <= p95" true (at 0.5 <= at 0.95);
+  Alcotest.(check bool) "p95 <= p99" true (at 0.95 <= at 0.99);
+  Alcotest.(check (float 0.0)) "q clamped below" (at 0.0) (at (-1.0));
+  Alcotest.(check (float 0.0)) "q clamped above" (at 1.0) (at 2.0)
+
+(* The registry's concurrency contract, exercised where it matters for
+   the SLO histograms: many domains observing into the same series must
+   lose nothing. *)
+let test_concurrent_observe () =
+  let t = Metrics.create () in
+  let domains = 4 and per_domain = 1000 in
+  let worker d =
+    Domain.spawn (fun () ->
+        for i = 1 to per_domain do
+          Metrics.observe t ~buckets:Metrics.latency_buckets
+            "server.queue_wait_seconds"
+            (float_of_int ((d * per_domain) + i) *. 1e-5);
+          Metrics.observe t ~buckets:Metrics.latency_buckets
+            "server.service_seconds"
+            (float_of_int i *. 1e-4)
+        done)
+  in
+  List.iter Domain.join (List.map worker (List.init domains Fun.id));
+  List.iter
+    (fun name ->
+      let h = hist name t in
+      Alcotest.(check int)
+        (name ^ ": no observation lost")
+        (domains * per_domain) h.Metrics.h_count;
+      Alcotest.(check int)
+        (name ^ ": bucket counts consistent")
+        h.Metrics.h_count
+        (Array.fold_left ( + ) 0 h.Metrics.h_counts);
+      match Metrics.percentile h 0.95 with
+      | Some v -> Alcotest.(check bool) (name ^ ": p95 positive") true (v > 0.0)
+      | None -> Alcotest.fail (name ^ ": percentile must answer"))
+    [ "server.queue_wait_seconds"; "server.service_seconds" ]
+
 (* ----- ambient protocol ----- *)
 
 let test_ambient () =
@@ -182,6 +289,19 @@ let prop_histogram_counts_sum =
           | Metrics.Counter _ | Metrics.Gauge _ -> true)
         (Metrics.dump t))
 
+let test_json_percentile_keys () =
+  let t = Metrics.create () in
+  List.iter
+    (Metrics.observe t ~buckets:Metrics.latency_buckets "server.service_seconds")
+    [ 0.002; 0.004; 0.02; 0.2 ];
+  let j = Json_out.parse (Json_out.to_string (Metrics.to_json t)) in
+  let h = Json_out.member_exn "server.service_seconds" j in
+  let p name = value_of_json name h in
+  Alcotest.(check bool) "p50 <= p95 <= p99" true
+    (p "p50" <= p "p95" && p "p95" <= p "p99");
+  Alcotest.(check bool) "p99 within the observed range" true
+    (p "p99" > 0.0 && p "p99" <= 0.25)
+
 let test_prometheus_exposition () =
   let t = Metrics.create () in
   Metrics.incr t ~by:3 "apt.bytes_read";
@@ -201,7 +321,14 @@ let test_prometheus_exposition () =
   Alcotest.(check bool)
     "cumulative +Inf bucket" true
     (has "engine_pass_rules_bucket{le=\"+Inf\"} 1");
-  Alcotest.(check bool) "histogram count series" true (has "engine_pass_rules_count 1")
+  Alcotest.(check bool) "histogram count series" true (has "engine_pass_rules_count 1");
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "quantile %s series present" q)
+        true
+        (has (Printf.sprintf "engine_pass_rules{quantile=\"%s\"}" q)))
+    [ "0.5"; "0.95"; "0.99" ]
 
 let () =
   Alcotest.run "metrics"
@@ -220,10 +347,24 @@ let () =
             test_null_registry_is_inert;
           Alcotest.test_case "reset" `Quick test_reset;
         ] );
+      ( "percentiles",
+        [
+          Alcotest.test_case "empty histogram" `Quick test_percentile_empty;
+          Alcotest.test_case "single occupied bucket" `Quick
+            test_percentile_single_bucket;
+          Alcotest.test_case "all observations in overflow" `Quick
+            test_percentile_all_overflow;
+          Alcotest.test_case "monotone and clamped" `Quick
+            test_percentile_monotone_and_clamped;
+          Alcotest.test_case "concurrent multi-domain observe" `Quick
+            test_concurrent_observe;
+        ] );
       ("ambient", [ Alcotest.test_case "install/resolve" `Quick test_ambient ]);
       ( "exporters",
         [
           Alcotest.test_case "to_json round trip" `Quick test_to_json_round_trip;
+          Alcotest.test_case "percentile keys in to_json" `Quick
+            test_json_percentile_keys;
           QCheck_alcotest.to_alcotest prop_to_json_reparses;
           QCheck_alcotest.to_alcotest prop_histogram_counts_sum;
           Alcotest.test_case "prometheus exposition" `Quick

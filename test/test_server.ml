@@ -1086,6 +1086,263 @@ let test_serve_chaos_endurance () =
   Thread.join server;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
 
+(* ---------------- observability ---------------- *)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* A sequential run publishes the same server.* series a pooled run
+   would, so the two are comparable on the metrics axis. *)
+let test_run_sequential_metrics () =
+  let grammar = write_temp_grammar () in
+  Fun.protect ~finally:(fun () -> Sys.remove grammar) @@ fun () ->
+  let metrics = Lg_support.Metrics.create () in
+  let jobs =
+    List.init 3 (fun i ->
+        Jobfile.make ~id:(Printf.sprintf "s-%d" i) ~op:Jobfile.Analyze
+          ~file:grammar ())
+  in
+  let s = Batch.run_sequential ~metrics jobs in
+  Alcotest.(check int) "all ok" 0 s.Batch.n_failed;
+  (match Lg_support.Metrics.find metrics "server.jobs" with
+  | Some (Lg_support.Metrics.Counter 3) -> ()
+  | _ -> Alcotest.fail "server.jobs should count the sequential jobs");
+  List.iter
+    (fun name ->
+      match Lg_support.Metrics.find metrics name with
+      | Some (Lg_support.Metrics.Histogram h) ->
+          Alcotest.(check int) (name ^ " count") 3 h.Lg_support.Metrics.h_count
+      | _ -> Alcotest.failf "%s should be a histogram" name)
+    [
+      "server.queue_wait_seconds";
+      "server.service_seconds";
+      "server.job_seconds";
+    ];
+  match Lg_support.Metrics.find metrics "server.queue_wait_seconds" with
+  | Some (Lg_support.Metrics.Histogram h) ->
+      Alcotest.(check (float 1e-9))
+        "sequential queue wait is identically zero" 0.0
+        h.Lg_support.Metrics.h_sum
+  | _ -> Alcotest.fail "unreachable"
+
+(* The observability acceptance scenario: healthy jobs with client-minted
+   trace ids, then a poisoned tenant crashed into quarantine — the
+   request spans must carry the trace ids into the merged Chrome trace,
+   the crashes must leave flight-recorder postmortem dumps, the tenants
+   op must attribute jobs/failures/strikes to the poisoned digest, and
+   both SLO histograms must expose p50/p95/p99 in JSON and Prometheus
+   form over the socket. *)
+let test_serve_observability () =
+  with_temp_dir @@ fun dir ->
+  let grammar = write_temp_grammar () in
+  Fun.protect ~finally:(fun () -> Sys.remove grammar) @@ fun () ->
+  let socket = Filename.concat dir "srv.sock" in
+  let pm_dir = Filename.concat dir "postmortems" in
+  let tracer = Lg_support.Trace.create () in
+  let chaos =
+    (* no random rolls: only the poison substring fires, deterministically *)
+    Chaos.create ~poison:"poison"
+      { Chaos.c_seed = 7; c_rate = 0.0; c_kinds = [] }
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ~workers:2 ~queue_capacity:8 ~quarantine_after:3 ~chaos
+          ~tracer ~postmortem_dir:pm_dir ~socket ())
+      ()
+  in
+  wait_for_socket socket;
+  let parse = Lg_support.Json_out.parse in
+  (* healthy jobs, each under its own client-minted trace id *)
+  let tids =
+    List.map
+      (fun i ->
+        let tid = Server.mint_trace_id () in
+        let doc =
+          match
+            job_request
+              (Jobfile.make ~id:(Printf.sprintf "ok-%d" i)
+                 ~op:Jobfile.Analyze ~file:grammar ())
+          with
+          | Lg_support.Json_out.Obj members ->
+              Lg_support.Json_out.Obj
+                (members @ [ ("trace", Lg_support.Json_out.Str tid) ])
+          | _ -> Alcotest.fail "job_request shape"
+        in
+        let r = Server.request ~attempts:4 ~backoff:0.01 ~socket doc in
+        Alcotest.(check bool)
+          (Printf.sprintf "healthy job %d ok" i)
+          true (response_ok r);
+        (match Lg_support.Json_out.member "trace" r with
+        | Some (Lg_support.Json_out.Str t) ->
+            Alcotest.(check string) "trace id echoed" tid t
+        | _ -> Alcotest.fail "response must echo the trace id");
+        tid)
+      [ 1; 2; 3 ]
+  in
+  (* the poisoned tenant: three worker crashes, then the quarantine
+     refusal — all charged to the same (language:linguist) digest *)
+  let poison i =
+    Jobfile.make
+      ~id:(Printf.sprintf "poison-%d" i)
+      ~op:Jobfile.Analyze ~file:grammar ()
+  in
+  let exits =
+    List.map
+      (fun i ->
+        response_exit
+          (Server.request ~attempts:4 ~backoff:0.01 ~socket
+             (job_request (poison i))))
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int))
+    "three crashes then a quarantine refusal" [ 51; 51; 51; 52 ] exits;
+  (* crash dumps: the flight recorder left a postmortem per crash *)
+  let dumps = Sys.readdir pm_dir in
+  Alcotest.(check bool)
+    "postmortem dump per worker crash" true
+    (Array.length dumps >= 3);
+  let dump = parse (read_whole (Filename.concat pm_dir dumps.(0))) in
+  (match Lg_support.Json_out.member "reason" dump with
+  | Some (Lg_support.Json_out.Str "worker_crashed") -> ()
+  | _ -> Alcotest.fail "dump must carry the typed reason");
+  (match Lg_support.Json_out.member "exit" dump with
+  | Some v -> Alcotest.(check int) "dump exit code" 51 (Lg_support.Json_out.to_int v)
+  | None -> Alcotest.fail "dump must carry the exit code");
+  (match Lg_support.Json_out.member "events" dump with
+  | Some (Lg_support.Json_out.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "dump must replay the job's lifecycle events");
+  (* health: worker-fleet and queue high-water columns *)
+  let health = Server.request ~socket (parse {|{"op":"health"}|}) in
+  Alcotest.(check int) "workers live again" 2
+    (Lg_support.Json_out.to_int (response_field health "workers_live"));
+  Alcotest.(check bool)
+    "restarts counted" true
+    (Lg_support.Json_out.to_int (response_field health "worker_restarts") >= 3);
+  Alcotest.(check bool)
+    "queue peak reported" true
+    (Lg_support.Json_out.to_int (response_field health "queue_peak") >= 0);
+  (* each crash parked the replaced domain until drain joins it *)
+  Alcotest.(check bool)
+    "replaced domains parked" true
+    (Lg_support.Json_out.to_int (response_field health "workers_parked") >= 3);
+  (* SLO histograms: percentile members in the JSON snapshot *)
+  let m = Server.request ~socket (parse {|{"op":"metrics"}|}) in
+  let metrics_doc = response_field m "metrics" in
+  List.iter
+    (fun name ->
+      match Lg_support.Json_out.member name metrics_doc with
+      | Some h ->
+          List.iter
+            (fun p ->
+              match Lg_support.Json_out.member p h with
+              | Some (Lg_support.Json_out.Num v) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s %s sane" name p)
+                    true (v >= 0.0)
+              | _ -> Alcotest.failf "%s lacks %s" name p)
+            [ "p50"; "p95"; "p99" ]
+      | None -> Alcotest.failf "metrics lack %s" name)
+    [ "server.queue_wait_seconds"; "server.service_seconds" ];
+  (* ... and quantile series in the Prometheus exposition *)
+  let prom =
+    Server.request ~socket (parse {|{"op":"metrics","format":"prometheus"}|})
+  in
+  let text =
+    match response_field prom "prometheus" with
+    | Lg_support.Json_out.Str s -> s
+    | _ -> Alcotest.fail "prometheus member must be a string"
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (line ^ " present") true (contains text line))
+    [
+      "server_queue_wait_seconds{quantile=\"0.5\"}";
+      "server_queue_wait_seconds{quantile=\"0.99\"}";
+      "server_service_seconds{quantile=\"0.95\"}";
+      "server_service_seconds_bucket{le=\"+Inf\"}";
+    ];
+  (* per-tenant accounting: everything attributed to the poisoned digest *)
+  let tn = Server.request ~socket (parse {|{"op":"tenants"}|}) in
+  let rows =
+    match response_field tn "tenants" with
+    | Lg_support.Json_out.Arr rows -> rows
+    | _ -> Alcotest.fail "tenants must be an array"
+  in
+  let row =
+    match
+      List.find_opt
+        (fun row ->
+          Lg_support.Json_out.member "label" row
+          = Some (Lg_support.Json_out.Str "language:linguist"))
+        rows
+    with
+    | Some row -> row
+    | None -> Alcotest.fail "poisoned tenant missing from the ledger"
+  in
+  let gi name = Lg_support.Json_out.to_int (response_field row name) in
+  Alcotest.(check int) "every job attributed" 7 (gi "jobs");
+  Alcotest.(check int) "successes attributed" 3 (gi "ok");
+  Alcotest.(check int) "strikes attributed" 3 (gi "strikes");
+  (match Lg_support.Json_out.member "quarantined" row with
+  | Some (Lg_support.Json_out.Bool true) -> ()
+  | _ -> Alcotest.fail "tenant must show as quarantined");
+  (match Lg_support.Json_out.member "failures" row with
+  | Some failures ->
+      Alcotest.(check int) "crashes by exit class" 3
+        (Lg_support.Json_out.to_int (response_field failures "51"));
+      Alcotest.(check int) "refusals by exit class" 1
+        (Lg_support.Json_out.to_int (response_field failures "52"))
+  | None -> Alcotest.fail "tenant must break failures down by exit class");
+  (match Lg_support.Json_out.member "cache" row with
+  | Some cache ->
+      Alcotest.(check bool)
+        "session cache hits attributed" true
+        (Lg_support.Json_out.to_int (response_field cache "hits") >= 2)
+  | None -> Alcotest.fail "tenant must carry its cache columns");
+  (* queue-wait/service time totals accumulate for served jobs *)
+  (match Lg_support.Json_out.member "service_seconds" row with
+  | Some (Lg_support.Json_out.Num v) ->
+      Alcotest.(check bool) "service time accumulated" true (v > 0.0)
+  | _ -> Alcotest.fail "tenant must total service seconds");
+  (try
+     ignore
+       (Server.request ~attempts:8 ~backoff:0.01 ~socket
+          (parse {|{"op":"shutdown"}|}))
+   with Unix.Unix_error _ | Failure _ -> ());
+  Thread.join server;
+  (* the merged Chrome trace carries every client-minted id on its
+     request spans, over a queue.wait/service/response.write story *)
+  let trace_path = Filename.concat dir "serve_trace.json" in
+  Lg_support.Trace.write_chrome ~process_name:"test-serve" tracer
+    ~path:trace_path;
+  let chrome = read_whole trace_path in
+  List.iter
+    (fun tid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace id %s in the merged trace" tid)
+        true (contains chrome tid))
+    tids;
+  let span_names =
+    List.map
+      (fun sp -> sp.Lg_support.Trace.sp_name)
+      (Lg_support.Trace.spans tracer)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " span present") true
+        (List.mem name span_names))
+    [ "request:job"; "queue.wait"; "service"; "response.write" ]
+
 let () =
   Alcotest.run "server"
     [
@@ -1179,5 +1436,13 @@ let () =
             test_serve_retry_client;
           Alcotest.test_case "chaotic 200-job corpus run survives" `Slow
             test_serve_chaos_endurance;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "sequential runs publish server.* metrics"
+            `Quick test_run_sequential_metrics;
+          Alcotest.test_case
+            "traces, postmortems, tenants and SLO percentiles" `Quick
+            test_serve_observability;
         ] );
     ]

@@ -208,9 +208,93 @@ let prop_set_union_assoc =
         (Value.set_union (s a) (Value.set_union (s b) (s c)))
         (Value.set_union (Value.set_union (s a) (s b)) (s c)))
 
+(* ----- eventlog ----- *)
+
+let test_eventlog_null () =
+  Alcotest.(check bool) "disabled" false (Eventlog.enabled Eventlog.null);
+  Eventlog.record Eventlog.null ~job:"j" "submitted";
+  Alcotest.(check int) "records nothing" 0 (Eventlog.recorded Eventlog.null);
+  Alcotest.(check int) "recent empty" 0
+    (List.length (Eventlog.recent Eventlog.null))
+
+let test_eventlog_ring_wraps () =
+  let t = Eventlog.create ~capacity:16 () in
+  Alcotest.(check int) "capacity floor honored" 16 (Eventlog.capacity t);
+  for i = 1 to 40 do
+    Eventlog.record t ~job:(Printf.sprintf "job-%d" i) "submitted"
+  done;
+  Alcotest.(check int) "every record counted" 40 (Eventlog.recorded t);
+  let recent = Eventlog.recent t in
+  Alcotest.(check int) "ring keeps the newest capacity" 16
+    (List.length recent);
+  Alcotest.(check string)
+    "oldest survivor first" "job-25"
+    (List.hd recent).Eventlog.ev_job;
+  Alcotest.(check string)
+    "newest last" "job-40"
+    (List.nth recent 15).Eventlog.ev_job;
+  let seqs = List.map (fun e -> e.Eventlog.ev_seq) recent in
+  Alcotest.(check bool)
+    "sequence numbers strictly increasing" true
+    (List.for_all2 ( < ) seqs (List.tl seqs @ [ max_int ]))
+
+let test_eventlog_filter_and_limit () =
+  let t = Eventlog.create ~capacity:32 () in
+  for i = 1 to 6 do
+    Eventlog.record t ~trace:"t1" ~job:"a"
+      ~fields:[ ("i", Json_out.int i) ]
+      (if i mod 2 = 0 then "pass" else "started");
+    Eventlog.record t ~job:"b" "submitted"
+  done;
+  let a = Eventlog.recent ~job:"a" t in
+  Alcotest.(check int) "filter keeps one job's story" 6 (List.length a);
+  Alcotest.(check bool)
+    "every event belongs to the job" true
+    (List.for_all (fun e -> e.Eventlog.ev_job = "a") a);
+  Alcotest.(check string) "trace id kept" "t1" (List.hd a).Eventlog.ev_trace;
+  let tail = Eventlog.recent ~job:"a" ~limit:2 t in
+  Alcotest.(check int) "limit keeps the newest" 2 (List.length tail);
+  Alcotest.(check string) "newest kind" "pass"
+    (List.nth tail 1).Eventlog.ev_kind
+
+let test_eventlog_postmortem () =
+  let t = Eventlog.create ~capacity:16 () in
+  Eventlog.record t ~trace:"abc123" ~job:"boom" "submitted";
+  Eventlog.record t ~trace:"abc123" ~job:"boom" "dequeued";
+  Eventlog.record t ~job:"other" "submitted";
+  let doc =
+    Eventlog.postmortem_json t ~job:"boom" ~reason:"worker_crashed"
+      ~exit_code:51 ~detail:"worker crashed: Out_of_memory" ~trace:"abc123"
+  in
+  (* the dump must survive a JSON round trip and carry the typed fields *)
+  let j = Json_out.parse (Json_out.to_string ~pretty:true doc) in
+  let str name =
+    match Json_out.member_exn name j with
+    | Json_out.Str s -> s
+    | _ -> Alcotest.fail (name ^ " should be a string")
+  in
+  Alcotest.(check string) "job" "boom" (str "job");
+  Alcotest.(check string) "reason" "worker_crashed" (str "reason");
+  Alcotest.(check string) "trace" "abc123" (str "trace");
+  (match Json_out.member_exn "exit" j with
+  | Json_out.Num f -> Alcotest.(check (float 0.0)) "exit code" 51.0 f
+  | _ -> Alcotest.fail "exit should be a number");
+  match Json_out.member_exn "events" j with
+  | Json_out.Arr events ->
+      Alcotest.(check int) "only the job's events" 2 (List.length events)
+  | _ -> Alcotest.fail "events should be an array"
+
 let () =
   Alcotest.run "support"
     [
+      ( "eventlog",
+        [
+          Alcotest.test_case "null is inert" `Quick test_eventlog_null;
+          Alcotest.test_case "ring wraps" `Quick test_eventlog_ring_wraps;
+          Alcotest.test_case "job filter and limit" `Quick
+            test_eventlog_filter_and_limit;
+          Alcotest.test_case "postmortem shape" `Quick test_eventlog_postmortem;
+        ] );
       ( "interner",
         [
           Alcotest.test_case "roundtrip" `Quick test_intern_roundtrip;
