@@ -1435,6 +1435,204 @@ let chaos_bench () =
   close_out oc;
   rowf "  wrote BENCH_chaos.json\n"
 
+(* ---------- the fabric bench: distributed evaluation ---------- *)
+
+(* Two in-process serve instances on OS-picked TCP ports, a corpus
+   jobfile through the coordinator, measured against the sequential
+   baseline. The gated leaves are the scheduler's observable contract:
+   byte-identity with Batch.run_sequential, builds-once-per-grammar
+   (each worker's server.session_builds equals the distinct session
+   digests the deterministic shard plan sends it) and the lane split
+   (interactive update jobs vs bulk, counted at the workers' lane
+   queue-wait histograms). Wall-clock leaves stay informational. *)
+let fabric_bench () =
+  section "Fabric: coordinator + 2 TCP workers vs sequential baseline";
+  let dir = Filename.temp_file "linguist-bench-fabric" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let old_cwd = Sys.getcwd () in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.chdir old_cwd;
+      try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let spec =
+    {
+      Lg_corpus.Emit.default with
+      Lg_corpus.Emit.s_grammars = 6;
+      s_inputs = 3;
+      s_fault_every = 0;
+    }
+  in
+  let corpus = Lg_corpus.Emit.write ~dir spec in
+  let jobs = corpus.Lg_corpus.Emit.c_jobs in
+  let n_jobs = List.length jobs in
+  (* jobfile paths are corpus-relative *)
+  Sys.chdir dir;
+  let results_doc (s : Lg_server.Batch.summary) =
+    Lg_support.Json_out.to_string (Lg_server.Batch.to_json ~timings:false s)
+  in
+  let seq, seq_wall =
+    let t0 = Unix.gettimeofday () in
+    let s =
+      Lg_server.Batch.run_sequential ~metrics:(Lg_support.Metrics.create ())
+        jobs
+    in
+    (s, Unix.gettimeofday () -. t0)
+  in
+  (* the workers: real serve instances — Unix socket plus a TCP
+     listener on an OS-picked port, reported through on_tcp_port *)
+  let start_worker i =
+    let metrics = Lg_support.Metrics.create () in
+    let socket = Filename.concat dir (Printf.sprintf "w%d.sock" i) in
+    let m = Mutex.create () and c = Condition.create () in
+    let port = ref 0 in
+    let thread =
+      Thread.create
+        (fun () ->
+          Lg_server.Server.serve ~metrics ~workers:2 ~session_capacity:64
+            ~tcp:"127.0.0.1:0"
+            ~on_tcp_port:(fun p ->
+              Mutex.lock m;
+              port := p;
+              Condition.signal c;
+              Mutex.unlock m)
+            ~socket ())
+        ()
+    in
+    Mutex.lock m;
+    while !port = 0 do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    (thread, Lg_server.Transport.Tcp ("127.0.0.1", !port))
+  in
+  let w1, ep1 = start_worker 1 in
+  let w2, ep2 = start_worker 2 in
+  let report, fabric_wall =
+    let t0 = Unix.gettimeofday () in
+    let r = Lg_fabric.Coordinator.run ~workers:[ ep1; ep2 ] jobs in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* lane split, read off each worker's per-lane queue-wait histograms *)
+  let lane_stats ep lane =
+    let open Lg_support.Json_out in
+    let response =
+      Lg_server.Server.request_endpoint ~endpoint:ep
+        (Obj [ ("op", Str "metrics") ])
+    in
+    match member "metrics" response with
+    | Some metrics -> (
+        match
+          member (Printf.sprintf "server.queue_wait_%s_seconds" lane) metrics
+        with
+        | Some (Obj h) ->
+            let num k =
+              match List.assoc_opt k h with Some (Num f) -> f | _ -> 0.0
+            in
+            (int_of_float (num "count"), num "sum")
+        | _ -> (0, 0.0))
+    | None -> (0, 0.0)
+  in
+  let sum_lanes lane =
+    let c1, s1 = lane_stats ep1 lane and c2, s2 = lane_stats ep2 lane in
+    (c1 + c2, s1 +. s2)
+  in
+  let interactive_jobs, interactive_wait = sum_lanes "interactive" in
+  let bulk_jobs, bulk_wait = sum_lanes "bulk" in
+  List.iter
+    (fun ep ->
+      ignore
+        (Lg_server.Server.request_endpoint ~endpoint:ep
+           (Lg_support.Json_out.Obj
+              [ ("op", Lg_support.Json_out.Str "shutdown") ])))
+    [ ep1; ep2 ];
+  Thread.join w1;
+  Thread.join w2;
+  let identical = results_doc report.Lg_fabric.Coordinator.summary = results_doc seq in
+  (* builds-once: replay the deterministic shard plan and compare each
+     worker's session_builds counter against the distinct session
+     digests it was assigned *)
+  let affinity j = Option.map fst (Lg_server.Batch.culprit j) in
+  let plan = Lg_fabric.Shard.plan ~workers:2 ~affinity jobs in
+  let job_arr = Array.of_list jobs in
+  let expected_builds w =
+    plan.Lg_fabric.Shard.assignments.(w)
+    |> List.filter_map (fun i -> affinity job_arr.(i))
+    |> List.sort_uniq compare |> List.length
+  in
+  let builds_once =
+    List.for_all2
+      (fun (w : Lg_fabric.Coordinator.worker_report) expected ->
+        w.Lg_fabric.Coordinator.w_session_builds = expected)
+      report.Lg_fabric.Coordinator.workers
+      [ expected_builds 0; expected_builds 1 ]
+  in
+  let builds_total =
+    List.fold_left
+      (fun acc (w : Lg_fabric.Coordinator.worker_report) ->
+        acc + max 0 w.Lg_fabric.Coordinator.w_session_builds)
+      0 report.Lg_fabric.Coordinator.workers
+  in
+  let puts_total =
+    List.fold_left
+      (fun acc (w : Lg_fabric.Coordinator.worker_report) ->
+        acc + w.Lg_fabric.Coordinator.w_grammar_puts)
+      0 report.Lg_fabric.Coordinator.workers
+  in
+  let summary = report.Lg_fabric.Coordinator.summary in
+  rowf "  %d jobs over 2 workers: %d ok, %d failed, %d redispatched\n" n_jobs
+    summary.Lg_server.Batch.n_ok summary.Lg_server.Batch.n_failed
+    report.Lg_fabric.Coordinator.redispatched;
+  rowf "  %d affinity group(s), %d spilled; %d grammar(s) shipped\n"
+    report.Lg_fabric.Coordinator.groups report.Lg_fabric.Coordinator.spilled
+    puts_total;
+  rowf "  byte-identical to sequential: %b; builds once per grammar: %b (%d builds)\n"
+    identical builds_once builds_total;
+  rowf "  lanes: %d interactive (wait %.4f s total), %d bulk (wait %.4f s total)\n"
+    interactive_jobs interactive_wait bulk_jobs bulk_wait;
+  rowf "  wall: sequential %.3f s, fabric %.3f s\n" seq_wall fabric_wall;
+  let open Lg_support.Json_out in
+  let json =
+    Obj
+      [
+        ("linguist_bench_fabric", int 1);
+        ("jobs", int n_jobs);
+        ("workers", int 2);
+        ("n_ok", int summary.Lg_server.Batch.n_ok);
+        ("n_failed", int summary.Lg_server.Batch.n_failed);
+        ("groups", int report.Lg_fabric.Coordinator.groups);
+        ("spilled", int report.Lg_fabric.Coordinator.spilled);
+        ("redispatched", int report.Lg_fabric.Coordinator.redispatched);
+        ("grammar_puts", int puts_total);
+        ("session_builds", int builds_total);
+        ("byte_identical", int (if identical then 1 else 0));
+        ("builds_once_per_grammar", int (if builds_once then 1 else 0));
+        ( "lanes",
+          Obj
+            [
+              ("interactive_jobs", int interactive_jobs);
+              ("bulk_jobs", int bulk_jobs);
+              ("interactive_wait_seconds", Num interactive_wait);
+              ("bulk_wait_seconds", Num bulk_wait);
+            ] );
+        ("sequential_wall_seconds", Num seq_wall);
+        ("fabric_wall_seconds", Num fabric_wall);
+      ]
+  in
+  let oc = open_out (Filename.concat old_cwd "BENCH_fabric.json") in
+  output_string oc (to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  rowf "  wrote BENCH_fabric.json\n"
+
 (* ---------- driver ---------- *)
 
 let all =
@@ -1444,7 +1642,7 @@ let all =
     ("schulz", schulz_ablation); ("stores", store_bench);
     ("faults", faults_bench); ("batch", batch_bench);
     ("incremental", incremental_bench); ("corpus", corpus_bench);
-    ("chaos", chaos_bench);
+    ("chaos", chaos_bench); ("fabric", fabric_bench);
   ]
 
 let run_experiments args =

@@ -799,6 +799,30 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
+(* client commands reach a server either way: --socket PATH (local) or
+   --connect HOST:PORT (a fabric worker's TCP listener) *)
+let socket_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Reach the server over TCP instead of $(b,--socket) — a \
+           $(b,serve --listen) endpoint, e.g. a fabric worker host.")
+
+let endpoint_of ~socket ~connect =
+  match (socket, connect) with
+  | Some path, None -> Ok (Lg_server.Transport.Unix_path path)
+  | None, Some spec -> Lg_server.Transport.parse_tcp spec
+  | Some _, Some _ -> Error "--socket and --connect are mutually exclusive"
+  | None, None -> Error "one of --socket or --connect is required"
+
 let serve_cmd =
   let queue_arg =
     Arg.(
@@ -842,7 +866,8 @@ let serve_cmd =
              docs/OBSERVABILITY.md for the dump schema.")
   in
   let run ~workers ~queue ~session_ttl ~quarantine ~incremental ~chaos_spec
-      ~poison ~deadline ~trace_out ~postmortem_dir ~socket =
+      ~poison ~deadline ~trace_out ~postmortem_dir ~postmortem_keep ~listen
+      ~tenants_file ~socket =
     let workers = max 1 workers in
     let metrics = Lg_support.Metrics.create () in
     match (chaos_of ~spec:chaos_spec ~poison ~metrics, deadline_of deadline)
@@ -853,7 +878,8 @@ let serve_cmd =
           if trace_out = None then Lg_support.Trace.null
           else Lg_support.Trace.create ()
         in
-        Printf.eprintf "serve: listening on %s (%d workers%s%s)\n%!" socket
+        Printf.eprintf "serve: listening on %s%s (%d workers%s%s)\n%!" socket
+          (match listen with None -> "" | Some l -> " and tcp " ^ l)
           workers
           (if incremental = None then "" else ", incremental")
           (match chaos_spec with
@@ -861,7 +887,10 @@ let serve_cmd =
           | Some s -> ", chaos " ^ s);
         Lg_server.Server.serve ?queue_capacity:queue ?session_ttl
           ?quarantine_after:quarantine ~metrics ~tracer ?postmortem_dir
-          ?incremental ?chaos ?deadline ~workers ~socket ();
+          ?postmortem_keep ?tcp:listen
+          ~on_tcp_port:(fun port ->
+            Printf.eprintf "serve: tcp port %d bound\n%!" port)
+          ?tenants_file ?incremental ?chaos ?deadline ~workers ~socket ();
         (match trace_out with
         | Some "-" ->
             print_string
@@ -878,17 +907,49 @@ let serve_cmd =
         Printf.eprintf "serve: drained, socket closed\n%!";
         `Ok ()
   in
+  let postmortem_keep_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "postmortem-keep" ] ~docv:"N"
+          ~doc:
+            "Retention cap for $(b,--postmortem-dir): after each dump \
+             only the newest $(docv) survive, each removal counted by \
+             the $(b,server.postmortems_pruned) metric.")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Additionally serve the identical protocol over TCP — how \
+             a worker host joins a $(b,coordinate) fleet (see \
+             docs/FABRIC.md). Port 0 lets the OS pick (the bound port \
+             is reported on stderr).")
+  in
+  let tenants_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenants-file" ] ~docv:"PATH"
+          ~doc:
+            "Persist the per-tenant accounting ledger: merged in at \
+             start, written back atomically on $(b,drain) and at \
+             shutdown, so accounting survives restarts.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve length-prefixed JSON evaluation requests over a \
-          Unix-domain socket, backed by the same worker pool as \
-          $(b,batch) (see docs/SERVER.md).")
+          Unix-domain socket — and, with $(b,--listen), over TCP — \
+          backed by the same worker pool as $(b,batch) (see \
+          docs/SERVER.md).")
     Term.(
       ret
         (const (fun workers queue session_ttl quarantine inc inc_threshold
                     inc_spill chaos_spec poison deadline tout postmortem_dir
-                    socket ->
+                    postmortem_keep listen tenants_file socket ->
              guard (fun () ->
                  match
                    incremental_of ~on:inc ~threshold:inc_threshold
@@ -897,12 +958,14 @@ let serve_cmd =
                  | incremental ->
                      run ~workers ~queue ~session_ttl ~quarantine ~incremental
                        ~chaos_spec ~poison ~deadline ~trace_out:tout
-                       ~postmortem_dir ~socket
+                       ~postmortem_dir ~postmortem_keep ~listen ~tenants_file
+                       ~socket
                  | exception Failure msg -> `Error (false, msg)))
         $ jobs_flag $ queue_arg $ session_ttl_arg $ quarantine_arg
         $ incremental_flag $ incremental_threshold $ incremental_spill
         $ chaos_arg $ chaos_poison_arg $ deadline_arg $ trace_out
-        $ postmortem_arg $ socket_arg))
+        $ postmortem_arg $ postmortem_keep_arg $ listen_arg
+        $ tenants_file_arg $ socket_arg))
 
 let request_cmd =
   let request_arg =
@@ -941,7 +1004,7 @@ let request_cmd =
              responses surface immediately (the pre-retry behavior — \
              scripts that implement their own backoff).")
   in
-  let run ~socket ~request ~retries ~budget ~no_retry =
+  let run ~endpoint ~request ~retries ~budget ~no_retry =
     let text =
       if String.length request > 0 && request.[0] = '@' then
         read_file (String.sub request 1 (String.length request - 1))
@@ -952,7 +1015,7 @@ let request_cmd =
     | doc ->
         let attempts = if no_retry then 1 else max 1 retries in
         let response =
-          Lg_server.Server.request ~attempts ?budget ~socket doc
+          Lg_server.Server.request_endpoint ~attempts ?budget ~endpoint doc
         in
         print_endline (Lg_support.Json_out.to_string ~pretty:true response);
         let ok =
@@ -965,16 +1028,21 @@ let request_cmd =
   Cmd.v
     (Cmd.info "request"
        ~doc:
-         "Send one framed JSON request to a running $(b,serve) socket \
-          and print the response (the smoke-test client). Transient \
-          failures are retried with jittered exponential backoff; see \
+         "Send one framed JSON request to a running $(b,serve) endpoint \
+          ($(b,--socket) or $(b,--connect)) and print the response (the \
+          smoke-test client). Transient failures are retried with \
+          jittered exponential backoff; see \
           $(b,--retries)/$(b,--no-retry).")
     Term.(
       ret
-        (const (fun socket retries budget no_retry request ->
-             guard (fun () -> run ~socket ~request ~retries ~budget ~no_retry))
-        $ socket_arg $ retries_arg $ retry_budget_arg $ no_retry_flag
-        $ request_arg))
+        (const (fun socket connect retries budget no_retry request ->
+             guard (fun () ->
+                 match endpoint_of ~socket ~connect with
+                 | Error msg -> `Error (false, msg)
+                 | Ok endpoint ->
+                     run ~endpoint ~request ~retries ~budget ~no_retry))
+        $ socket_opt_arg $ connect_arg $ retries_arg $ retry_budget_arg
+        $ no_retry_flag $ request_arg))
 
 let top_cmd =
   let interval_arg =
@@ -991,9 +1059,11 @@ let top_cmd =
             "Render one frame to stdout and exit — scripting and smoke \
              tests (no screen clearing).")
   in
-  let run ~socket ~interval ~once =
+  let run ~endpoint ~interval ~once =
     let open Lg_support.Json_out in
-    let req doc = Lg_server.Server.request ~attempts:2 ~socket doc in
+    let req doc =
+      Lg_server.Server.request_endpoint ~attempts:2 ~endpoint doc
+    in
     let jnum = function Some (Num f) -> f | _ -> 0.0 in
     let jint j = int_of_float (jnum j) in
     let jstr = function Some (Str s) -> s | _ -> "" in
@@ -1010,7 +1080,7 @@ let top_cmd =
             let e = jstr (member "error" health) in
             if e = "" then "unreachable" else e
       in
-      add "linguist top — %s\n" socket;
+      add "linguist top — %s\n" (Lg_server.Transport.to_string endpoint);
       add "status %-10s uptime %.1f s\n" status
         (jnum (member "uptime_seconds" health));
       add
@@ -1063,6 +1133,13 @@ let top_cmd =
       in
       hist_line "queue_wait" "server.queue_wait_seconds";
       hist_line "service" "server.service_seconds";
+      (* the windowed twins: current latency (the rolling SLO window),
+         not lifetime averages — what "is it slow right now" reads *)
+      hist_line "wait (now)" "server.queue_wait_recent_seconds";
+      hist_line "svc (now)" "server.service_recent_seconds";
+      add "lanes: interactive %d queued, bulk %d queued\n"
+        (counter "server.queue_depth_interactive")
+        (counter "server.queue_depth_bulk");
       add "\n%-36s %6s %6s %6s %6s %6s %6s %8s  %s\n" "TENANT" "JOBS" "OK"
         "FAIL" "HITS" "MISS" "EVICT" "STRIKES" "Q";
       (match member "tenants" tenants with
@@ -1113,15 +1190,125 @@ let top_cmd =
   Cmd.v
     (Cmd.info "top"
        ~doc:
-         "Live dashboard over a running $(b,serve) socket: polls the \
-          $(b,health), $(b,metrics) and $(b,tenants) ops and renders \
-          worker/queue state, SLO percentiles and the per-tenant \
-          accounting table. $(b,--once) prints a single frame.")
+         "Live dashboard over a running $(b,serve) endpoint \
+          ($(b,--socket) or $(b,--connect)): polls the $(b,health), \
+          $(b,metrics) and $(b,tenants) ops and renders worker/queue \
+          state, lifetime and rolling-window SLO percentiles, lane \
+          depths and the per-tenant accounting table. $(b,--once) \
+          prints a single frame.")
     Term.(
       ret
-        (const (fun socket interval once ->
-             guard (fun () -> run ~socket ~interval ~once))
-        $ socket_arg $ interval_arg $ once_flag))
+        (const (fun socket connect interval once ->
+             guard (fun () ->
+                 match endpoint_of ~socket ~connect with
+                 | Error msg -> `Error (false, msg)
+                 | Ok endpoint -> run ~endpoint ~interval ~once))
+        $ socket_opt_arg $ connect_arg $ interval_arg $ once_flag))
+
+let coordinate_cmd =
+  let jobfile_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"JOBFILE" ~doc:"The job list to distribute.")
+  in
+  let worker_arg =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "worker" ] ~docv:"ENDPOINT"
+          ~doc:
+            "A worker to dispatch to — $(b,HOST:PORT) (a $(b,serve \
+             --listen) TCP endpoint) or a Unix socket path. Repeatable; \
+             at least one required.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the results JSON to $(docv) ($(b,-) for stdout). The \
+             document is byte-identical to $(b,batch) over the same \
+             jobfile — stats go to stderr.")
+  in
+  let attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Per-request transport retries before a worker is declared \
+             lost and its jobs move to a survivor.")
+  in
+  let redispatch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "redispatch-limit" ] ~docv:"N"
+          ~doc:
+            "How often one job may chase typed 50–52 failures across \
+             workers before the failure stands as its outcome.")
+  in
+  let endpoint_of_spec spec =
+    if String.contains spec ':' then Lg_server.Transport.parse_tcp spec
+    else Ok (Lg_server.Transport.Unix_path spec)
+  in
+  let run ~jobs_path ~workers ~out ~attempts ~redispatch_limit =
+    match Lg_server.Jobfile.parse_file jobs_path with
+    | Error msg -> `Error (false, msg)
+    | Ok jobs -> (
+        let endpoints =
+          List.fold_right
+            (fun spec acc ->
+              match (acc, endpoint_of_spec spec) with
+              | Error _, _ -> acc
+              | _, Error msg -> Error msg
+              | Ok eps, Ok ep -> Ok (ep :: eps))
+            workers (Ok [])
+        in
+        match endpoints with
+        | Error msg -> `Error (false, msg)
+        | Ok endpoints ->
+            let report =
+              Lg_fabric.Coordinator.run ~attempts ~redispatch_limit
+                ~log:(fun line -> Printf.eprintf "%s\n%!" line)
+                ~workers:endpoints jobs
+            in
+            let summary = report.Lg_fabric.Coordinator.summary in
+            let text =
+              Lg_support.Json_out.to_string ~pretty:true
+                (Lg_server.Batch.to_json ~timings:false summary)
+              ^ "\n"
+            in
+            (if out = "-" then print_string text
+             else begin
+               let oc = open_out out in
+               output_string oc text;
+               close_out oc
+             end);
+            Printf.eprintf
+              "coordinate: %d jobs, %d ok, %d failed (%d workers, %d \
+               redispatched, %.3f s)\n\
+               %!"
+              (List.length summary.Lg_server.Batch.outcomes)
+              summary.Lg_server.Batch.n_ok summary.Lg_server.Batch.n_failed
+              (List.length report.Lg_fabric.Coordinator.workers)
+              report.Lg_fabric.Coordinator.redispatched
+              summary.Lg_server.Batch.wall_seconds;
+            if summary.Lg_server.Batch.n_failed = 0 then `Ok ()
+            else `Error (false, "some jobs failed (see the results JSON)"))
+  in
+  Cmd.v
+    (Cmd.info "coordinate"
+       ~doc:
+         "Distribute a jobfile over running $(b,serve) workers: \
+          grammar-affinity sharding (each grammar compiles once per \
+          worker), on-demand grammar shipping, interactive/bulk lanes, \
+          and re-dispatch on worker loss — with results byte-identical \
+          to a local $(b,batch) run (see docs/FABRIC.md).")
+    Term.(
+      ret
+        (const (fun workers out attempts redispatch_limit jobs_path ->
+             guard (fun () ->
+                 run ~jobs_path ~workers ~out ~attempts ~redispatch_limit))
+        $ worker_arg $ out_arg $ attempts_arg $ redispatch_arg $ jobfile_arg))
 
 let self_cmd =
   let run () =
@@ -1365,5 +1552,5 @@ let () =
           [
             check_cmd; stats_cmd; compile_cmd; tables_cmd; analyze_cmd;
             self_cmd; stores_cmd; fsck_cmd; report_cmd; batch_cmd;
-            serve_cmd; request_cmd; top_cmd; corpus_cmd;
+            serve_cmd; request_cmd; top_cmd; coordinate_cmd; corpus_cmd;
           ]))

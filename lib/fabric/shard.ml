@@ -1,0 +1,91 @@
+(* Affinity-sharded placement: the pure planning half of the fabric
+   coordinator. Jobs naming the same grammar (same session digest) want
+   to land on the same worker so the grammar compiles once per worker —
+   but a hot grammar must not turn one worker into the whole run's
+   critical path, so oversized affinity groups spill into extra chunks
+   capped at the balanced share, and chunks go to workers greedy
+   longest-first. Everything here is deterministic: group order is
+   first appearance, chunk order is (size desc, first index asc), and
+   load ties break toward the lowest worker index. *)
+
+type plan = {
+  assignments : int list array;
+      (* worker -> original item indices, ascending *)
+  groups : int;
+  spilled : int;
+}
+
+let plan ~workers ~affinity items =
+  let workers = max 1 workers in
+  let n = List.length items in
+  (* group indices by affinity key, first-appearance order; keyless
+     items are singleton groups (nothing to co-locate) *)
+  let order = ref [] in
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun i item ->
+      match affinity item with
+      | None -> order := `Singleton i :: !order
+      | Some key ->
+          if not (Hashtbl.mem table key) then begin
+            Hashtbl.add table key (ref []);
+            order := `Group key :: !order
+          end;
+          let cell = Hashtbl.find table key in
+          cell := i :: !cell)
+    items;
+  let groups =
+    List.rev_map
+      (function
+        | `Singleton i -> [ i ]
+        | `Group key -> List.rev !(Hashtbl.find table key))
+      !order
+  in
+  let n_groups = List.length groups in
+  (* the balanced share: no chunk bigger than ceil(n/workers), so one
+     hot grammar cannot capture more than a worker's fair slice *)
+  let target = max 1 ((n + workers - 1) / workers) in
+  let spilled = ref 0 in
+  let chunks =
+    List.concat_map
+      (fun group ->
+        let rec split acc = function
+          | [] -> List.rev acc
+          | rest ->
+              let rec take k taken rest =
+                match (k, rest) with
+                | 0, _ | _, [] -> (List.rev taken, rest)
+                | k, x :: rest -> take (k - 1) (x :: taken) rest
+              in
+              let chunk, rest = take target [] rest in
+              if acc <> [] then incr spilled;
+              split (chunk :: acc) rest
+        in
+        split [] group)
+      groups
+  in
+  (* longest-first greedy onto the least-loaded worker; ties in chunk
+     size keep first-appearance order, ties in load pick the lowest
+     worker index — the plan is a function of its inputs alone *)
+  let indexed = List.mapi (fun i c -> (i, c)) chunks in
+  let sorted =
+    List.sort
+      (fun (ia, ca) (ib, cb) ->
+        match compare (List.length cb) (List.length ca) with
+        | 0 -> compare ia ib
+        | c -> c)
+      indexed
+  in
+  let load = Array.make workers 0 in
+  let assignments = Array.make workers [] in
+  List.iter
+    (fun (_, chunk) ->
+      let best = ref 0 in
+      for w = 1 to workers - 1 do
+        if load.(w) < load.(!best) then best := w
+      done;
+      load.(!best) <- load.(!best) + List.length chunk;
+      assignments.(!best) <- assignments.(!best) @ chunk)
+    sorted;
+  let assignments = Array.map (List.sort compare) assignments in
+  { assignments; groups = n_groups; spilled = !spilled }

@@ -215,7 +215,13 @@ let run_job ~sessions ?incremental (j : Jobfile.job) =
   in
   match
     Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
-    let source = read_file j.Jobfile.j_file in
+    let source =
+      (* inline source wins: a fabric-shipped job carries its input text
+         and keeps j_file as a label only *)
+      match j.Jobfile.j_source with
+      | Some s -> s
+      | None -> read_file j.Jobfile.j_file
+    in
     let engine_options = engine_options_of j ~dir in
     match j.Jobfile.j_op with
     | Jobfile.Check -> (
@@ -436,11 +442,13 @@ let summarize ~workers ~wall outcomes =
 
 let run ?workers ?sessions ?metrics ?tracer ?incremental ?chaos ?deadline jobs =
   let workers = match workers with Some w -> w | None -> default_workers () in
-  let sessions =
-    match sessions with Some c -> c | None -> Session.create_cache ()
-  in
   let metrics =
     match metrics with Some m -> m | None -> Lg_support.Metrics.ambient ()
+  in
+  let sessions =
+    match sessions with
+    | Some c -> c
+    | None -> Session.create_cache ~metrics ()
   in
   let parent =
     match tracer with Some t -> t | None -> Lg_support.Trace.ambient ()
@@ -498,8 +506,8 @@ let run ?workers ?sessions ?metrics ?tracer ?incremental ?chaos ?deadline jobs =
         List.map
           (fun j ->
             match
-              Pool.submit ~label:j.Jobfile.j_id ?deadline:(job_deadline j)
-                pool
+              Pool.submit ~label:j.Jobfile.j_id ~lane:Pool.Bulk
+                ?deadline:(job_deadline j) pool
                 (fun () ->
                   quarantine_gate ~sessions j;
                   chaos_gate ?chaos j;

@@ -5,6 +5,7 @@ type job = {
   j_id : string;
   j_op : op;
   j_file : string;
+  j_source : string option;  (* inline input text; j_file becomes a label *)
   j_doc : string option;
   j_store : string;
   j_page_size : int option;
@@ -17,12 +18,13 @@ type job = {
 let version = 1
 let magic = "linguist_jobs"
 
-let make ?(id = "") ?doc ?(store = "mem") ?page_size ?faults ?depth_budget
-    ?node_budget ?deadline ~op ~file () =
+let make ?(id = "") ?source ?doc ?(store = "mem") ?page_size ?faults
+    ?depth_budget ?node_budget ?deadline ~op ~file () =
   {
     j_id = id;
     j_op = op;
     j_file = file;
+    j_source = source;
     j_doc = doc;
     j_store = store;
     j_page_size = page_size;
@@ -62,6 +64,7 @@ let job_to_json j =
           [ ("grammar", Str path) ]
       | Check | Analyze -> [])
     @ [ ("file", Str j.j_file) ]
+    @ opt "source" (fun s -> Str s) j.j_source
     @ opt "doc" (fun d -> Str d) j.j_doc
     @ [ ("store", Str j.j_store) ]
     @ opt "page_size" int j.j_page_size
@@ -105,6 +108,7 @@ let job_of_json ~index doc =
       let* grammar = str_member "grammar" doc in
       let* doc_id = str_member "doc" doc in
       let* file = str_member "file" doc in
+      let* source = str_member "source" doc in
       let* store = str_member "store" doc in
       let* page_size = int_member "page_size" doc in
       let* faults_str = str_member "faults" doc in
@@ -165,6 +169,7 @@ let job_of_json ~index doc =
             | _ -> Printf.sprintf "job-%d" (index + 1));
           j_op = op;
           j_file = file;
+          j_source = source;
           j_doc = doc_id;
           j_store = Option.value store ~default:"mem";
           j_page_size = page_size;

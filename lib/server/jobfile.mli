@@ -58,6 +58,13 @@ type job = {
   j_id : string;
   j_op : op;
   j_file : string;  (** input path, resolved against the process cwd *)
+  j_source : string option;
+      (** inline input text. When present the job never reads [j_file] —
+          the path is kept purely as the job's label (ids, outcome
+          records, doc identity), so a job shipped to a worker host that
+          has no copy of the input file runs there and still reports
+          byte-identical outcomes. The distributed coordinator inlines
+          every job's input this way (see [docs/FABRIC.md]). *)
   j_doc : string option;
       (** document identity for [Update] — updates sharing a doc share
           incremental state; defaults to [j_file] *)
@@ -77,6 +84,7 @@ val version : int
 
 val make :
   ?id:string ->
+  ?source:string ->
   ?doc:string ->
   ?store:string ->
   ?page_size:int ->
@@ -97,6 +105,11 @@ val op_name : op -> string
 val render_faults : Lg_apt.Apt_store.fault_spec -> string
 (** The [SEED:RATE:KINDS] spec string; inverse of
     {!Lg_apt.Store_faulty.parse_spec}. *)
+
+val job_to_json : job -> Lg_support.Json_out.t
+(** One job as its jobfile-entry document — what a [serve] client (and
+    the fabric coordinator) embeds as a request's ["job"] member.
+    Round-trips through {!job_of_json}. *)
 
 val job_of_json : index:int -> Lg_support.Json_out.t -> (job, string) result
 (** One job object ([index] names an id-less job); the element codec of

@@ -17,6 +17,10 @@
 
 type reject = { rj_depth : int; rj_capacity : int }
 
+type lane = Interactive | Bulk
+
+let lane_name = function Interactive -> "interactive" | Bulk -> "bulk"
+
 exception Crash of string
 
 type 'a handle = {
@@ -58,7 +62,11 @@ type packaged = {
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  queue : packaged Queue.t;
+  (* two priority lanes behind one capacity: interactive work (serve
+     [job]/[update] traffic) always dequeues before bulk (batch) work,
+     so a deep batch backlog cannot starve an editor round-trip *)
+  q_interactive : packaged Queue.t;
+  q_bulk : packaged Queue.t;
   capacity : int;
   n_workers : int;
   mutable closing : bool;
@@ -68,6 +76,7 @@ type t = {
   watchdog_stop : bool Atomic.t;
   mutable watchdog : Thread.t option;
   metrics : Lg_support.Metrics.t;
+  slo_window : float;  (* frame width of the *_recent_seconds histograms *)
   (* mirrored into metrics, but kept here too so health probes can
      answer on a pool whose registry is disabled *)
   mutable peak : int;
@@ -78,9 +87,22 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let publish_depth t depth =
+let total_depth t = Queue.length t.q_interactive + Queue.length t.q_bulk
+let queues_empty t = Queue.is_empty t.q_interactive && Queue.is_empty t.q_bulk
+
+(* interactive preempts bulk at dequeue: a worker coming free always
+   drains the interactive lane first *)
+let pop_next t =
+  if not (Queue.is_empty t.q_interactive) then Queue.pop t.q_interactive
+  else Queue.pop t.q_bulk
+
+let publish_depth t =
+  let di = Queue.length t.q_interactive and db = Queue.length t.q_bulk in
+  let depth = di + db in
   if depth > t.peak then t.peak <- depth;
   Lg_support.Metrics.set_int t.metrics "server.queue_depth" depth;
+  Lg_support.Metrics.set_int t.metrics "server.queue_depth_interactive" di;
+  Lg_support.Metrics.set_int t.metrics "server.queue_depth_bulk" db;
   Lg_support.Metrics.set_max t.metrics "server.queue_peak" (float_of_int depth)
 
 let deadline_error inf =
@@ -132,13 +154,13 @@ and worker_loop t slot epoch =
   Mutex.lock t.lock;
   if slot.s_epoch <> epoch then Mutex.unlock t.lock (* abandoned: die quietly *)
   else begin
-    while Queue.is_empty t.queue && not t.closing do
+    while queues_empty t && not t.closing do
       Condition.wait t.nonempty t.lock
     done;
-    if Queue.is_empty t.queue then Mutex.unlock t.lock (* draining, queue dry *)
+    if queues_empty t then Mutex.unlock t.lock (* draining, queue dry *)
     else begin
-      let p = Queue.pop t.queue in
-      publish_depth t (Queue.length t.queue);
+      let p = pop_next t in
+      publish_depth t;
       (* a job that expired while queued is failed without running it:
          its client already gave up, so running it only burns a worker *)
       if expired p.p_inflight (Unix.gettimeofday ()) then begin
@@ -165,8 +187,7 @@ and worker_loop t slot epoch =
         | Some _, false ->
             (* the worker domain is dying: spawn our own successor unless
                the pool is closing with nothing left to do *)
-            if not (t.closing && Queue.is_empty t.queue) then
-              replace_worker t slot;
+            if not (t.closing && queues_empty t) then replace_worker t slot;
             Mutex.unlock t.lock
       end
     end
@@ -194,13 +215,14 @@ let watchdog_loop t () =
   done
 
 let create ?(metrics = Lg_support.Metrics.null) ?(watchdog_interval = 0.01)
-    ~workers ~queue_capacity () =
+    ?(slo_window = 60.0) ~workers ~queue_capacity () =
   let workers = max 1 workers and capacity = max 1 queue_capacity in
   let t =
     {
       lock = Mutex.create ();
       nonempty = Condition.create ();
-      queue = Queue.create ();
+      q_interactive = Queue.create ();
+      q_bulk = Queue.create ();
       capacity;
       n_workers = workers;
       closing = false;
@@ -212,6 +234,7 @@ let create ?(metrics = Lg_support.Metrics.null) ?(watchdog_interval = 0.01)
       watchdog_stop = Atomic.make false;
       watchdog = None;
       metrics;
+      slo_window = Float.max 0.001 slo_window;
       peak = 0;
       restarts = 0;
     }
@@ -225,7 +248,7 @@ let create ?(metrics = Lg_support.Metrics.null) ?(watchdog_interval = 0.01)
 let workers t = t.n_workers
 let capacity t = t.capacity
 
-let submit ?(label = "") ?deadline t f =
+let submit ?(label = "") ?(lane = Interactive) ?deadline t f =
   let cell =
     { h_lock = Mutex.create (); h_done = Condition.create (); h_result = None }
   in
@@ -244,9 +267,19 @@ let submit ?(label = "") ?deadline t f =
        latency ladder, where job_seconds (their sum) keeps its coarse
        historical buckets *)
     let started_at = Unix.gettimeofday () in
+    let wait = started_at -. submitted_at in
     Lg_support.Metrics.observe t.metrics
       ~buckets:Lg_support.Metrics.latency_buckets "server.queue_wait_seconds"
-      (started_at -. submitted_at);
+      wait;
+    (* the per-lane wait split the coordinator's placement bench reads:
+       interactive waits must stay short even under a bulk backlog *)
+    Lg_support.Metrics.observe t.metrics
+      ~buckets:Lg_support.Metrics.latency_buckets
+      (Printf.sprintf "server.queue_wait_%s_seconds" (lane_name lane))
+      wait;
+    Lg_support.Metrics.observe_window t.metrics
+      ~buckets:Lg_support.Metrics.latency_buckets ~window:t.slo_window
+      "server.queue_wait_recent_seconds" wait;
     let result =
       match f () with
       | v -> `Ok v
@@ -267,6 +300,9 @@ let submit ?(label = "") ?deadline t f =
     Lg_support.Metrics.observe t.metrics
       ~buckets:Lg_support.Metrics.latency_buckets "server.service_seconds"
       (finished_at -. started_at);
+    Lg_support.Metrics.observe_window t.metrics
+      ~buckets:Lg_support.Metrics.latency_buckets ~window:t.slo_window
+      "server.service_recent_seconds" (finished_at -. started_at);
     Lg_support.Metrics.observe t.metrics "server.job_seconds"
       (finished_at -. submitted_at);
     match result with
@@ -281,15 +317,16 @@ let submit ?(label = "") ?deadline t f =
   in
   locked t @@ fun () ->
   if t.closing then invalid_arg "Pool.submit: pool is draining";
-  let depth = Queue.length t.queue in
+  let depth = total_depth t in
   if depth >= t.capacity then begin
     Lg_support.Metrics.incr t.metrics "server.rejections";
     Error { rj_depth = depth; rj_capacity = t.capacity }
   end
   else begin
-    Queue.push { p_inflight = inflight; p_run = run } t.queue;
+    let q = match lane with Interactive -> t.q_interactive | Bulk -> t.q_bulk in
+    Queue.push { p_inflight = inflight; p_run = run } q;
     Lg_support.Metrics.incr t.metrics "server.jobs";
-    publish_depth t (depth + 1);
+    publish_depth t;
     Condition.signal t.nonempty;
     Ok cell
   end
@@ -303,7 +340,7 @@ let await cell =
   Mutex.unlock cell.h_lock;
   r
 
-let queue_depth t = locked t (fun () -> Queue.length t.queue)
+let queue_depth t = locked t (fun () -> total_depth t)
 let queue_peak t = locked t (fun () -> t.peak)
 let restart_count t = locked t (fun () -> t.restarts)
 
@@ -349,4 +386,4 @@ let drain t =
       t.watchdog <- None;
       Thread.join th
   | None -> ());
-  publish_depth t 0
+  publish_depth t

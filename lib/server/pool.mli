@@ -56,6 +56,18 @@ type reject = {
   rj_capacity : int;
 }
 
+type lane = Interactive | Bulk
+(** The two priority lanes. The queue is really two queues behind one
+    shared capacity: a worker coming free always dequeues [Interactive]
+    work (serve [job]/[update] traffic) before [Bulk] work (batch
+    backlogs), so interactive latency survives a deep bulk backlog.
+    Within a lane, FIFO order is preserved. Backpressure ([reject]) is
+    computed on the {e combined} depth — saturation is a property of
+    the pool, not of a lane. *)
+
+val lane_name : lane -> string
+(** ["interactive"] / ["bulk"] — the wire and metric-name spelling. *)
+
 exception Crash of string
 (** A job raising this kills its worker domain: the job fails with a
     typed {!Server_error.Worker_crashed} carrying the message, and the
@@ -65,6 +77,7 @@ exception Crash of string
 val create :
   ?metrics:Lg_support.Metrics.t ->
   ?watchdog_interval:float ->
+  ?slo_window:float ->
   workers:int ->
   queue_capacity:int ->
   unit ->
@@ -74,15 +87,29 @@ val create :
     least 1); [watchdog_interval] (default 0.01 s, floor 1 ms) is the
     deadline-scan period and therefore the enforcement granularity;
     [metrics] (default {!Lg_support.Metrics.null}) receives the
-    [server.*] series and becomes each worker's ambient registry. *)
+    [server.*] series and becomes each worker's ambient registry.
+    [slo_window] (default 60 s) is the frame width of the {e windowed}
+    latency histograms [server.queue_wait_recent_seconds] /
+    [server.service_recent_seconds] — the "current latency" view next
+    to the process-lifetime SLO histograms. The pool also publishes the
+    per-lane gauges [server.queue_depth_interactive] /
+    [server.queue_depth_bulk] and the per-lane wait split
+    [server.queue_wait_interactive_seconds] /
+    [server.queue_wait_bulk_seconds]. *)
 
 val workers : t -> int
 val capacity : t -> int
 
 val submit :
-  ?label:string -> ?deadline:float -> t -> (unit -> 'a) -> ('a handle, reject) result
-(** Enqueue a job, or refuse it when the queue is at capacity.
-    [label] names the job in typed diagnostics; [deadline] (seconds,
+  ?label:string ->
+  ?lane:lane ->
+  ?deadline:float ->
+  t ->
+  (unit -> 'a) ->
+  ('a handle, reject) result
+(** Enqueue a job, or refuse it when the combined queue is at capacity.
+    [label] names the job in typed diagnostics; [lane] (default
+    [Interactive]) picks the priority lane; [deadline] (seconds,
     measured from this call — queue wait counts) arms the watchdog.
     @raise Invalid_argument on a pool that {!drain} has shut down. *)
 

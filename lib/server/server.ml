@@ -4,47 +4,14 @@
    connection side — they're cheap, they block on reads, and they share
    the process's one listening socket and stop flag. *)
 
-let max_frame = 16 * 1024 * 1024
+let max_frame = Transport.max_frame
 let protocol_version = 1
 
-(* framed I/O: 4-byte big-endian length, then the JSON payload *)
-
-let really_read fd buf off len =
-  let rec go off len =
-    if len > 0 then begin
-      let n = Unix.read fd buf off len in
-      if n = 0 then failwith "connection closed mid-frame";
-      go (off + n) (len - n)
-    end
-  in
-  go off len
-
-let read_frame fd =
-  let hdr = Bytes.create 4 in
-  match Unix.read fd hdr 0 4 with
-  | 0 -> None (* clean EOF between frames *)
-  | n ->
-      if n < 4 then really_read fd hdr n (4 - n);
-      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-      if len < 0 || len > max_frame then
-        failwith (Printf.sprintf "frame length %d out of range" len);
-      let payload = Bytes.create len in
-      really_read fd payload 0 len;
-      Some (Bytes.unsafe_to_string payload)
-
-let write_frame fd payload =
-  let len = String.length payload in
-  if len > max_frame then failwith "response exceeds max_frame";
-  let msg = Bytes.create (4 + len) in
-  Bytes.set_int32_be msg 0 (Int32.of_int len);
-  Bytes.blit_string payload 0 msg 4 len;
-  let rec go off remaining =
-    if remaining > 0 then begin
-      let n = Unix.write fd msg off remaining in
-      go (off + n) (remaining - n)
-    end
-  in
-  go 0 (4 + len)
+(* framed I/O — 4-byte big-endian length, then the JSON payload — over
+   any descriptor: the Unix socket, the TCP listener's connections, the
+   coordinator's dispatch streams. The framing lives in Transport. *)
+let read_frame = Transport.read_frame
+let write_frame = Transport.write_frame
 
 open Lg_support.Json_out
 
@@ -63,80 +30,15 @@ let outcome_response (o : Batch.outcome) =
       ("payload", o.Batch.o_payload);
     ]
 
-(* Per-tenant (per session digest) accounting: job and failure counts
-   by exit class plus queue-wait/service time totals, one row per digest
-   ever served. The cache columns and quarantine strikes live in the
-   Session cache and are joined in at snapshot time. Supervision-failed
-   jobs (a crashed worker cannot report its split) count toward jobs and
-   failures but not toward the time totals. *)
-type tenant_stat = {
-  mutable tn_label : string;
-  mutable tn_jobs : int;
-  mutable tn_ok : int;
-  mutable tn_failures : (int * int) list;  (* exit code -> count *)
-  mutable tn_queue_wait : float;
-  mutable tn_service : float;
+(* the grammar spool: content-addressed sources shipped by a submitter
+   over the grammar_put handshake, one file per digest under a per-serve
+   temp directory, so fabric jobs naming a grammar this host never saw
+   can resolve their tenant locally *)
+type spool = {
+  sp_lock : Mutex.t;
+  sp_dir : string;
+  sp_table : (string, string) Hashtbl.t;  (* digest -> spooled path *)
 }
-
-type tenants = {
-  tn_lock : Mutex.t;
-  tn_table : (string, tenant_stat) Hashtbl.t;
-}
-
-let tenants_create () =
-  { tn_lock = Mutex.create (); tn_table = Hashtbl.create 16 }
-
-let tenants_charge tn ~digest ~label ~ok ~exit_code ~queue_wait ~service =
-  if digest <> "" then begin
-    Mutex.lock tn.tn_lock;
-    let row =
-      match Hashtbl.find_opt tn.tn_table digest with
-      | Some row -> row
-      | None ->
-          let row =
-            {
-              tn_label = label;
-              tn_jobs = 0;
-              tn_ok = 0;
-              tn_failures = [];
-              tn_queue_wait = 0.0;
-              tn_service = 0.0;
-            }
-          in
-          Hashtbl.replace tn.tn_table digest row;
-          row
-    in
-    if label <> "" then row.tn_label <- label;
-    row.tn_jobs <- row.tn_jobs + 1;
-    if ok then row.tn_ok <- row.tn_ok + 1
-    else
-      row.tn_failures <-
-        (match List.assoc_opt exit_code row.tn_failures with
-        | Some n ->
-            (exit_code, n + 1) :: List.remove_assoc exit_code row.tn_failures
-        | None -> (exit_code, 1) :: row.tn_failures);
-    row.tn_queue_wait <- row.tn_queue_wait +. queue_wait;
-    row.tn_service <- row.tn_service +. service;
-    Mutex.unlock tn.tn_lock
-  end
-
-let tenants_snapshot tn =
-  Mutex.lock tn.tn_lock;
-  let rows =
-    Hashtbl.fold
-      (fun digest row acc ->
-        ( digest,
-          row.tn_label,
-          row.tn_jobs,
-          row.tn_ok,
-          List.sort compare row.tn_failures,
-          row.tn_queue_wait,
-          row.tn_service )
-        :: acc)
-      tn.tn_table []
-  in
-  Mutex.unlock tn.tn_lock;
-  List.sort (fun (_, a, _, _, _, _, _) (_, b, _, _, _, _, _) -> compare a b) rows
 
 type state = {
   pool : Pool.t;
@@ -145,8 +47,11 @@ type state = {
   tracer : Lg_support.Trace.t;  (* run-wide; requests absorb into it *)
   events : Lg_support.Eventlog.t;  (* the flight recorder *)
   postmortem_dir : string option;
+  postmortem_keep : int option;  (* retention cap: keep the newest N *)
   pm_counter : int Atomic.t;  (* unique dump filenames *)
-  tenants : tenants;
+  tenants : Ledger.t;
+  tenants_file : string option;  (* ledger snapshot path, if persisted *)
+  spool : spool;  (* directory created on the first grammar_put *)
   incremental : Batch.incremental option;
   chaos : Chaos.t option;
   deadline : float option;  (* default budget for job/update ops *)
@@ -319,6 +224,40 @@ let safe_filename id =
       | _ -> '_')
     id
 
+(* Retention: keep only the newest [keep] postmortem-*.json dumps in
+   [dir] (newest by mtime, ties broken by name so pruning is
+   deterministic); answers how many it deleted. Unlink races with an
+   operator tidying the directory are benign. *)
+let prune_postmortems ~dir ~keep ~metrics =
+  let keep = max 0 keep in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let dumps =
+        Array.to_list names
+        |> List.filter (fun name ->
+               String.length name > 11
+               && String.sub name 0 11 = "postmortem-"
+               && Filename.check_suffix name ".json")
+        |> List.filter_map (fun name ->
+               let path = Filename.concat dir name in
+               match Unix.stat path with
+               | { Unix.st_mtime; _ } -> Some (st_mtime, name, path)
+               | exception Unix.Unix_error _ -> None)
+        |> List.sort (fun (ta, na, _) (tb, nb, _) ->
+               (* newest first *)
+               match compare tb ta with 0 -> compare nb na | c -> c)
+      in
+      let victims = List.filteri (fun i _ -> i >= keep) dumps in
+      List.fold_left
+        (fun pruned (_, _, path) ->
+          match Sys.remove path with
+          | () ->
+              Lg_support.Metrics.incr metrics "server.postmortems_pruned";
+              pruned + 1
+          | exception Sys_error _ -> pruned)
+        0 victims
+
 (* The flight-recorder dump: when the supervision layer fails a job with
    a typed worker_crashed/deadline_exceeded (exit 51/50), the job's
    recent lifecycle events leave the ring as a post-mortem artifact next
@@ -341,12 +280,15 @@ let write_postmortem st ~job_id ~trace e =
           (Printf.sprintf "postmortem-%s-%d.json" (safe_filename job_id)
              (Atomic.fetch_and_add st.pm_counter 1))
       in
-      try
-        let oc = open_out path in
-        output_string oc (to_string ~pretty:true doc);
-        output_char oc '\n';
-        close_out oc
-      with Sys_error _ -> ())
+      (try
+         let oc = open_out path in
+         output_string oc (to_string ~pretty:true doc);
+         output_char oc '\n';
+         close_out oc
+       with Sys_error _ -> ());
+      match st.postmortem_keep with
+      | Some keep -> ignore (prune_postmortems ~dir ~keep ~metrics:st.metrics)
+      | None -> ())
   | _ -> ()
 
 (* session-hit/build and pass-k lifecycle events, mined from the spans
@@ -375,6 +317,185 @@ let with_trace_id trace response =
   match response with
   | Obj members when trace <> "" -> Obj (members @ [ ("trace", Str trace) ])
   | response -> response
+
+(* ---------- the grammar spool (fabric handshake) ---------- *)
+
+(* store a verified grammar source under its content digest; idempotent
+   (content-addressed: same digest = same bytes, the existing file is
+   the answer). The spool directory is created on first use. *)
+let spool_store st ~digest ~name ~source =
+  let sp = st.spool in
+  Mutex.lock sp.sp_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sp.sp_lock) @@ fun () ->
+  match Hashtbl.find_opt sp.sp_table digest with
+  | Some path -> Ok path
+  | None -> (
+      let dir = Filename.concat sp.sp_dir (safe_filename digest) in
+      match
+        (try Unix.mkdir sp.sp_dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let path = Filename.concat dir name in
+        let oc = open_out_bin path in
+        output_string oc source;
+        close_out oc;
+        path
+      with
+      | path ->
+          Hashtbl.replace sp.sp_table digest path;
+          Ok path
+      | exception Sys_error msg -> Error msg
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+(* Resolve a fabric job's grammar tenant against the spool: the job
+   arrives naming the submitter's grammar path, which means nothing on
+   this host — the ["session"] digest is the real key. A digest this
+   host has not been shipped yet answers the typed ["grammar_miss"]
+   refusal, which is the coordinator's cue to grammar_put and retry
+   (the pull half of the handshake). The spooled file keeps the
+   grammar's original basename, so session labels and tenant accounting
+   read the same as a local run. *)
+let spool_resolve st (job : Jobfile.job) session_member =
+  let rewrite tenant =
+    match job.Jobfile.j_op with
+    | Jobfile.Translate _ -> { job with Jobfile.j_op = Jobfile.Translate tenant }
+    | Jobfile.Update _ -> { job with Jobfile.j_op = Jobfile.Update tenant }
+    | Jobfile.Check | Jobfile.Analyze -> job
+  in
+  match job.Jobfile.j_op with
+  | Jobfile.Check | Jobfile.Analyze
+  | Jobfile.Translate (Jobfile.Language _)
+  | Jobfile.Update (Jobfile.Language _) ->
+      Ok job
+  | Jobfile.Translate (Jobfile.Grammar _) | Jobfile.Update (Jobfile.Grammar _)
+    -> (
+      match session_member with
+      | Some (Str digest) -> (
+          Mutex.lock st.spool.sp_lock;
+          let spooled = Hashtbl.find_opt st.spool.sp_table digest in
+          Mutex.unlock st.spool.sp_lock;
+          match spooled with
+          | Some path -> Ok (rewrite (Jobfile.Grammar path))
+          | None ->
+              Lg_support.Metrics.incr st.metrics "server.grammar_misses";
+              Error (error_response "grammar_miss" [ ("digest", Str digest) ]))
+      | _ ->
+          Error
+            (error_response
+               "fabric_job with a \"grammar\" tenant needs a \"session\" digest"
+               []))
+
+(* The job-op body, shared by the local ["job"] op (interactive lane)
+   and the fabric's ["fabric_job"] (lane chosen by the coordinator):
+   admission, lifecycle events, tenant accounting, supervision-failure
+   handling and the postmortem hook are identical either way. *)
+let run_job_op st ~rt ~trace ~lane (job : Jobfile.job) =
+  let deadline =
+    match job.Jobfile.j_deadline with
+    | Some _ as d -> d
+    | None -> st.deadline
+  in
+  let label = job.Jobfile.j_id in
+  Lg_support.Eventlog.record st.events ~trace
+    ~fields:
+      [
+        ("op", Str (Jobfile.op_name job.Jobfile.j_op));
+        ("file", Str job.Jobfile.j_file);
+        ("lane", Str (Pool.lane_name lane));
+      ]
+    ~job:label "submitted";
+  Lg_support.Trace.begin_span rt ~cat:"queue" "queue.wait";
+  let submitted = Unix.gettimeofday () in
+  (* charge exactly once: the thunk's success path and the supervision
+     path can both reach for the ledger (a job that finishes just as
+     its watchdog fires) *)
+  let charged = Atomic.make false in
+  let charge ~ok ~exit_code ~queue_wait ~service =
+    if not (Atomic.exchange charged true) then
+      match Batch.culprit job with
+      | Some (digest, tenant_label) ->
+          Ledger.charge st.tenants ~digest ~label:tenant_label ~ok ~exit_code
+            ~queue_wait ~service
+      | None -> ()
+  in
+  match
+    Pool.submit ~label ~lane ?deadline st.pool (fun () ->
+        let dequeued = Unix.gettimeofday () in
+        Lg_support.Trace.end_span rt ();
+        Lg_support.Eventlog.record st.events ~trace
+          ~fields:[ ("queue_wait_seconds", Num (dequeued -. submitted)) ]
+          ~job:label "dequeued";
+        (* the request tracer becomes ambient for the job so session
+           hit/build and evaluator pass spans land on this request's
+           story *)
+        let prev = Lg_support.Trace.ambient () in
+        Lg_support.Trace.install rt;
+        Fun.protect
+          ~finally:(fun () -> Lg_support.Trace.install prev)
+          (fun () ->
+            Lg_support.Trace.begin_span rt ~cat:"serve" "service";
+            Fun.protect
+              ~finally:(fun () -> Lg_support.Trace.end_span rt ())
+              (fun () ->
+                Batch.quarantine_gate ~sessions:st.sessions job;
+                (match st.chaos with
+                | Some _ ->
+                    Lg_support.Trace.span rt ~cat:"chaos" "chaos.gate"
+                      (fun () -> Batch.chaos_gate ?chaos:st.chaos job)
+                | None -> ());
+                Lg_support.Eventlog.record st.events ~trace ~job:label
+                  "started";
+                let mark = Lg_support.Trace.span_count rt in
+                let outcome =
+                  Batch.run_job ~sessions:st.sessions
+                    ?incremental:st.incremental job
+                in
+                record_lifecycle_events st ~trace ~job:label ~mark rt;
+                let finished = Unix.gettimeofday () in
+                Lg_support.Eventlog.record st.events ~trace
+                  ~fields:
+                    [
+                      ("exit", int outcome.Batch.o_exit);
+                      ("seconds", Num (finished -. dequeued));
+                    ]
+                  ~job:label
+                  (if outcome.Batch.o_ok then "finished" else "failed");
+                charge ~ok:outcome.Batch.o_ok
+                  ~exit_code:outcome.Batch.o_exit
+                  ~queue_wait:(dequeued -. submitted)
+                  ~service:(finished -. dequeued);
+                outcome)))
+  with
+  | Error { Pool.rj_depth; rj_capacity } ->
+      Lg_support.Trace.end_span rt ();
+      Lg_support.Eventlog.record st.events ~trace
+        ~fields:[ ("exit", int 1); ("error", Str "saturated") ]
+        ~job:label "failed";
+      error_response "saturated"
+        [ ("queue_depth", int rj_depth); ("capacity", int rj_capacity) ]
+  | Ok handle -> (
+      match Pool.await handle with
+      | Ok outcome -> with_trace_id trace (outcome_response outcome)
+      | Error e ->
+          let outcome =
+            Batch.failure_outcome ~metrics:st.metrics ~sessions:st.sessions
+              job e
+          in
+          Lg_support.Eventlog.record st.events ~trace
+            ~fields:
+              [
+                ("exit", int outcome.Batch.o_exit);
+                ( "error",
+                  match outcome.Batch.o_error with
+                  | Some m -> Str m
+                  | None -> Null );
+              ]
+            ~job:label "failed";
+          charge ~ok:false ~exit_code:outcome.Batch.o_exit ~queue_wait:0.0
+            ~service:0.0;
+          write_postmortem st ~job_id:label ~trace e;
+          with_trace_id trace (outcome_response outcome))
 
 let handle_request st ~rt ~trace doc =
   match member "op" doc with
@@ -459,15 +580,26 @@ let handle_request st ~rt ~trace doc =
                        ( "quarantined",
                          Bool (Session.is_quarantined st.sessions ~digest) );
                      ])
-                 (tenants_snapshot st.tenants)) );
+                 (Ledger.snapshot st.tenants)) );
         ]
   | Some (Str "drain") ->
       Atomic.set st.draining true;
+      (* drain announces intent to stop: checkpoint the ledger now so
+         accounting survives even an unclean exit after the drain *)
+      let ledger_saved =
+        match st.tenants_file with
+        | None -> Null
+        | Some path -> (
+            match Ledger.save st.tenants ~path with
+            | Ok () -> Bool true
+            | Error _ -> Bool false)
+      in
       Obj
         [
           ("ok", Bool true);
           ("draining", Bool true);
           ("queue_depth", int (Pool.queue_depth st.pool));
+          ("ledger_saved", ledger_saved);
         ]
   | Some (Str "job") when Atomic.get st.draining ->
       error_response "draining" []
@@ -477,119 +609,77 @@ let handle_request st ~rt ~trace doc =
       | Some jdoc -> (
           match Jobfile.job_of_json ~index:0 jdoc with
           | Error msg -> error_response msg []
+          | Ok job ->
+              (* local submissions are interactive-lane by default; a
+                 client may demote itself to the bulk lane explicitly *)
+              let lane =
+                match member "lane" doc with
+                | Some (Str "bulk") -> Pool.Bulk
+                | _ -> Pool.Interactive
+              in
+              run_job_op st ~rt ~trace ~lane job))
+  | Some (Str "fabric_job") when Atomic.get st.draining ->
+      error_response "draining" []
+  | Some (Str "fabric_job") -> (
+      (* a coordinator-dispatched job: bulk lane unless flagged, the
+         grammar tenant resolved through the spool by session digest *)
+      let lane =
+        match member "lane" doc with
+        | Some (Str "interactive") -> Ok Pool.Interactive
+        | Some (Str "bulk") | None -> Ok Pool.Bulk
+        | Some _ -> Error "\"lane\" must be \"interactive\" or \"bulk\""
+      in
+      match (lane, member "job" doc) with
+      | Error msg, _ -> error_response msg []
+      | _, None -> error_response "missing \"job\" member" []
+      | Ok lane, Some jdoc -> (
+          match Jobfile.job_of_json ~index:0 jdoc with
+          | Error msg -> error_response msg []
           | Ok job -> (
-              let deadline =
-                match job.Jobfile.j_deadline with
-                | Some _ as d -> d
-                | None -> st.deadline
-              in
-              let label = job.Jobfile.j_id in
-              Lg_support.Eventlog.record st.events ~trace
-                ~fields:
+              match spool_resolve st job (member "session" doc) with
+              | Error refusal -> with_trace_id trace refusal
+              | Ok job -> run_job_op st ~rt ~trace ~lane job)))
+  | Some (Str "grammar_put") -> (
+      let str name =
+        match member name doc with Some (Str s) -> Some s | _ -> None
+      in
+      match (str "digest", str "source") with
+      | None, _ -> error_response "op \"grammar_put\" needs a \"digest\"" []
+      | _, None -> error_response "op \"grammar_put\" needs a \"source\"" []
+      | Some digest, Some source ->
+          (* content-addressed verification: the digest is recomputed
+             over the received bytes with the session key derivation, so
+             a corrupted or mislabeled shipment can never poison the
+             spool under another grammar's identity *)
+          let actual = Session.digest ~kind:"translator" ~source in
+          if not (String.equal actual digest) then
+            error_response "grammar digest mismatch"
+              [ ("expected", Str digest); ("got", Str actual) ]
+          else begin
+            let name =
+              match str "name" with
+              | Some n when safe_filename n <> "" -> safe_filename n
+              | _ -> "grammar.ag"
+            in
+            match spool_store st ~digest ~name ~source with
+            | Ok path ->
+                Lg_support.Metrics.incr st.metrics "server.grammar_puts";
+                Obj
                   [
-                    ("op", Str (Jobfile.op_name job.Jobfile.j_op));
-                    ("file", Str job.Jobfile.j_file);
+                    ("ok", Bool true);
+                    ("digest", Str digest);
+                    ("spooled", Str path);
                   ]
-                ~job:label "submitted";
-              Lg_support.Trace.begin_span rt ~cat:"queue" "queue.wait";
-              let submitted = Unix.gettimeofday () in
-              (* charge exactly once: the thunk's success path and the
-                 supervision path can both reach for the ledger (a job
-                 that finishes just as its watchdog fires) *)
-              let charged = Atomic.make false in
-              let charge ~ok ~exit_code ~queue_wait ~service =
-                if not (Atomic.exchange charged true) then
-                  match Batch.culprit job with
-                  | Some (digest, tenant_label) ->
-                      tenants_charge st.tenants ~digest ~label:tenant_label
-                        ~ok ~exit_code ~queue_wait ~service
-                  | None -> ()
-              in
-              match
-                Pool.submit ~label ?deadline st.pool (fun () ->
-                    let dequeued = Unix.gettimeofday () in
-                    Lg_support.Trace.end_span rt ();
-                    Lg_support.Eventlog.record st.events ~trace
-                      ~fields:
-                        [ ("queue_wait_seconds", Num (dequeued -. submitted)) ]
-                      ~job:label "dequeued";
-                    (* the request tracer becomes ambient for the job so
-                       session hit/build and evaluator pass spans land on
-                       this request's story *)
-                    let prev = Lg_support.Trace.ambient () in
-                    Lg_support.Trace.install rt;
-                    Fun.protect
-                      ~finally:(fun () -> Lg_support.Trace.install prev)
-                      (fun () ->
-                        Lg_support.Trace.begin_span rt ~cat:"serve" "service";
-                        Fun.protect
-                          ~finally:(fun () -> Lg_support.Trace.end_span rt ())
-                          (fun () ->
-                            Batch.quarantine_gate ~sessions:st.sessions job;
-                            (match st.chaos with
-                            | Some _ ->
-                                Lg_support.Trace.span rt ~cat:"chaos"
-                                  "chaos.gate" (fun () ->
-                                    Batch.chaos_gate ?chaos:st.chaos job)
-                            | None -> ());
-                            Lg_support.Eventlog.record st.events ~trace
-                              ~job:label "started";
-                            let mark = Lg_support.Trace.span_count rt in
-                            let outcome =
-                              Batch.run_job ~sessions:st.sessions
-                                ?incremental:st.incremental job
-                            in
-                            record_lifecycle_events st ~trace ~job:label ~mark
-                              rt;
-                            let finished = Unix.gettimeofday () in
-                            Lg_support.Eventlog.record st.events ~trace
-                              ~fields:
-                                [
-                                  ("exit", int outcome.Batch.o_exit);
-                                  ("seconds", Num (finished -. dequeued));
-                                ]
-                              ~job:label
-                              (if outcome.Batch.o_ok then "finished"
-                               else "failed");
-                            charge ~ok:outcome.Batch.o_ok
-                              ~exit_code:outcome.Batch.o_exit
-                              ~queue_wait:(dequeued -. submitted)
-                              ~service:(finished -. dequeued);
-                            outcome)))
-              with
-              | Error { Pool.rj_depth; rj_capacity } ->
-                  Lg_support.Trace.end_span rt ();
-                  Lg_support.Eventlog.record st.events ~trace
-                    ~fields:[ ("exit", int 1); ("error", Str "saturated") ]
-                    ~job:label "failed";
-                  error_response "saturated"
-                    [
-                      ("queue_depth", int rj_depth);
-                      ("capacity", int rj_capacity);
-                    ]
-              | Ok handle -> (
-                  match Pool.await handle with
-                  | Ok outcome ->
-                      with_trace_id trace (outcome_response outcome)
-                  | Error e ->
-                      let outcome =
-                        Batch.failure_outcome ~metrics:st.metrics
-                          ~sessions:st.sessions job e
-                      in
-                      Lg_support.Eventlog.record st.events ~trace
-                        ~fields:
-                          [
-                            ("exit", int outcome.Batch.o_exit);
-                            ( "error",
-                              match outcome.Batch.o_error with
-                              | Some m -> Str m
-                              | None -> Null );
-                          ]
-                        ~job:label "failed";
-                      charge ~ok:false ~exit_code:outcome.Batch.o_exit
-                        ~queue_wait:0.0 ~service:0.0;
-                      write_postmortem st ~job_id:label ~trace e;
-                      with_trace_id trace (outcome_response outcome)))))
+            | Error msg -> error_response msg []
+          end)
+  | Some (Str "grammar_have") -> (
+      match member "digest" doc with
+      | Some (Str digest) ->
+          Mutex.lock st.spool.sp_lock;
+          let have = Hashtbl.mem st.spool.sp_table digest in
+          Mutex.unlock st.spool.sp_lock;
+          Obj [ ("ok", Bool true); ("digest", Str digest); ("have", Bool have) ]
+      | _ -> error_response "op \"grammar_have\" needs a \"digest\"" [])
   | Some (Str "update") when Atomic.get st.draining ->
       error_response "draining" []
   | Some (Str "update") -> (
@@ -627,12 +717,13 @@ let handle_request st ~rt ~trace doc =
             if not (Atomic.exchange charged true) then
               match update_tenant_digest tenant with
               | Some (digest, tenant_label) ->
-                  tenants_charge st.tenants ~digest ~label:tenant_label ~ok
+                  Ledger.charge st.tenants ~digest ~label:tenant_label ~ok
                     ~exit_code ~queue_wait ~service
               | None -> ()
           in
           match
-            Pool.submit ~label ?deadline:st.deadline st.pool (fun () ->
+            Pool.submit ~label ~lane:Pool.Interactive ?deadline:st.deadline
+              st.pool (fun () ->
                 let dequeued = Unix.gettimeofday () in
                 Lg_support.Trace.end_span rt ();
                 Lg_support.Eventlog.record st.events ~trace
@@ -791,9 +882,39 @@ let connection_loop st fd =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () -> try go () with Failure _ | Unix.Unix_error _ -> ())
 
+(* every in-process serve gets its own spool directory even when two
+   run in one pid (tests, the fabric bench) *)
+let spool_counter = Atomic.make 0
+
+let fresh_spool_dir () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "linguist-spool-%d-%d" (Unix.getpid ())
+       (Atomic.fetch_and_add spool_counter 1))
+
+(* the spool is two levels deep at most: digest dirs holding one source
+   file each *)
+let remove_spool_dir dir =
+  let rm_tree path =
+    match Sys.readdir path with
+    | entries ->
+        Array.iter
+          (fun name ->
+            try Sys.remove (Filename.concat path name) with Sys_error _ -> ())
+          entries;
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | exception Sys_error _ -> ()
+  in
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter (fun name -> rm_tree (Filename.concat dir name)) entries;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
 let serve ?queue_capacity ?session_capacity ?session_ttl ?quarantine_after
-    ?metrics ?tracer ?events ?postmortem_dir ?incremental ?chaos ?deadline
-    ~workers ~socket () =
+    ?metrics ?tracer ?events ?postmortem_dir ?postmortem_keep ?incremental
+    ?chaos ?deadline ?slo_window ?tenants_file ?tcp ?on_tcp_port ~workers
+    ~socket () =
   (* a client that vanishes mid-response must cost us an EPIPE, not the
      process; per-connection handling turns it into a closed connection *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -813,18 +934,36 @@ let serve ?queue_capacity ?session_capacity ?session_ttl ?quarantine_after
   let queue_capacity =
     match queue_capacity with Some c -> c | None -> 4 * max 1 workers
   in
+  let tenants = Ledger.create () in
+  (* reload persisted accounting before the listeners open, so a restart
+     under traffic double-counts nothing; a missing snapshot is a first
+     boot, a malformed one is a configuration error worth failing on *)
+  (match tenants_file with
+  | Some path when Sys.file_exists path -> (
+      match Ledger.load tenants ~path with
+      | Ok _ -> ()
+      | Error msg -> failwith ("tenant ledger: " ^ msg))
+  | Some _ | None -> ());
   let st =
     {
-      pool = Pool.create ~metrics ~workers ~queue_capacity ();
+      pool = Pool.create ~metrics ?slo_window ~workers ~queue_capacity ();
       sessions =
         Session.create_cache ?capacity:session_capacity ?ttl:session_ttl
-          ?quarantine_after ();
+          ?quarantine_after ~metrics ();
       metrics;
       tracer;
       events;
       postmortem_dir;
+      postmortem_keep;
       pm_counter = Atomic.make 0;
-      tenants = tenants_create ();
+      tenants;
+      tenants_file;
+      spool =
+        {
+          sp_lock = Mutex.create ();
+          sp_dir = fresh_spool_dir ();
+          sp_table = Hashtbl.create 8;
+        };
       incremental;
       chaos;
       deadline;
@@ -833,46 +972,75 @@ let serve ?queue_capacity ?session_capacity ?session_ttl ?quarantine_after
       draining = Atomic.make false;
     }
   in
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink socket with Unix.Unix_error _ -> ());
-  Unix.bind listener (Unix.ADDR_UNIX socket);
-  Unix.listen listener 16;
+  let unix_listener, _ = Transport.listen (Transport.Unix_path socket) in
+  let tcp_listener =
+    match tcp with
+    | None -> None
+    | Some spec -> (
+        match Transport.parse_tcp spec with
+        | Error msg ->
+            (try Unix.close unix_listener with Unix.Unix_error _ -> ());
+            (try Unix.unlink socket with Unix.Unix_error _ -> ());
+            invalid_arg ("--listen " ^ msg)
+        | Ok endpoint ->
+            let fd, bound = Transport.listen endpoint in
+            (match bound with
+            | Transport.Tcp (_, port) -> (
+                match on_tcp_port with Some f -> f port | None -> ())
+            | Transport.Unix_path _ -> ());
+            Some fd)
+  in
+  let listeners =
+    unix_listener :: (match tcp_listener with Some fd -> [ fd ] | None -> [])
+  in
   let threads = ref [] in
   let finish () =
-    (try Unix.close listener with Unix.Unix_error _ -> ());
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      listeners;
     List.iter Thread.join !threads;
     Pool.drain st.pool;
+    (match st.tenants_file with
+    | Some path -> ignore (Ledger.save st.tenants ~path)
+    | None -> ());
+    remove_spool_dir st.spool.sp_dir;
     try Unix.unlink socket with Unix.Unix_error _ -> ()
   in
   Fun.protect ~finally:finish @@ fun () ->
   while not (Atomic.get st.stop) do
     (* wake up periodically so a shutdown requested on some connection
-       thread stops the accept loop too *)
-    match Unix.select [ listener ] [] [] 0.2 with
-    | [ _ ], _, _ ->
-        let fd, _ = Unix.accept listener in
-        threads := Thread.create (connection_loop st) fd :: !threads
-    | _ -> ()
+       thread stops the accept loop too; both listeners feed the same
+       connection loop — the protocol is transport-agnostic *)
+    match Unix.select listeners [] [] 0.2 with
+    | ready, _, _ ->
+        List.iter
+          (fun listener ->
+            let fd, _ = Unix.accept listener in
+            Transport.nodelay fd;
+            threads := Thread.create (connection_loop st) fd :: !threads)
+          ready
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-let one_request ~socket doc =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+let one_request_endpoint ~endpoint doc =
+  let fd = Transport.connect endpoint in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      Unix.connect fd (Unix.ADDR_UNIX socket);
       write_frame fd (to_string doc);
       match read_frame fd with
       | Some payload -> parse payload
       | None -> failwith "server closed the connection without a response")
 
 (* what the retrying client treats as transient: the server not (yet)
-   there, a connection torn down mid-exchange, or a dropped response *)
+   there, a connection torn down mid-exchange, or a dropped response.
+   The network errors matter for TCP endpoints: a worker host mid-boot
+   or briefly unreachable looks exactly like a socket not yet bound. *)
 let retryable_exn = function
   | Unix.Unix_error
       ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT
-        | Unix.ENOTCONN ),
+        | Unix.ENOTCONN | Unix.EHOSTUNREACH | Unix.ENETUNREACH
+        | Unix.ETIMEDOUT | Unix.EADDRNOTAVAIL ),
         _,
         _ ) ->
       true
@@ -903,8 +1071,8 @@ let mint_trace_id () =
   in
   String.sub (Digest.to_hex d) 0 16
 
-let request ?(attempts = default_attempts) ?(backoff = 0.05) ?budget
-    ?(jitter_seed = 0) ~socket doc =
+let request_endpoint ?(attempts = default_attempts) ?(backoff = 0.05) ?budget
+    ?(jitter_seed = 0) ~endpoint doc =
   (* every client request carries a trace id; retries reuse it, so the
      server trace shows one logical request across attempts *)
   let doc =
@@ -938,7 +1106,7 @@ let request ?(attempts = default_attempts) ?(backoff = 0.05) ?budget
   in
   let rec go attempt =
     let retriable = attempt < attempts && not (over_budget ()) in
-    match one_request ~socket doc with
+    match one_request_endpoint ~endpoint doc with
     | response when saturated_response response && retriable ->
         pause attempt;
         go (attempt + 1)
@@ -948,3 +1116,7 @@ let request ?(attempts = default_attempts) ?(backoff = 0.05) ?budget
         go (attempt + 1)
   in
   go 1
+
+let request ?attempts ?backoff ?budget ?jitter_seed ~socket doc =
+  request_endpoint ?attempts ?backoff ?budget ?jitter_seed
+    ~endpoint:(Transport.Unix_path socket) doc

@@ -1,9 +1,13 @@
 (** The evaluation service's socket front-end: [linguist serve].
 
-    Listens on a Unix-domain socket and serves length-prefixed JSON
+    Listens on a Unix-domain socket — and, with [?tcp], on a TCP
+    endpoint too, which is how fabric worker hosts join a
+    {!Lg_fabric.Coordinator} fleet — and serves length-prefixed JSON
     requests against one shared {!Pool} and {!Session} cache — the
     long-running form of [linguist batch] for callers that want to pay
     grammar compilation once and stream evaluation requests at it.
+    Both listeners feed the same connection loop: the protocol is
+    transport-agnostic (see {!Transport} and [docs/FABRIC.md]).
 
     {b Framing}: every message (both directions) is a 4-byte big-endian
     payload length followed by that many bytes of JSON. Payloads above
@@ -72,6 +76,27 @@
     - [{"op":"shutdown"}] → [{"ok":true,"stopping":true}]; the server
       stops accepting connections, drains the pool and returns.
 
+    {b Fabric ops} (the distributed-evaluation handshake — see
+    [docs/FABRIC.md]):
+    - [{"op":"fabric_job","job":{...},"lane":"bulk"|"interactive",
+      "session":digest}] — a coordinator-dispatched job. The lane
+      defaults to [bulk] (so interactive [job]/[update] traffic
+      preempts it at dequeue); a job with a grammar tenant must carry
+      the grammar's session [digest], which is resolved against the
+      local spool. An unshipped digest answers the typed refusal
+      [{"ok":false,"error":"grammar_miss","digest":d}] — the
+      coordinator's cue to [grammar_put] and retry.
+    - [{"op":"grammar_put","digest":d,"name":base,"source":S}] — ship a
+      grammar source. The digest is recomputed over the received bytes
+      and must match, else [{"ok":false,"error":"grammar digest
+      mismatch","expected":..,"got":..}]; on success the source lands
+      in a per-serve content-addressed spool and the op answers
+      [{"ok":true,"digest":d,"spooled":path}].
+    - [{"op":"grammar_have","digest":d}] →
+      [{"ok":true,"digest":d,"have":true|false}] — spool membership,
+      letting a coordinator pre-ship instead of paying a round-trip
+      miss.
+
     A connection handles any number of requests in sequence; each
     connection gets an OS thread, while evaluation itself happens on the
     pool's domains. *)
@@ -90,9 +115,14 @@ val serve :
   ?tracer:Lg_support.Trace.t ->
   ?events:Lg_support.Eventlog.t ->
   ?postmortem_dir:string ->
+  ?postmortem_keep:int ->
   ?incremental:Batch.incremental ->
   ?chaos:Chaos.t ->
   ?deadline:float ->
+  ?slo_window:float ->
+  ?tenants_file:string ->
+  ?tcp:string ->
+  ?on_tcp_port:(int -> unit) ->
   workers:int ->
   socket:string ->
   unit ->
@@ -110,6 +140,20 @@ val serve :
     injection ({!Chaos}) — worker delays/crashes/wedges and response
     drops — for resilience testing.
 
+    [tcp] ([HOST:PORT], the CLI's [--listen]) opens a second, TCP
+    listener serving the identical protocol — port [0] lets the OS
+    pick, and [on_tcp_port] (if given) is called once with the port
+    actually bound, before the first accept. Raises [Invalid_argument]
+    on an unparsable spec. [slo_window] (seconds, default 60) is the
+    rolling window behind the [server.*_recent_seconds] histograms the
+    [top] dashboard's current-latency columns read.
+
+    [tenants_file] makes the per-tenant accounting ledger persistent:
+    an existing snapshot is merged in before the listeners open (a
+    malformed one raises [Failure]; a missing one is a first boot), and
+    the ledger is written back atomically (temp file + rename) on
+    [drain] and again at shutdown.
+
     [tracer] (default disabled) receives every request's absorbed span
     tree — the CLI's [serve --trace-out] exports it as a merged Chrome
     trace on shutdown. [events] is the flight recorder (default a fresh
@@ -117,9 +161,19 @@ val serve :
     records each job's lifecycle. [postmortem_dir] (created if missing)
     turns on crash dumps: a job failing with [deadline_exceeded] (50) or
     [worker_crashed] (51) writes its recent flight-recorder events as
-    [postmortem-<job>-<n>.json] there. Installs [SIGPIPE → ignore]
+    [postmortem-<job>-<n>.json] there; [postmortem_keep] caps retention
+    — after each dump only the newest N survive, each removal counted
+    by [server.postmortems_pruned]. Installs [SIGPIPE → ignore]
     process-wide, so a vanished client costs one connection, not the
     server. Raises [Unix.Unix_error] if the socket cannot be bound. *)
+
+val prune_postmortems :
+  dir:string -> keep:int -> metrics:Lg_support.Metrics.t -> int
+(** Delete all but the newest [keep] [postmortem-*.json] dumps in [dir]
+    (newest by mtime, name-descending tie-break — deterministic),
+    bumping [server.postmortems_pruned] per removal; answers how many
+    were deleted. Exposed for tests; {!serve} runs it after every dump
+    when [postmortem_keep] is set. *)
 
 (** {1 Client side} *)
 
@@ -156,3 +210,18 @@ val request :
     Note a retried [job] may execute twice server-side (a dropped
     response arrives after the work ran) — jobs are stateless apart
     from session warming, so a re-run answers identically. *)
+
+val request_endpoint :
+  ?attempts:int ->
+  ?backoff:float ->
+  ?budget:float ->
+  ?jitter_seed:int ->
+  endpoint:Transport.endpoint ->
+  Lg_support.Json_out.t ->
+  Lg_support.Json_out.t
+(** {!request} generalized over {!Transport.endpoint} — the same retry
+    and trace-minting behavior against a Unix socket path or a TCP
+    worker host. [request ~socket] is
+    [request_endpoint ~endpoint:(Unix_path socket)]. Network
+    transients (host unreachable, connect timeout) retry exactly like
+    a not-yet-bound socket file does. *)

@@ -68,6 +68,7 @@ type cache = {
   quarantine_after : int;
   strikes : (string, int * string) Hashtbl.t;  (* digest -> strikes, label *)
   tstats : (string, tstat) Hashtbl.t;  (* digest -> cache traffic *)
+  metrics : Lg_support.Metrics.t;  (* server.session_builds *)
   mutable floor : float;  (* GreedyDual inflation *)
   mutable tick : int;
   mutable hits : int;
@@ -77,7 +78,8 @@ type cache = {
 }
 
 let create_cache ?(capacity = 8) ?(doc_capacity = 128) ?ttl
-    ?(quarantine_after = 3) ?(clock = Unix.gettimeofday) () =
+    ?(quarantine_after = 3) ?(clock = Unix.gettimeofday)
+    ?(metrics = Lg_support.Metrics.null) () =
   {
     lock = Mutex.create ();
     turned = Condition.create ();
@@ -90,6 +92,7 @@ let create_cache ?(capacity = 8) ?(doc_capacity = 128) ?ttl
     quarantine_after = max 1 quarantine_after;
     strikes = Hashtbl.create 8;
     tstats = Hashtbl.create 16;
+    metrics;
     floor = 0.0;
     tick = 0;
     hits = 0;
@@ -291,6 +294,9 @@ let find_or_build c ?weight ~digest ~label ~build () =
             | None -> default_weight ~build_seconds payload
           in
           let session = { s_digest = digest; s_label = label; s_payload = payload } in
+          (* every completed build counts here — the coordinator's
+             builds-per-grammar placement check reads this per worker *)
+          Lg_support.Metrics.incr c.metrics "server.session_builds";
           locked c (fun () ->
               Hashtbl.remove c.entries digest;
               evict_if_full c;

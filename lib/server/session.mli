@@ -71,6 +71,7 @@ val create_cache :
   ?ttl:float ->
   ?quarantine_after:int ->
   ?clock:(unit -> float) ->
+  ?metrics:Lg_support.Metrics.t ->
   unit ->
   cache
 (** [capacity] (default 8, at least 1) bounds resident sessions;
@@ -79,7 +80,10 @@ val create_cache :
     idle longer than that. [quarantine_after] (default 3, at least 1)
     is the worker-fatal strike count at which a digest is quarantined.
     [clock] (default [Unix.gettimeofday]) is injectable for
-    deterministic TTL tests. *)
+    deterministic TTL tests. [metrics] (default null) counts every
+    completed build as [server.session_builds] — the per-worker
+    "each grammar compiled exactly once" signal the distributed
+    coordinator's placement checks read. *)
 
 val length : cache -> int
 val capacity : cache -> int

@@ -1,0 +1,125 @@
+(* The wire layer the serve protocol runs over: framed messages (4-byte
+   big-endian length + JSON payload) over either a Unix-domain socket or
+   TCP. The framing knows nothing about endpoints and the endpoints
+   nothing about JSON — Server composes both. *)
+
+let max_frame = 16 * 1024 * 1024
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then failwith "connection closed mid-frame";
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match Unix.read fd hdr 0 4 with
+  | 0 -> None (* clean EOF between frames *)
+  | n ->
+      if n < 4 then really_read fd hdr n (4 - n);
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_frame then
+        failwith (Printf.sprintf "frame length %d out of range" len);
+      let payload = Bytes.create len in
+      really_read fd payload 0 len;
+      Some (Bytes.unsafe_to_string payload)
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then failwith "response exceeds max_frame";
+  let msg = Bytes.create (4 + len) in
+  Bytes.set_int32_be msg 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 msg 4 len;
+  let rec go off remaining =
+    if remaining > 0 then begin
+      let n = Unix.write fd msg off remaining in
+      go (off + n) (remaining - n)
+    end
+  in
+  go 0 (4 + len)
+
+(* ---------- endpoints ---------- *)
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+let to_string = function
+  | Unix_path path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 && host <> "" -> Ok (Tcp (host, p))
+      | _ ->
+          Error
+            (Printf.sprintf "%S: port must be a number in 0..65535 %s" spec
+               "(0 lets the OS pick)"))
+
+let resolve host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr; _ } :: _ -> ai_addr
+      | [] | (exception Not_found) ->
+          raise (Unix.Unix_error (Unix.EHOSTUNREACH, "getaddrinfo", host)))
+
+let closing_on_error fd f =
+  match f () with
+  | v -> v
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+(* evaluation responses are one whole frame, so coalescing tiny writes
+   buys nothing — turn Nagle off for interactive latency *)
+let nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let connect = function
+  | Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      closing_on_error fd (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd)
+  | Tcp (host, port) ->
+      let addr = resolve host port in
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      closing_on_error fd (fun () ->
+          Unix.connect fd addr;
+          nodelay fd;
+          fd)
+
+let listen ?(backlog = 16) = function
+  | Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      closing_on_error fd (fun () ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd backlog;
+          (fd, Unix_path path))
+  | Tcp (host, port) ->
+      let addr = resolve host port in
+      let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      closing_on_error fd (fun () ->
+          Unix.setsockopt fd Unix.SO_REUSEADDR true;
+          Unix.bind fd addr;
+          Unix.listen fd backlog;
+          let bound =
+            (* port 0 lets the OS pick: report the port actually bound *)
+            match Unix.getsockname fd with
+            | Unix.ADDR_INET (_, p) -> Tcp (host, p)
+            | _ -> Tcp (host, port)
+          in
+          (fd, bound))

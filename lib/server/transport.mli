@@ -1,0 +1,53 @@
+(** The serve protocol's wire layer: message framing plus connection
+    endpoints. The protocol itself ({!Server}) is transport-agnostic —
+    it reads and writes frames on any [Unix.file_descr]; this module
+    supplies the framing and the two ways of obtaining such a
+    descriptor (Unix-domain socket or TCP), so a worker host across the
+    network speaks exactly the wire format a local client does. *)
+
+(** {1 Framing}
+
+    Every message, both directions: a 4-byte big-endian payload length
+    followed by that many bytes of JSON. *)
+
+val max_frame : int
+(** 16 MiB — the largest accepted frame payload. *)
+
+val read_frame : Unix.file_descr -> string option
+(** One frame's payload; [None] on clean EOF between frames.
+    @raise Failure on a truncated frame or an out-of-range length. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame. @raise Failure above {!max_frame}. *)
+
+(** {1 Endpoints} *)
+
+type endpoint =
+  | Unix_path of string  (** a Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or address literal), port *)
+
+val to_string : endpoint -> string
+(** [path] or [host:port] — diagnostics and worker labels. *)
+
+val parse_tcp : string -> (endpoint, string) result
+(** Parse a [HOST:PORT] spec (the [--listen]/[--connect]/[--worker]
+    argument). The split is at the {e last} colon; port 0 is allowed
+    (the OS picks a free port at {!listen}). *)
+
+val nodelay : Unix.file_descr -> unit
+(** Best-effort [TCP_NODELAY] — a no-op on non-TCP descriptors. The
+    server's accept loop applies it to accepted connections; [connect]
+    applies it on the client side. *)
+
+val connect : endpoint -> Unix.file_descr
+(** A connected stream socket ([TCP_NODELAY] set on TCP — responses
+    are whole frames, coalescing buys nothing). Host names resolve via
+    [getaddrinfo]. @raise Unix.Unix_error on refusal or resolution
+    failure (a transient the retrying {!Server.request} client
+    absorbs). *)
+
+val listen : ?backlog:int -> endpoint -> Unix.file_descr * endpoint
+(** A listening socket plus the endpoint actually bound — for
+    [Tcp (host, 0)] the returned endpoint carries the OS-picked port.
+    A stale Unix socket file is replaced; TCP listeners set
+    [SO_REUSEADDR]. [backlog] defaults to 16. *)

@@ -28,12 +28,42 @@ type hist_cell = {
   mutable count : int;
 }
 
-type cell = C of int ref | G of float ref | H of hist_cell
+(* a windowed histogram keeps two fixed-width frames (current and
+   previous) and rotates on the registry clock; readers see the two
+   frames merged, so a snapshot always covers between one and two
+   windows of recent observations and older ones are forgotten *)
+type win_cell = {
+  w_buckets : float array;
+  w_window : float;  (* frame width, seconds *)
+  mutable w_start : float;  (* current frame's start *)
+  w_cur : int array;
+  mutable w_cur_sum : float;
+  mutable w_cur_count : int;
+  w_prev : int array;
+  mutable w_prev_sum : float;
+  mutable w_prev_count : int;
+}
 
-type t = { on : bool; lock : Mutex.t; cells : (string, cell) Hashtbl.t }
+type cell = C of int ref | G of float ref | H of hist_cell | W of win_cell
 
-let null = { on = false; lock = Mutex.create (); cells = Hashtbl.create 1 }
-let create () = { on = true; lock = Mutex.create (); cells = Hashtbl.create 32 }
+type t = {
+  on : bool;
+  lock : Mutex.t;
+  cells : (string, cell) Hashtbl.t;
+  clock : unit -> float;  (* drives windowed-histogram rotation only *)
+}
+
+let null =
+  {
+    on = false;
+    lock = Mutex.create ();
+    cells = Hashtbl.create 1;
+    clock = (fun () -> 0.0);
+  }
+
+let create ?(clock = Unix.gettimeofday) () =
+  { on = true; lock = Mutex.create (); cells = Hashtbl.create 32; clock }
+
 let enabled t = t.on
 
 (* Every enabled-path operation runs under the lock; [kind_error] raises
@@ -59,6 +89,7 @@ let kind_name = function
   | C _ -> "counter"
   | G _ -> "gauge"
   | H _ -> "histogram"
+  | W _ -> "windowed histogram"
 
 let incr t ?(by = 1) name =
   if t.on then
@@ -123,7 +154,70 @@ let observe t ?(buckets = default_buckets) name v =
     h.sum <- h.sum +. v;
     h.count <- h.count + 1
 
-let freeze = function
+(* under the lock: advance a windowed cell's frames to cover [now].
+   One frame behind → current becomes previous; two or more behind →
+   both frames are stale and clear. The new frame start is aligned to
+   the window grid so idle periods don't drift the boundaries. *)
+let rotate_window now w =
+  let behind = now -. w.w_start in
+  if behind >= w.w_window then begin
+    let n = Array.length w.w_cur in
+    if behind >= 2.0 *. w.w_window then begin
+      Array.fill w.w_cur 0 n 0;
+      Array.fill w.w_prev 0 n 0;
+      w.w_cur_sum <- 0.0;
+      w.w_cur_count <- 0;
+      w.w_prev_sum <- 0.0;
+      w.w_prev_count <- 0;
+      w.w_start <- now
+    end
+    else begin
+      Array.blit w.w_cur 0 w.w_prev 0 n;
+      Array.fill w.w_cur 0 n 0;
+      w.w_prev_sum <- w.w_cur_sum;
+      w.w_prev_count <- w.w_cur_count;
+      w.w_cur_sum <- 0.0;
+      w.w_cur_count <- 0;
+      w.w_start <- w.w_start +. w.w_window
+    end
+  end
+
+let observe_window t ?(buckets = default_buckets) ~window name v =
+  if t.on then
+    locked t @@ fun () ->
+    let w =
+      match Hashtbl.find_opt t.cells name with
+      | Some (W w) -> w
+      | Some c -> kind_error name ~want:"windowed histogram" ~got:(kind_name c)
+      | None ->
+          let sorted = List.sort_uniq compare buckets in
+          if sorted = [] then
+            invalid_arg (Printf.sprintf "Metrics: %S: empty bucket list" name);
+          let buckets = Array.of_list sorted in
+          let n = Array.length buckets + 1 in
+          let w =
+            {
+              w_buckets = buckets;
+              w_window = Float.max 0.001 window;
+              w_start = t.clock ();
+              w_cur = Array.make n 0;
+              w_cur_sum = 0.0;
+              w_cur_count = 0;
+              w_prev = Array.make n 0;
+              w_prev_sum = 0.0;
+              w_prev_count = 0;
+            }
+          in
+          Hashtbl.replace t.cells name (W w);
+          w
+    in
+    rotate_window (t.clock ()) w;
+    let i = bucket_index w.w_buckets v in
+    w.w_cur.(i) <- w.w_cur.(i) + 1;
+    w.w_cur_sum <- w.w_cur_sum +. v;
+    w.w_cur_count <- w.w_cur_count + 1
+
+let freeze now = function
   | C r -> Counter !r
   | G r -> Gauge !r
   | H h ->
@@ -134,14 +228,30 @@ let freeze = function
           h_sum = h.sum;
           h_count = h.count;
         }
+  | W w ->
+      (* rotate first so a quiet histogram reads empty once its frames
+         age out, then export the two frames merged as a plain
+         histogram — every reader (percentiles, JSON, Prometheus)
+         works on it unchanged *)
+      rotate_window now w;
+      Histogram
+        {
+          h_buckets = Array.copy w.w_buckets;
+          h_counts = Array.init (Array.length w.w_cur) (fun i ->
+              w.w_cur.(i) + w.w_prev.(i));
+          h_sum = w.w_cur_sum +. w.w_prev_sum;
+          h_count = w.w_cur_count + w.w_prev_count;
+        }
 
 let dump t =
   locked t @@ fun () ->
-  Hashtbl.fold (fun name c acc -> (name, freeze c) :: acc) t.cells []
+  let now = t.clock () in
+  Hashtbl.fold (fun name c acc -> (name, freeze now c) :: acc) t.cells []
   |> List.sort compare
 
 let find t name =
-  locked t @@ fun () -> Option.map freeze (Hashtbl.find_opt t.cells name)
+  locked t @@ fun () ->
+  Option.map (freeze (t.clock ())) (Hashtbl.find_opt t.cells name)
 
 let reset t = locked t @@ fun () -> Hashtbl.reset t.cells
 

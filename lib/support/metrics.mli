@@ -31,7 +31,11 @@ type t
 val null : t
 (** The disabled registry: every operation is a near-no-op. *)
 
-val create : unit -> t
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh enabled registry. [clock] (default [Unix.gettimeofday])
+    drives {e windowed} histogram rotation only — tests inject a fake
+    clock to step windows deterministically. *)
+
 val enabled : t -> bool
 
 (** {1 Recording} *)
@@ -56,6 +60,19 @@ val observe : t -> ?buckets:float list -> string -> float -> unit
     first observation and ignored afterwards. Every histogram has an
     implicit [+Inf] overflow bucket, so bucket counts always sum to the
     observation count. *)
+
+val observe_window : t -> ?buckets:float list -> window:float -> string -> float -> unit
+(** Record one observation into a {e windowed} histogram: like
+    {!observe}, but the counts cover only recent observations. The cell
+    keeps two [window]-second frames (current and previous) and rotates
+    them on the registry clock, so any snapshot reflects between one
+    and two windows of history and everything older is forgotten — the
+    "current latency" view that [linguist top] renders, where the
+    process-lifetime SLO histograms never forget a cold start.
+    [buckets] and [window] are fixed by the first observation. Exported
+    ({!dump}/{!find}/{!to_json}/{!pp_prometheus}) as a plain
+    {!Histogram} of the merged frames; a name is either windowed or
+    plain, never both. *)
 
 val default_buckets : float list
 (** Powers of 4 from 1 to 4{^10} — a decade-spanning default for byte
